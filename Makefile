@@ -1,0 +1,31 @@
+.PHONY: all build test bench examples data clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/frequency_assignment.exe
+	dune exec examples/scheduling.exe
+	dune exec examples/derandomization.exe
+	dune exec examples/local_reduction.exe
+
+# Regenerate the sample instances in data/ (fixed seeds).
+data:
+	dune exec -- pslocal gen-hypergraph intervals -n 64 -m 50 --min-len 3 --max-len 12 --seed 1 -o data/intervals_64_50.hg
+	dune exec -- pslocal gen-hypergraph almost-uniform -n 48 -m 60 -k 4 --eps 0.5 --seed 2 -o data/almost_uniform_48_60.hg
+	dune exec -- pslocal gen-hypergraph sunflower -m 12 -k 3 -o data/sunflower_12.hg
+	dune exec -- pslocal gen-graph gnp -n 100 -p 0.05 --seed 3 -o data/gnp_100_005.el
+	dune exec -- pslocal gen-graph grid --rows 8 --cols 8 -o data/grid_8x8.el
+	dune exec -- pslocal gen-graph ring -n 48 -o data/ring_48.el
+
+clean:
+	dune clean

@@ -1,0 +1,27 @@
+(* Benchmark/experiment driver.
+
+     dune exec bench/main.exe              # every experiment + micro-benches
+     dune exec bench/main.exe -- e3 e4     # a subset
+     dune exec bench/main.exe -- micro     # micro-benchmarks only
+
+   Experiment ids follow EXPERIMENTS.md: e1-e7 are the paper's claims,
+   a1-a3 the ablations. *)
+
+let usage () =
+  print_endline "usage: main.exe [e1 .. e7 | a1 .. a3 | micro]...";
+  print_endline "  (no arguments runs everything)";
+  exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let known = List.map fst Experiments.all @ [ "micro" ] in
+  List.iter
+    (fun a -> if not (List.mem a known) then usage ())
+    args;
+  let selected name = args = [] || List.mem name args in
+  print_endline
+    "P-SLOCAL-completeness of MaxIS approximation - experiment harness";
+  List.iter
+    (fun (name, run) -> if selected name then run ())
+    Experiments.all;
+  if selected "micro" then Micro.run ()

@@ -1,0 +1,134 @@
+(* Bechamel micro-benchmarks: wall-clock cost of each core operation.
+   One Test.make per operation; estimates printed as a table. *)
+
+open Bechamel
+open Toolkit
+module Rng = Ps_util.Rng
+module Hgen = Ps_hypergraph.Hgen
+
+let seed = 7
+
+let conflict_graph_build =
+  let h = Hgen.uniform_random (Rng.create seed) ~n:32 ~m:24 ~k:4 in
+  Test.make ~name:"conflict_graph.build (m=24,k=3)"
+    (Staged.stage (fun () -> Ps_core.Conflict_graph.build h ~k:3))
+
+let greedy_on_conflict_graph =
+  let h = Hgen.uniform_random (Rng.create seed) ~n:32 ~m:24 ~k:4 in
+  let cg = Ps_core.Conflict_graph.build h ~k:3 in
+  Test.make ~name:"maxis.greedy_min_degree on G_k"
+    (Staged.stage (fun () -> Ps_maxis.Greedy.min_degree cg.Ps_core.Conflict_graph.graph))
+
+let caro_wei_on_conflict_graph =
+  let h = Hgen.uniform_random (Rng.create seed) ~n:32 ~m:24 ~k:4 in
+  let cg = Ps_core.Conflict_graph.build h ~k:3 in
+  let rng = Rng.create (seed + 1) in
+  Test.make ~name:"maxis.caro_wei on G_k"
+    (Staged.stage (fun () ->
+         Ps_maxis.Caro_wei.run_maximal rng cg.Ps_core.Conflict_graph.graph))
+
+let reduction_end_to_end =
+  let h = Hgen.uniform_random (Rng.create seed) ~n:24 ~m:16 ~k:3 in
+  Test.make ~name:"pipeline.solve (m=16)"
+    (Staged.stage (fun () ->
+         Ps_core.Pipeline.solve ~solver:Ps_maxis.Approx.greedy_min_degree h))
+
+let luby_run =
+  let g = Ps_graph.Gen.gnp (Rng.create seed) 256 0.02 in
+  Test.make ~name:"local.luby (n=256)"
+    (Staged.stage (fun () -> Ps_local.Luby.run ~seed:3 g))
+
+let slocal_greedy_mis =
+  let g = Ps_graph.Gen.gnp (Rng.create seed) 256 0.02 in
+  Test.make ~name:"slocal.greedy_mis (n=256)"
+    (Staged.stage (fun () -> Ps_slocal.Greedy_mis.run g))
+
+let ball_carving =
+  let g = Ps_graph.Gen.gnp (Rng.create seed) 256 0.02 in
+  Test.make ~name:"slocal.ball_carving (n=256)"
+    (Staged.stage (fun () -> Ps_slocal.Decomposition.ball_carving g))
+
+let cf_conservative =
+  let h = Hgen.uniform_random (Rng.create seed) ~n:64 ~m:48 ~k:4 in
+  Test.make ~name:"cfc.conservative (m=48)"
+    (Staged.stage (fun () -> Ps_cfc.Cf_greedy.conservative h))
+
+let exact_maxis =
+  let g = Ps_graph.Gen.gnp (Rng.create seed) 24 0.3 in
+  Test.make ~name:"maxis.exact (n=24,p=.3)"
+    (Staged.stage (fun () -> Ps_maxis.Exact.maximum g))
+
+let exact_gk =
+  let h = Hgen.random_intervals (Rng.create seed) ~n:32 ~m:24 ~min_len:2 ~max_len:6 in
+  Test.make ~name:"core.exact_gk alpha (m=24)"
+    (Staged.stage (fun () -> Ps_core.Exact_gk.independence_number h ~k:3))
+
+let mpx_decompose =
+  let g = Ps_graph.Gen.gnp (Rng.create seed) 256 0.02 in
+  let rng = Rng.create (seed + 2) in
+  Test.make ~name:"slocal.mpx (n=256,beta=.3)"
+    (Staged.stage (fun () -> Ps_slocal.Mpx.decompose rng ~beta:0.3 g))
+
+let compiled_mis =
+  let g = Ps_graph.Gen.gnp (Rng.create seed) 256 0.02 in
+  let module C = Ps_slocal.Compiler.Make (Ps_slocal.Greedy_mis.Algo) in
+  Test.make ~name:"slocal.compiler MIS (n=256)"
+    (Staged.stage (fun () -> C.run g))
+
+let congest_bfs =
+  let g = Ps_graph.Gen.grid 16 16 in
+  Test.make ~name:"congest.bfs_tree (16x16)"
+    (Staged.stage (fun () -> Ps_local.Congest.bfs_tree ~root:0 g))
+
+let tests =
+  Test.make_grouped ~name:"pslocal"
+    [ conflict_graph_build; greedy_on_conflict_graph;
+      caro_wei_on_conflict_graph; reduction_end_to_end; luby_run;
+      slocal_greedy_mis; ball_carving; cf_conservative; exact_maxis;
+      exact_gk; mpx_decompose; compiled_mis; congest_bfs ]
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  let table =
+    Ps_util.Table.create
+      ~aligns:[ Ps_util.Table.Left; Ps_util.Table.Right; Ps_util.Table.Right ]
+      [ "benchmark"; "ns/run"; "r^2" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _measure per_test ->
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some (x :: _) -> x
+            | Some [] | None -> nan
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> r
+            | None -> nan
+          in
+          rows := (name, estimate, r2) :: !rows)
+        per_test)
+    merged;
+  List.iter
+    (fun (name, estimate, r2) ->
+      Ps_util.Table.add_row table
+        [ name;
+          Ps_util.Table.cell_float ~decimals:0 estimate;
+          Ps_util.Table.cell_float ~decimals:4 r2 ])
+    (List.sort compare !rows);
+  Ps_util.Table.print
+    ~title:"Micro-benchmarks (bechamel OLS estimate, monotonic clock)" table

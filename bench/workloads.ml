@@ -1,0 +1,83 @@
+(* Shared instance builders for the experiment harness.  Everything is
+   seeded so tables are reproducible run to run. *)
+
+module H = Ps_hypergraph.Hypergraph
+module Hgen = Ps_hypergraph.Hgen
+module Rng = Ps_util.Rng
+
+type hypergraph_instance = {
+  label : string;
+  h : H.t;
+  k_choice : Ps_core.Pipeline.k_choice;
+}
+
+(* The hardness instances of Theorem 1.2 are almost-uniform hypergraphs
+   with poly(n) edges; intervals are the [DN18] substrate; sunflowers and
+   blocks are the extreme overlap structures. *)
+let lemma_families ~seed =
+  let rng = Rng.create seed in
+  [ { label = "interval";
+      h = Hgen.random_intervals rng ~n:96 ~m:80 ~min_len:3 ~max_len:12;
+      k_choice = Ps_core.Pipeline.From_ruler };
+    { label = "almost-unif(eps=.5)";
+      h = Hgen.almost_uniform_random rng ~n:64 ~m:80 ~k:4 ~eps:0.5;
+      k_choice = Ps_core.Pipeline.From_conservative };
+    { label = "uniform(k=5)";
+      h = Hgen.uniform_random rng ~n:64 ~m:60 ~k:5;
+      k_choice = Ps_core.Pipeline.From_conservative };
+    { label = "sunflower";
+      h = Hgen.sunflower ~n_petals:24 ~core:4 ~petal:2;
+      k_choice = Ps_core.Pipeline.From_conservative };
+    { label = "disjoint-blocks";
+      h = Hgen.disjoint_blocks ~blocks:40 ~size:4;
+      k_choice = Ps_core.Pipeline.From_conservative };
+    { label = "neighborhoods(grid)";
+      h = Hgen.closed_neighborhoods (Ps_graph.Gen.grid 8 8);
+      k_choice = Ps_core.Pipeline.From_conservative } ]
+
+(* Edge-count sweep used for the ρ = λ ln m + 1 phase-bound table. *)
+let m_sweep ~seed =
+  List.map
+    (fun m ->
+      let rng = Rng.create (seed + m) in
+      (m, Hgen.almost_uniform_random rng ~n:48 ~m ~k:4 ~eps:0.5))
+    [ 10; 20; 40; 80; 160 ]
+
+(* (n, m, k) sweep for conflict-graph size scaling. *)
+let size_sweep ~seed =
+  List.concat_map
+    (fun (n, m) ->
+      List.map
+        (fun k ->
+          let rng = Rng.create (seed + (1000 * n) + m + k) in
+          (n, m, k, Hgen.uniform_random rng ~n ~m ~k:4))
+        [ 1; 2; 4; 8 ])
+    [ (16, 8); (32, 16); (64, 32) ]
+
+let maxis_graphs ~seed =
+  let rng = Rng.create seed in
+  [ ("gnp(24,.2)", Ps_graph.Gen.gnp rng 24 0.2);
+    ("gnp(24,.5)", Ps_graph.Gen.gnp rng 24 0.5);
+    ("ring(25)", Ps_graph.Gen.ring 25);
+    ("grid(5x5)", Ps_graph.Gen.grid 5 5);
+    ("cliques(6x4)", Ps_graph.Gen.disjoint_cliques 6 4);
+    ("star(25)", Ps_graph.Gen.star 25) ]
+
+(* Small hypergraphs whose conflict graphs the exact solver can still
+   crack — used to measure true λ of each heuristic on G_k itself. *)
+let small_conflict_instances ~seed =
+  let rng = Rng.create seed in
+  [ ("Gk(interval)", Hgen.random_intervals rng ~n:12 ~m:6 ~min_len:2 ~max_len:5, 2);
+    ("Gk(uniform)", Hgen.uniform_random rng ~n:10 ~m:5 ~k:3, 2);
+    ("Gk(sunflower)", Hgen.sunflower ~n_petals:4 ~core:2 ~petal:1, 2) ]
+
+let local_model_graphs ~seed =
+  let rng = Rng.create seed in
+  [ ("ring(64)", Ps_graph.Gen.ring 64);
+    ("ring(256)", Ps_graph.Gen.ring 256);
+    ("ring(1024)", Ps_graph.Gen.ring 1024);
+    ("grid(16x16)", Ps_graph.Gen.grid 16 16);
+    ("grid(32x32)", Ps_graph.Gen.grid 32 32);
+    ("gnp(256,.02)", Ps_graph.Gen.gnp rng 256 0.02);
+    ("gnp(1024,.005)", Ps_graph.Gen.gnp rng 1024 0.005);
+    ("tree(1023)", Ps_graph.Gen.balanced_tree 2 9) ]

@@ -1,0 +1,498 @@
+(* pslocal — command-line front end.
+
+   Subcommands:
+     gen-graph       generate a graph (edge-list format on stdout or file)
+     gen-hypergraph  generate a hypergraph
+     reduce          run the Theorem 1.1 reduction on a hypergraph
+     verify          check a multicoloring file against a hypergraph
+     mis             run the MIS algorithm zoo on a graph
+     decompose       ball-carving network decomposition of a graph *)
+
+open Cmdliner
+
+module H = Ps_hypergraph.Hypergraph
+module G = Ps_graph.Graph
+module Mc = Ps_cfc.Multicolor
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments *)
+
+let seed_arg =
+  let doc = "Random seed (all randomness in pslocal is seeded)." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let output_arg =
+  let doc = "Output file (stdout when omitted)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let write_out output text =
+  match output with
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc text)
+
+(* Multicoloring file format: one line per vertex, "v: c1 c2 ...". *)
+let multicoloring_to_text (mc : Mc.t) =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun v colors ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d: %s\n" v
+           (String.concat " " (List.map string_of_int colors))))
+    mc;
+  Buffer.contents buf
+
+let multicoloring_of_file n path =
+  let ic = open_in path in
+  let mc = Array.make n [] in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      In_channel.input_all ic
+      |> String.split_on_char '\n'
+      |> List.iter (fun line ->
+             let line = String.trim line in
+             if line <> "" then
+               match String.split_on_char ':' line with
+               | [ v; colors ] ->
+                   let v = int_of_string (String.trim v) in
+                   if v < 0 || v >= n then
+                     failwith "multicoloring: vertex out of range";
+                   mc.(v) <-
+                     String.split_on_char ' ' colors
+                     |> List.filter (( <> ) "")
+                     |> List.map int_of_string
+                     |> List.sort_uniq compare
+               | _ -> failwith "multicoloring: expected \"v: c1 c2 ...\""));
+  mc
+
+(* ------------------------------------------------------------------ *)
+(* gen-graph *)
+
+let gen_graph family n p rows cols degree seed output =
+  let rng = Ps_util.Rng.create seed in
+  let g =
+    match family with
+    | "ring" -> Ps_graph.Gen.ring n
+    | "path" -> Ps_graph.Gen.path n
+    | "complete" -> Ps_graph.Gen.complete n
+    | "star" -> Ps_graph.Gen.star n
+    | "grid" -> Ps_graph.Gen.grid rows cols
+    | "gnp" -> Ps_graph.Gen.gnp rng n p
+    | "tree" -> Ps_graph.Gen.random_tree rng n
+    | "regular" -> Ps_graph.Gen.random_regular_ish rng n degree
+    | "interval" -> Ps_graph.Gen.unit_interval rng n (float_of_int n /. 4.0)
+    | other -> failwith (Printf.sprintf "unknown graph family %S" other)
+  in
+  write_out output (Ps_graph.Gio.to_edge_list g);
+  Logs.app (fun m -> m "generated %a" G.pp g)
+
+let gen_graph_cmd =
+  let family =
+    let doc =
+      "Family: ring, path, complete, star, grid, gnp, tree, regular, \
+       interval."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FAMILY" ~doc)
+  in
+  let n = Arg.(value & opt int 32 & info [ "n" ] ~doc:"Vertex count.") in
+  let p =
+    Arg.(value & opt float 0.1 & info [ "p" ] ~doc:"Edge probability (gnp).")
+  in
+  let rows = Arg.(value & opt int 8 & info [ "rows" ] ~doc:"Grid rows.") in
+  let cols = Arg.(value & opt int 8 & info [ "cols" ] ~doc:"Grid columns.") in
+  let degree =
+    Arg.(value & opt int 3 & info [ "d" ] ~doc:"Degree (regular).")
+  in
+  Cmd.v
+    (Cmd.info "gen-graph" ~doc:"Generate a graph in edge-list format.")
+    Term.(
+      const gen_graph $ family $ n $ p $ rows $ cols $ degree $ seed_arg
+      $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gen-hypergraph *)
+
+let gen_hypergraph family n m k eps min_len max_len seed output =
+  let rng = Ps_util.Rng.create seed in
+  let h =
+    match family with
+    | "uniform" -> Ps_hypergraph.Hgen.uniform_random rng ~n ~m ~k
+    | "almost-uniform" ->
+        Ps_hypergraph.Hgen.almost_uniform_random rng ~n ~m ~k ~eps
+    | "intervals" ->
+        Ps_hypergraph.Hgen.random_intervals rng ~n ~m ~min_len ~max_len
+    | "blocks" -> Ps_hypergraph.Hgen.disjoint_blocks ~blocks:m ~size:k
+    | "sunflower" ->
+        Ps_hypergraph.Hgen.sunflower ~n_petals:m ~core:k ~petal:k
+    | other -> failwith (Printf.sprintf "unknown hypergraph family %S" other)
+  in
+  write_out output (Ps_hypergraph.Hio.to_text h);
+  Logs.app (fun msg -> msg "generated %a" H.pp h)
+
+let gen_hypergraph_cmd =
+  let family =
+    let doc =
+      "Family: uniform, almost-uniform, intervals, blocks, sunflower."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FAMILY" ~doc)
+  in
+  let n = Arg.(value & opt int 48 & info [ "n" ] ~doc:"Vertex count.") in
+  let m = Arg.(value & opt int 40 & info [ "m" ] ~doc:"Edge count.") in
+  let k = Arg.(value & opt int 4 & info [ "k" ] ~doc:"Edge size.") in
+  let eps =
+    Arg.(value & opt float 0.5 & info [ "eps" ] ~doc:"Almost-uniform slack.")
+  in
+  let min_len =
+    Arg.(value & opt int 2 & info [ "min-len" ] ~doc:"Min interval length.")
+  in
+  let max_len =
+    Arg.(value & opt int 8 & info [ "max-len" ] ~doc:"Max interval length.")
+  in
+  Cmd.v
+    (Cmd.info "gen-hypergraph" ~doc:"Generate a hypergraph.")
+    Term.(
+      const gen_hypergraph $ family $ n $ m $ k $ eps $ min_len $ max_len
+      $ seed_arg $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* reduce *)
+
+let solver_of_name = function
+  | "greedy" -> Ps_maxis.Approx.greedy_min_degree
+  | "caro-wei" -> Ps_maxis.Approx.caro_wei
+  | "caro-wei-x8" -> Ps_maxis.Approx.caro_wei_boosted 8
+  | "adversarial" -> Ps_maxis.Approx.greedy_adversarial
+  | "exact" -> Ps_maxis.Approx.exact
+  | other -> failwith (Printf.sprintf "unknown solver %S" other)
+
+let reduce input solver k seed verbose output =
+  if verbose then
+    Logs.Src.set_level Ps_core.Reduction.log_src (Some Logs.Debug);
+  let h = Ps_hypergraph.Hio.read_file input in
+  let k_choice =
+    match k with
+    | None -> Ps_core.Pipeline.From_conservative
+    | Some k -> Ps_core.Pipeline.Fixed k
+  in
+  let result =
+    Ps_core.Pipeline.solve ~seed ~k:k_choice ~solver:(solver_of_name solver) h
+  in
+  let r = result.Ps_core.Pipeline.reduction in
+  let t =
+    Ps_util.Table.create
+      [ "phase"; "|E_i|"; "|V(Gk)|"; "|I_i|"; "happy"; "lambda" ]
+  in
+  List.iter
+    (fun (p : Ps_core.Reduction.phase_record) ->
+      Ps_util.Table.add_row t
+        [ string_of_int p.phase;
+          string_of_int p.edges_before;
+          string_of_int p.conflict_vertices;
+          string_of_int p.is_size;
+          string_of_int p.newly_happy;
+          Ps_util.Table.cell_ratio p.lambda_effective ])
+    r.Ps_core.Reduction.phases;
+  Ps_util.Table.print ~title:(Printf.sprintf "reduction of %s" input) t;
+  Format.printf "certificate: %a@." Ps_core.Certify.pp
+    result.Ps_core.Pipeline.certificate;
+  let _, compacted_colors =
+    Ps_cfc.Multicolor.compact r.Ps_core.Reduction.multicoloring
+  in
+  Format.printf "colors (compacted): %d@." compacted_colors;
+  match output with
+  | None -> ()
+  | Some _ ->
+      write_out output
+        (multicoloring_to_text r.Ps_core.Reduction.multicoloring);
+      Logs.app (fun m -> m "multicoloring written")
+
+let reduce_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"HYPERGRAPH" ~doc:"Hypergraph file.")
+  in
+  let solver =
+    let doc =
+      "MaxIS solver: greedy, caro-wei, caro-wei-x8, adversarial, exact."
+    in
+    Arg.(value & opt string "greedy" & info [ "solver" ] ~doc)
+  in
+  let k =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "k" ] ~doc:"Palette size per phase (default: derived).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-phase debug log.")
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:
+         "Conflict-free multicoloring via the Theorem 1.1 reduction \
+          (iterated MaxIS approximation).")
+    Term.(const reduce $ input $ solver $ k $ seed_arg $ verbose $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* verify *)
+
+let verify hypergraph coloring =
+  let h = Ps_hypergraph.Hio.read_file hypergraph in
+  let mc = multicoloring_of_file (H.n_vertices h) coloring in
+  let happy = Mc.count_happy h mc in
+  Format.printf "%d / %d edges happy; %d colors in use@." happy (H.n_edges h)
+    (Mc.total_colors mc);
+  if happy = H.n_edges h then begin
+    Format.printf "conflict-free: yes@.";
+    exit 0
+  end
+  else begin
+    Format.printf "conflict-free: NO@.";
+    exit 1
+  end
+
+let verify_cmd =
+  let hypergraph =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"HYPERGRAPH" ~doc:"Hypergraph file.")
+  in
+  let coloring =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"COLORING" ~doc:"Multicoloring file (\"v: c1 c2 ...\").")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify a conflict-free multicoloring.")
+    Term.(const verify $ hypergraph $ coloring)
+
+(* ------------------------------------------------------------------ *)
+(* mis *)
+
+let mis input seed =
+  let g = Ps_graph.Gio.read_file input in
+  let t =
+    Ps_util.Table.create
+      ~aligns:[ Ps_util.Table.Left; Ps_util.Table.Right; Ps_util.Table.Left ]
+      [ "algorithm"; "size"; "cost" ]
+  in
+  let module Is = Ps_maxis.Independent_set in
+  let greedy = Ps_maxis.Greedy.min_degree g in
+  Ps_util.Table.add_row t
+    [ "greedy min-degree"; string_of_int (Is.size greedy); "centralized" ];
+  let luby_flags, luby_stats = Ps_local.Luby.run ~seed g in
+  Ps_util.Table.add_row t
+    [ "luby (LOCAL)";
+      string_of_int (Is.size (Is.of_indicator luby_flags));
+      Printf.sprintf "%d rounds" luby_stats.Ps_local.Network.rounds ];
+  let slocal_flags, _ = Ps_slocal.Greedy_mis.run ~seed g in
+  Ps_util.Table.add_row t
+    [ "greedy (SLOCAL)";
+      string_of_int (Is.size (Is.of_indicator slocal_flags));
+      "locality 1" ];
+  let derand = Ps_slocal.Derandomize.mis g in
+  Ps_util.Table.add_row t
+    [ "derandomized (LOCAL, det.)";
+      string_of_int
+        (Is.size (Is.of_indicator derand.Ps_slocal.Derandomize.outputs));
+      Printf.sprintf "%d rounds" derand.Ps_slocal.Derandomize.simulated_rounds ];
+  Ps_util.Table.print ~title:(Printf.sprintf "MIS on %s" input) t
+
+let mis_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"GRAPH" ~doc:"Graph file (edge list).")
+  in
+  Cmd.v
+    (Cmd.info "mis" ~doc:"Run the MIS algorithm zoo on a graph.")
+    Term.(const mis $ input $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* decompose *)
+
+let decompose input =
+  let g = Ps_graph.Gio.read_file input in
+  let d = Ps_slocal.Decomposition.ball_carving g in
+  let check = Ps_slocal.Decomposition.verify g d in
+  Format.printf
+    "%a@.clusters=%d colors=%d max_radius=%d@.verified: %a@." G.pp g
+    d.Ps_slocal.Decomposition.n_clusters d.Ps_slocal.Decomposition.n_colors
+    d.Ps_slocal.Decomposition.max_radius Ps_slocal.Decomposition.pp_check
+    check;
+  exit (if Ps_slocal.Decomposition.check_all check then 0 else 1)
+
+let decompose_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"GRAPH" ~doc:"Graph file (edge list).")
+  in
+  Cmd.v
+    (Cmd.info "decompose"
+       ~doc:"Ball-carving (log n, log n) network decomposition.")
+    Term.(const decompose $ input)
+
+(* ------------------------------------------------------------------ *)
+(* matching *)
+
+let matching input seed =
+  let g = Ps_graph.Gio.read_file input in
+  let t =
+    Ps_util.Table.create
+      ~aligns:[ Ps_util.Table.Left; Ps_util.Table.Right; Ps_util.Table.Left ]
+      [ "algorithm"; "edges"; "cost" ]
+  in
+  let greedy = Ps_graph.Matching.greedy g in
+  Ps_util.Table.add_row t
+    [ "greedy"; string_of_int (Ps_graph.Matching.size greedy); "centralized" ];
+  let outputs, stats = Ps_local.Matching_local.run ~seed g in
+  let local = Ps_local.Matching_local.to_partner_array outputs in
+  Ps_util.Table.add_row t
+    [ "proposal (LOCAL)";
+      string_of_int (Ps_graph.Matching.size local);
+      Printf.sprintf "%d rounds" stats.Ps_local.Network.rounds ];
+  let slocal, sstats = Ps_slocal.Greedy_matching.run ~seed g in
+  Ps_util.Table.add_row t
+    [ "greedy (SLOCAL)";
+      string_of_int (Ps_graph.Matching.size slocal);
+      Printf.sprintf "locality %d" sstats.Ps_slocal.Slocal.locality ];
+  Ps_util.Table.print ~title:(Printf.sprintf "maximal matching on %s" input) t;
+  let cover = Ps_maxis.Vertex_cover.of_matching g greedy in
+  Format.printf "2-approx vertex cover from greedy matching: %d vertices@."
+    (Ps_util.Bitset.cardinal cover)
+
+let matching_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"GRAPH" ~doc:"Graph file (edge list).")
+  in
+  Cmd.v
+    (Cmd.info "matching" ~doc:"Maximal matchings in all three models.")
+    Term.(const matching $ input $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* cf-color: direct conflict-free coloring *)
+
+let cf_color input algorithm output =
+  let h = Ps_hypergraph.Hio.read_file input in
+  let f =
+    match algorithm with
+    | "ruler" -> Ps_cfc.Cf_greedy.ruler h
+    | "conservative" -> Ps_cfc.Cf_greedy.conservative h
+    | other -> failwith (Printf.sprintf "unknown CF algorithm %S" other)
+  in
+  Ps_cfc.Cf_coloring.verify_exn h f;
+  Format.printf "conflict-free with %d colors (max color %d)@."
+    (Ps_cfc.Cf_coloring.num_colors f)
+    (Ps_cfc.Cf_coloring.max_color f);
+  match output with
+  | None -> ()
+  | Some _ ->
+      write_out output
+        (multicoloring_to_text (Ps_cfc.Multicolor.of_single f));
+      Logs.app (fun m -> m "coloring written")
+
+let cf_color_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"HYPERGRAPH" ~doc:"Hypergraph file.")
+  in
+  let algorithm =
+    Arg.(
+      value & opt string "conservative"
+      & info [ "algo" ] ~doc:"ruler (intervals only) or conservative.")
+  in
+  Cmd.v
+    (Cmd.info "cf-color"
+       ~doc:"Direct conflict-free coloring (no reduction).")
+    Term.(const cf_color $ input $ algorithm $ output_arg)
+
+(* ------------------------------------------------------------------ *)
+(* set-cover *)
+
+let set_cover input =
+  let h = Ps_hypergraph.Hio.read_file input in
+  let greedy = Ps_hypergraph.Set_cover.greedy h in
+  Ps_hypergraph.Set_cover.verify_exn h greedy;
+  Format.printf "greedy cover: %d sets (of %d)@." (List.length greedy)
+    (H.n_edges h);
+  (match Ps_hypergraph.Set_cover.cover_number_within ~budget:2_000_000 h with
+  | Some opt -> Format.printf "optimum: %d sets@." opt
+  | None -> Format.printf "optimum: (instance too large for exact search)@.");
+  Format.printf "chosen: %s@."
+    (String.concat " " (List.map string_of_int greedy))
+
+let set_cover_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"HYPERGRAPH" ~doc:"Hypergraph file.")
+  in
+  Cmd.v
+    (Cmd.info "set-cover" ~doc:"Greedy and exact set cover.")
+    Term.(const set_cover $ input)
+
+(* ------------------------------------------------------------------ *)
+(* bfs *)
+
+let bfs input root =
+  let g = Ps_graph.Gio.read_file input in
+  let result, stats = Ps_local.Congest.bfs_tree ~root g in
+  Format.printf
+    "BFS from %d: %d rounds, max message %d bits (CONGEST: %s)@." root
+    stats.Ps_local.Congest.network.Ps_local.Network.rounds
+    stats.Ps_local.Congest.max_message_bits
+    (if Ps_local.Congest.bandwidth_ok ~n:(G.n_vertices g) stats then "yes"
+     else "no");
+  Array.iteri
+    (fun v d ->
+      Format.printf "  %d: dist=%d parent=%d@." v d
+        result.Ps_local.Congest.parent.(v))
+    result.Ps_local.Congest.distance
+
+let bfs_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"GRAPH" ~doc:"Graph file (edge list).")
+  in
+  let root =
+    Arg.(value & opt int 0 & info [ "root" ] ~doc:"Root vertex.")
+  in
+  Cmd.v
+    (Cmd.info "bfs" ~doc:"CONGEST BFS tree with bandwidth accounting.")
+    Term.(const bfs $ input $ root)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc =
+    "P-SLOCAL-completeness of maximum independent set approximation — \
+     executable reproduction."
+  in
+  Cmd.group
+    (Cmd.info "pslocal" ~version:"1.0.0" ~doc)
+    [ gen_graph_cmd; gen_hypergraph_cmd; reduce_cmd; verify_cmd; mis_cmd;
+      decompose_cmd; matching_cmd; cf_color_cmd; set_cover_cmd; bfs_cmd ]
+
+let () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.App);
+  exit (Cmd.eval main_cmd)

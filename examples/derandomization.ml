@@ -1,0 +1,89 @@
+(* Why the paper matters: a walkthrough of the derandomization chain.
+
+   1. MIS has a fast randomized LOCAL algorithm (Luby) and a trivial
+      SLOCAL algorithm with locality 1 — but no known fast deterministic
+      LOCAL algorithm.
+   2. If ANY P-SLOCAL-complete problem had one, everything in P-SLOCAL
+      would, MIS included.  Network decomposition is such a problem; this
+      file shows its power by deterministically solving MIS from it.
+   3. The paper adds polylog MaxIS approximation to the complete list.
+      The reduction is executed phase by phase below, narrated.
+
+     dune exec examples/derandomization.exe *)
+
+module G = Ps_graph.Graph
+module H = Ps_hypergraph.Hypergraph
+module Is = Ps_maxis.Independent_set
+module Red = Ps_core.Reduction
+module Rng = Ps_util.Rng
+
+let section title =
+  Format.printf "@.=== %s ===@." title
+
+let () =
+  let rng = Rng.create 7 in
+  let g = Ps_graph.Gen.gnp rng 300 0.02 in
+
+  section "1. MIS: randomized LOCAL vs SLOCAL";
+  let luby_flags, luby_stats = Ps_local.Luby.run ~seed:1 g in
+  Format.printf
+    "Luby on %a:@.  %d rounds, %d messages -> MIS of size %d@." G.pp g
+    luby_stats.Ps_local.Network.rounds
+    luby_stats.Ps_local.Network.messages_sent
+    (Is.size (Is.of_indicator luby_flags));
+  let slocal_flags, slocal_stats = Ps_slocal.Greedy_mis.run g in
+  Format.printf
+    "SLOCAL greedy:@.  locality %d (max ball seen: %d vertices) -> MIS of \
+     size %d@."
+    slocal_stats.Ps_slocal.Slocal.locality
+    slocal_stats.Ps_slocal.Slocal.max_ball_vertices
+    (Is.size (Is.of_indicator slocal_flags));
+
+  section "2. Network decomposition derandomizes MIS";
+  let d = Ps_slocal.Decomposition.ball_carving g in
+  Format.printf
+    "ball carving: %d clusters, %d colors, max radius %d (log2 n = %d)@."
+    d.Ps_slocal.Decomposition.n_clusters d.Ps_slocal.Decomposition.n_colors
+    d.Ps_slocal.Decomposition.max_radius
+    (int_of_float (Float.log2 (float_of_int (G.n_vertices g))));
+  let check = Ps_slocal.Decomposition.verify g d in
+  Format.printf "verified: %a@." Ps_slocal.Decomposition.pp_check check;
+  let derand = Ps_slocal.Derandomize.mis ~decomposition:d g in
+  Format.printf
+    "deterministic MIS via color sweep: size %d in %d simulated LOCAL \
+     rounds — no randomness anywhere@."
+    (Is.size (Is.of_indicator derand.Ps_slocal.Derandomize.outputs))
+    derand.Ps_slocal.Derandomize.simulated_rounds;
+
+  section "3. The paper's reduction, phase by phase";
+  let h =
+    Ps_hypergraph.Hgen.almost_uniform_random (Rng.create 42) ~n:40 ~m:60
+      ~k:4 ~eps:0.5
+  in
+  Format.printf
+    "conflict-free multicoloring of %a via iterated MaxIS approximation@."
+    H.pp h;
+  (* deliberately weak solver so several phases run and the geometry of
+     the proof is visible *)
+  let result =
+    Ps_core.Pipeline.solve ~solver:Ps_maxis.Approx.greedy_adversarial h
+  in
+  let r = result.Ps_core.Pipeline.reduction in
+  List.iter
+    (fun (p : Red.phase_record) ->
+      Format.printf
+        "  phase %d: %3d unhappy edges -> G_k with %5d nodes; MaxIS approx \
+         found %3d (lambda_eff %.3f) -> %3d edges became happy@."
+        p.Red.phase p.Red.edges_before p.Red.conflict_vertices p.Red.is_size
+        p.Red.lambda_effective p.Red.newly_happy)
+    r.Red.phases;
+  Format.printf "finished in %d phases, %d colors; certificate: %a@."
+    r.Red.total_phases r.Red.colors_used Ps_core.Certify.pp
+    result.Ps_core.Pipeline.certificate;
+  Format.printf
+    "@.Theorem 1.1: because this loop works for ANY lambda-approximator,@.";
+  Format.printf
+    "a fast deterministic LOCAL algorithm for polylog MaxIS approximation@.";
+  Format.printf
+    "would derandomize conflict-free multicoloring — and with it every@.";
+  Format.printf "problem in P-SLOCAL, including MIS and (Δ+1)-coloring.@."

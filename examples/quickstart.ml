@@ -1,0 +1,44 @@
+(* Quickstart: the paper's pipeline in a dozen lines.
+
+   Build a hypergraph, solve conflict-free multicoloring through the
+   Theorem 1.1 reduction (iterated MaxIS approximation on conflict
+   graphs), and inspect the certified result.
+
+     dune exec examples/quickstart.exe *)
+
+module H = Ps_hypergraph.Hypergraph
+module Pipe = Ps_core.Pipeline
+module Red = Ps_core.Reduction
+
+let () =
+  (* A hypergraph: 8 sensors, 5 overlapping observation groups.  Each
+     group needs a sensor broadcasting on a frequency unique within the
+     group — conflict-free coloring. *)
+  let h =
+    H.of_edges 8
+      [ [ 0; 1; 2 ]; [ 1; 2; 3; 4 ]; [ 3; 4; 5 ]; [ 4; 5; 6; 7 ]; [ 0; 7 ] ]
+  in
+  Format.printf "input: %a@." H.pp h;
+
+  (* Solve via the reduction, with min-degree greedy as the MaxIS
+     λ-approximation oracle.  k is chosen by a direct CF coloring, which
+     also witnesses the premise "H admits a CF k-coloring". *)
+  let result = Pipe.solve ~solver:Ps_maxis.Approx.greedy_min_degree h in
+  let r = result.Pipe.reduction in
+
+  Format.printf "k (palette per phase)  = %d@." result.Pipe.k;
+  Format.printf "phases                 = %d@." r.Red.total_phases;
+  Format.printf "colors used            = %d@." r.Red.colors_used;
+  Format.printf "certificate            = %a@." Ps_core.Certify.pp
+    result.Pipe.certificate;
+
+  (* Every vertex's final color set. *)
+  Array.iteri
+    (fun v colors ->
+      Format.printf "  sensor %d -> {%s}@." v
+        (String.concat ", " (List.map string_of_int colors)))
+    r.Red.multicoloring;
+
+  (* The verifier is independent of the solver: check it once more. *)
+  Ps_cfc.Multicolor.verify_exn h r.Red.multicoloring;
+  Format.printf "verified: every group has a uniquely-colored sensor@."

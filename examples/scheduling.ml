@@ -1,0 +1,85 @@
+(* Interference-free scheduling — the MIS/MaxIS side of the paper.
+
+   Transmitters in a corridor interfere when their ranges overlap (a
+   unit-interval conflict graph).  A transmission slot is an independent
+   set; we want many transmitters per slot.  The example runs the whole
+   algorithm zoo of this repository on one instance:
+
+     - exact MaxIS (the gold standard the reduction's λ is measured
+       against),
+     - greedy / Caro-Wei approximations,
+     - Luby's randomized LOCAL MIS with its round count,
+     - the SLOCAL locality-1 greedy,
+     - the derandomized (decomposition-based) deterministic MIS.
+
+     dune exec examples/scheduling.exe *)
+
+module G = Ps_graph.Graph
+module Is = Ps_maxis.Independent_set
+module Table = Ps_util.Table
+module Rng = Ps_util.Rng
+
+let () =
+  let rng = Rng.create 2026 in
+  let g = Ps_graph.Gen.unit_interval rng 120 30.0 in
+  Format.printf "conflict graph: %a@." G.pp g;
+
+  let alpha =
+    match Ps_maxis.Exact.maximum_within ~budget:5_000_000 g with
+    | Some opt -> Is.size opt
+    | None -> -1
+  in
+
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Left ]
+      [ "algorithm"; "slot size"; "lambda"; "model cost" ]
+  in
+  let row name size cost =
+    Table.add_row t
+      [ name;
+        Table.cell_int size;
+        (if alpha > 0 && size > 0 then
+           Table.cell_ratio (float_of_int alpha /. float_of_int size)
+         else "-");
+        cost ]
+  in
+  if alpha >= 0 then row "exact branch & bound" alpha "centralized";
+
+  let greedy = Ps_maxis.Greedy.min_degree g in
+  row "greedy min-degree" (Is.size greedy) "centralized";
+
+  let cw = Ps_maxis.Caro_wei.best_of (Rng.create 1) 8 g in
+  row "caro-wei x8" (Is.size cw) "centralized";
+
+  let luby_flags, luby_stats = Ps_local.Luby.run ~seed:3 g in
+  let luby = Is.of_indicator luby_flags in
+  row "Luby (randomized LOCAL)" (Is.size luby)
+    (Printf.sprintf "%d rounds" luby_stats.Ps_local.Network.rounds);
+
+  let slocal_flags, slocal_stats = Ps_slocal.Greedy_mis.run g in
+  let slocal = Is.of_indicator slocal_flags in
+  row "greedy (SLOCAL)" (Is.size slocal)
+    (Printf.sprintf "locality %d" slocal_stats.Ps_slocal.Slocal.locality);
+
+  let derand = Ps_slocal.Derandomize.mis g in
+  let dmis = Is.of_indicator derand.Ps_slocal.Derandomize.outputs in
+  row "derandomized (deterministic LOCAL)" (Is.size dmis)
+    (Printf.sprintf "%d rounds" derand.Ps_slocal.Derandomize.simulated_rounds);
+
+  Table.print ~title:"One transmission slot per algorithm" t;
+
+  (* Schedule the whole network: color the conflict graph, one slot per
+     color class; every class is an independent set. *)
+  let colors, _ = Ps_slocal.Greedy_coloring.run g in
+  let classes = Ps_graph.Coloring.color_classes colors in
+  Format.printf "@.full schedule: %d slots for %d transmitters (Δ+1 = %d)@."
+    (Array.length classes) (G.n_vertices g)
+    (G.max_degree g + 1);
+  Array.iteri
+    (fun slot members ->
+      let is = Is.of_list g members in
+      Is.verify_exn g is;
+      Format.printf "  slot %2d: %3d transmitters@." slot
+        (List.length members))
+    classes

@@ -1,0 +1,52 @@
+module H = Ps_hypergraph.Hypergraph
+
+let uncolored = -1
+
+let blank h = Array.make (H.n_vertices h) uncolored
+
+let check h f =
+  if Array.length f <> H.n_vertices h then
+    invalid_arg "Cf_coloring: coloring length mismatch";
+  Array.iter
+    (fun c -> if c < uncolored then invalid_arg "Cf_coloring: bad color")
+    f
+
+let unique_color_witness h f e =
+  check h f;
+  (* Count occurrences of each color inside the edge, then return the
+     smallest vertex whose color occurs once. *)
+  let counts = Hashtbl.create 8 in
+  H.iter_edge h e (fun v ->
+      if f.(v) <> uncolored then
+        Hashtbl.replace counts f.(v)
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts f.(v))));
+  let witness = ref None in
+  H.iter_edge h e (fun v ->
+      if !witness = None && f.(v) <> uncolored
+         && Hashtbl.find counts f.(v) = 1
+      then witness := Some (v, f.(v)));
+  !witness
+
+let happy h f e = unique_color_witness h f e <> None
+
+let happy_edges h f =
+  List.filter (happy h f) (List.init (H.n_edges h) (fun i -> i))
+
+let count_happy h f = List.length (happy_edges h f)
+
+let is_conflict_free h f = count_happy h f = H.n_edges h
+
+let num_colors f =
+  let seen = Hashtbl.create 16 in
+  Array.iter (fun c -> if c <> uncolored then Hashtbl.replace seen c ()) f;
+  Hashtbl.length seen
+
+let max_color f = Array.fold_left max uncolored f
+
+let verify_exn h f =
+  check h f;
+  for e = 0 to H.n_edges h - 1 do
+    if not (happy h f e) then
+      invalid_arg
+        (Printf.sprintf "Cf_coloring.verify_exn: edge %d is unhappy" e)
+  done

@@ -1,0 +1,38 @@
+module H = Ps_hypergraph.Hypergraph
+
+let is_colorable h k =
+  if k < 0 then invalid_arg "Cf_exact.is_colorable";
+  let n = H.n_vertices h in
+  let f = Cf_coloring.blank h in
+  (* Edges checkable once their largest vertex is assigned. *)
+  let completed_at = Array.make n [] in
+  for e = 0 to H.n_edges h - 1 do
+    let members = H.edge h e in
+    let last = members.(Array.length members - 1) in
+    completed_at.(last) <- e :: completed_at.(last)
+  done;
+  let exception Found in
+  let rec assign v =
+    if v = n then raise Found
+    else
+      (* ⊥ first biases the search toward sparse colorings. *)
+      let candidates = Cf_coloring.uncolored :: List.init k (fun c -> c) in
+      List.iter
+        (fun c ->
+          f.(v) <- c;
+          if List.for_all (Cf_coloring.happy h f) completed_at.(v) then
+            assign (v + 1))
+        candidates;
+      f.(v) <- Cf_coloring.uncolored
+  in
+  match assign 0 with
+  | () -> None
+  | exception Found -> Some (Array.copy f)
+
+let cf_number h =
+  let rec search k =
+    match is_colorable h k with
+    | Some _ -> k
+    | None -> search (k + 1)
+  in
+  search 0

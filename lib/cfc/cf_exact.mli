@@ -1,0 +1,16 @@
+(** Exact conflict-free chromatic numbers by exhaustive search.
+
+    Ground truth for tests and benchmark tables on tiny hypergraphs: the
+    smallest [k] such that a conflict-free coloring with colors
+    [{0..k-1}] exists (vertices may stay uncolored — the standard
+    "partial CF coloring" convention, which never needs more colors than
+    the total one).  Exponential: intended for [n ≲ 15]. *)
+
+val is_colorable : Ps_hypergraph.Hypergraph.t -> int -> int array option
+(** [is_colorable h k] is [Some f] — a conflict-free coloring using colors
+    [< k] — or [None] when none exists. [k = 0] succeeds only on edgeless
+    hypergraphs. *)
+
+val cf_number : Ps_hypergraph.Hypergraph.t -> int
+(** Smallest such [k]; at most [n] always suffices (color every vertex
+    distinctly). *)

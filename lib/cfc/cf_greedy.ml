@@ -1,0 +1,54 @@
+module H = Ps_hypergraph.Hypergraph
+
+let ruler_color_count n =
+  if n < 1 then invalid_arg "Cf_greedy.ruler_color_count";
+  let rec log2 acc p = if 2 * p > n then acc else log2 (acc + 1) (2 * p) in
+  log2 0 1 + 1
+
+let ruler h =
+  let exponent_of_two i =
+    let rec go acc i = if i land 1 = 1 then acc else go (acc + 1) (i lsr 1) in
+    go 0 i
+  in
+  Array.init (H.n_vertices h) (fun v -> exponent_of_two (v + 1))
+
+let conservative h =
+  let f = Cf_coloring.blank h in
+  (* Coloring a vertex with a color held by none of its primal-graph
+     neighbors makes every edge through it happy (the vertex is then a
+     unique witness everywhere) and can break nothing, so each step
+     permanently fixes at least one unhappy edge. *)
+  let color_distinctly v =
+    let blocked = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        H.iter_edge h e (fun u ->
+            if u <> v && f.(u) <> Cf_coloring.uncolored then
+              Hashtbl.replace blocked f.(u) ()))
+      (H.incident_edges h v);
+    let rec first c = if Hashtbl.mem blocked c then first (c + 1) else c in
+    f.(v) <- first 0
+  in
+  let rec fix_all () =
+    let unhappy =
+      List.find_opt
+        (fun e -> not (Cf_coloring.happy h f e))
+        (List.init (H.n_edges h) (fun i -> i))
+    in
+    match unhappy with
+    | None -> ()
+    | Some e ->
+        (* Prefer an uncolored vertex; otherwise recolor the smallest. *)
+        let members = H.edge h e in
+        let target =
+          match
+            Array.find_opt (fun v -> f.(v) = Cf_coloring.uncolored) members
+          with
+          | Some v -> v
+          | None -> members.(0)
+        in
+        color_distinctly target;
+        fix_all ()
+  in
+  fix_all ();
+  f

@@ -1,0 +1,75 @@
+module H = Ps_hypergraph.Hypergraph
+
+type t = int list array
+
+let blank h = Array.make (H.n_vertices h) []
+
+let of_single f =
+  Array.map (fun c -> if c = Cf_coloring.uncolored then [] else [ c ]) f
+
+let add_color f v c =
+  if c < 0 then invalid_arg "Multicolor.add_color: negative color";
+  if not (List.mem c f.(v)) then f.(v) <- List.sort compare (c :: f.(v))
+
+let colors_of f v = f.(v)
+
+let unique_witness h f e =
+  let counts = Hashtbl.create 8 in
+  H.iter_edge h e (fun v ->
+      List.iter
+        (fun c ->
+          Hashtbl.replace counts c
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+        f.(v));
+  let witness = ref None in
+  H.iter_edge h e (fun v ->
+      if !witness = None then
+        List.iter
+          (fun c ->
+            if !witness = None && Hashtbl.find counts c = 1 then
+              witness := Some (v, c))
+          f.(v));
+  !witness
+
+let happy h f e = unique_witness h f e <> None
+
+let count_happy h f =
+  let acc = ref 0 in
+  for e = 0 to H.n_edges h - 1 do
+    if happy h f e then incr acc
+  done;
+  !acc
+
+let is_conflict_free h f = count_happy h f = H.n_edges h
+
+let total_colors f =
+  let seen = Hashtbl.create 16 in
+  Array.iter (List.iter (fun c -> Hashtbl.replace seen c ())) f;
+  Hashtbl.length seen
+
+let max_colors_per_vertex f =
+  Array.fold_left (fun acc cs -> max acc (List.length cs)) 0 f
+
+let verify_exn h f =
+  if Array.length f <> H.n_vertices h then
+    invalid_arg "Multicolor.verify_exn: length mismatch";
+  for e = 0 to H.n_edges h - 1 do
+    if not (happy h f e) then
+      invalid_arg
+        (Printf.sprintf "Multicolor.verify_exn: edge %d is unhappy" e)
+  done
+
+let compact f =
+  let used = Hashtbl.create 16 in
+  Array.iter (List.iter (fun c -> Hashtbl.replace used c ())) f;
+  let sorted = List.sort compare (Hashtbl.fold (fun c () l -> c :: l) used []) in
+  let renumber = Hashtbl.create 16 in
+  List.iteri (fun i c -> Hashtbl.add renumber c i) sorted;
+  ( Array.map (List.map (Hashtbl.find renumber)) f,
+    List.length sorted )
+
+let merge a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Multicolor.merge: length mismatch";
+  Array.init (Array.length a) (fun v ->
+      List.sort_uniq compare (a.(v) @ b.(v)))

@@ -1,0 +1,53 @@
+(** Conflict-free {e multi}colorings — the source problem of the paper's
+    reduction (Theorem 1.2).
+
+    Each vertex carries a {e set} of colors; edge [e] is happy when some
+    vertex [v ∈ e] has a color [c] that no {e other} vertex of [e] carries
+    (if [v] itself holds further colors that is fine — uniqueness is of
+    the (vertex, color) pair within the edge).  The reduction produces
+    exactly this object: one phase-[i] palette contributes at most one
+    color per vertex, and the union over phases is the multicoloring.
+
+    Representation: a [Ps_util.Bitset.t]-free sorted [int list] per
+    vertex, kept small because the reduction uses [k·ρ = polylog]
+    colors. *)
+
+type t = int list array
+(** Index by vertex; each list sorted, distinct, colors nonnegative. *)
+
+val blank : Ps_hypergraph.Hypergraph.t -> t
+
+val of_single : int array -> t
+(** Lift a partial single coloring ([-1] = no color). *)
+
+val add_color : t -> int -> int -> unit
+(** [add_color f v c] inserts color [c] into vertex [v]'s set. *)
+
+val colors_of : t -> int -> int list
+
+val happy : Ps_hypergraph.Hypergraph.t -> t -> int -> bool
+
+val unique_witness :
+  Ps_hypergraph.Hypergraph.t -> t -> int -> (int * int) option
+(** [(vertex, color)] pair unique within the edge, smallest vertex first. *)
+
+val count_happy : Ps_hypergraph.Hypergraph.t -> t -> int
+val is_conflict_free : Ps_hypergraph.Hypergraph.t -> t -> bool
+
+val total_colors : t -> int
+(** Number of distinct colors used across all vertices. *)
+
+val max_colors_per_vertex : t -> int
+
+val verify_exn : Ps_hypergraph.Hypergraph.t -> t -> unit
+(** Raises [Invalid_argument] naming the first unhappy edge. *)
+
+val merge : t -> t -> t
+(** Union of color sets, vertexwise (same length required). *)
+
+val compact : t -> t * int
+(** Renumber the colors actually used onto [0 .. c-1] (order-preserving)
+    and return the compacted multicoloring with [c].  Happiness is
+    invariant under injective recoloring, so a conflict-free input stays
+    conflict-free — handy for presenting reduction output, whose phase
+    palettes leave gaps. *)

@@ -1,0 +1,72 @@
+module H = Ps_hypergraph.Hypergraph
+module Mc = Ps_cfc.Multicolor
+
+type t = {
+  conflict_free : bool;
+  phase_happiness_ok : bool;
+  decay_ok : bool;
+  lambda_max : float;
+  rho_bound : float;
+  phases_used : int;
+  phases_within_rho : bool;
+  colors_used : int;
+  color_budget : int;
+  colors_within_budget : bool;
+  all_ok : bool;
+}
+
+let certify (run : Reduction.run) =
+  let h = run.hypergraph in
+  let m = H.n_edges h in
+  let conflict_free = Mc.is_conflict_free h run.multicoloring in
+  let phase_happiness_ok =
+    List.for_all
+      (fun (p : Reduction.phase_record) -> p.newly_happy >= p.is_size)
+      run.phases
+  in
+  (* |E_{i+1}| = |E_i| - newly_happy and newly_happy >= is_size, so the
+     proof's decay amounts to: next_edges <= |E_i| - |E_i|/λ_i. Re-check
+     it numerically from the records. *)
+  let rec decay_holds = function
+    | [] | [ _ ] -> true
+    | (p : Reduction.phase_record) :: (q :: _ as rest) ->
+        let bound =
+          float_of_int p.edges_before
+          *. (1.0 -. (1.0 /. p.lambda_effective))
+        in
+        float_of_int q.edges_before <= bound +. 1e-9 && decay_holds rest
+  in
+  let decay_ok = decay_holds run.phases in
+  let lambda_max =
+    List.fold_left
+      (fun acc (p : Reduction.phase_record) -> Float.max acc p.lambda_effective)
+      1.0 run.phases
+  in
+  let rho_bound =
+    if m = 0 then 1.0 else (lambda_max *. log (float_of_int m)) +. 1.0
+  in
+  let phases_within_rho = float_of_int run.total_phases <= rho_bound in
+  let color_budget = run.k * run.total_phases in
+  let colors_within_budget = run.colors_used <= color_budget in
+  let all_ok =
+    conflict_free && phase_happiness_ok && decay_ok && phases_within_rho
+    && colors_within_budget
+  in
+  { conflict_free;
+    phase_happiness_ok;
+    decay_ok;
+    lambda_max;
+    rho_bound;
+    phases_used = run.total_phases;
+    phases_within_rho;
+    colors_used = run.colors_used;
+    color_budget;
+    colors_within_budget;
+    all_ok }
+
+let pp ppf c =
+  Format.fprintf ppf
+    "cf=%b happiness=%b decay=%b λmax=%.2f ρ=%.1f phases=%d within_ρ=%b \
+     colors=%d/%d ok=%b"
+    c.conflict_free c.phase_happiness_ok c.decay_ok c.lambda_max c.rho_bound
+    c.phases_used c.phases_within_rho c.colors_used c.color_budget c.all_ok

@@ -1,0 +1,33 @@
+(** Independent end-to-end certification of a reduction run.
+
+    {!Reduction.run} is correct by construction; this module re-derives
+    every claim from scratch so a bug anywhere in the pipeline surfaces
+    as a failed certificate rather than silent nonsense.  Checks mirror
+    the proof of Theorem 1.1:
+
+    {ul
+    {- the output multicoloring is conflict-free on the {e original} [H];}
+    {- each phase made at least [|I^i|] edges happy (Lemma 2.1(b));}
+    {- phase decay [|E_{i+1}| ≤ (1 − 1/λ_i)·|E_i|] with the measured
+       per-phase [λ_i];}
+    {- the phase count is within [ρ = λ_max·ln m + 1];}
+    {- the color budget [k·ρ] (with [total colors = k·phases] as the
+       constructive bound) is respected.}} *)
+
+type t = {
+  conflict_free : bool;
+  phase_happiness_ok : bool;   (** every phase: newly_happy ≥ is_size *)
+  decay_ok : bool;             (** every phase: |E_{i+1}| ≤ (1−1/λ_i)·|E_i| *)
+  lambda_max : float;          (** worst per-phase effective λ *)
+  rho_bound : float;           (** λ_max·ln m + 1 (ρ from the proof) *)
+  phases_used : int;
+  phases_within_rho : bool;
+  colors_used : int;
+  color_budget : int;          (** k · phases_used *)
+  colors_within_budget : bool;
+  all_ok : bool;
+}
+
+val certify : Reduction.run -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,193 @@
+module H = Ps_hypergraph.Hypergraph
+module G = Ps_graph.Graph
+module Ix = Triple.Indexer
+
+type t = {
+  graph : G.t;
+  indexer : Ix.indexer;
+  k : int;
+}
+
+let validate h ~k (t : Triple.t) =
+  t.color >= 0 && t.color < k
+  && t.edge >= 0 && t.edge < H.n_edges h
+  && H.edge_mem h t.edge t.vertex
+
+let adjacent h ~k (t1 : Triple.t) (t2 : Triple.t) =
+  if not (validate h ~k t1 && validate h ~k t2) then
+    invalid_arg "Conflict_graph.adjacent: invalid triple";
+  (not (Triple.equal t1 t2))
+  && (* E_vertex *)
+     ((t1.vertex = t2.vertex && t1.color <> t2.color)
+     || (* E_edge *)
+     t1.edge = t2.edge
+     || (* E_color: same color, distinct vertices, and {u,v} ⊆ e or
+           {u,v} ⊆ g.  [u ≠ v] matters: the proof of Lemma 2.1 lets two
+           edges nominate the same vertex with the same color, so those
+           pairs must NOT be adjacent. *)
+     (t1.color = t2.color
+     && t1.vertex <> t2.vertex
+     && (H.edge_mem h t1.edge t2.vertex || H.edge_mem h t2.edge t1.vertex)))
+
+let build h ~k =
+  let ix = Ix.make h ~k in
+  let edges = ref [] in
+  let add t1 t2 =
+    let a = Ix.encode ix t1 and b = Ix.encode ix t2 in
+    if a <> b then edges := (a, b) :: !edges
+  in
+  let clique triples =
+    let arr = Array.of_list triples in
+    let n = Array.length arr in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        add arr.(i) arr.(j)
+      done
+    done
+  in
+  (* E_edge (plus intra-edge parts of the other families): one clique per
+     hyperedge over its |e|·k triples. *)
+  for e = 0 to H.n_edges h - 1 do
+    clique (Ix.triples_of_edge ix e)
+  done;
+  (* E_vertex: triples sharing a hypergraph vertex are adjacent exactly
+     when their colors differ (same-vertex same-color pairs from distinct
+     edges are independent — Lemma 2.1(a) relies on it). *)
+  for v = 0 to H.n_vertices h - 1 do
+    let triples = Array.of_list (Ix.triples_of_vertex ix v) in
+    let n = Array.length triples in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if triples.(i).Triple.color <> triples.(j).Triple.color then
+          add triples.(i) triples.(j)
+      done
+    done
+  done;
+  (* E_color (u ≠ v by definition): (e,v,c) ~ (g,u,c) whenever u ∈ e. *)
+  for e = 0 to H.n_edges h - 1 do
+    let members = H.edge h e in
+    Array.iter
+      (fun v ->
+        Array.iter
+          (fun u ->
+            if u <> v then
+              List.iter
+                (fun g ->
+                  for c = 0 to k - 1 do
+                    add
+                      { Triple.edge = e; vertex = v; color = c }
+                      { Triple.edge = g; vertex = u; color = c }
+                  done)
+                (H.incident_edges h u))
+          members)
+      members
+  done;
+  { graph = G.of_edges (Ix.total ix) !edges; indexer = ix; k }
+
+let iter_neighbors_implicit h ix (t : Triple.t) f =
+  let k = Ix.k ix in
+  if not (validate h ~k t) then
+    invalid_arg "Conflict_graph.iter_neighbors_implicit: invalid triple";
+  let self = Ix.encode ix t in
+  let seen = Hashtbl.create 64 in
+  let emit (u : Triple.t) =
+    let idx = Ix.encode ix u in
+    if idx <> self && not (Hashtbl.mem seen idx) then begin
+      Hashtbl.add seen idx ();
+      f u
+    end
+  in
+  (* Same hyperedge: every other triple of edge e. *)
+  List.iter emit (Ix.triples_of_edge ix t.edge);
+  (* E_vertex: triples of vertex v whose color differs. *)
+  List.iter
+    (fun (u : Triple.t) -> if u.color <> t.color then emit u)
+    (Ix.triples_of_vertex ix t.vertex);
+  (* E_color (u ≠ v): (g,u,c) for u ∈ e \ {v} (any g ∋ u), and (g,u,c)
+     for g ∋ v, u ∈ g \ {v}. *)
+  H.iter_edge h t.edge (fun u ->
+      if u <> t.vertex then
+        List.iter
+          (fun g -> emit { Triple.edge = g; vertex = u; color = t.color })
+          (H.incident_edges h u));
+  List.iter
+    (fun g ->
+      H.iter_edge h g (fun u ->
+          if u <> t.vertex then
+            emit { Triple.edge = g; vertex = u; color = t.color }))
+    (H.incident_edges h t.vertex)
+
+let size_formula h ~k =
+  let sum = ref 0 in
+  for e = 0 to H.n_edges h - 1 do
+    sum := !sum + H.edge_size h e
+  done;
+  k * !sum
+
+let to_dot h ~k =
+  let ix = Ix.make h ~k in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "graph conflict_graph {\n  node [shape=box];\n";
+  Ix.iter ix (fun t ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d [label=\"(e%d,v%d,c%d)\"];\n"
+           (Ix.encode ix t) t.Triple.edge t.Triple.vertex t.Triple.color));
+  Ix.iter ix (fun t1 ->
+      let i1 = Ix.encode ix t1 in
+      Ix.iter ix (fun t2 ->
+          let i2 = Ix.encode ix t2 in
+          if i1 < i2 then begin
+            let color =
+              if t1.vertex = t2.vertex && t1.color <> t2.color then
+                Some "red" (* E_vertex *)
+              else if t1.edge = t2.edge then Some "blue" (* E_edge *)
+              else if
+                t1.color = t2.color
+                && t1.vertex <> t2.vertex
+                && (H.edge_mem h t1.edge t2.vertex
+                   || H.edge_mem h t2.edge t1.vertex)
+              then Some "green" (* E_color *)
+              else None
+            in
+            match color with
+            | Some c ->
+                Buffer.add_string buf
+                  (Printf.sprintf "  %d -- %d [color=%s];\n" i1 i2 c)
+            | None -> ()
+          end));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+type family_counts = {
+  n_vertex_family : int;
+  n_edge_family : int;
+  n_color_family : int;
+  n_union : int;
+}
+
+let edge_family_counts h ~k =
+  let ix = Ix.make h ~k in
+  let n_vertex = ref 0 and n_edge = ref 0 and n_color = ref 0 in
+  let n_union = ref 0 in
+  Ix.iter ix (fun t1 ->
+      let i1 = Ix.encode ix t1 in
+      Ix.iter ix (fun t2 ->
+          let i2 = Ix.encode ix t2 in
+          if i1 < i2 then begin
+            let in_vertex = t1.vertex = t2.vertex && t1.color <> t2.color in
+            let in_edge = t1.edge = t2.edge in
+            let in_color =
+              t1.color = t2.color
+              && t1.vertex <> t2.vertex
+              && (H.edge_mem h t1.edge t2.vertex
+                 || H.edge_mem h t2.edge t1.vertex)
+            in
+            if in_vertex then incr n_vertex;
+            if in_edge then incr n_edge;
+            if in_color then incr n_color;
+            if in_vertex || in_edge || in_color then incr n_union
+          end));
+  { n_vertex_family = !n_vertex;
+    n_edge_family = !n_edge;
+    n_color_family = !n_color;
+    n_union = !n_union }

@@ -1,0 +1,68 @@
+(** The conflict graph [G_k] — the paper's central construction.
+
+    Vertices: all triples [(e, v, c)] with [v ∈ e ∈ E(H)], [c] a color
+    (see {!Triple}).  Edges, as in Section 2:
+
+    {ul
+    {- [E_vertex]: [(e,v,c) ~ (g,v,d)] — same hypergraph vertex, distinct
+       colors ("a vertex gets at most one color per phase");}
+    {- [E_edge]: [(e,v,c) ~ (e,u,d)] — same hyperedge ("an edge nominates
+       at most one witness");}
+    {- [E_color]: [(e,v,c) ~ (g,u,c)] — same color, {e distinct} vertices
+       [u ≠ v], and [{u,v} ⊆ e] or [{u,v} ⊆ g] ("a witness's color is
+       unique within its edge").}}
+
+    The [u ≠ v] requirement in [E_color] is load-bearing: two edges may
+    nominate the {e same} vertex with the same color in [I_f], and the
+    proof of Lemma 2.1(a) needs those pairs to be non-adjacent (the
+    lemma's case analysis derives contradictions only for [u ≠ v]).  The
+    [|e|·k] triples of an edge do form a clique via [E_edge].
+
+    Independent sets of [G_k] are partial CF colorings (Lemma 2.1); that
+    file is {!Correspondence}.  This module offers the graph two ways: a
+    materialized {!Ps_graph.Graph.t} (what the MaxIS solvers consume) and
+    an implicit adjacency oracle (what a LOCAL-model simulation of [G_k]
+    inside [H] would use — each triple's neighborhood is computable from
+    the 1-hop structure of [H], which is why the paper can say "[G_k] can
+    be efficiently simulated in [H] in the LOCAL model").  The test suite
+    checks oracle and materialization agree edge-for-edge. *)
+
+type t = {
+  graph : Ps_graph.Graph.t;
+  indexer : Triple.Indexer.indexer;
+  k : int;
+}
+
+val build : Ps_hypergraph.Hypergraph.t -> k:int -> t
+(** Materialize [G_k].  Size is polynomial:
+    [|V| = k·Σ|e|] and [|E| = O(k² · Σ_e |e|² · max-degree)]. *)
+
+val adjacent : Ps_hypergraph.Hypergraph.t -> k:int -> Triple.t -> Triple.t -> bool
+(** Direct evaluation of the edge-family definitions, no graph needed —
+    the specification the materialization is tested against. *)
+
+val iter_neighbors_implicit :
+  Ps_hypergraph.Hypergraph.t -> Triple.Indexer.indexer -> Triple.t ->
+  (Triple.t -> unit) -> unit
+(** Enumerate the neighbors of a triple straight from the hypergraph
+    (each neighbor exactly once). *)
+
+type family_counts = {
+  n_vertex_family : int;  (** [|E_vertex|] *)
+  n_edge_family : int;    (** [|E_edge|] *)
+  n_color_family : int;   (** [|E_color|] *)
+  n_union : int;          (** [|E(G_k)|] — the families overlap *)
+}
+
+val edge_family_counts : Ps_hypergraph.Hypergraph.t -> k:int -> family_counts
+(** Exhaustive O(|V(G_k)|²) enumeration straight from the definitions;
+    experiment E5 checks [n_union] equals the materialized edge count. *)
+
+val size_formula : Ps_hypergraph.Hypergraph.t -> k:int -> int
+(** Predicted vertex count [k·Σ|e|] (checked in experiment E5). *)
+
+val to_dot : Ps_hypergraph.Hypergraph.t -> k:int -> string
+(** Graphviz rendering of [G_k] for small instances: triple-labelled
+    vertices, edges colored by family (red = [E_vertex], blue =
+    [E_edge], green = [E_color]; overlapping memberships pick the first
+    in that order). *)

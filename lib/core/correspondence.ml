@@ -1,0 +1,41 @@
+module H = Ps_hypergraph.Hypergraph
+module Ix = Triple.Indexer
+module Is = Ps_maxis.Independent_set
+module Cf = Ps_cfc.Cf_coloring
+
+let is_of_coloring h ix f =
+  let k = Ix.k ix in
+  let chosen = ref [] in
+  for e = 0 to H.n_edges h - 1 do
+    match Cf.unique_color_witness h f e with
+    | Some (v, c) ->
+        if c >= k then
+          invalid_arg "Correspondence.is_of_coloring: color exceeds k";
+        chosen := Ix.encode ix { Triple.edge = e; vertex = v; color = c }
+                  :: !chosen
+    | None -> ()
+  done;
+  let set = Ps_util.Bitset.create (Ix.total ix) in
+  List.iter (Ps_util.Bitset.add set) !chosen;
+  set
+
+let coloring_of_is h ix i =
+  let f = Cf.blank h in
+  Ps_util.Bitset.iter
+    (fun idx ->
+      let t = Ix.decode ix idx in
+      if f.(t.vertex) <> Cf.uncolored && f.(t.vertex) <> t.color then
+        invalid_arg
+          (Printf.sprintf
+             "Correspondence.coloring_of_is: vertex %d assigned colors %d \
+              and %d"
+             t.vertex f.(t.vertex) t.color);
+      f.(t.vertex) <- t.color)
+    i;
+  f
+
+let max_is_size h = H.n_edges h
+
+let happy_at_least_lemma h ix i =
+  let f = coloring_of_is h ix i in
+  Cf.count_happy h f >= Is.size i

@@ -1,0 +1,47 @@
+(** Lemma 2.1 — the two-way correspondence between independent sets of the
+    conflict graph [G_k] and (partial) conflict-free colorings of [H].
+
+    Direction (a): a conflict-free k-coloring [f] of [H] induces an
+    independent set [I_f] of [G_k] of size [m = |E(H)|] — one triple
+    [(e, v, c)] per edge [e], where [v] is a unique-colored vertex of [e]
+    (ties broken toward the smallest vertex) — and [m] is the maximum
+    possible, so [I_f] is a {e maximum} independent set.
+
+    Direction (b): any independent set [I ⊆ V(G_k)] induces a partial
+    coloring [f_I] ([f_I(v) = c] iff some [(·, v, c) ∈ I]), which is
+    well-defined ([E_vertex] forbids two colors per vertex) and makes at
+    least [|I|] edges of [H] happy ([E_edge] gives one triple per edge,
+    [E_color] protects the witness's uniqueness).
+
+    These functions implement both directions {e and} their quantitative
+    claims as checkable equalities; the test suite and experiments E1/E2
+    exercise them on curated and random instances. *)
+
+val is_of_coloring :
+  Ps_hypergraph.Hypergraph.t -> Triple.Indexer.indexer -> int array ->
+  Ps_maxis.Independent_set.t
+(** [is_of_coloring h ix f] builds [I_f] over the conflict graph indexed
+    by [ix].  [f] may be partial: each {e happy} edge contributes one
+    triple, so [|I_f| = count_happy f] — equal to [m] when [f] is
+    conflict-free (Lemma 2.1(a)).  The result is independent for every
+    [f] that is a function (at most one color per vertex by
+    representation), including non-CF ones. *)
+
+val coloring_of_is :
+  Ps_hypergraph.Hypergraph.t -> Triple.Indexer.indexer ->
+  Ps_maxis.Independent_set.t -> int array
+(** [coloring_of_is h ix i] is [f_I].  Raises [Invalid_argument] if two
+    triples of [i] assign different colors to one vertex — impossible for
+    independent [i] (Lemma 2.1(b) well-definedness); callers feed solver
+    output through {!Ps_maxis.Independent_set.verify_exn} first. *)
+
+val max_is_size : Ps_hypergraph.Hypergraph.t -> int
+(** The independence number of [G_k] for any [H] admitting a CF
+    k-coloring: exactly [m = |E(H)|] (Lemma 2.1(a)). *)
+
+val happy_at_least_lemma :
+  Ps_hypergraph.Hypergraph.t -> Triple.Indexer.indexer ->
+  Ps_maxis.Independent_set.t -> bool
+(** The checkable form of Lemma 2.1(b): does
+    [count_happy (coloring_of_is i) >= |i|] hold?  (Always [true] for
+    independent input; the property tests assert it.) *)

@@ -1,0 +1,35 @@
+(** Exact maximum independent sets of conflict graphs, exploiting their
+    structure.
+
+    [E_edge] makes the [|e|·k] triples of each hyperedge a clique, so an
+    independent set of [G_k] picks {e at most one triple per hyperedge}.
+    Branching over hyperedges — "which triple represents edge [e], if
+    any" — bounds the search depth by [m] and the branching factor by
+    [|e|·k + 1], dramatically beating the generic branch-and-bound of
+    {!Ps_maxis.Exact} on [G_k] (which must rediscover the clique
+    structure).  Used to verify Lemma 2.1(a)'s maximality claim
+    ([α(G_k) = m] exactly when [H] admits a CF k-coloring) on instances
+    far beyond the generic solver's reach, and to measure true per-phase
+    λ in the experiments.
+
+    Compatibility of two triples is checked against the same
+    {!Conflict_graph.adjacent} specification the materialized graph is
+    tested against. *)
+
+val maximum :
+  ?budget:int ->
+  Ps_hypergraph.Hypergraph.t ->
+  k:int ->
+  Ps_maxis.Independent_set.t option
+(** A maximum independent set of [G_k] as a bitset over
+    {!Triple.Indexer} codes, or [None] if [budget] search nodes (default
+    [10_000_000]) are exhausted. *)
+
+val independence_number :
+  ?budget:int -> Ps_hypergraph.Hypergraph.t -> k:int -> int option
+
+val solver : Ps_hypergraph.Hypergraph.t -> k:int -> Ps_maxis.Approx.solver
+(** Package as an {!Ps_maxis.Approx.solver} for the given instance: the
+    solve function ignores the graph argument's identity and answers for
+    this [H, k] (λ = 1 when the budget suffices; raises [Failure]
+    otherwise). *)

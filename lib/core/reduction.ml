@@ -1,0 +1,87 @@
+module H = Ps_hypergraph.Hypergraph
+module G = Ps_graph.Graph
+module Is = Ps_maxis.Independent_set
+module Mc = Ps_cfc.Multicolor
+module Cf = Ps_cfc.Cf_coloring
+
+type phase_record = {
+  phase : int;
+  edges_before : int;
+  conflict_vertices : int;
+  conflict_edges : int;
+  is_size : int;
+  newly_happy : int;
+  lambda_effective : float;
+}
+
+type run = {
+  hypergraph : H.t;
+  k : int;
+  solver_name : string;
+  multicoloring : Mc.t;
+  phases : phase_record list;
+  total_phases : int;
+  colors_used : int;
+}
+
+exception Stalled of int
+
+let log_src = Logs.Src.create "ps_core.reduction" ~doc:"Theorem 1.1 phases"
+
+module Log = (val Logs.src_log log_src)
+
+let run ?max_phases ?(seed = 0) ~solver ~k h =
+  let m = H.n_edges h in
+  let max_phases =
+    match max_phases with Some p -> p | None -> (4 * m) + 16
+  in
+  let rng = Ps_util.Rng.create seed in
+  let multicoloring = Mc.blank h in
+  let phases = ref [] in
+  let remaining = ref (List.init m (fun e -> e)) in
+  let phase = ref 0 in
+  while !remaining <> [] do
+    if !phase >= max_phases then raise (Stalled !phase);
+    let hi, back = H.restrict_edges h !remaining in
+    let cg = Conflict_graph.build hi ~k in
+    let is = Ps_maxis.Approx.solve_verified solver rng cg.graph in
+    let f_i = Correspondence.coloring_of_is hi cg.indexer is in
+    (* Publish phase colors on the global palette [phase·k ..]. *)
+    Array.iteri
+      (fun v c ->
+        if c <> Cf.uncolored then
+          Mc.add_color multicoloring v ((!phase * k) + c))
+      f_i;
+    (* Remove the edges the phase coloring made happy. *)
+    let happy_local = Cf.happy_edges hi f_i in
+    let happy_global =
+      List.map (fun e_local -> back.(e_local)) happy_local
+    in
+    let newly_happy = List.length happy_global in
+    if newly_happy = 0 then raise (Stalled !phase);
+    let is_size = Is.size is in
+    Log.debug (fun m ->
+        m "phase %d: |E|=%d |V(Gk)|=%d |I|=%d happy=%d" !phase (H.n_edges hi)
+          (G.n_vertices cg.graph) is_size newly_happy);
+    phases :=
+      { phase = !phase;
+        edges_before = H.n_edges hi;
+        conflict_vertices = G.n_vertices cg.graph;
+        conflict_edges = G.n_edges cg.graph;
+        is_size;
+        newly_happy;
+        lambda_effective =
+          (if is_size = 0 then infinity
+           else float_of_int (H.n_edges hi) /. float_of_int is_size) }
+      :: !phases;
+    remaining :=
+      List.filter (fun e -> not (List.mem e happy_global)) !remaining;
+    incr phase
+  done;
+  { hypergraph = h;
+    k;
+    solver_name = solver.Ps_maxis.Approx.name;
+    multicoloring;
+    phases = List.rev !phases;
+    total_phases = !phase;
+    colors_used = Mc.total_colors multicoloring }

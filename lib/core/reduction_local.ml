@@ -1,0 +1,86 @@
+module H = Ps_hypergraph.Hypergraph
+module Is = Ps_maxis.Independent_set
+module Mc = Ps_cfc.Multicolor
+module Cf = Ps_cfc.Cf_coloring
+module Ix = Triple.Indexer
+
+type local_cost = {
+  phases : int;
+  virtual_rounds : int;
+  host_rounds : int;
+  messages : int;
+}
+
+type run = {
+  reduction : Reduction.run;
+  cost : local_cost;
+}
+
+(* Coordination cost charged per phase besides the Luby run: one round to
+   publish the freshly chosen colors, one to re-evaluate happiness (both
+   1-hop exchanges in H). *)
+let coordination_rounds_per_phase = 2
+
+let run ?max_phases ?(seed = 0) ~k h =
+  let m = H.n_edges h in
+  let max_phases =
+    match max_phases with Some p -> p | None -> (4 * m) + 16
+  in
+  let multicoloring = Mc.blank h in
+  let phases = ref [] in
+  let remaining = ref (List.init m (fun e -> e)) in
+  let phase = ref 0 in
+  let virtual_rounds = ref 0 and messages = ref 0 in
+  while !remaining <> [] do
+    if !phase >= max_phases then raise (Reduction.Stalled !phase);
+    let hi, back = H.restrict_edges h !remaining in
+    let ix = Ix.make hi ~k in
+    (* Luby over the implicit conflict graph: no materialization. *)
+    let sim = Simulate.luby_mis ~seed:(seed + !phase) hi ~k in
+    virtual_rounds := !virtual_rounds + sim.Simulate.virtual_rounds;
+    messages := !messages + sim.Simulate.messages;
+    let is = sim.Simulate.independent_set in
+    let f_i = Correspondence.coloring_of_is hi ix is in
+    Array.iteri
+      (fun v c ->
+        if c <> Cf.uncolored then
+          Mc.add_color multicoloring v ((!phase * k) + c))
+      f_i;
+    let happy_local = Cf.happy_edges hi f_i in
+    let happy_global = List.map (fun e -> back.(e)) happy_local in
+    let newly_happy = List.length happy_global in
+    if newly_happy = 0 then raise (Reduction.Stalled !phase);
+    let is_size = Is.size is in
+    phases :=
+      { Reduction.phase = !phase;
+        edges_before = H.n_edges hi;
+        conflict_vertices = Ix.total ix;
+        conflict_edges = -1;
+        (* never materialized; -1 marks "not measured" *)
+        is_size;
+        newly_happy;
+        lambda_effective =
+          (if is_size = 0 then infinity
+           else float_of_int (H.n_edges hi) /. float_of_int is_size) }
+      :: !phases;
+    remaining :=
+      List.filter (fun e -> not (List.mem e happy_global)) !remaining;
+    incr phase
+  done;
+  let reduction =
+    { Reduction.hypergraph = h;
+      k;
+      solver_name = "luby-on-implicit-Gk";
+      multicoloring;
+      phases = List.rev !phases;
+      total_phases = !phase;
+      colors_used = Mc.total_colors multicoloring }
+  in
+  { reduction;
+    cost =
+      { phases = !phase;
+        virtual_rounds = !virtual_rounds;
+        host_rounds =
+          (Simulate.host_dilation * !virtual_rounds)
+          + (coordination_rounds_per_phase * !phase);
+        messages = !messages } }

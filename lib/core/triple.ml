@@ -1,0 +1,86 @@
+module H = Ps_hypergraph.Hypergraph
+
+type t = { edge : int; vertex : int; color : int }
+
+let compare a b =
+  match Int.compare a.edge b.edge with
+  | 0 -> (
+      match Int.compare a.vertex b.vertex with
+      | 0 -> Int.compare a.color b.color
+      | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf t = Format.fprintf ppf "(e%d, v%d, c%d)" t.edge t.vertex t.color
+
+module Indexer = struct
+  type indexer = {
+    h : H.t;
+    k : int;
+    start : int array;        (* start.(e) = Σ_{e' < e} |e'|; length m+1 *)
+    position : (int * int, int) Hashtbl.t; (* (e, v) -> rank of v in e *)
+  }
+
+  let make h ~k =
+    if k < 1 then invalid_arg "Triple.Indexer.make: k must be >= 1";
+    let m = H.n_edges h in
+    let start = Array.make (m + 1) 0 in
+    let position = Hashtbl.create 64 in
+    for e = 0 to m - 1 do
+      start.(e + 1) <- start.(e) + H.edge_size h e;
+      Array.iteri (fun p v -> Hashtbl.add position (e, v) p) (H.edge h e)
+    done;
+    { h; k; start; position }
+
+  let total ix = ix.start.(H.n_edges ix.h) * ix.k
+
+  let k ix = ix.k
+
+  let encode ix t =
+    if t.color < 0 || t.color >= ix.k then
+      invalid_arg "Triple.Indexer.encode: color out of range";
+    match Hashtbl.find_opt ix.position (t.edge, t.vertex) with
+    | None -> invalid_arg "Triple.Indexer.encode: vertex not in edge"
+    | Some p -> ((ix.start.(t.edge) + p) * ix.k) + t.color
+
+  let decode ix idx =
+    if idx < 0 || idx >= total ix then
+      invalid_arg "Triple.Indexer.decode: index out of range";
+    let slot = idx / ix.k and color = idx mod ix.k in
+    (* Find the edge owning this slot by binary search over [start]. *)
+    let lo = ref 0 and hi = ref (H.n_edges ix.h - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if ix.start.(mid) <= slot then lo := mid else hi := mid - 1
+    done;
+    let edge = !lo in
+    let vertex = (H.edge ix.h edge).(slot - ix.start.(edge)) in
+    { edge; vertex; color }
+
+  let mem ix t =
+    t.color >= 0 && t.color < ix.k
+    && Hashtbl.mem ix.position (t.edge, t.vertex)
+
+  let iter ix f =
+    for idx = 0 to total ix - 1 do
+      f (decode ix idx)
+    done
+
+  let triples_of_edge ix e =
+    H.fold_edge ix.h e
+      (fun acc v ->
+        List.fold_left
+          (fun acc c -> { edge = e; vertex = v; color = c } :: acc)
+          acc
+          (List.init ix.k (fun c -> c)))
+      []
+    |> List.sort compare
+
+  let triples_of_vertex ix v =
+    List.concat_map
+      (fun e ->
+        List.init ix.k (fun c -> { edge = e; vertex = v; color = c }))
+      (H.incident_edges ix.h v)
+    |> List.sort compare
+end

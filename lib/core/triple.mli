@@ -1,0 +1,46 @@
+(** Vertices of the conflict graph: triples [(e, v, c)].
+
+    Section 2 of the paper: the vertex set of the conflict graph [G_k] of
+    conflict-free [k]-coloring a hypergraph [H] is every triple [(e, v, c)]
+    with [e ∈ E(H)], [v ∈ e], and a color [c].  Colors are 0-based here
+    ([0 .. k-1]; the paper writes [1 .. k]).
+
+    {!Indexer} maps triples to a dense integer range so they can serve as
+    vertices of a {!Ps_graph.Graph.t}: triple [(e, v, c)] with [v] the
+    [p]-th member of edge [e] gets index [(start e + p)·k + c]. *)
+
+type t = { edge : int; vertex : int; color : int }
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Indexer : sig
+  type indexer
+
+  val make : Ps_hypergraph.Hypergraph.t -> k:int -> indexer
+  (** Requires [k >= 1]. *)
+
+  val total : indexer -> int
+  (** [k · Σ_e |e|] — the conflict graph's vertex count. *)
+
+  val k : indexer -> int
+
+  val encode : indexer -> t -> int
+  (** Raises [Invalid_argument] if the triple is invalid ([v ∉ e], color
+      out of range, bad edge index). *)
+
+  val decode : indexer -> int -> t
+
+  val mem : indexer -> t -> bool
+  (** Whether the triple is a vertex of [G_k]. *)
+
+  val iter : indexer -> (t -> unit) -> unit
+  (** All triples in increasing index order. *)
+
+  val triples_of_edge : indexer -> int -> t list
+  (** The [|e|·k] triples with first component [e]. *)
+
+  val triples_of_vertex : indexer -> int -> t list
+  (** The [deg(v)·k] triples with second component [v]. *)
+end

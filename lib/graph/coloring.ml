@@ -1,0 +1,107 @@
+let uncolored = -1
+
+let is_proper_partial g c =
+  Array.length c = Graph.n_vertices g
+  && Array.for_all (fun x -> x >= uncolored) c
+  &&
+  let ok = ref true in
+  Graph.iter_edges g (fun u v ->
+      if c.(u) <> uncolored && c.(u) = c.(v) then ok := false);
+  !ok
+
+let is_proper g c =
+  Array.for_all (fun x -> x >= 0) c && is_proper_partial g c
+
+let num_colors c =
+  let seen = Hashtbl.create 16 in
+  Array.iter (fun x -> if x <> uncolored then Hashtbl.replace seen x ()) c;
+  Hashtbl.length seen
+
+let max_color c = Array.fold_left max uncolored c
+
+let greedy ?order g =
+  let n = Graph.n_vertices g in
+  let order =
+    match order with
+    | None -> Array.init n (fun i -> i)
+    | Some o ->
+        if Array.length o <> n then
+          invalid_arg "Coloring.greedy: order length mismatch";
+        o
+  in
+  let c = Array.make n uncolored in
+  let forbidden = Array.make (n + 1) (-1) in
+  Array.iter
+    (fun v ->
+      Graph.iter_neighbors g v (fun u ->
+          if c.(u) <> uncolored then forbidden.(c.(u)) <- v);
+      let k = ref 0 in
+      while forbidden.(!k) = v do
+        incr k
+      done;
+      c.(v) <- !k)
+    order;
+  c
+
+exception Budget_exhausted
+
+(* Backtracking k-colorability with two standard prunings: vertices in
+   descending degree order, and each vertex may use at most one color
+   beyond those already in use (breaking color-name symmetry). *)
+let k_colorable_search ~budget g k =
+  let n = Graph.n_vertices g in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare (Graph.degree g b) (Graph.degree g a)) order;
+  let colors = Array.make n uncolored in
+  let nodes = ref 0 in
+  let exception Found in
+  let rec assign i used =
+    incr nodes;
+    if !nodes > budget then raise Budget_exhausted;
+    if i = n then raise Found
+    else begin
+      let v = order.(i) in
+      let limit = min (k - 1) used in
+      for c = 0 to limit do
+        let clash =
+          Graph.exists_neighbor g v (fun u -> colors.(u) = c)
+        in
+        if not clash then begin
+          colors.(v) <- c;
+          assign (i + 1) (max used (c + 1));
+          colors.(v) <- uncolored
+        end
+      done
+    end
+  in
+  match assign 0 0 with
+  | () -> None
+  | exception Found -> Some (Array.copy colors)
+
+let k_colorable g k =
+  if k < 0 then invalid_arg "Coloring.k_colorable";
+  if k = 0 then if Graph.n_vertices g = 0 then Some [||] else None
+  else k_colorable_search ~budget:max_int g k
+
+let chromatic_number_within ~budget g =
+  if budget < 1 then invalid_arg "Coloring.chromatic_number_within";
+  if Graph.n_vertices g = 0 then Some 0
+  else begin
+    let upper = num_colors (greedy g) in
+    let rec search k =
+      if k >= upper then Some upper
+      else
+        match k_colorable_search ~budget g k with
+        | Some _ -> Some k
+        | None -> search (k + 1)
+    in
+    try search 1 with Budget_exhausted -> None
+  end
+
+let color_classes c =
+  let top = max_color c in
+  let classes = Array.make (top + 1) [] in
+  for v = Array.length c - 1 downto 0 do
+    if c.(v) <> uncolored then classes.(c.(v)) <- v :: classes.(c.(v))
+  done;
+  classes

@@ -1,0 +1,46 @@
+(** Proper vertex colorings of simple graphs.
+
+    A coloring is an int array indexed by vertex; colors are nonnegative.
+    The sentinel [uncolored] marks vertices without a color (partial
+    colorings appear while sequential algorithms are mid-run). *)
+
+val uncolored : int
+(** [-1]. *)
+
+val is_proper : Graph.t -> int array -> bool
+(** Every vertex colored with a nonnegative color and no monochromatic
+    edge. *)
+
+val is_proper_partial : Graph.t -> int array -> bool
+(** Like {!is_proper} but [uncolored] vertices are permitted and ignored
+    in the edge check. *)
+
+val num_colors : int array -> int
+(** Number of distinct non-sentinel colors used. *)
+
+val max_color : int array -> int
+(** Largest color used, or [-1] when none. *)
+
+val greedy : ?order:int array -> Graph.t -> int array
+(** Sequential greedy: process vertices in the given order (identity by
+    default) and assign the smallest color absent from the already-colored
+    neighborhood.  Uses at most [Δ+1] colors. *)
+
+val color_classes : int array -> int list array
+(** [color_classes c] groups vertices by color; index [k] lists vertices of
+    color [k] (sorted), array length is [max_color c + 1].  Uncolored
+    vertices are skipped. *)
+
+(** {1 Exact chromatic numbers}
+
+    Backtracking search, exponential in the worst case — ground truth
+    for small instances (tests and experiment baselines). *)
+
+val k_colorable : Graph.t -> int -> int array option
+(** [k_colorable g k] is a proper coloring with colors [< k], or [None].
+    Symmetry-broken: the first vertex of each new color class is forced,
+    so the search does not permute color names. *)
+
+val chromatic_number_within : budget:int -> Graph.t -> int option
+(** χ(G), or [None] when the search exceeds [budget] nodes.  Starts from
+    the clique-ish lower bound 1 and stops at the greedy upper bound. *)

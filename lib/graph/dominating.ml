@@ -1,0 +1,107 @@
+module B = Ps_util.Bitset
+
+let is_dominating g set =
+  B.capacity set = Graph.n_vertices g
+  &&
+  let ok = ref true in
+  for v = 0 to Graph.n_vertices g - 1 do
+    if (not (B.mem set v)) && not (Graph.exists_neighbor g v (B.mem set))
+    then ok := false
+  done;
+  !ok
+
+let verify_exn g set =
+  for v = 0 to Graph.n_vertices g - 1 do
+    if (not (B.mem set v)) && not (Graph.exists_neighbor g v (B.mem set))
+    then
+      invalid_arg
+        (Printf.sprintf "Dominating.verify_exn: vertex %d is undominated" v)
+  done
+
+let greedy g =
+  let n = Graph.n_vertices g in
+  let chosen = B.create n in
+  let dominated = B.create n in
+  let coverage v =
+    (* |N[v] \ dominated| *)
+    let c = if B.mem dominated v then 0 else 1 in
+    Graph.fold_neighbors g v
+      (fun acc u -> if B.mem dominated u then acc else acc + 1)
+      c
+  in
+  while B.cardinal dominated < n do
+    let best = ref (-1) and best_cover = ref 0 in
+    for v = 0 to n - 1 do
+      let c = coverage v in
+      if c > !best_cover then begin
+        best := v;
+        best_cover := c
+      end
+    done;
+    (* best_cover >= 1 while anything is undominated *)
+    let v = !best in
+    B.add chosen v;
+    B.add dominated v;
+    Graph.iter_neighbors g v (fun u -> B.add dominated u)
+  done;
+  chosen
+
+exception Budget_exhausted
+
+let minimum_within ~budget g =
+  if budget < 1 then invalid_arg "Dominating.minimum_within";
+  let n = Graph.n_vertices g in
+  let closed v =
+    let mask = B.create n in
+    B.add mask v;
+    Graph.iter_neighbors g v (B.add mask);
+    mask
+  in
+  let closed_masks = Array.init n closed in
+  let best = ref None in
+  let best_size = ref (n + 1) in
+  let nodes = ref 0 in
+  let rec branch chosen n_chosen dominated =
+    incr nodes;
+    if !nodes > budget then raise Budget_exhausted;
+    if n_chosen >= !best_size then ()
+    else if B.cardinal dominated = n then begin
+      best := Some chosen;
+      best_size := n_chosen
+    end
+    else begin
+      (* Some vertex u is undominated; any solution includes a member of
+         N[u].  Branch on the candidates. *)
+      let u = ref (-1) in
+      (try
+         for v = 0 to n - 1 do
+           if not (B.mem dominated v) then begin
+             u := v;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      let u = !u in
+      let candidates =
+        u :: Graph.fold_neighbors g u (fun acc w -> w :: acc) []
+      in
+      List.iter
+        (fun w ->
+          let dominated' = B.copy dominated in
+          B.union_into dominated' closed_masks.(w);
+          branch (w :: chosen) (n_chosen + 1) dominated')
+        candidates
+    end
+  in
+  match branch [] 0 (B.create n) with
+  | () ->
+      Option.map
+        (fun vs ->
+          let set = B.create n in
+          List.iter (B.add set) vs;
+          set)
+        !best
+  | exception Budget_exhausted -> None
+
+let domination_number_within ~budget g =
+  Option.map B.cardinal (minimum_within ~budget g)

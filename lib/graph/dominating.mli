@@ -1,0 +1,24 @@
+(** Dominating sets.
+
+    Dominating-set approximation is, with MaxIS approximation (this
+    paper) and set cover, on the short list of P-SLOCAL-complete
+    approximation problems [GHK18]; the repository carries it as a
+    companion problem so experiments can compare "the complete problems"
+    side by side.  A set [D] dominates [G] when every vertex is in [D] or
+    adjacent to it. *)
+
+val is_dominating : Graph.t -> Ps_util.Bitset.t -> bool
+
+val verify_exn : Graph.t -> Ps_util.Bitset.t -> unit
+(** Raises [Invalid_argument] naming an undominated vertex. *)
+
+val greedy : Graph.t -> Ps_util.Bitset.t
+(** The classic ln(Δ+1)-approximation: repeatedly take a vertex covering
+    the most still-undominated vertices (ties to the smaller index). *)
+
+val minimum_within : budget:int -> Graph.t -> Ps_util.Bitset.t option
+(** Exact minimum dominating set by branching on the closed neighborhood
+    of an uncovered vertex; [None] when [budget] search nodes are
+    exhausted.  Exponential — for small instances. *)
+
+val domination_number_within : budget:int -> Graph.t -> int option

@@ -1,0 +1,71 @@
+let to_edge_list g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d\n" (Graph.n_vertices g) (Graph.n_edges g));
+  Graph.iter_edges g (fun u v ->
+      Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+  Buffer.contents buf
+
+let fail_line lineno msg =
+  failwith (Printf.sprintf "Gio.of_edge_list: line %d: %s" lineno msg)
+
+let of_edge_list text =
+  let lines = String.split_on_char '\n' text in
+  let parsed =
+    List.mapi (fun i line -> (i + 1, String.trim line)) lines
+    |> List.filter (fun (_, line) -> line <> "" && line.[0] <> '#')
+  in
+  match parsed with
+  | [] -> failwith "Gio.of_edge_list: empty input"
+  | (lineno, header) :: rest ->
+      let n, m =
+        match String.split_on_char ' ' header |> List.filter (( <> ) "") with
+        | [ a; b ] -> (
+            try (int_of_string a, int_of_string b)
+            with Failure _ -> fail_line lineno "bad header")
+        | _ -> fail_line lineno "header must be \"n m\""
+      in
+      let edges =
+        List.map
+          (fun (lineno, line) ->
+            match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+            | [ a; b ] -> (
+                try (int_of_string a, int_of_string b)
+                with Failure _ -> fail_line lineno "bad edge")
+            | _ -> fail_line lineno "edge must be \"u v\"")
+          rest
+      in
+      if List.length edges <> m then
+        failwith
+          (Printf.sprintf
+             "Gio.of_edge_list: header promises %d edges, found %d" m
+             (List.length edges));
+      Graph.of_edges n edges
+
+let to_dot ?(name = "g") ?labels g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  (match labels with
+  | None -> ()
+  | Some label ->
+      List.iter
+        (fun v ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %d [label=\"%s\"];\n" v (label v)))
+        (Graph.vertices g));
+  Graph.iter_edges g (fun u v ->
+      Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file filename g =
+  let oc = open_out filename in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_edge_list g))
+
+let read_file filename =
+  let ic = open_in filename in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_edge_list (In_channel.input_all ic))

@@ -1,0 +1,15 @@
+(** Plain-text graph I/O.
+
+    The edge-list format is one header line ["n m"] followed by [m] lines
+    ["u v"]; comments start with ['#'].  DOT export exists for eyeballing
+    small instances. *)
+
+val to_edge_list : Graph.t -> string
+val of_edge_list : string -> Graph.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val to_dot : ?name:string -> ?labels:(int -> string) -> Graph.t -> string
+(** Undirected DOT; [labels] overrides vertex labels (default: the id). *)
+
+val write_file : string -> Graph.t -> unit
+val read_file : string -> Graph.t

@@ -1,0 +1,192 @@
+type t = {
+  n : int;
+  offsets : int array; (* length n+1; row u is adj.(offsets.(u) .. offsets.(u+1)-1) *)
+  adj : int array;     (* concatenated sorted adjacency rows, length 2m *)
+}
+
+let n_vertices g = g.n
+
+let n_edges g = Array.length g.adj / 2
+
+let check_vertex g v =
+  if v < 0 || v >= g.n then invalid_arg "Graph: vertex out of range"
+
+let degree g v =
+  check_vertex g v;
+  g.offsets.(v + 1) - g.offsets.(v)
+
+let of_normalized_edges n edges =
+  (* [edges] holds each edge once as (u, v) with u < v, no duplicates. *)
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v) + deg.(v)
+  done;
+  let adj = Array.make offsets.(n) 0 in
+  let cursor = Array.copy offsets in
+  List.iter
+    (fun (u, v) ->
+      adj.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1;
+      adj.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1)
+    edges;
+  for v = 0 to n - 1 do
+    let row = Array.sub adj offsets.(v) deg.(v) in
+    Array.sort compare row;
+    Array.blit row 0 adj offsets.(v) deg.(v)
+  done;
+  { n; offsets; adj }
+
+let normalize n edges =
+  let seen = Hashtbl.create (List.length edges) in
+  List.filter_map
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.of_edges: endpoint out of range";
+      if u = v then invalid_arg "Graph.of_edges: self-loop";
+      let e = if u < v then (u, v) else (v, u) in
+      if Hashtbl.mem seen e then None
+      else begin
+        Hashtbl.add seen e ();
+        Some e
+      end)
+    edges
+
+let of_edges n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative vertex count";
+  of_normalized_edges n (normalize n edges)
+
+let of_edge_array n edges = of_edges n (Array.to_list edges)
+
+let empty n = of_edges n []
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    best := max !best (degree g v)
+  done;
+  !best
+
+let avg_degree g =
+  if g.n = 0 then 0.0
+  else 2.0 *. float_of_int (n_edges g) /. float_of_int g.n
+
+let has_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  (* Binary search in the sorted row of the lower-degree endpoint. *)
+  let u, v = if degree g u <= degree g v then (u, v) else (v, u) in
+  let lo = ref g.offsets.(u) and hi = ref (g.offsets.(u + 1) - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = g.adj.(mid) in
+    if w = v then found := true
+    else if w < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let neighbors g v =
+  check_vertex g v;
+  Array.sub g.adj g.offsets.(v) (degree g v)
+
+let iter_neighbors g v f =
+  check_vertex g v;
+  for i = g.offsets.(v) to g.offsets.(v + 1) - 1 do
+    f g.adj.(i)
+  done
+
+let fold_neighbors g v f init =
+  let acc = ref init in
+  iter_neighbors g v (fun u -> acc := f !acc u);
+  !acc
+
+let exists_neighbor g v pred =
+  let exception Found in
+  try
+    iter_neighbors g v (fun u -> if pred u then raise Found);
+    false
+  with Found -> true
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    iter_neighbors g u (fun v -> if u < v then f u v)
+  done
+
+let edges g =
+  let acc = ref [] in
+  iter_edges g (fun u v -> acc := (u, v) :: !acc);
+  List.rev !acc
+
+let vertices g = List.init g.n (fun i -> i)
+
+let induced_subgraph g vs =
+  let vs = List.sort_uniq compare vs in
+  List.iter (check_vertex g) vs;
+  let back = Array.of_list vs in
+  let fwd = Hashtbl.create (Array.length back) in
+  Array.iteri (fun i v -> Hashtbl.add fwd v i) back;
+  let sub_edges = ref [] in
+  Array.iteri
+    (fun i v ->
+      iter_neighbors g v (fun u ->
+          if v < u then
+            match Hashtbl.find_opt fwd u with
+            | Some j -> sub_edges := (i, j) :: !sub_edges
+            | None -> ()))
+    back;
+  (of_edges (Array.length back) !sub_edges, back)
+
+let complement g =
+  let acc = ref [] in
+  for u = 0 to g.n - 1 do
+    for v = u + 1 to g.n - 1 do
+      if not (has_edge g u v) then acc := (u, v) :: !acc
+    done
+  done;
+  of_edges g.n !acc
+
+let contract g labels =
+  if Array.length labels <> g.n then
+    invalid_arg "Graph.contract: labels length mismatch";
+  let top = Array.fold_left max (-1) labels in
+  Array.iter
+    (fun l -> if l < 0 then invalid_arg "Graph.contract: negative label")
+    labels;
+  let acc = ref [] in
+  iter_edges g (fun u v ->
+      if labels.(u) <> labels.(v) then acc := (labels.(u), labels.(v)) :: !acc);
+  of_edges (top + 1) !acc
+
+let union g h =
+  if g.n <> h.n then invalid_arg "Graph.union: vertex count mismatch";
+  of_edges g.n (edges g @ edges h)
+
+let is_subgraph g h =
+  g.n = h.n
+  &&
+  let ok = ref true in
+  iter_edges g (fun u v -> if not (has_edge h u v) then ok := false);
+  !ok
+
+let equal g h = g.n = h.n && g.offsets = h.offsets && g.adj = h.adj
+
+let pp ppf g =
+  let lo =
+    if g.n = 0 then 0
+    else
+      let m = ref max_int in
+      for v = 0 to g.n - 1 do
+        m := min !m (degree g v)
+      done;
+      !m
+  in
+  Format.fprintf ppf "graph(n=%d, m=%d, deg=[%d..%d])" g.n (n_edges g) lo
+    (max_degree g)

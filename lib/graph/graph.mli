@@ -1,0 +1,78 @@
+(** Immutable simple undirected graphs in compressed sparse row form.
+
+    Vertices are the integers [0 .. n_vertices-1].  Self-loops and parallel
+    edges are rejected/collapsed at construction, so every graph value in
+    the repository is a simple graph — the setting of both the LOCAL model
+    and the conflict-graph construction.  Adjacency rows are sorted, which
+    makes [has_edge] logarithmic and neighbor iteration cache-friendly. *)
+
+type t
+
+(** {1 Construction} *)
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges n edges] builds a graph on vertices [0..n-1].  Endpoints out
+    of range or self-loops raise [Invalid_argument]; duplicate edges (in
+    either orientation) are collapsed. *)
+
+val of_edge_array : int -> (int * int) array -> t
+(** Array variant of {!of_edges}. *)
+
+val empty : int -> t
+(** [empty n] has [n] vertices and no edges. *)
+
+(** {1 Size} *)
+
+val n_vertices : t -> int
+val n_edges : t -> int
+
+(** {1 Queries} *)
+
+val degree : t -> int -> int
+val max_degree : t -> int
+val avg_degree : t -> float
+val has_edge : t -> int -> int -> bool
+val neighbors : t -> int -> int array
+(** Fresh sorted array of neighbors. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+val exists_neighbor : t -> int -> (int -> bool) -> bool
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Each undirected edge visited once, with [u < v]. *)
+
+val edges : t -> (int * int) list
+(** All edges, each once with [u < v], lexicographic order. *)
+
+val vertices : t -> int list
+
+(** {1 Derived graphs} *)
+
+val induced_subgraph : t -> int list -> t * int array
+(** [induced_subgraph g vs] is the subgraph induced by the distinct
+    vertices [vs], together with the map from new indices to original
+    vertex ids (position [i] of the array holds the original id of new
+    vertex [i]). *)
+
+val complement : t -> t
+(** Complement graph; quadratic, intended for small instances. *)
+
+val union : t -> t -> t
+(** Edge-union of two graphs over the same vertex set. *)
+
+val contract : t -> int array -> t
+(** [contract g labels] is the quotient graph: vertex [c] of the result
+    stands for the class [labels = c]; classes are adjacent iff some
+    original edge joins them (self-loops dropped, parallel edges
+    collapsed).  [labels] must map onto [0 .. max_label] with every
+    label in range inhabited implicitly (uninhabited labels yield
+    isolated vertices). *)
+
+val is_subgraph : t -> t -> bool
+(** [is_subgraph g h]: same vertex count and every edge of [g] in [h]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Summary line: vertex/edge counts and degree range. *)

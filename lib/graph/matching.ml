@@ -1,0 +1,62 @@
+let unmatched = -1
+
+let is_matching g partner =
+  Array.length partner = Graph.n_vertices g
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun v p ->
+      if p <> unmatched then
+        if p < 0 || p >= Graph.n_vertices g
+           || partner.(p) <> v
+           || not (Graph.has_edge g v p)
+        then ok := false)
+    partner;
+  !ok
+
+let is_maximal_matching g partner =
+  is_matching g partner
+  &&
+  let ok = ref true in
+  Graph.iter_edges g (fun u v ->
+      if partner.(u) = unmatched && partner.(v) = unmatched then ok := false);
+  !ok
+
+let verify_exn g partner =
+  if not (is_matching g partner) then
+    invalid_arg "Matching.verify_exn: not a matching";
+  Graph.iter_edges g (fun u v ->
+      if partner.(u) = unmatched && partner.(v) = unmatched then
+        invalid_arg
+          (Printf.sprintf "Matching.verify_exn: edge (%d,%d) unmatched" u v))
+
+let greedy ?order g =
+  let partner = Array.make (Graph.n_vertices g) unmatched in
+  let take u v =
+    if partner.(u) = unmatched && partner.(v) = unmatched then begin
+      partner.(u) <- v;
+      partner.(v) <- u
+    end
+  in
+  (match order with
+  | None -> Graph.iter_edges g take
+  | Some edges ->
+      List.iter
+        (fun (u, v) ->
+          if not (Graph.has_edge g u v) then
+            invalid_arg "Matching.greedy: order contains a non-edge";
+          take u v)
+        edges;
+      (* finish maximally over the remaining edges *)
+      Graph.iter_edges g take);
+  partner
+
+let size partner =
+  Array.fold_left (fun acc p -> if p <> unmatched then acc + 1 else acc) 0
+    partner
+  / 2
+
+let matched_vertices partner =
+  let acc = ref [] in
+  Array.iteri (fun v p -> if p <> unmatched then acc := v :: !acc) partner;
+  List.rev !acc

@@ -1,0 +1,32 @@
+(** Matchings.
+
+    Maximal matching is the third classic symmetry-breaking problem of
+    the LOCAL world (with MIS and coloring): greedy-trivial sequentially
+    and in SLOCAL, O(log n) randomized in LOCAL (Israeli–Itai), and — via
+    "both endpoints of a maximal matching" — the textbook 2-approximate
+    vertex cover, the mirror image of independent sets.
+
+    A matching is represented as a partner array: [partner.(v)] is the
+    matched neighbor of [v], or [-1] when [v] is unmatched. *)
+
+val unmatched : int
+(** [-1]. *)
+
+val is_matching : Graph.t -> int array -> bool
+(** Involutive partner structure over actual edges. *)
+
+val is_maximal_matching : Graph.t -> int array -> bool
+(** A matching with no edge joining two unmatched vertices. *)
+
+val verify_exn : Graph.t -> int array -> unit
+
+val greedy : ?order:(int * int) list -> Graph.t -> int array
+(** Scan edges (default: lexicographic) and take every edge whose
+    endpoints are both free — the sequential maximal matching. *)
+
+val size : int array -> int
+(** Number of matched {e edges} (pairs / 2). *)
+
+val matched_vertices : int array -> int list
+(** Sorted list of matched vertices — for a maximal matching, a vertex
+    cover of at most twice the optimum. *)

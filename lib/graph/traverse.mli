@@ -1,0 +1,48 @@
+(** Traversals and distance machinery.
+
+    The r-ball functions are the geometric heart of both simulators: a
+    LOCAL algorithm running [r] rounds is exactly a function of the r-ball,
+    and an SLOCAL algorithm with locality [r] reads the r-ball around each
+    processed vertex. *)
+
+val bfs_distances : Graph.t -> int -> int array
+(** [bfs_distances g src] gives hop distances from [src]; unreachable
+    vertices get [-1]. *)
+
+val bfs_multi : Graph.t -> int list -> int array
+(** Distances from a set of sources (minimum over sources). *)
+
+val ball : Graph.t -> int -> int -> int list
+(** [ball g v r] lists vertices within hop distance [r] of [v] (including
+    [v]), sorted increasingly. *)
+
+val ball_subgraph : Graph.t -> int -> int -> Graph.t * int array
+(** Induced subgraph on [ball g v r] plus the new→old vertex map — the
+    "topological view" a node sees in the models. *)
+
+val connected_components : Graph.t -> int list array
+(** Vertex lists per component, each sorted; component order by smallest
+    member. *)
+
+val is_connected : Graph.t -> bool
+(** True for the empty and one-vertex graph. *)
+
+val eccentricity : Graph.t -> int -> int
+(** Max distance from the vertex to any reachable vertex. *)
+
+val diameter : Graph.t -> int
+(** Exact diameter via n BFS runs; [-1] classifies a disconnected graph,
+    0 covers n <= 1. *)
+
+val dfs_preorder : Graph.t -> int -> int list
+(** Preorder of the DFS tree from the source (its component only),
+    children visited in increasing order. *)
+
+val distance : Graph.t -> int -> int -> int
+(** Hop distance, [-1] if disconnected. *)
+
+val power : Graph.t -> int -> Graph.t
+(** [power g k] is [G^k]: same vertices, edges between distinct vertices
+    at hop distance ≤ [k].  [power g 1] equals [g]; [k = 0] is edgeless.
+    Used to build network decompositions with extra separation (clusters
+    non-adjacent in [G^k] are ≥ k+1 apart in [G]). *)

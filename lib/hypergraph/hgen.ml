@@ -1,0 +1,79 @@
+module Rng = Ps_util.Rng
+
+let random_subset rng n k =
+  Array.to_list (Rng.sample_without_replacement rng k n)
+
+let uniform_random rng ~n ~m ~k =
+  if k < 1 || k > n then invalid_arg "Hgen.uniform_random: bad k";
+  if m < 0 then invalid_arg "Hgen.uniform_random: bad m";
+  Hypergraph.of_edges n (List.init m (fun _ -> random_subset rng n k))
+
+let almost_uniform_random rng ~n ~m ~k ~eps =
+  if k < 1 || k > n then invalid_arg "Hgen.almost_uniform_random: bad k";
+  if eps < 0.0 then invalid_arg "Hgen.almost_uniform_random: bad eps";
+  let hi = min n (int_of_float (Float.floor (float_of_int k *. (1.0 +. eps)))) in
+  Hypergraph.of_edges n
+    (List.init m (fun _ ->
+         let size = Rng.int_in rng k hi in
+         random_subset rng n size))
+
+let interval ~n ranges =
+  let edge (a, b) =
+    if a < 0 || b >= n || a > b then invalid_arg "Hgen.interval: bad range";
+    List.init (b - a + 1) (fun i -> a + i)
+  in
+  Hypergraph.of_edges n (List.map edge ranges)
+
+let random_intervals rng ~n ~m ~min_len ~max_len =
+  if min_len < 1 || max_len < min_len || min_len > n then
+    invalid_arg "Hgen.random_intervals: bad lengths";
+  let ranges =
+    List.init m (fun _ ->
+        let len = min n (Rng.int_in rng min_len max_len) in
+        let a = Rng.int rng (n - len + 1) in
+        (a, a + len - 1))
+  in
+  interval ~n ranges
+
+let all_intervals_of_length ~n ~len =
+  if len < 1 || len > n then invalid_arg "Hgen.all_intervals_of_length";
+  interval ~n (List.init (n - len + 1) (fun a -> (a, a + len - 1)))
+
+let all_intervals ~n =
+  if n < 1 then invalid_arg "Hgen.all_intervals";
+  let ranges = ref [] in
+  for a = 0 to n - 1 do
+    for b = a to n - 1 do
+      ranges := (a, b) :: !ranges
+    done
+  done;
+  interval ~n !ranges
+
+let closed_neighborhoods g =
+  let module G = Ps_graph.Graph in
+  let n = G.n_vertices g in
+  Hypergraph.of_edges n
+    (List.init n (fun v -> v :: Array.to_list (G.neighbors g v)))
+
+let from_graph g =
+  let module G = Ps_graph.Graph in
+  Hypergraph.of_edges (G.n_vertices g)
+    (List.map (fun (u, v) -> [ u; v ]) (G.edges g))
+
+let sunflower ~n_petals ~core ~petal =
+  if n_petals < 1 || core < 0 || petal < 0 || core + petal < 1 then
+    invalid_arg "Hgen.sunflower";
+  let n = core + (n_petals * petal) in
+  let core_vertices = List.init core (fun i -> i) in
+  let edges =
+    List.init n_petals (fun p ->
+        core_vertices
+        @ List.init petal (fun i -> core + (p * petal) + i))
+  in
+  Hypergraph.of_edges (max n 1) edges
+
+let disjoint_blocks ~blocks ~size =
+  if blocks < 0 || size < 1 then invalid_arg "Hgen.disjoint_blocks";
+  Hypergraph.of_edges
+    (max (blocks * size) 1)
+    (List.init blocks (fun b -> List.init size (fun i -> (b * size) + i)))

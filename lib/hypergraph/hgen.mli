@@ -1,0 +1,61 @@
+(** Hypergraph generators.
+
+    Workloads mirror the instances appearing in the paper's context:
+    {ul
+    {- {e almost-uniform random hypergraphs} — the hardness instances of
+       Theorem 1.2 are almost uniform with polynomially many edges;}
+    {- {e interval hypergraphs} — the [DN18] substrate the paper adapts:
+       vertices are points on a line, edges are discrete intervals;}
+    {- {e closed-neighborhood hypergraphs} of a graph — the classic bridge
+       between graph problems (domination, coloring) and hypergraph
+       conflict-free coloring.}} *)
+
+val uniform_random :
+  Ps_util.Rng.t -> n:int -> m:int -> k:int -> Hypergraph.t
+(** [m] edges, each a uniform random [k]-subset of the [n] vertices.
+    Requires [1 <= k <= n]. *)
+
+val almost_uniform_random :
+  Ps_util.Rng.t -> n:int -> m:int -> k:int -> eps:float -> Hypergraph.t
+(** Each edge's size is uniform in [\[k, floor((1+eps)k)\]]; contents
+    uniform. The result satisfies
+    [Hypergraph.is_almost_uniform _ eps = true]. *)
+
+val interval : n:int -> (int * int) list -> Hypergraph.t
+(** [interval ~n ranges]: vertices are points [0..n-1]; each [(a,b)] with
+    [0 <= a <= b < n] becomes the edge [{a, a+1, ..., b}]. *)
+
+val random_intervals :
+  Ps_util.Rng.t -> n:int -> m:int -> min_len:int -> max_len:int ->
+  Hypergraph.t
+(** [m] random discrete intervals with lengths uniform in
+    [\[min_len, max_len\]] (clamped to fit), positions uniform. *)
+
+val all_intervals_of_length : n:int -> len:int -> Hypergraph.t
+(** Every interval of exactly [len] points — a uniform interval hypergraph
+    with [n - len + 1] edges. *)
+
+val all_intervals : n:int -> Hypergraph.t
+(** Every interval [\[a, b\]], [0 <= a <= b < n]: the canonical
+    "points with respect to intervals" instance with [n(n+1)/2] edges,
+    whose conflict-free chromatic number is exactly [⌊log2 n⌋ + 1] —
+    the ruler coloring is optimal on it. *)
+
+val closed_neighborhoods : Ps_graph.Graph.t -> Hypergraph.t
+(** Edge [i] is [N\[v_i\] = {v_i} ∪ N(v_i)] for each graph vertex. *)
+
+val from_graph : Ps_graph.Graph.t -> Hypergraph.t
+(** The graph's edges as a 2-uniform hypergraph (edge [i] of the result
+    is the [i]-th edge of the graph in lexicographic order).  Under CF
+    coloring a 2-uniform edge is happy iff some endpoint's color is not
+    shared by the other — any {e proper} partial coloring with both
+    endpoints colored works, as does coloring exactly one endpoint. *)
+
+val sunflower : n_petals:int -> core:int -> petal:int -> Hypergraph.t
+(** Sunflower with a shared core of [core] vertices and [n_petals]
+    disjoint petals of [petal] extra vertices each; edge [i] = core ∪
+    petal [i]. Classic CF-coloring stress instance: all edges intersect
+    pairwise in the core. *)
+
+val disjoint_blocks : blocks:int -> size:int -> Hypergraph.t
+(** [blocks] pairwise-disjoint edges of the given size — CF 1-colorable. *)

@@ -1,0 +1,65 @@
+let to_text h =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d\n" (Hypergraph.n_vertices h)
+       (Hypergraph.n_edges h));
+  for i = 0 to Hypergraph.n_edges h - 1 do
+    let e = Hypergraph.edge h i in
+    Buffer.add_string buf (string_of_int (Array.length e));
+    Array.iter (fun v -> Buffer.add_string buf (" " ^ string_of_int v)) e;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+let fail_line lineno msg =
+  failwith (Printf.sprintf "Hio.of_text: line %d: %s" lineno msg)
+
+let ints_of_line lineno line =
+  String.split_on_char ' ' line
+  |> List.filter (( <> ) "")
+  |> List.map (fun s ->
+         try int_of_string s with Failure _ -> fail_line lineno "not a number")
+
+let of_text text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i line -> (i + 1, String.trim line))
+    |> List.filter (fun (_, line) ->
+           line <> "" && not (String.length line > 0 && line.[0] = '#'))
+  in
+  match lines with
+  | [] -> failwith "Hio.of_text: empty input"
+  | (lineno, header) :: rest ->
+      let n, m =
+        match ints_of_line lineno header with
+        | [ n; m ] -> (n, m)
+        | _ -> fail_line lineno "header must be \"n m\""
+      in
+      let edges =
+        List.map
+          (fun (lineno, line) ->
+            match ints_of_line lineno line with
+            | size :: members ->
+                if List.length members <> size then
+                  fail_line lineno "edge size mismatch";
+                members
+            | [] -> fail_line lineno "empty line")
+          rest
+      in
+      if List.length edges <> m then
+        failwith
+          (Printf.sprintf "Hio.of_text: header promises %d edges, found %d" m
+             (List.length edges));
+      Hypergraph.of_edges n edges
+
+let write_file filename h =
+  let oc = open_out filename in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_text h))
+
+let read_file filename =
+  let ic = open_in filename in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_text (In_channel.input_all ic))

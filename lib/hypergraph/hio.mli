@@ -1,0 +1,11 @@
+(** Plain-text hypergraph I/O.
+
+    Format: header line ["n m"], then [m] lines each ["s v1 ... vs"] where
+    [s] is the edge size. Comment lines start with ['#']. *)
+
+val to_text : Hypergraph.t -> string
+val of_text : string -> Hypergraph.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val write_file : string -> Hypergraph.t -> unit
+val read_file : string -> Hypergraph.t

@@ -1,0 +1,109 @@
+type t = {
+  n : int;
+  edges : int array array;        (* each sorted, distinct, non-empty *)
+  incidence : int list array;     (* vertex -> edge indices, increasing *)
+}
+
+let build n edges =
+  let incidence = Array.make (max n 1) [] in
+  Array.iteri
+    (fun i e ->
+      Array.iter (fun v -> incidence.(v) <- i :: incidence.(v)) e)
+    edges;
+  let incidence = Array.map List.rev incidence in
+  let incidence = if n = 0 then [||] else Array.sub incidence 0 n in
+  { n; edges; incidence }
+
+let normalize_edge n e =
+  let e = List.sort_uniq compare e in
+  if e = [] then invalid_arg "Hypergraph: empty edge";
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Hypergraph: vertex out of range")
+    e;
+  Array.of_list e
+
+let of_edges n edges =
+  if n < 0 then invalid_arg "Hypergraph.of_edges: negative vertex count";
+  build n (Array.of_list (List.map (normalize_edge n) edges))
+
+let of_edge_arrays n edges =
+  of_edges n (Array.to_list (Array.map Array.to_list edges))
+
+let n_vertices h = h.n
+let n_edges h = Array.length h.edges
+
+let check_edge h i =
+  if i < 0 || i >= n_edges h then invalid_arg "Hypergraph: edge index"
+
+let edge h i =
+  check_edge h i;
+  Array.copy h.edges.(i)
+
+let edge_size h i =
+  check_edge h i;
+  Array.length h.edges.(i)
+
+let edge_mem h i v =
+  check_edge h i;
+  let e = h.edges.(i) in
+  let lo = ref 0 and hi = ref (Array.length e - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if e.(mid) = v then found := true
+    else if e.(mid) < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let iter_edge h i f =
+  check_edge h i;
+  Array.iter f h.edges.(i)
+
+let fold_edge h i f init =
+  check_edge h i;
+  Array.fold_left f init h.edges.(i)
+
+let rank h = Array.fold_left (fun acc e -> max acc (Array.length e)) 0 h.edges
+
+let min_edge_size h =
+  if n_edges h = 0 then 0
+  else Array.fold_left (fun acc e -> min acc (Array.length e)) max_int h.edges
+
+let vertex_degree h v =
+  if v < 0 || v >= h.n then invalid_arg "Hypergraph.vertex_degree";
+  List.length h.incidence.(v)
+
+let incident_edges h v =
+  if v < 0 || v >= h.n then invalid_arg "Hypergraph.incident_edges";
+  h.incidence.(v)
+
+let edges_list h = Array.to_list (Array.map Array.to_list h.edges)
+
+let almost_uniform_witness h eps =
+  if eps < 0.0 then invalid_arg "Hypergraph.almost_uniform_witness";
+  if n_edges h = 0 then None
+  else begin
+    let k = min_edge_size h in
+    let bound = float_of_int k *. (1.0 +. eps) in
+    if rank h <= int_of_float (Float.floor bound) then Some k else None
+  end
+
+let is_almost_uniform h eps = almost_uniform_witness h eps <> None
+
+let restrict_edges h keep =
+  let keep = List.sort_uniq compare keep in
+  List.iter (check_edge h) keep;
+  let back = Array.of_list keep in
+  let edges = Array.map (fun i -> Array.copy h.edges.(i)) back in
+  (build h.n edges, back)
+
+let equal a b =
+  a.n = b.n
+  && n_edges a = n_edges b
+  && Array.for_all2 (fun x y -> x = y) a.edges b.edges
+
+let pp ppf h =
+  Format.fprintf ppf "hypergraph(n=%d, m=%d, |e|=[%d..%d])" h.n (n_edges h)
+    (min_edge_size h) (rank h)

@@ -1,0 +1,73 @@
+(** Hypergraphs [H = (V, E)] with integer vertices [0 .. n-1].
+
+    This is the input structure of the conflict-free multicoloring problem
+    (Theorem 1.2 of the paper) and hence of the completeness reduction.
+    Hyperedges are non-empty sets of vertices, stored sorted; edges keep a
+    stable index [0 .. m-1] which the conflict-graph construction uses as
+    the [e] component of its triple vertices.
+
+    The paper's hardness instances are {e almost uniform}: for a constant
+    [ε] there is a [k] with [k <= |e| <= (1+ε)k] for every edge — see
+    {!almost_uniform_witness}. *)
+
+type t
+
+(** {1 Construction} *)
+
+val of_edges : int -> int list list -> t
+(** [of_edges n edges]: each edge is a non-empty list of vertices in
+    [0..n-1]; duplicate vertices within an edge collapse. Duplicate edges
+    are kept (they are distinct constraints with distinct indices), as in
+    the paper where [E] is a multiset of polynomially many edges. *)
+
+val of_edge_arrays : int -> int array array -> t
+
+(** {1 Size and access} *)
+
+val n_vertices : t -> int
+val n_edges : t -> int
+
+val edge : t -> int -> int array
+(** Sorted members of edge [i] (fresh array). *)
+
+val edge_size : t -> int -> int
+val edge_mem : t -> int -> int -> bool
+(** [edge_mem h i v]: does edge [i] contain vertex [v]? O(log |e|). *)
+
+val iter_edge : t -> int -> (int -> unit) -> unit
+val fold_edge : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+
+val rank : t -> int
+(** Maximum edge size; 0 when edgeless. *)
+
+val min_edge_size : t -> int
+(** Minimum edge size; 0 when edgeless. *)
+
+val vertex_degree : t -> int -> int
+(** Number of edges containing the vertex. *)
+
+val incident_edges : t -> int -> int list
+(** Indices of edges containing the vertex, increasing. *)
+
+val edges_list : t -> int list list
+(** All edges as sorted lists, in index order. *)
+
+(** {1 Structure} *)
+
+val almost_uniform_witness : t -> float -> int option
+(** [almost_uniform_witness h eps] is [Some k] when every edge size lies in
+    [k, (1+eps)k] for [k] = the minimum edge size, [None] otherwise (or
+    when [h] has no edges). *)
+
+val is_almost_uniform : t -> float -> bool
+
+val restrict_edges : t -> int list -> t * int array
+(** [restrict_edges h keep] is the hypergraph with only the edges whose
+    indices are listed (same vertex set), plus the map from new edge index
+    to old.  Used by the reduction when happy edges are removed between
+    phases. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Summary: n, m, size range. *)

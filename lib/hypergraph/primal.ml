@@ -1,0 +1,47 @@
+module G = Ps_graph.Graph
+
+let primal h =
+  let acc = ref [] in
+  for i = 0 to Hypergraph.n_edges h - 1 do
+    let e = Hypergraph.edge h i in
+    let len = Array.length e in
+    for a = 0 to len - 1 do
+      for b = a + 1 to len - 1 do
+        acc := (e.(a), e.(b)) :: !acc
+      done
+    done
+  done;
+  G.of_edges (Hypergraph.n_vertices h) !acc
+
+let incidence h =
+  let n = Hypergraph.n_vertices h in
+  let acc = ref [] in
+  for i = 0 to Hypergraph.n_edges h - 1 do
+    Hypergraph.iter_edge h i (fun v -> acc := (v, n + i) :: !acc)
+  done;
+  G.of_edges (n + Hypergraph.n_edges h) !acc
+
+let dual h =
+  let edges = ref [] in
+  for v = Hypergraph.n_vertices h - 1 downto 0 do
+    match Hypergraph.incident_edges h v with
+    | [] -> ()
+    | incident -> edges := incident :: !edges
+  done;
+  Hypergraph.of_edges (max (Hypergraph.n_edges h) 1) !edges
+
+let line_graph h =
+  let m = Hypergraph.n_edges h in
+  let acc = ref [] in
+  (* Two edges are adjacent iff they share a vertex; collect pairs through
+     each vertex's incidence list to avoid the m^2 subset test. *)
+  for v = 0 to Hypergraph.n_vertices h - 1 do
+    let incident = Array.of_list (Hypergraph.incident_edges h v) in
+    let len = Array.length incident in
+    for a = 0 to len - 1 do
+      for b = a + 1 to len - 1 do
+        acc := (incident.(a), incident.(b)) :: !acc
+      done
+    done
+  done;
+  G.of_edges m !acc

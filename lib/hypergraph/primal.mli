@@ -1,0 +1,23 @@
+(** Derived graphs of a hypergraph.
+
+    The conflict graph [G_k] of the paper is simulated in the LOCAL model
+    on top of the hypergraph's communication structure; the {!primal}
+    graph (vertices adjacent when they share an edge) is exactly that
+    structure, and the {!incidence} graph is the standard bipartite
+    encoding used when hyperedges need to act as communication relays. *)
+
+val primal : Hypergraph.t -> Ps_graph.Graph.t
+(** Vertices of [H]; [u ~ v] iff some hyperedge contains both. *)
+
+val incidence : Hypergraph.t -> Ps_graph.Graph.t
+(** Bipartite graph on [n + m] vertices: hypergraph vertex [v] is graph
+    vertex [v]; hyperedge [i] is graph vertex [n + i]; adjacency is
+    membership. *)
+
+val dual : Hypergraph.t -> Hypergraph.t
+(** Dual hypergraph: one vertex per edge of [H], one edge per vertex [v]
+    of [H] with [deg v >= 1], containing the indices of edges through
+    [v]. Isolated vertices of [H] contribute nothing. *)
+
+val line_graph : Hypergraph.t -> Ps_graph.Graph.t
+(** One vertex per hyperedge; adjacent iff the hyperedges intersect. *)

@@ -1,0 +1,90 @@
+module B = Ps_util.Bitset
+
+let coverable h =
+  let target = B.create (Hypergraph.n_vertices h) in
+  for v = 0 to Hypergraph.n_vertices h - 1 do
+    if Hypergraph.vertex_degree h v > 0 then B.add target v
+  done;
+  target
+
+let covered_by h chosen =
+  let set = B.create (Hypergraph.n_vertices h) in
+  List.iter (fun e -> Hypergraph.iter_edge h e (B.add set)) chosen;
+  set
+
+let is_cover h chosen =
+  B.subset (coverable h) (covered_by h chosen)
+
+let verify_exn h chosen =
+  let missing = coverable h in
+  B.diff_into missing (covered_by h chosen);
+  match B.choose_opt missing with
+  | None -> ()
+  | Some v ->
+      invalid_arg
+        (Printf.sprintf "Set_cover.verify_exn: vertex %d uncovered" v)
+
+let greedy h =
+  let target = coverable h in
+  let covered = B.create (Hypergraph.n_vertices h) in
+  let chosen = ref [] in
+  let gain e =
+    Hypergraph.fold_edge h e
+      (fun acc v -> if B.mem covered v then acc else acc + 1)
+      0
+  in
+  let remaining () =
+    let rest = B.copy target in
+    B.diff_into rest covered;
+    B.cardinal rest
+  in
+  while remaining () > 0 do
+    let best = ref (-1) and best_gain = ref 0 in
+    for e = 0 to Hypergraph.n_edges h - 1 do
+      let g = gain e in
+      if g > !best_gain then begin
+        best := e;
+        best_gain := g
+      end
+    done;
+    (* gain >= 1 exists while a positive-degree vertex is uncovered *)
+    chosen := !best :: !chosen;
+    Hypergraph.iter_edge h !best (B.add covered)
+  done;
+  List.rev !chosen
+
+exception Budget_exhausted
+
+let minimum_within ~budget h =
+  if budget < 1 then invalid_arg "Set_cover.minimum_within";
+  let target = coverable h in
+  let m = Hypergraph.n_edges h in
+  let best = ref None and best_size = ref (m + 1) in
+  let nodes = ref 0 in
+  let rec branch chosen n_chosen covered =
+    incr nodes;
+    if !nodes > budget then raise Budget_exhausted;
+    if n_chosen >= !best_size then ()
+    else begin
+      let missing = B.copy target in
+      B.diff_into missing covered;
+      match B.choose_opt missing with
+      | None ->
+          best := Some chosen;
+          best_size := n_chosen
+      | Some v ->
+          (* Any cover includes an edge through v. *)
+          List.iter
+            (fun e ->
+              let covered' = B.copy covered in
+              Hypergraph.iter_edge h e (B.add covered');
+              branch (e :: chosen) (n_chosen + 1) covered')
+            (Hypergraph.incident_edges h v)
+    end
+  in
+  match branch [] 0 (B.create (Hypergraph.n_vertices h)) with
+  | () -> Option.map (List.sort compare) !best
+  | exception Budget_exhausted -> None
+
+let cover_number_within ~budget h =
+  Option.map List.length (minimum_within ~budget h)

@@ -1,0 +1,28 @@
+(** Set cover over a hypergraph.
+
+    The paper's list of P-SLOCAL-complete problems includes
+    "approximations of dominating set and distributed set cover" [GHK18];
+    this module carries set cover as a companion problem.  The universe
+    is the hypergraph's vertex set; the sets are its hyperedges; a cover
+    is a family of edge indices whose union is every vertex of positive
+    degree (isolated vertices are uncoverable and excluded by
+    definition). *)
+
+val coverable : Hypergraph.t -> Ps_util.Bitset.t
+(** The vertices of positive degree — what a cover must reach. *)
+
+val is_cover : Hypergraph.t -> int list -> bool
+(** Do the given edge indices cover every coverable vertex? *)
+
+val verify_exn : Hypergraph.t -> int list -> unit
+
+val greedy : Hypergraph.t -> int list
+(** The textbook ln(n)+1 approximation: repeatedly pick the edge covering
+    the most uncovered vertices (ties to the smaller index); returns
+    chosen indices in selection order. *)
+
+val minimum_within : budget:int -> Hypergraph.t -> int list option
+(** Exact minimum cover by branching over the edges through an uncovered
+    vertex; [None] if [budget] search nodes are exhausted. *)
+
+val cover_number_within : budget:int -> Hypergraph.t -> int option

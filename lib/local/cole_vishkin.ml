@@ -1,0 +1,76 @@
+type trace = {
+  colors : int array;
+  cv_iterations : int;
+  rounds : int;
+}
+
+let is_proper_cycle colors =
+  let n = Array.length colors in
+  n >= 3
+  &&
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if colors.(i) = colors.((i + 1) mod n) then ok := false
+  done;
+  !ok
+
+let log_star x =
+  let rec go acc x =
+    if x <= 2 then acc
+    else go (acc + 1) (int_of_float (Float.log2 (float_of_int x)))
+  in
+  go 0 x
+
+(* One Cole-Vishkin step: my new color encodes the lowest bit position i
+   where my color differs from my successor's, and my bit there. *)
+let cv_step colors =
+  let n = Array.length colors in
+  Array.init n (fun v ->
+      let mine = colors.(v) and succ = colors.((v + 1) mod n) in
+      let diff = mine lxor succ in
+      (* diff <> 0 because the coloring is proper along the cycle *)
+      let i =
+        let rec lowest i d = if d land 1 = 1 then i else lowest (i + 1) (d lsr 1) in
+        lowest 0 diff
+      in
+      (2 * i) + ((mine lsr i) land 1))
+
+(* Shift colors against the orientation, then recolor class [c] greedily
+   into {0,1,2}.  Shifting preserves properness; after it the class-[c]
+   nodes are independent, so they can all recolor simultaneously. *)
+let eliminate_color colors c =
+  let n = Array.length colors in
+  let shifted = Array.init n (fun v -> colors.((v + 1) mod n)) in
+  Array.init n (fun v ->
+      if shifted.(v) <> c then shifted.(v)
+      else begin
+        let left = shifted.((v + n - 1) mod n)
+        and right = shifted.((v + 1) mod n) in
+        let rec free x = if x = left || x = right then free (x + 1) else x in
+        free 0
+      end)
+
+let three_color ~ids =
+  let n = Array.length ids in
+  if n < 3 then invalid_arg "Cole_vishkin.three_color: need n >= 3";
+  let seen = Hashtbl.create n in
+  Array.iter
+    (fun id ->
+      if id < 0 || Hashtbl.mem seen id then
+        invalid_arg "Cole_vishkin.three_color: ids must be distinct and >= 0";
+      Hashtbl.add seen id ())
+    ids;
+  let colors = ref (Array.copy ids) in
+  let iterations = ref 0 in
+  while Array.exists (fun c -> c >= 6) !colors do
+    colors := cv_step !colors;
+    incr iterations
+  done;
+  List.iter (fun c -> colors := eliminate_color !colors c) [ 5; 4; 3 ];
+  let result =
+    { colors = !colors; cv_iterations = !iterations;
+      rounds = !iterations + 3 }
+  in
+  assert (is_proper_cycle result.colors);
+  assert (Array.for_all (fun c -> c >= 0 && c < 3) result.colors);
+  result

@@ -1,0 +1,33 @@
+(** Cole–Vishkin 3-coloring of oriented cycles in O(log* n) iterations —
+    the celebrated deterministic symmetry-breaking speed limit.
+
+    On a cycle whose nodes know their successor, colors (initially the
+    unique identifiers) shrink doubly-exponentially: one iteration maps
+    colors over [L] bits to colors in [{0 .. 2L-1}] by encoding the
+    lowest bit position where a node's color differs from its
+    successor's, plus that bit's value.  After O(log* n) iterations six
+    colors remain; three shift-and-recolor steps finish at three.
+    Linial's lower bound says Ω(log* n) is necessary, so this algorithm
+    is tight — the benchmark of what deterministic LOCAL {e can} do,
+    against which the open problems the paper studies are measured.
+
+    The cycle is given by successor order: node [i]'s successor is
+    [(i+1) mod n].  Identifiers must be distinct and nonnegative. *)
+
+type trace = {
+  colors : int array;      (** final proper coloring with colors in {0,1,2} *)
+  cv_iterations : int;     (** bit-encoding iterations until < 6 colors *)
+  rounds : int;            (** total LOCAL rounds: cv_iterations + 3
+                               shift-and-recolor steps *)
+}
+
+val three_color : ids:int array -> trace
+(** Requires [n >= 3] and distinct nonnegative ids.  The result always
+    satisfies [colors.(i) <> colors.((i+1) mod n)]. *)
+
+val is_proper_cycle : int array -> bool
+(** Successor-adjacent entries differ (and length ≥ 3). *)
+
+val log_star : int -> int
+(** Iterated logarithm (base 2): the number of times [log2] must be
+    applied to reach ≤ 2.  [log_star 65536 = 4]. *)

@@ -1,0 +1,72 @@
+module G = Ps_graph.Graph
+module IntSet = Set.Make (Int)
+
+module Algo = struct
+  type state =
+    | Competing of IntSet.t (* colors taken by decided neighbors *)
+    | Announced of int      (* my color, broadcast this round; halt next *)
+
+  type message =
+    | Undecided of int (* my id *)
+    | Fixed of int     (* my final color, announced once *)
+
+  type output = int
+
+  let name = "local-maxima-coloring"
+
+  let init (ctx : Network.node_ctx) =
+    Network.Continue (Competing IntSet.empty, Undecided ctx.id)
+
+  let smallest_free taken =
+    let rec go c = if IntSet.mem c taken then go (c + 1) else c in
+    go 0
+
+  let step (ctx : Network.node_ctx) state inbox =
+    match state with
+    | Announced color -> Network.Halt color
+    | Competing taken ->
+        let taken =
+          Array.fold_left
+            (fun acc msg ->
+              match msg with
+              | Some (Fixed c) -> IntSet.add c acc
+              | Some (Undecided _) | None -> acc)
+            taken inbox
+        in
+        let beaten =
+          Array.exists
+            (function Some (Undecided id) -> id > ctx.id | _ -> false)
+            inbox
+        in
+        if beaten then Network.Continue (Competing taken, Undecided ctx.id)
+        else begin
+          (* Local maximum among undecided neighbors: decide and announce;
+             adjacent nodes can never decide in the same round, and later
+             deciders see this Fixed announcement before choosing. *)
+          let color = smallest_free taken in
+          Network.Continue (Announced color, Fixed color)
+        end
+end
+
+module Runner = Network.Run (Algo)
+
+let local_maxima_coloring ?max_rounds ?ids g =
+  Runner.run ?max_rounds ?ids g
+
+let mis_from_coloring g coloring =
+  if not (Ps_graph.Coloring.is_proper g coloring) then
+    invalid_arg "Color_reduction.mis_from_coloring: coloring not proper";
+  let classes = Ps_graph.Coloring.color_classes coloring in
+  let n = G.n_vertices g in
+  let in_mis = Array.make n false in
+  Array.iter
+    (fun members ->
+      (* One LOCAL round: the whole class decides simultaneously — legal
+         because a color class is independent, so decisions cannot race. *)
+      List.iter
+        (fun v ->
+          if not (G.exists_neighbor g v (fun u -> in_mis.(u))) then
+            in_mis.(v) <- true)
+        members)
+    classes;
+  (in_mis, Array.length classes)

@@ -1,0 +1,30 @@
+(** Deterministic LOCAL coloring and the coloring→MIS reduction.
+
+    The paper's opening gap: MIS and (Δ+1)-coloring have O(log n)-round
+    {e randomized} LOCAL algorithms but "exponentially slower
+    deterministic algorithms" [AGLP89].  This module holds the honest
+    deterministic workhorses so experiments can chart the gap:
+
+    {ul
+    {- {!local_maxima_coloring} — the identifier-peeling algorithm: each
+       round, every undecided node whose id beats all undecided neighbors
+       picks the smallest color free among decided neighbors.  Always
+       proper with ≤ Δ+1 colors; round complexity is the "greedy
+       dependency depth" of the id order — up to n on adversarial ids
+       (e.g. a path with increasing ids), O(log n) in expectation on
+       random ids for bounded-degree graphs;}
+    {- {!mis_from_coloring} — the classic reduction: given a proper
+       c-coloring, sweep color classes; class i joins simultaneously in
+       round i when unblocked.  A deterministic MIS in exactly c rounds,
+       which is why coloring and MIS are complexity-theoretic twins.}} *)
+
+val local_maxima_coloring :
+  ?max_rounds:int -> ?ids:int array -> Ps_graph.Graph.t ->
+  int array * Network.stats
+(** Deterministic (Δ+1)-coloring; [ids] defaults to vertex indices. *)
+
+val mis_from_coloring :
+  Ps_graph.Graph.t -> int array -> bool array * int
+(** [mis_from_coloring g coloring] returns a maximal independent set and
+    the number of (simulated) LOCAL rounds = number of color classes
+    swept.  Raises [Invalid_argument] if the coloring is not proper. *)

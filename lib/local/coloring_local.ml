@@ -1,0 +1,72 @@
+module Rng = Ps_util.Rng
+module IntSet = Set.Make (Int)
+
+module Algo = struct
+  type phase =
+    | Proposing of int        (* the color just proposed *)
+    | Resolving of int option (* [Some c] if the proposal for [c] survived *)
+
+  type state = { taken : IntSet.t; phase : phase }
+
+  type message =
+    | Propose of int * int (* color, sender id *)
+    | Fix of int           (* final color announcement *)
+    | Pass
+
+  type output = int
+
+  let name = "trial-coloring"
+
+  let propose (ctx : Network.node_ctx) taken =
+    (* Palette {0..deg} always has a free color: at most deg are taken. *)
+    let free =
+      List.filter
+        (fun c -> not (IntSet.mem c taken))
+        (List.init (ctx.degree + 1) (fun c -> c))
+    in
+    let color = List.nth free (Rng.int ctx.rng (List.length free)) in
+    Network.Continue
+      ({ taken; phase = Proposing color }, Propose (color, ctx.id))
+
+  let init ctx = propose ctx IntSet.empty
+
+  let step (ctx : Network.node_ctx) state inbox =
+    match state.phase with
+    | Proposing my_color ->
+        let survives =
+          Array.for_all
+            (function
+              | Some (Propose (c, id)) -> c <> my_color || ctx.id < id
+              | None -> true
+              | Some (Fix _ | Pass) ->
+                  (* Phases run in lockstep: announcements cannot arrive in
+                     a proposal round. *)
+                  assert false)
+            inbox
+        in
+        let verdict = if survives then Some my_color else None in
+        Network.Continue
+          ( { state with phase = Resolving verdict },
+            match verdict with Some c -> Fix c | None -> Pass )
+    | Resolving (Some color) ->
+        (* The Fix announcement was delivered this round; done. *)
+        ignore inbox;
+        Network.Halt color
+    | Resolving None ->
+        let taken =
+          Array.fold_left
+            (fun acc msg ->
+              match msg with
+              | Some (Fix c) -> IntSet.add c acc
+              | Some Pass | None -> acc
+              | Some (Propose _) -> assert false)
+            state.taken inbox
+        in
+        propose ctx taken
+end
+
+module Runner = Network.Run (Algo)
+
+let run ?max_rounds ?seed g = Runner.run ?max_rounds ?seed g
+
+let trials (stats : Network.stats) = stats.rounds / 2

@@ -1,0 +1,20 @@
+(** Randomized distributed (Δ+1)-vertex-coloring in the LOCAL simulator.
+
+    The classic trial-based scheme: every uncolored node proposes a
+    uniformly random color from its own palette [{0..deg(v)}] minus the
+    colors already fixed in its neighborhood, and keeps the proposal if no
+    undecided neighbor proposed the same color (identifier tie-break).
+    Each trial costs two rounds and succeeds with constant probability, so
+    the algorithm terminates in O(log n) rounds with high probability —
+    the companion of Luby's MIS among the problems the paper discusses. *)
+
+val run :
+  ?max_rounds:int ->
+  ?seed:int ->
+  Ps_graph.Graph.t ->
+  int array * Network.stats
+(** [run g] returns a proper coloring (indexed by vertex) with colors in
+    [0 .. Δ], plus the round statistics. *)
+
+val trials : Network.stats -> int
+(** Trials = rounds / 2. *)

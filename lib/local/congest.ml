@@ -1,0 +1,229 @@
+module G = Ps_graph.Graph
+
+module type SIZED_ALGORITHM = sig
+  include Network.ALGORITHM
+
+  val message_bits : message -> int
+end
+
+type congest_stats = {
+  network : Network.stats;
+  max_message_bits : int;
+  total_bits : int;
+}
+
+let ceil_log2 n =
+  let rec go acc p = if p >= n then acc else go (acc + 1) (2 * p) in
+  if n <= 1 then 1 else go 0 1
+
+let bandwidth_ok ~n stats = stats.max_message_bits <= 8 * ceil_log2 (max 2 n)
+
+module Run (A : SIZED_ALGORITHM) = struct
+  module R = Network.Run (A)
+
+  let run ?max_rounds ?ids ?seed g =
+    let max_bits = ref 0 and total = ref 0 in
+    let on_deliver msg =
+      let bits = A.message_bits msg in
+      max_bits := max !max_bits bits;
+      total := !total + bits
+    in
+    let outputs, network = R.run ?max_rounds ?ids ?seed ~on_deliver g in
+    (outputs, { network; max_message_bits = !max_bits; total_bits = !total })
+end
+
+(* ------------------------------------------------------------------ *)
+(* BFS wave *)
+
+type bfs_result = {
+  parent : int array;
+  distance : int array;
+}
+
+module Bfs (P : sig
+  val root_id : int
+end) =
+struct
+  type state =
+    | Announcing of int * int (* distance, parent id: token sent, halt next *)
+    | Waiting of int          (* rounds waited so far *)
+
+  type message =
+    | Token of int (* sender id *)
+    | Idle
+
+  type output = int * int (* distance, parent id (-1 for root/unreached) *)
+
+  let name = "congest-bfs"
+
+  let message_bits = function
+    | Token id -> 1 + ceil_log2 (max 2 (id + 1))
+    | Idle -> 1
+
+  let init (ctx : Network.node_ctx) =
+    if ctx.id = P.root_id then
+      Network.Continue (Announcing (0, -1), Token ctx.id)
+    else Network.Continue (Waiting 0, Idle)
+
+  let step (ctx : Network.node_ctx) state inbox =
+    match state with
+    | Announcing (distance, parent) -> Network.Halt (distance, parent)
+    | Waiting rounds ->
+        let parent = ref (-1) in
+        Array.iter
+          (fun msg ->
+            match msg with
+            | Some (Token sender) ->
+                if !parent = -1 || sender < !parent then parent := sender
+            | Some Idle | None -> ())
+          inbox;
+        if !parent >= 0 then
+          (* first contact: the wave reaches distance r in round r *)
+          Network.Continue (Announcing (rounds + 1, !parent), Token ctx.id)
+        else if rounds + 1 >= ctx.n_nodes then
+          (* unreachable from the root *)
+          Network.Halt (-1, -1)
+        else Network.Continue (Waiting (rounds + 1), Idle)
+end
+
+let bfs_tree ?max_rounds ~root g =
+  if root < 0 || root >= G.n_vertices g then
+    invalid_arg "Congest.bfs_tree: root out of range";
+  let module B = Bfs (struct
+    let root_id = root
+  end) in
+  let module R = Run (B) in
+  let outputs, stats = R.run ?max_rounds g in
+  let parent = Array.map snd outputs and distance = Array.map fst outputs in
+  ({ parent; distance }, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Tree aggregation: BFS wave, convergecast of sums, broadcast of the
+   total.  Fixed n-round schedule per sweep, so no termination detection
+   is needed: a node at BFS distance d sends its subtree sum in round
+   2n - d (children, one level deeper, sent a round earlier), and the
+   root's total flows back down by distance. *)
+
+module Aggregate (P : sig
+  val root_id : int
+  val value : int -> int
+end) =
+struct
+  type state = {
+    round : int;
+    distance : int;        (* -1 until reached *)
+    parent : int;          (* -1 for root / unreached *)
+    subtree : int;         (* my value + received children sums *)
+    total : int;           (* final answer once known, else -1 *)
+  }
+
+  type message =
+    | Token of int           (* BFS wave: sender id *)
+    | Up of int * int        (* convergecast: parent id, subtree sum *)
+    | Down of int            (* broadcast: the total *)
+    | Quiet
+
+  type output = int
+
+  let name = "congest-aggregate"
+
+  let message_bits = function
+    | Token id -> 1 + ceil_log2 (max 2 (id + 1))
+    | Up (id, sum) ->
+        2 + ceil_log2 (max 2 (id + 1)) + ceil_log2 (max 2 (abs sum + 1))
+    | Down total -> 1 + ceil_log2 (max 2 (abs total + 1))
+    | Quiet -> 1
+
+  let init (ctx : Network.node_ctx) =
+    if ctx.id = P.root_id then
+      Network.Continue
+        ( { round = 0; distance = 0; parent = -1;
+            subtree = P.value ctx.id; total = -1 },
+          Token ctx.id )
+    else
+      Network.Continue
+        ( { round = 0; distance = -1; parent = -1;
+            subtree = P.value ctx.id; total = -1 },
+          Quiet )
+
+  let step (ctx : Network.node_ctx) state inbox =
+    let n = ctx.n_nodes in
+    let state = { state with round = state.round + 1 } in
+    (* absorb incoming information *)
+    let state =
+      Array.fold_left
+        (fun st msg ->
+          match msg with
+          | Some (Token sender) when st.distance < 0 ->
+              { st with distance = st.round; parent = sender }
+          | Some (Up (target, sum)) when target = ctx.id ->
+              { st with subtree = st.subtree + sum }
+          | Some (Down total) when st.total < 0 -> { st with total }
+          | Some (Token _ | Up _ | Down _ | Quiet) | None -> st)
+        state inbox
+    in
+    (* fixed schedule: BFS wave during rounds 1..n, convergecast at
+       round 2n - distance, broadcast at round 2n + distance + 1 *)
+    let reply =
+      if state.distance >= 0 && state.round = state.distance then
+        (* just discovered (or root at round 0... root sent at init) *)
+        Token ctx.id
+      else if state.distance > 0 && state.round = (2 * n) - state.distance
+      then Up (state.parent, state.subtree)
+      else if state.distance >= 0 && state.total >= 0
+              && state.round = (2 * n) + state.distance + 1
+      then Down state.total
+      else Quiet
+    in
+    (* the root's total is its subtree sum once every Up arrived *)
+    let state =
+      if ctx.id = P.root_id && state.round = 2 * n then
+        { state with total = state.subtree }
+      else state
+    in
+    if state.round >= (3 * n) + 2 then
+      Network.Halt (if state.total >= 0 then state.total else 0)
+    else Network.Continue (state, reply)
+end
+
+let aggregate ?(value = fun _ -> 1) ~root g =
+  if root < 0 || root >= G.n_vertices g then
+    invalid_arg "Congest.aggregate: root out of range";
+  let module A = Aggregate (struct
+    let root_id = root
+    let value = value
+  end) in
+  let module R = Run (A) in
+  R.run ~max_rounds:((4 * G.n_vertices g) + 8) g
+
+(* ------------------------------------------------------------------ *)
+(* Leader election by min-id flooding *)
+
+module Leader = struct
+  type state = int * int (* current minimum, rounds elapsed *)
+  type message = Min of int
+  type output = int
+
+  let name = "congest-leader"
+
+  let message_bits (Min id) = ceil_log2 (max 2 (id + 1))
+
+  let init (ctx : Network.node_ctx) =
+    Network.Continue ((ctx.id, 0), Min ctx.id)
+
+  let step (ctx : Network.node_ctx) (current, rounds) inbox =
+    let current =
+      Array.fold_left
+        (fun acc msg ->
+          match msg with Some (Min m) -> min acc m | None -> acc)
+        current inbox
+    in
+    if rounds + 1 >= ctx.n_nodes then Network.Halt current
+    else Network.Continue ((current, rounds + 1), Min current)
+end
+
+let leader_elect g =
+  if not (Ps_graph.Traverse.is_connected g) then
+    invalid_arg "Congest.leader_elect: graph must be connected";
+  let module R = Run (Leader) in
+  R.run ~max_rounds:(G.n_vertices g + 2) g

@@ -1,0 +1,79 @@
+(** The CONGEST model: LOCAL with O(log n)-bit messages.
+
+    The LOCAL model's unbounded messages are what let a node collect its
+    whole r-ball (see {!Gather}); CONGEST caps every message at
+    [O(log n)] bits, which is the honest cost model for algorithms that
+    only ship identifiers and counters.  This module runs algorithms
+    whose messages carry an explicit bit size and reports the bandwidth
+    actually used, so experiments can separate the algorithms that
+    genuinely fit CONGEST (Luby-style: one id + one value per round;
+    BFS/leader election below) from the LOCAL-only ones (view gathering).
+
+    Two classic CONGEST primitives are included:
+
+    {ul
+    {- {!bfs_tree} — synchronous BFS wave from a root: [ecc(root)]
+       rounds, every message a single identifier;}
+    {- {!leader_elect} — min-identifier flooding, every message a single
+       identifier.  The winner doubles as the root for {!bfs_tree}, the
+       standard bootstrap of distributed computations.}} *)
+
+module type SIZED_ALGORITHM = sig
+  include Network.ALGORITHM
+
+  val message_bits : message -> int
+  (** Size of one message on the wire. *)
+end
+
+type congest_stats = {
+  network : Network.stats;
+  max_message_bits : int;   (** widest message observed *)
+  total_bits : int;         (** Σ bits over all delivered messages *)
+}
+
+val bandwidth_ok : n:int -> congest_stats -> bool
+(** Does the run fit CONGEST, i.e. [max_message_bits <= 8·ceil(log2 n)]?
+    (The constant 8 is the usual "O(log n) means a few words" slack.) *)
+
+module Run (A : SIZED_ALGORITHM) : sig
+  val run :
+    ?max_rounds:int ->
+    ?ids:int array ->
+    ?seed:int ->
+    Ps_graph.Graph.t ->
+    A.output array * congest_stats
+end
+
+(** {1 Built-in CONGEST algorithms} *)
+
+type bfs_result = {
+  parent : int array;   (** parent vertex, [-1] for the root / unreached *)
+  distance : int array; (** hop distance from the root, [-1] unreached *)
+}
+
+val bfs_tree :
+  ?max_rounds:int -> root:int -> Ps_graph.Graph.t ->
+  bfs_result * congest_stats
+(** Synchronous BFS wave.  Rounds = eccentricity of the root + O(1);
+    every message is one identifier. *)
+
+val aggregate :
+  ?value:(int -> int) ->
+  root:int ->
+  Ps_graph.Graph.t ->
+  int array * congest_stats
+(** Global aggregation by BFS-tree convergecast: every node in the
+    root's component learns [Σ value(id)] over that component ([value]
+    defaults to [fun _ -> 1], i.e. counting; each node evaluates it only
+    on its {e own} identifier).  Three fixed-schedule sweeps — wave down,
+    sums up, total down — each padded to [n] rounds so nodes need no
+    termination detection: rounds = Θ(n), messages O(log n + value
+    width) bits.  Nodes outside the root's component output 0. *)
+
+val leader_elect : Ps_graph.Graph.t -> int array * congest_stats
+(** Min-id flooding on a {e connected} graph: every node outputs the
+    minimum identifier (= vertex index by default).  Runs for exactly
+    [n] rounds — the safe bound every node can compute locally without a
+    termination-detection subprotocol (the flood itself stabilizes after
+    [diameter] rounds).  Raises [Invalid_argument] on disconnected input
+    (detected up front; the flooding itself would simply never agree). *)

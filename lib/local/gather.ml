@@ -1,0 +1,112 @@
+module G = Ps_graph.Graph
+
+type view = {
+  center : int;
+  vertices : int list;
+  edges : (int * int) list;
+}
+
+let norm_edge a b = (min a b, max a b)
+
+let default_ids g = Array.init (G.n_vertices g) (fun i -> i)
+
+let direct_views ?ids g r =
+  if r < 0 then invalid_arg "Gather.direct_views: negative radius";
+  let ids = match ids with Some a -> a | None -> default_ids g in
+  Array.init (G.n_vertices g) (fun v ->
+      let ball = Ps_graph.Traverse.ball g v r in
+      let inner =
+        if r = 0 then []
+        else Ps_graph.Traverse.ball g v (r - 1)
+      in
+      let edges =
+        List.concat_map
+          (fun u ->
+            G.fold_neighbors g u
+              (fun acc w ->
+                (* Keep each edge once: from its lower-indexed endpoint,
+                   unless only the higher one is inner. *)
+                if u < w || not (List.mem w inner) then
+                  norm_edge ids.(u) ids.(w) :: acc
+                else acc)
+              [])
+          inner
+      in
+      { center = ids.(v);
+        vertices = List.sort compare (List.map (fun u -> ids.(u)) ball);
+        edges = List.sort_uniq compare edges })
+
+module Flood (R : sig
+  val radius : int
+end) =
+struct
+  type state = {
+    my_id : int;
+    known : (int * int) list;  (* sorted, distinct *)
+    neighbor_ids : int list;
+    rounds_done : int;
+  }
+
+  type message = { sender : int; edges : (int * int) list }
+  type output = view
+
+  let name = Printf.sprintf "flood-%d" R.radius
+
+  let merge known more = List.sort_uniq compare (List.rev_append more known)
+
+  let to_view state =
+    let vertices =
+      List.concat
+        [ [ state.my_id ];
+          state.neighbor_ids;
+          List.concat_map (fun (a, b) -> [ a; b ]) state.known ]
+    in
+    { center = state.my_id;
+      vertices = List.sort_uniq compare vertices;
+      edges = state.known }
+
+  let init (ctx : Network.node_ctx) =
+    if R.radius = 0 then
+      Network.Halt
+        { center = ctx.id; vertices = [ ctx.id ]; edges = [] }
+    else
+      Network.Continue
+        ( { my_id = ctx.id; known = []; neighbor_ids = []; rounds_done = 0 },
+          { sender = ctx.id; edges = [] } )
+
+  let step (_ctx : Network.node_ctx) state inbox =
+    let state =
+      Array.fold_left
+        (fun st msg ->
+          match msg with
+          | None -> st
+          | Some { sender; edges } ->
+              { st with
+                known = merge st.known (norm_edge st.my_id sender :: edges);
+                neighbor_ids = sender :: st.neighbor_ids })
+        state inbox
+    in
+    let state = { state with rounds_done = state.rounds_done + 1 } in
+    if state.rounds_done >= R.radius then Network.Halt (to_view state)
+    else
+      Network.Continue (state, { sender = state.my_id; edges = state.known })
+end
+
+let flood_views ?ids g r =
+  if r < 0 then invalid_arg "Gather.flood_views: negative radius";
+  let module F = Flood (struct
+    let radius = r
+  end) in
+  let module Runner = Network.Run (F) in
+  Runner.run ?ids g
+
+let view_graph view =
+  let back = Array.of_list view.vertices in
+  let pos = Hashtbl.create (Array.length back) in
+  Array.iteri (fun i id -> Hashtbl.add pos id i) back;
+  let edges =
+    List.map
+      (fun (a, b) -> (Hashtbl.find pos a, Hashtbl.find pos b))
+      view.edges
+  in
+  (G.of_edges (Array.length back) edges, back)

@@ -1,0 +1,32 @@
+(** r-hop view gathering.
+
+    An [r]-round LOCAL algorithm is, information-theoretically, a function
+    of each node's {e r-hop view}.  This module materializes views two
+    ways: {!flood_views} runs an actual flooding algorithm in the
+    {!Network} simulator ([r] rounds, as the model prescribes), while
+    {!direct_views} computes the same object host-side in O(ball size) per
+    node.  The test suite checks they agree; simulation code uses the
+    direct form for speed.
+
+    The view of radius [r] at [v] contains the identifiers of every node
+    within distance [r] and every edge incident to a node within distance
+    [r-1] — exactly the information [r] rounds of communication can
+    deliver. *)
+
+type view = {
+  center : int;            (** id of the viewing node *)
+  vertices : int list;     (** ids in the ball, sorted *)
+  edges : (int * int) list;(** known edges as id pairs (lo, hi), sorted *)
+}
+
+val direct_views : ?ids:int array -> Ps_graph.Graph.t -> int -> view array
+(** [direct_views g r]: views indexed by vertex. [ids] defaults to vertex
+    indices. *)
+
+val flood_views :
+  ?ids:int array -> Ps_graph.Graph.t -> int -> view array * Network.stats
+(** Same result computed by message passing; [stats.rounds = r] (plus one
+    halting round) certifies the locality. *)
+
+val view_graph : view -> Ps_graph.Graph.t * int array
+(** Reify a view as a graph on its vertices plus the position→id map. *)

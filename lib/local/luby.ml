@@ -1,0 +1,63 @@
+module Rng = Ps_util.Rng
+
+module Algo = struct
+  type phase =
+    | Drawing of int64   (* my current candidate value, just broadcast *)
+    | Announcing of bool (* whether I claimed local-minimum this iteration *)
+
+  type state = phase
+
+  type message =
+    | Candidate of int64 * int  (* value, sender id: total order for ties *)
+    | Joined
+    | Waiting
+
+  type output = bool
+
+  let name = "luby-mis"
+
+  let draw (ctx : Network.node_ctx) =
+    let v = Rng.bits64 ctx.rng in
+    Network.Continue (Drawing v, Candidate (v, ctx.id))
+
+  let init ctx = draw ctx
+
+  let beats (v1, id1) (v2, id2) = v1 < v2 || (v1 = v2 && id1 < id2)
+
+  let step (ctx : Network.node_ctx) state inbox =
+    match state with
+    | Drawing my_value ->
+        (* Inbox holds candidates of still-undecided neighbors. *)
+        let is_min =
+          Array.for_all
+            (function
+              | Some (Candidate (v, id)) ->
+                  beats (my_value, ctx.id) (v, id)
+              | None -> true (* halted neighbor no longer competes *)
+              | Some (Joined | Waiting) ->
+                  (* Phases run in lockstep, so announcements can never
+                     arrive in a drawing round. *)
+                  assert false)
+            inbox
+        in
+        Network.Continue
+          (Announcing is_min, if is_min then Joined else Waiting)
+    | Announcing joined ->
+        if joined then Network.Halt true
+        else begin
+          let neighbor_joined =
+            Array.exists (function Some Joined -> true | _ -> false) inbox
+          in
+          if neighbor_joined then Network.Halt false else draw ctx
+        end
+end
+
+module Runner = Network.Run (Algo)
+module Oracle_runner = Network.Run_oracle (Algo)
+
+let run ?max_rounds ?seed g = Runner.run ?max_rounds ?seed g
+
+let run_oracle ?max_rounds ?seed ~n ~neighbors () =
+  Oracle_runner.run ?max_rounds ?seed ~n ~neighbors ()
+
+let iterations (stats : Network.stats) = stats.rounds / 2

@@ -1,0 +1,33 @@
+(** Luby's randomized maximal independent set algorithm (Luby 1986) in the
+    LOCAL simulator.
+
+    Each iteration costs two communication rounds: undecided nodes draw a
+    random value and broadcast it; local minima (strict, ties broken by
+    identifier) join the MIS and announce; their neighbors drop out.  With
+    high probability the algorithm finishes in O(log n) iterations — the
+    "fast randomized algorithm" whose deterministic counterpart is the
+    open problem motivating the paper. *)
+
+val run :
+  ?max_rounds:int ->
+  ?seed:int ->
+  Ps_graph.Graph.t ->
+  bool array * Network.stats
+(** [run g] returns the indicator vector of a maximal independent set
+    (indexed by vertex) and the round/message statistics.  The result is
+    always independent and maximal; only the round count is random. *)
+
+val iterations : Network.stats -> int
+(** Luby iterations = rounds / 2. *)
+
+val run_oracle :
+  ?max_rounds:int ->
+  ?seed:int ->
+  n:int ->
+  neighbors:(int -> int array) ->
+  unit ->
+  bool array * Network.stats
+(** Luby on an implicit graph (adjacency oracle) — used to run MIS on the
+    conflict graph [G_k] {e as simulated in the LOCAL model} without
+    materializing it.  Identical output to {!run} on the materialized
+    graph for equal seed. *)

@@ -1,0 +1,139 @@
+module Rng = Ps_util.Rng
+
+module Algo = struct
+  type info = {
+    ids : int array;      (* port -> neighbor id *)
+    alive : bool array;   (* port -> still active *)
+  }
+
+  type role =
+    | Proposer of int (* target id *)
+    | Listener
+
+  type state =
+    | Greeting
+    | Chose_role of info * role
+    | Negotiated of info * role * int option (* partner so far *)
+    | Announced of info * int option
+
+  type message =
+    | Hello of int
+    | Propose of int * int (* target id, sender id *)
+    | Listening
+    | Accept of int        (* accepted proposer's id *)
+    | Matched
+    | Pass
+
+  type output = int option
+
+  let name = "proposal-matching"
+
+  let init (ctx : Network.node_ctx) =
+    if ctx.degree = 0 then Network.Halt None
+    else Network.Continue (Greeting, Hello ctx.id)
+
+  let mark_dead info inbox =
+    Array.iteri
+      (fun p msg -> if msg = None then info.alive.(p) <- false)
+      inbox
+
+  let choose_role (ctx : Network.node_ctx) info =
+    (* Any dead port at this point belongs to a retired neighbor. *)
+    let alive_ids =
+      Array.to_list
+        (Array.mapi (fun p id -> if info.alive.(p) then Some id else None)
+           info.ids)
+      |> List.filter_map Fun.id
+    in
+    match alive_ids with
+    | [] -> Network.Halt None
+    | _ :: _ ->
+        if Rng.bool ctx.rng then begin
+          let target = List.nth alive_ids (Rng.int ctx.rng (List.length alive_ids)) in
+          Network.Continue
+            (Chose_role (info, Proposer target), Propose (target, ctx.id))
+        end
+        else Network.Continue (Chose_role (info, Listener), Listening)
+
+  let step (ctx : Network.node_ctx) state inbox =
+    match state with
+    | Greeting ->
+        let ids =
+          Array.map
+            (function
+              | Some (Hello id) -> id
+              | Some _ | None ->
+                  (* round 1 delivers exactly the hellos *)
+                  assert false)
+            inbox
+        in
+        choose_role ctx { ids; alive = Array.make ctx.degree true }
+    | Chose_role (info, role) -> (
+        mark_dead info inbox;
+        match role with
+        | Proposer _ ->
+            Network.Continue (Negotiated (info, role, None), Pass)
+        | Listener ->
+            (* accept the smallest-id proposer aiming at me *)
+            let best = ref None in
+            Array.iter
+              (fun msg ->
+                match msg with
+                | Some (Propose (target, sender)) when target = ctx.id ->
+                    if !best = None || sender < Option.get !best then
+                      best := Some sender
+                | Some (Propose _ | Listening) | None -> ()
+                | Some (Hello _ | Accept _ | Matched | Pass) -> assert false)
+              inbox;
+            let reply =
+              match !best with Some p -> Accept p | None -> Pass
+            in
+            Network.Continue (Negotiated (info, role, !best), reply))
+    | Negotiated (info, role, partner) ->
+        mark_dead info inbox;
+        let partner =
+          match role with
+          | Listener -> partner
+          | Proposer target ->
+              let accepted = ref false in
+              Array.iteri
+                (fun p msg ->
+                  match msg with
+                  | Some (Accept proposer)
+                    when proposer = ctx.id && info.ids.(p) = target ->
+                      accepted := true
+                  | Some (Accept _ | Pass) | None -> ()
+                  | Some (Hello _ | Propose _ | Listening | Matched) ->
+                      assert false)
+                inbox;
+              if !accepted then Some target else None
+        in
+        Network.Continue
+          ( Announced (info, partner),
+            match partner with Some _ -> Matched | None -> Pass )
+    | Announced (info, partner) -> (
+        match partner with
+        | Some p -> Network.Halt (Some p)
+        | None ->
+            (* retire ports whose owner just announced a match *)
+            Array.iteri
+              (fun p msg ->
+                match msg with
+                | Some Matched | None -> info.alive.(p) <- false
+                | Some Pass -> ()
+                | Some (Hello _ | Propose _ | Listening | Accept _) ->
+                    assert false)
+              inbox;
+            choose_role ctx info)
+end
+
+module Runner = Network.Run (Algo)
+
+let run ?max_rounds ?seed g = Runner.run ?max_rounds ?seed g
+
+let to_partner_array outputs =
+  Array.map
+    (function Some p -> p | None -> Ps_graph.Matching.unmatched)
+    outputs
+
+let iterations (stats : Network.stats) = (stats.rounds - 1) / 3

@@ -1,0 +1,24 @@
+(** Randomized maximal matching in the LOCAL simulator.
+
+    The proposal scheme in the spirit of Israeli–Itai: per iteration every
+    still-active node flips a coin; proposers send a proposal to one
+    random active neighbor, listeners accept the smallest-id proposal
+    aimed at them, and accepted pairs retire.  A node retires unmatched
+    when every neighbor has retired, so the result is always a maximal
+    matching.  Each iteration costs three rounds plus one hello round;
+    the iteration count is O(log n) with high probability.
+
+    Output per node: [Some partner_id] or [None] (unmatched). *)
+
+val run :
+  ?max_rounds:int ->
+  ?seed:int ->
+  Ps_graph.Graph.t ->
+  int option array * Network.stats
+
+val to_partner_array : int option array -> int array
+(** Convert to the {!Ps_graph.Matching} representation, assuming ids are
+    vertex indices (the default). *)
+
+val iterations : Network.stats -> int
+(** Matching iterations ≈ (rounds - 1) / 3. *)

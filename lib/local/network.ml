@@ -1,0 +1,127 @@
+module G = Ps_graph.Graph
+module Rng = Ps_util.Rng
+
+type node_ctx = {
+  id : int;
+  degree : int;
+  n_nodes : int;
+  rng : Rng.t;
+}
+
+type ('state, 'message, 'output) step_result =
+  | Continue of 'state * 'message
+  | Halt of 'output
+
+module type ALGORITHM = sig
+  type state
+  type message
+  type output
+
+  val name : string
+  val init : node_ctx -> (state, message, output) step_result
+
+  val step :
+    node_ctx -> state -> message option array ->
+    (state, message, output) step_result
+end
+
+type stats = { rounds : int; messages_sent : int }
+
+exception Round_limit_exceeded of int
+
+module Run_oracle (A : ALGORITHM) = struct
+  type node_status =
+    | Running of A.state * A.message  (* message = current broadcast *)
+    | Halted of A.output
+
+  let run ?(max_rounds = 10_000) ?ids ?(seed = 0)
+      ?(on_deliver = fun (_ : A.message) -> ()) ~n ~neighbors () =
+    let ids =
+      match ids with
+      | None -> Array.init n (fun i -> i)
+      | Some ids ->
+          if Array.length ids <> n then
+            invalid_arg "Network.run: ids length mismatch";
+          let seen = Hashtbl.create n in
+          Array.iter
+            (fun id ->
+              if Hashtbl.mem seen id then
+                invalid_arg "Network.run: duplicate id";
+              Hashtbl.add seen id ())
+            ids;
+          ids
+    in
+    let master = Rng.create seed in
+    (* Materialize each node's port list once so the oracle is consulted
+       a single time per node and port order is stable across rounds. *)
+    let ports = Array.init n neighbors in
+    let ctx =
+      Array.init n (fun v ->
+          { id = ids.(v);
+            degree = Array.length ports.(v);
+            n_nodes = n;
+            rng = Rng.split_at master v })
+    in
+    let status =
+      Array.init n (fun v ->
+          match A.init ctx.(v) with
+          | Continue (s, m) -> Running (s, m)
+          | Halt o -> Halted o)
+    in
+    let messages_sent = ref 0 in
+    let all_halted () =
+      Array.for_all (function Halted _ -> true | Running _ -> false) status
+    in
+    let rounds = ref 0 in
+    while not (all_halted ()) do
+      if !rounds >= max_rounds then raise (Round_limit_exceeded max_rounds);
+      incr rounds;
+      (* Snapshot this round's broadcasts so delivery is synchronous. *)
+      let outgoing =
+        Array.map
+          (function Running (_, m) -> Some m | Halted _ -> None)
+          status
+      in
+      let next =
+        Array.mapi
+          (fun v st ->
+            match st with
+            | Halted _ -> st
+            | Running (state, _) ->
+                let inbox =
+                  Array.map
+                    (fun u ->
+                      let m = outgoing.(u) in
+                      (match m with
+                      | Some msg ->
+                          incr messages_sent;
+                          on_deliver msg
+                      | None -> ());
+                      m)
+                    ports.(v)
+                in
+                (match A.step ctx.(v) state inbox with
+                | Continue (s, m) -> Running (s, m)
+                | Halt o -> Halted o))
+          status
+      in
+      Array.blit next 0 status 0 n
+    done;
+    let outputs =
+      Array.map
+        (function
+          | Halted o -> o
+          | Running _ -> assert false)
+        status
+    in
+    (outputs, { rounds = !rounds; messages_sent = !messages_sent })
+end
+
+module Run (A : ALGORITHM) = struct
+  module O = Run_oracle (A)
+
+  let run ?max_rounds ?ids ?seed ?on_deliver g =
+    O.run ?max_rounds ?ids ?seed ?on_deliver ~n:(G.n_vertices g)
+      ~neighbors:(fun v -> G.neighbors g v)
+      ()
+end

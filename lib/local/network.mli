@@ -1,0 +1,101 @@
+(** Synchronous LOCAL-model simulator.
+
+    The LOCAL model (Linial 1992): the network is a graph [G]; computation
+    proceeds in synchronous rounds; per round each node sends one
+    unbounded-size message to each neighbor, receives its neighbors'
+    messages, and updates its state.  Time complexity is the number of
+    rounds.  Nodes carry unique O(log n)-bit identifiers and know [n].
+
+    This simulator executes such algorithms faithfully:
+    {ul
+    {- one message per neighbor per round — algorithms here broadcast the
+       same value on every port, which is what all the algorithms in this
+       repository (and most in the literature) need; a node that wants
+       port-specific behaviour can embed a routing table in the message
+       since sizes are unbounded;}
+    {- nodes communicate {e only} through messages: an algorithm sees its
+       own {!node_ctx} and its inbox, never the graph;}
+    {- per-node deterministic RNG streams ({!Ps_util.Rng.split_at}) make
+       randomized algorithms reproducible;}
+    {- round and message counts are reported so experiments can chart
+       complexity.}}
+
+    A node halts by returning [Halt]; halted nodes stay silent (their
+    neighbors receive [None] on the corresponding port).  The run ends
+    when every node has halted. *)
+
+type node_ctx = {
+  id : int;        (** unique identifier (not necessarily the vertex index) *)
+  degree : int;    (** number of ports = neighbors *)
+  n_nodes : int;   (** [n], global knowledge as in the standard model *)
+  rng : Ps_util.Rng.t;  (** private randomness stream *)
+}
+
+type ('state, 'message, 'output) step_result =
+  | Continue of 'state * 'message
+      (** keep running; broadcast the message next round *)
+  | Halt of 'output
+
+module type ALGORITHM = sig
+  type state
+  type message
+  type output
+
+  val name : string
+
+  val init : node_ctx -> (state, message, output) step_result
+  (** Round-0 action: either an initial state plus first broadcast, or an
+      immediate halt (0-round algorithms). *)
+
+  val step : node_ctx -> state -> message option array -> (state, message, output) step_result
+  (** One round: the inbox is indexed by port; port [p] is the edge to the
+      [p]-th neighbor in increasing vertex order (the algorithm must not
+      rely on that order — it is only guaranteed stable across rounds).
+      [None] means the neighbor has halted. *)
+end
+
+type stats = {
+  rounds : int;          (** rounds until the last node halted *)
+  messages_sent : int;   (** total messages delivered *)
+}
+
+exception Round_limit_exceeded of int
+
+module Run (A : ALGORITHM) : sig
+  val run :
+    ?max_rounds:int ->
+    ?ids:int array ->
+    ?seed:int ->
+    ?on_deliver:(A.message -> unit) ->
+    Ps_graph.Graph.t ->
+    A.output array * stats
+  (** Execute [A] on every node of the graph.  [ids] assigns identifiers
+      (default: the vertex indices); they must be distinct.  [seed]
+      (default 0) drives all node RNGs.  The output array is indexed by
+      vertex.  Raises {!Round_limit_exceeded} after [max_rounds] (default
+      [10_000]) rounds with unhalted nodes.  [on_deliver] is invoked once
+      per delivered message — the hook {!Congest} uses for bandwidth
+      accounting. *)
+end
+
+module Run_oracle (A : ALGORITHM) : sig
+  val run :
+    ?max_rounds:int ->
+    ?ids:int array ->
+    ?seed:int ->
+    ?on_deliver:(A.message -> unit) ->
+    n:int ->
+    neighbors:(int -> int array) ->
+    unit ->
+    A.output array * stats
+  (** Like {!Run.run} but on an {e implicit} graph given as an adjacency
+      oracle — how one runs a LOCAL algorithm on a virtual graph (e.g. the
+      paper's conflict graph [G_k]) simulated inside a host network.  The
+      oracle is consulted once per node; it must describe a symmetric
+      simple graph, and the caller is responsible for the host-round
+      dilation accounting (each virtual round of [G_k] costs O(1) rounds
+      of its host hypergraph because [G_k]-adjacency spans at most two
+      primal hops).  Given equal [n], adjacency, [ids] and [seed], results
+      are bit-identical with {!Run.run} on the materialized graph — the
+      test suite checks this. *)
+end

@@ -1,0 +1,66 @@
+type solver = {
+  name : string;
+  solve : Ps_util.Rng.t -> Ps_graph.Graph.t -> Independent_set.t;
+}
+
+let greedy_min_degree =
+  { name = "greedy-min-degree"; solve = (fun _rng g -> Greedy.min_degree g) }
+
+let greedy_adversarial =
+  { name = "greedy-max-degree";
+    solve = (fun _rng g -> Greedy.max_degree_adversary g) }
+
+let caro_wei = { name = "caro-wei"; solve = Caro_wei.run_maximal }
+
+let caro_wei_boosted t =
+  { name = Printf.sprintf "caro-wei-x%d" t;
+    solve = (fun rng g -> Caro_wei.best_of rng t g) }
+
+let exact = { name = "exact-bnb"; solve = (fun _rng g -> Exact.maximum g) }
+
+let all_heuristics =
+  [ greedy_min_degree; greedy_adversarial; caro_wei; caro_wei_boosted 8 ]
+
+let degrade ~keep solver =
+  if keep <= 0.0 || keep > 1.0 then invalid_arg "Approx.degrade";
+  { name = Printf.sprintf "%s@%.0f%%" solver.name (100.0 *. keep);
+    solve =
+      (fun rng g ->
+        let full = solver.solve rng g in
+        let members = Independent_set.to_list full in
+        let kept =
+          List.filter (fun _ -> Ps_util.Rng.bernoulli rng keep) members
+        in
+        let kept =
+          match (kept, members) with
+          | [], v :: _ -> [ v ] (* never hand back an empty set *)
+          | kept, _ -> kept
+        in
+        Independent_set.of_list g kept) }
+
+let solve_verified solver rng g =
+  let is = solver.solve rng g in
+  Independent_set.verify_exn g is;
+  is
+
+type measurement = {
+  solver_name : string;
+  is_size : int;
+  alpha_ref : int;
+  alpha_exact : bool;
+  lambda : float;
+}
+
+let measure ?(exact_budget = 200_000) solver rng g =
+  let is = solve_verified solver rng g in
+  let is_size = Independent_set.size is in
+  let alpha_ref, alpha_exact =
+    match Exact.maximum_within ~budget:exact_budget g with
+    | Some opt -> (Independent_set.size opt, true)
+    | None -> (snd (Bounds.sandwich g), false)
+  in
+  let lambda =
+    if is_size = 0 then if alpha_ref = 0 then 1.0 else infinity
+    else float_of_int alpha_ref /. float_of_int is_size
+  in
+  { solver_name = solver.name; is_size; alpha_ref; alpha_exact; lambda }

@@ -1,0 +1,56 @@
+(** The λ-approximation interface the reduction consumes.
+
+    Theorem 1.1's reduction is parametric in "an algorithm computing
+    λ-approximations for MaxIS".  A {!solver} packages a solving function
+    with its name; {!measure} computes the λ a solver actually achieved
+    on an instance against a reference α (exact when affordable, else a
+    certified upper bound — in which case the reported λ is itself an
+    upper bound on the true one). *)
+
+type solver = {
+  name : string;
+  solve : Ps_util.Rng.t -> Ps_graph.Graph.t -> Independent_set.t;
+}
+
+val greedy_min_degree : solver
+val greedy_adversarial : solver
+(** Max-degree anti-greedy — the weak baseline. *)
+
+val caro_wei : solver
+val caro_wei_boosted : int -> solver
+(** Best of [t] Caro–Wei runs. *)
+
+val exact : solver
+(** Branch-and-bound; only for small instances. *)
+
+val all_heuristics : solver list
+(** Every polynomial-time solver above (no {!exact}). *)
+
+val degrade : keep:float -> solver -> solver
+(** [degrade ~keep s] keeps each vertex of [s]'s output independently
+    with probability [keep] (but never returns an empty set when the
+    input set was non-empty).  The result is still independent — a
+    subset of an independent set — just deliberately far from maximum:
+    the knob experiments turn to sweep the reduction's λ and watch the
+    phase count track [ρ = λ·ln m + 1].  Requires [0 < keep <= 1]. *)
+
+val solve_verified :
+  solver -> Ps_util.Rng.t -> Ps_graph.Graph.t -> Independent_set.t
+(** Run the solver and {!Independent_set.verify_exn} its output. *)
+
+type measurement = {
+  solver_name : string;
+  is_size : int;
+  alpha_ref : int;     (** exact α, or a certified upper bound *)
+  alpha_exact : bool;  (** whether [alpha_ref] is exact *)
+  lambda : float;      (** [alpha_ref / is_size]; ≥ true λ when not exact *)
+}
+
+val measure :
+  ?exact_budget:int ->
+  solver ->
+  Ps_util.Rng.t ->
+  Ps_graph.Graph.t ->
+  measurement
+(** [exact_budget] (default 200_000 search nodes) caps the exact solver;
+    beyond it the clique-cover/matching upper bound stands in for α. *)

@@ -1,0 +1,46 @@
+module G = Ps_graph.Graph
+module B = Ps_util.Bitset
+
+let clique_cover_upper g =
+  let n = G.n_vertices g in
+  let adj =
+    Array.init n (fun v ->
+        let mask = B.create n in
+        G.iter_neighbors g v (B.add mask);
+        mask)
+  in
+  let cliques = ref [] in
+  for v = 0 to n - 1 do
+    let rec place = function
+      | [] -> cliques := B.of_list n [ v ] :: !cliques
+      | members :: rest ->
+          if B.subset members adj.(v) then B.add members v else place rest
+    in
+    place !cliques
+  done;
+  List.length !cliques
+
+let greedy_coloring_upper g =
+  let complement = G.complement g in
+  Ps_graph.Coloring.num_colors (Ps_graph.Coloring.greedy complement)
+
+let caro_wei_lower = Caro_wei.expected_size_bound
+
+let trivial_upper g =
+  (* Greedy maximal matching: α <= n - |M| because an independent set
+     contains at most one endpoint of each matching edge. *)
+  let n = G.n_vertices g in
+  let matched = B.create n in
+  let matching = ref 0 in
+  G.iter_edges g (fun u v ->
+      if (not (B.mem matched u)) && not (B.mem matched v) then begin
+        B.add matched u;
+        B.add matched v;
+        incr matching
+      end);
+  n - !matching
+
+let sandwich g =
+  let lower = caro_wei_lower g in
+  let upper = min (clique_cover_upper g) (trivial_upper g) in
+  (lower, upper)

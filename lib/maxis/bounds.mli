@@ -1,0 +1,25 @@
+(** Certified bounds on the independence number α(G).
+
+    Upper bounds let experiments report approximation ratios even where
+    exact α is out of reach; lower bounds certify solver output.  For any
+    graph: [caro_wei_lower <= α <= clique_cover_upper <= n]. *)
+
+val clique_cover_upper : Ps_graph.Graph.t -> int
+(** Size of a greedy clique cover: partition the vertices into cliques
+    (first-fit over increasing index); any independent set meets each
+    clique at most once, so the cover size bounds α from above. *)
+
+val greedy_coloring_upper : Ps_graph.Graph.t -> int
+(** χ(complement)-style bound computed as a greedy coloring of the
+    complement graph — equals a clique cover of [g]; quadratic, for small
+    graphs. *)
+
+val caro_wei_lower : Ps_graph.Graph.t -> float
+(** [Σ_v 1/(deg v + 1)] — some independent set is at least this big. *)
+
+val trivial_upper : Ps_graph.Graph.t -> int
+(** [n] minus a crude matching bound: each matching edge kills one vertex,
+    so [α <= n - maximal_matching_size]. *)
+
+val sandwich : Ps_graph.Graph.t -> float * int
+(** [(lower, upper)] combining the above: best lower and best upper. *)

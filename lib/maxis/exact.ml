@@ -1,0 +1,111 @@
+module G = Ps_graph.Graph
+module B = Ps_util.Bitset
+
+exception Budget_exhausted
+
+type searcher = {
+  adj : B.t array;          (* adjacency masks *)
+  mutable best : int list;  (* best solution found so far *)
+  mutable best_size : int;
+  mutable nodes : int;      (* expanded search nodes *)
+  budget : int;             (* max_int = unlimited *)
+}
+
+let residual_degree s p v =
+  let inter = B.copy s.adj.(v) in
+  B.inter_into inter p;
+  B.cardinal inter
+
+(* Upper bound on α within [p]: size of a greedy clique cover — every
+   clique contributes at most one vertex to any independent set. *)
+let clique_cover_bound s p =
+  let cliques = ref [] in
+  B.iter
+    (fun v ->
+      (* Place v into the first clique it is fully adjacent to. *)
+      let rec place = function
+        | [] -> cliques := B.of_list (B.capacity p) [ v ] :: !cliques
+        | members :: rest ->
+            if B.subset members s.adj.(v) then B.add members v
+            else place rest
+      in
+      place !cliques)
+    p;
+  List.length !cliques
+
+let rec branch s p chosen n_chosen =
+  s.nodes <- s.nodes + 1;
+  if s.nodes > s.budget then raise Budget_exhausted;
+  (* Reduction: vertices of residual degree 0 or 1 can be taken greedily
+     (degree-1: swapping the neighbor for the vertex never loses). *)
+  let p = B.copy p in
+  let chosen = ref chosen and n_chosen = ref n_chosen in
+  let reduced = ref true in
+  while !reduced do
+    reduced := false;
+    let low = ref None in
+    B.iter
+      (fun v -> if !low = None && residual_degree s p v <= 1 then low := Some v)
+      p;
+    match !low with
+    | None -> ()
+    | Some v ->
+        reduced := true;
+        chosen := v :: !chosen;
+        incr n_chosen;
+        B.remove p v;
+        B.diff_into p s.adj.(v)
+  done;
+  let chosen = !chosen and n_chosen = !n_chosen in
+  if n_chosen > s.best_size then begin
+    s.best <- chosen;
+    s.best_size <- n_chosen
+  end;
+  if not (B.is_empty p) then begin
+    if n_chosen + clique_cover_bound s p > s.best_size then begin
+      (* Branch on a maximum-residual-degree vertex. *)
+      let v = ref (-1) and vd = ref (-1) in
+      B.iter
+        (fun u ->
+          let d = residual_degree s p u in
+          if d > !vd then begin
+            v := u;
+            vd := d
+          end)
+        p;
+      let v = !v in
+      (* Include v. *)
+      let p_in = B.copy p in
+      B.remove p_in v;
+      B.diff_into p_in s.adj.(v);
+      branch s p_in (v :: chosen) (n_chosen + 1);
+      (* Exclude v. *)
+      let p_out = B.copy p in
+      B.remove p_out v;
+      branch s p_out chosen n_chosen
+    end
+  end
+
+let search budget g =
+  let n = G.n_vertices g in
+  let adj =
+    Array.init n (fun v ->
+        let mask = B.create n in
+        G.iter_neighbors g v (B.add mask);
+        mask)
+  in
+  let s = { adj; best = []; best_size = 0; nodes = 0; budget } in
+  let p = B.create n in
+  B.fill p;
+  branch s p [] 0;
+  Independent_set.of_list g s.best
+
+let maximum g = search max_int g
+
+let independence_number g = Independent_set.size (maximum g)
+
+let maximum_within ~budget g =
+  if budget < 1 then invalid_arg "Exact.maximum_within";
+  match search budget g with
+  | is -> Some is
+  | exception Budget_exhausted -> None

@@ -1,0 +1,51 @@
+module G = Ps_graph.Graph
+module B = Ps_util.Bitset
+module Pq = Ps_util.Pqueue
+
+(* Shared core: repeatedly pop the extreme-degree vertex, add it to the
+   set, delete its closed neighborhood, updating residual degrees. *)
+let by_degree ~invert g =
+  let n = G.n_vertices g in
+  let queue = Pq.create n in
+  let sign = if invert then -1 else 1 in
+  for v = 0 to n - 1 do
+    Pq.insert queue v (sign * G.degree g v)
+  done;
+  let alive = B.create n in
+  B.fill alive;
+  let chosen = B.create n in
+  while not (Pq.is_empty queue) do
+    let v, _ = Pq.pop_min queue in
+    B.add chosen v;
+    B.remove alive v;
+    (* Delete N(v): each deleted neighbor decrements its own neighbors. *)
+    G.iter_neighbors g v (fun u ->
+        if B.mem alive u then begin
+          B.remove alive u;
+          Pq.remove queue u;
+          G.iter_neighbors g u (fun w ->
+              if B.mem alive w && w <> v then
+                Pq.update queue w (Pq.priority queue w - sign))
+        end)
+  done;
+  chosen
+
+let min_degree g = by_degree ~invert:false g
+
+let max_degree_adversary g = by_degree ~invert:true g
+
+let in_order g order =
+  let n = G.n_vertices g in
+  if Array.length order <> n then
+    invalid_arg "Greedy.in_order: order length mismatch";
+  let blocked = B.create n in
+  let chosen = B.create n in
+  Array.iter
+    (fun v ->
+      if not (B.mem blocked v) then begin
+        B.add chosen v;
+        B.add blocked v;
+        G.iter_neighbors g v (fun u -> B.add blocked u)
+      end)
+    order;
+  chosen

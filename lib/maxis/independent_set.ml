@@ -1,0 +1,58 @@
+module B = Ps_util.Bitset
+module G = Ps_graph.Graph
+
+type t = B.t
+
+let empty g = B.create (G.n_vertices g)
+
+let of_list g vs =
+  let s = empty g in
+  List.iter (B.add s) vs;
+  s
+
+let of_indicator flags =
+  let s = B.create (Array.length flags) in
+  Array.iteri (fun v flag -> if flag then B.add s v) flags;
+  s
+
+let to_list = B.to_list
+
+let size = B.cardinal
+
+let is_independent g s =
+  B.capacity s = G.n_vertices g
+  &&
+  let ok = ref true in
+  B.iter
+    (fun v ->
+      if G.exists_neighbor g v (fun u -> u > v && B.mem s u) then ok := false)
+    s;
+  !ok
+
+let is_maximal g s =
+  is_independent g s
+  &&
+  let ok = ref true in
+  for v = 0 to G.n_vertices g - 1 do
+    if (not (B.mem s v)) && not (G.exists_neighbor g v (B.mem s)) then
+      ok := false
+  done;
+  !ok
+
+let verify_exn g s =
+  if not (is_independent g s) then
+    invalid_arg "Independent_set.verify_exn: set is not independent"
+
+let make_maximal g s =
+  verify_exn g s;
+  let s = B.copy s in
+  for v = 0 to G.n_vertices g - 1 do
+    if (not (B.mem s v)) && not (G.exists_neighbor g v (B.mem s)) then
+      B.add s v
+  done;
+  s
+
+let approximation_ratio ~alpha s =
+  if alpha > 0 && size s = 0 then
+    invalid_arg "Independent_set.approximation_ratio: empty set";
+  if alpha = 0 then 1.0 else float_of_int alpha /. float_of_int (size s)

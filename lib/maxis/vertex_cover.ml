@@ -1,0 +1,43 @@
+module G = Ps_graph.Graph
+module B = Ps_util.Bitset
+
+let is_cover g set =
+  B.capacity set = G.n_vertices g
+  &&
+  let ok = ref true in
+  G.iter_edges g (fun u v -> if not (B.mem set u || B.mem set v) then ok := false);
+  !ok
+
+let verify_exn g set =
+  G.iter_edges g (fun u v ->
+      if not (B.mem set u || B.mem set v) then
+        invalid_arg
+          (Printf.sprintf "Vertex_cover.verify_exn: edge (%d,%d) uncovered" u
+             v))
+
+let complement g set =
+  let out = B.create (G.n_vertices g) in
+  B.fill out;
+  B.diff_into out set;
+  out
+
+let of_independent_set g is =
+  Independent_set.verify_exn g is;
+  complement g is
+
+let to_independent_set g cover =
+  verify_exn g cover;
+  let is = complement g cover in
+  Independent_set.verify_exn g is;
+  is
+
+let of_matching g partner =
+  Ps_graph.Matching.verify_exn g partner;
+  let cover = B.create (G.n_vertices g) in
+  List.iter (B.add cover) (Ps_graph.Matching.matched_vertices partner);
+  cover
+
+let minimum_size_within ~budget g =
+  Option.map
+    (fun opt -> G.n_vertices g - Independent_set.size opt)
+    (Exact.maximum_within ~budget g)

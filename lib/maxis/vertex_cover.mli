@@ -1,0 +1,29 @@
+(** Vertex covers — the complement view of independent sets.
+
+    [C] is a vertex cover iff [V \ C] is an independent set, so minimum
+    vertex cover and maximum independent set are the same problem in
+    disguise ([τ(G) = n − α(G)], Gallai).  The module exists to make that
+    duality executable — and because "both endpoints of a maximal
+    matching" is the classic 2-approximation, tying {!Ps_graph.Matching}
+    into the MaxIS story. *)
+
+val is_cover : Ps_graph.Graph.t -> Ps_util.Bitset.t -> bool
+(** Every edge has an endpoint in the set. *)
+
+val verify_exn : Ps_graph.Graph.t -> Ps_util.Bitset.t -> unit
+
+val of_independent_set :
+  Ps_graph.Graph.t -> Independent_set.t -> Ps_util.Bitset.t
+(** The complement — a cover iff the input is independent (verified). *)
+
+val to_independent_set :
+  Ps_graph.Graph.t -> Ps_util.Bitset.t -> Independent_set.t
+(** The complement — independent iff the input is a cover (verified). *)
+
+val of_matching : Ps_graph.Graph.t -> int array -> Ps_util.Bitset.t
+(** Both endpoints of a maximal matching: a vertex cover of size at most
+    [2·τ(G)] (every matched edge needs a distinct cover vertex).  The
+    matching is verified maximal first. *)
+
+val minimum_size_within : budget:int -> Ps_graph.Graph.t -> int option
+(** [τ(G) = n − α(G)] via the exact MaxIS solver. *)

@@ -1,0 +1,45 @@
+module G = Ps_graph.Graph
+
+type 'a result = {
+  outputs : 'a array;
+  simulated_rounds : int;
+  order : int array;
+  decomposition : Decomposition.t;
+}
+
+let sweep_order (d : Decomposition.t) =
+  let n = Array.length d.cluster_of in
+  let keyed =
+    Array.init n (fun v ->
+        let c = d.cluster_of.(v) in
+        (d.color_of.(c), c, v))
+  in
+  Array.sort compare keyed;
+  Array.map (fun (_, _, v) -> v) keyed
+
+let simulated_rounds (d : Decomposition.t) ~locality =
+  d.n_colors * 2 * ((d.max_radius * max 1 locality) + locality + 1)
+
+module Make (A : Slocal.ALGORITHM) = struct
+  module Runner = Slocal.Run (A)
+
+  let run ?decomposition ?seed g =
+    let decomposition =
+      match decomposition with
+      | Some d -> d
+      | None ->
+          (* Decompose G^r so same-colored clusters are > r apart in G
+             and radius-r views of parallel clusters cannot overlap. *)
+          let base =
+            if A.locality <= 1 then g
+            else Ps_graph.Traverse.power g A.locality
+          in
+          Decomposition.ball_carving base
+    in
+    let order = sweep_order decomposition in
+    let outputs, _ = Runner.run ~order ?seed g in
+    { outputs;
+      simulated_rounds = simulated_rounds decomposition ~locality:A.locality;
+      order;
+      decomposition }
+end

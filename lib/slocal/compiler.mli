@@ -1,0 +1,50 @@
+(** The generic SLOCAL → deterministic-LOCAL compiler (the engine behind
+    GKM17, and the reason P-SLOCAL-completeness has teeth).
+
+    Given {e any} SLOCAL algorithm [A] with locality [r], decompose the
+    power graph [G^r] by ball carving and sweep its cluster colors
+    [0 .. c-1]: all clusters of one color execute "in parallel", each
+    processing its own vertices sequentially.  Same-colored clusters are
+    non-adjacent in [G^r], i.e. at distance ≥ r+1 in [G], so their
+    radius-[r] views never overlap — the parallel execution is
+    order-independent within a color and the sweep realizes a legal
+    SLOCAL processing order.  In the LOCAL model each cluster's sweep is
+    simulated by its leader gathering the cluster (radius ≤ [d·r] in [G])
+    plus an [r]-fringe:
+
+    [rounds = c · 2·(d·r + r + 1)].
+
+    Hence: polylog decompositions + any polylog-locality SLOCAL
+    algorithm = polylog deterministic LOCAL algorithm — which is why a
+    deterministic LOCAL algorithm for any P-SLOCAL-complete problem
+    (e.g. this paper's MaxIS approximation) would derandomize the whole
+    class.  The execution here really runs through the locality-
+    enforcing {!Slocal} simulator with the sweep order, so the output
+    provably equals a legal SLOCAL run.  {!Derandomize} is the
+    hand-written special case for MIS/coloring; this one takes any
+    [Slocal.ALGORITHM]. *)
+
+type 'a result = {
+  outputs : 'a array;
+  simulated_rounds : int;  (** [c · 2·(d·r + r + 1)] *)
+  order : int array;       (** the color-ordered sweep actually used *)
+  decomposition : Decomposition.t;  (** decomposition of [G^r] *)
+}
+
+module Make (A : Slocal.ALGORITHM) : sig
+  val run :
+    ?decomposition:Decomposition.t ->
+    ?seed:int ->
+    Ps_graph.Graph.t ->
+    A.output result
+  (** [decomposition], when supplied, must be a decomposition of
+      [Ps_graph.Traverse.power g A.locality] (for [locality <= 1], of
+      [g] itself); by default it is computed here. *)
+end
+
+val sweep_order : Decomposition.t -> int array
+(** Vertices sorted by (cluster color, cluster id, vertex index) — the
+    order the compiled execution processes them in. *)
+
+val simulated_rounds : Decomposition.t -> locality:int -> int
+(** The round bound charged: [c · 2·(d·r + r + 1)] with [r = locality]. *)

@@ -1,0 +1,44 @@
+(** (d, c)-network decomposition by sequential ball carving.
+
+    A (d, c)-decomposition partitions the vertices into clusters of
+    (strong) radius at most [d], and assigns each cluster one of [c]
+    colors so that adjacent clusters get distinct colors.  Computing a
+    [(poly log n, poly log n)]-decomposition is itself P-SLOCAL-complete
+    (GKM17) and is {e the} canonical tool for derandomizing LOCAL
+    algorithms — the role the paper's MaxIS-approximation result plugs
+    into.
+
+    The construction is the classic carving argument, an SLOCAL algorithm
+    with locality O(log n): repeatedly grow a ball around an unclustered
+    vertex until it stops doubling (at most [log2 n] growth steps), carve
+    the ball as a cluster of the current color, and defer its boundary
+    ring to later colors.  Per color the carved vertices outnumber the
+    deferred ones, so [ceil(log2 n) + 1] colors suffice. *)
+
+type t = {
+  cluster_of : int array;   (** vertex → cluster id, in [0 .. n_clusters-1] *)
+  color_of : int array;     (** cluster id → color *)
+  center_of : int array;    (** cluster id → the vertex the ball grew from *)
+  radius_of : int array;    (** cluster id → carving radius *)
+  n_clusters : int;
+  n_colors : int;
+  max_radius : int;
+}
+
+val ball_carving : ?order:int array -> Ps_graph.Graph.t -> t
+(** [order] fixes which unclustered vertex is carved next (default:
+    smallest index first); any order yields a valid decomposition with the
+    same worst-case guarantees. *)
+
+type check = {
+  is_partition : bool;
+  clusters_connected : bool;  (** each cluster induces a connected graph *)
+  radius_ok : bool;           (** in-cluster distance center→member ≤ radius_of *)
+  colors_legal : bool;        (** adjacent clusters have distinct colors *)
+  radius_bound : bool;        (** max_radius <= ceil(log2 n) *)
+  colors_bound : bool;        (** n_colors <= ceil(log2 n) + 1 *)
+}
+
+val verify : Ps_graph.Graph.t -> t -> check
+val check_all : check -> bool
+val pp_check : Format.formatter -> check -> unit

@@ -1,0 +1,64 @@
+module G = Ps_graph.Graph
+
+type 'a result = {
+  outputs : 'a array;
+  simulated_rounds : int;
+  decomposition : Decomposition.t;
+}
+
+(* Clusters of one color are processed "in parallel"; inside a cluster the
+   decision is an arbitrary sequential computation over the cluster plus
+   its already-decided boundary — all within a radius-(d+1) ball, hence
+   simulable in 2(d+1) LOCAL rounds per color. *)
+let sweep g decomposition ~decide_vertex =
+  let n = G.n_vertices g in
+  let d = decomposition.Decomposition.cluster_of in
+  let members = Array.make decomposition.Decomposition.n_clusters [] in
+  for v = n - 1 downto 0 do
+    members.(d.(v)) <- v :: members.(d.(v))
+  done;
+  for color = 0 to decomposition.Decomposition.n_colors - 1 do
+    for c = 0 to decomposition.Decomposition.n_clusters - 1 do
+      if decomposition.Decomposition.color_of.(c) = color then
+        List.iter decide_vertex members.(c)
+    done
+  done;
+  decomposition.Decomposition.n_colors
+  * (2 * (decomposition.Decomposition.max_radius + 1 + 1))
+
+let get_decomposition ?decomposition g =
+  match decomposition with
+  | Some d -> d
+  | None -> Decomposition.ball_carving g
+
+let mis ?decomposition g =
+  let decomposition = get_decomposition ?decomposition g in
+  let n = G.n_vertices g in
+  let status = Array.make n None in
+  let decide_vertex v =
+    let blocked =
+      G.exists_neighbor g v (fun u -> status.(u) = Some true)
+    in
+    status.(v) <- Some (not blocked)
+  in
+  let simulated_rounds = sweep g decomposition ~decide_vertex in
+  let outputs =
+    Array.map (function Some b -> b | None -> assert false) status
+  in
+  { outputs; simulated_rounds; decomposition }
+
+let coloring ?decomposition g =
+  let decomposition = get_decomposition ?decomposition g in
+  let n = G.n_vertices g in
+  let colors = Array.make n Ps_graph.Coloring.uncolored in
+  let decide_vertex v =
+    let occupied = Array.make (G.degree g v + 1) false in
+    G.iter_neighbors g v (fun u ->
+        let c = colors.(u) in
+        if c <> Ps_graph.Coloring.uncolored && c <= G.degree g v then
+          occupied.(c) <- true);
+    let rec first c = if occupied.(c) then first (c + 1) else c in
+    colors.(v) <- first 0
+  in
+  let simulated_rounds = sweep g decomposition ~decide_vertex in
+  { outputs = colors; simulated_rounds; decomposition }

@@ -1,0 +1,29 @@
+(** Deterministic LOCAL algorithms from a network decomposition.
+
+    The standard derandomization recipe (and the reason P-SLOCAL-complete
+    problems matter): given a (d, c)-network decomposition, any greedy
+    SLOCAL-style problem can be solved deterministically in O(c·d) LOCAL
+    rounds by sweeping the cluster colors in order — same-colored clusters
+    are non-adjacent, so all clusters of one color decide simultaneously,
+    each one gathering its radius-d ball plus the decisions of earlier
+    colors.  If MaxIS approximation (P-SLOCAL-complete, this paper) had an
+    efficient deterministic LOCAL algorithm, decompositions would too, and
+    via this module so would MIS and (Δ+1)-coloring — that chain is the
+    paper's punchline.
+
+    [simulated_rounds] charges each color sweep [2·(d+1)] rounds: gather
+    the cluster ball and the neighboring decisions, decide centrally
+    inside the cluster, report back. *)
+
+type 'a result = {
+  outputs : 'a array;
+  simulated_rounds : int;
+  decomposition : Decomposition.t;
+}
+
+val mis : ?decomposition:Decomposition.t -> Ps_graph.Graph.t -> bool result
+(** Deterministic maximal independent set: sweep colors; inside each
+    cluster run sequential greedy MIS respecting decided neighbors. *)
+
+val coloring : ?decomposition:Decomposition.t -> Ps_graph.Graph.t -> int result
+(** Deterministic (Δ+1)-coloring by the same sweep. *)

@@ -1,0 +1,25 @@
+module Algo = struct
+  type state = int
+  type output = int
+
+  let name = "slocal-greedy-coloring"
+  let locality = 1
+
+  let process (view : int Slocal.node_view) =
+    let degree = Ps_graph.Graph.degree view.graph view.center in
+    let occupied = Array.make (degree + 1) false in
+    Ps_graph.Graph.iter_neighbors view.graph view.center (fun u ->
+        match view.states.(u) with
+        | Some c when c <= degree -> occupied.(c) <- true
+        | Some _ | None -> ());
+    let rec first c = if occupied.(c) then first (c + 1) else c in
+    first 0
+
+  let output s = s
+end
+
+module Runner = Slocal.Run (Algo)
+
+let run ?order ?seed g = Runner.run ?order ?seed g
+
+let run_random_order ~rng g = Runner.run_random_order ~rng g

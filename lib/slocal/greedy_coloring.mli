@@ -1,0 +1,20 @@
+(** Locality-1 SLOCAL (Δ+1)-vertex-coloring.
+
+    Processed nodes pick the smallest color unused by their already-
+    processed neighbors; a node of degree [d] sees at most [d] occupied
+    colors, so colors stay in [0 .. Δ].  Like greedy MIS, this shows both
+    classic symmetry-breaking problems sit at the very bottom of the
+    SLOCAL hierarchy, while their deterministic LOCAL complexity is open. *)
+
+module Algo : Slocal.ALGORITHM with type output = int
+(** The algorithm itself, for the SLOCAL→LOCAL {!Compiler}. *)
+
+val run :
+  ?order:int array ->
+  ?seed:int ->
+  Ps_graph.Graph.t ->
+  int array * Slocal.stats
+(** A proper coloring with colors in [0 .. Δ], for every order. *)
+
+val run_random_order :
+  rng:Ps_util.Rng.t -> Ps_graph.Graph.t -> int array * Slocal.stats

@@ -1,0 +1,23 @@
+module Algo = struct
+  type state = bool
+  type output = bool
+
+  let name = "slocal-greedy-dominating"
+  let locality = 1
+
+  let process (view : bool Slocal.node_view) =
+    let dominated =
+      view.states.(view.center) = Some true
+      || Ps_graph.Graph.exists_neighbor view.graph view.center (fun u ->
+             view.states.(u) = Some true)
+    in
+    not dominated
+
+  let output s = s
+end
+
+module Runner = Slocal.Run (Algo)
+
+let run ?order ?seed g = Runner.run ?order ?seed g
+
+let run_random_order ~rng g = Runner.run_random_order ~rng g

@@ -1,0 +1,22 @@
+(** Locality-1 SLOCAL dominating set.
+
+    Processed nodes join the dominating set exactly when nothing in
+    their closed neighborhood has joined yet.  For every processing
+    order the result dominates: a node is either already dominated when
+    processed or joins itself.  The output is simultaneously independent
+    (two adjacent joiners cannot both see an empty neighborhood), i.e. it
+    is a {e maximal independent set} viewed as a dominating set — the
+    structural reason MIS, domination and coloring keep meeting in the
+    P-SLOCAL-complete club. *)
+
+module Algo : Slocal.ALGORITHM with type output = bool
+(** The algorithm itself, for the SLOCAL→LOCAL {!Compiler}. *)
+
+val run :
+  ?order:int array ->
+  ?seed:int ->
+  Ps_graph.Graph.t ->
+  bool array * Slocal.stats
+
+val run_random_order :
+  rng:Ps_util.Rng.t -> Ps_graph.Graph.t -> bool array * Slocal.stats

@@ -1,0 +1,67 @@
+module G = Ps_graph.Graph
+
+module Algo = struct
+  type state =
+    | Matched_with of int (* the id of my partner (claimed or honored) *)
+    | Single
+
+  type output = state
+
+  let name = "slocal-greedy-matching"
+  let locality = 2
+
+  let process (view : state Slocal.node_view) =
+    let my_id = view.ids.(view.center) in
+    (* 1. honor the smallest earlier claim on me *)
+    let claimer = ref None in
+    G.iter_neighbors view.graph view.center (fun u ->
+        match view.states.(u) with
+        | Some (Matched_with id) when id = my_id ->
+            let uid = view.ids.(u) in
+            if !claimer = None || uid < Option.get !claimer then
+              claimer := Some uid
+        | Some (Matched_with _) | Some Single | None -> ());
+    match !claimer with
+    | Some uid -> Matched_with uid
+    | None ->
+        (* 2. claim the smallest free neighbor: unprocessed, and not
+           already claimed by one of its own processed neighbors *)
+        let candidate = ref None in
+        G.iter_neighbors view.graph view.center (fun u ->
+            if view.states.(u) = None then begin
+              let u_id = view.ids.(u) in
+              let claimed =
+                G.exists_neighbor view.graph u (fun w ->
+                    w <> view.center
+                    &&
+                    match view.states.(w) with
+                    | Some (Matched_with id) -> id = u_id
+                    | Some Single | None -> false)
+              in
+              if not claimed then
+                if !candidate = None || u_id < Option.get !candidate then
+                  candidate := Some u_id
+            end);
+        (match !candidate with
+        | Some uid -> Matched_with uid
+        | None -> Single)
+
+  let output s = s
+end
+
+module Runner = Slocal.Run (Algo)
+
+let to_partner_array outputs =
+  Array.map
+    (function
+      | Algo.Matched_with id -> id
+      | Algo.Single -> Ps_graph.Matching.unmatched)
+    outputs
+
+let run ?order ?seed g =
+  let outputs, stats = Runner.run ?order ?seed g in
+  (to_partner_array outputs, stats)
+
+let run_random_order ~rng g =
+  let outputs, stats = Runner.run_random_order ~rng g in
+  (to_partner_array outputs, stats)

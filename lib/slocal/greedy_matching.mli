@@ -1,0 +1,39 @@
+(** Locality-2 SLOCAL maximal matching.
+
+    A processed node first honors an existing claim (an earlier-processed
+    neighbor that recorded it as partner); otherwise it claims the
+    smallest neighbor that is still unprocessed and unclaimed.  Checking
+    "unclaimed" needs the states of the neighbor's neighbors, hence
+    locality 2 — one more than MIS/coloring need, which is the textbook
+    placement of matching in the SLOCAL hierarchy (edges, not vertices,
+    are the unit of conflict).
+
+    For every processing order the result is a maximal matching: a claim
+    is always eventually reciprocated (the claimed node sees it when
+    processed), and an edge with two unmatched endpoints would have been
+    claimed by whichever endpoint was processed first. *)
+
+module Algo : sig
+  type state =
+    | Matched_with of int  (** id of the claimed / honored partner *)
+    | Single
+
+  type output = state
+
+  val name : string
+  val locality : int
+  val process : state Slocal.node_view -> state
+  val output : state -> output
+end
+(** The algorithm itself (satisfies [Slocal.ALGORITHM]), for the generic
+    SLOCAL→LOCAL {!Compiler}. *)
+
+val run :
+  ?order:int array ->
+  ?seed:int ->
+  Ps_graph.Graph.t ->
+  int array * Slocal.stats
+(** Partner array in the {!Ps_graph.Matching} representation. *)
+
+val run_random_order :
+  rng:Ps_util.Rng.t -> Ps_graph.Graph.t -> int array * Slocal.stats

@@ -1,0 +1,20 @@
+module Algo = struct
+  type state = bool
+  type output = bool
+
+  let name = "slocal-greedy-mis"
+  let locality = 1
+
+  let process (view : state Slocal.node_view) =
+    not
+      (Ps_graph.Graph.exists_neighbor view.graph view.center (fun u ->
+           view.states.(u) = Some true))
+
+  let output s = s
+end
+
+module Runner = Slocal.Run (Algo)
+
+let run ?order ?seed g = Runner.run ?order ?seed g
+
+let run_random_order ~rng g = Runner.run_random_order ~rng g

@@ -1,0 +1,24 @@
+(** The locality-1 SLOCAL algorithm for maximal independent set — the
+    paper's opening example of SLOCAL's power.
+
+    "The maximal independent set problem admits an SLOCAL algorithm with
+    locality r = 1 by iterating through the nodes in an arbitrary order
+    and joining the independent set if none of the already processed
+    neighbors is already contained in the set."  Contrast with the best
+    known {e deterministic LOCAL} complexity, which is exponentially worse
+    — this gap is the motivation for the whole P-SLOCAL program. *)
+
+module Algo : Slocal.ALGORITHM with type output = bool
+(** The algorithm itself — exposed so the generic SLOCAL→LOCAL
+    {!Compiler} can consume it. *)
+
+val run :
+  ?order:int array ->
+  ?seed:int ->
+  Ps_graph.Graph.t ->
+  bool array * Slocal.stats
+(** Indicator vector of a maximal independent set; valid for {e every}
+    processing order. *)
+
+val run_random_order :
+  rng:Ps_util.Rng.t -> Ps_graph.Graph.t -> bool array * Slocal.stats

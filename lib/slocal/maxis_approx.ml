@@ -1,0 +1,54 @@
+module G = Ps_graph.Graph
+module B = Ps_util.Bitset
+module Is = Ps_maxis.Independent_set
+
+type result = {
+  set : Is.t;
+  ratio_bound : int;
+  per_cluster_exact : bool;
+  locality : int;
+  decomposition : Decomposition.t;
+}
+
+let run ?(exact_budget = 200_000) ?decomposition g =
+  let d =
+    match decomposition with
+    | Some d -> d
+    | None -> Decomposition.ball_carving g
+  in
+  let n = G.n_vertices g in
+  let members = Array.make d.Decomposition.n_clusters [] in
+  for v = n - 1 downto 0 do
+    let c = d.Decomposition.cluster_of.(v) in
+    members.(c) <- v :: members.(c)
+  done;
+  let all_exact = ref true in
+  (* Per cluster: a maximum IS of the induced subgraph, budgeted. *)
+  let cluster_solution c =
+    let sub, back = G.induced_subgraph g members.(c) in
+    let local =
+      match Ps_maxis.Exact.maximum_within ~budget:exact_budget sub with
+      | Some opt -> opt
+      | None ->
+          all_exact := false;
+          Ps_maxis.Greedy.min_degree sub
+    in
+    List.map (fun i -> back.(i)) (Is.to_list local)
+  in
+  let best = ref (B.create n) in
+  for color = 0 to d.Decomposition.n_colors - 1 do
+    let class_set = B.create n in
+    for c = 0 to d.Decomposition.n_clusters - 1 do
+      if d.Decomposition.color_of.(c) = color then
+        List.iter (B.add class_set) (cluster_solution c)
+    done;
+    if B.cardinal class_set > B.cardinal !best then best := class_set
+  done;
+  Is.verify_exn g !best;
+  (* Extending to maximal can only grow the set; the α/c bound stands. *)
+  let set = Is.make_maximal g !best in
+  { set;
+    ratio_bound = max 1 d.Decomposition.n_colors;
+    per_cluster_exact = !all_exact;
+    locality = d.Decomposition.max_radius + 1;
+    decomposition = d }

@@ -1,0 +1,43 @@
+(** MaxIS approximation {e inside} SLOCAL — the containment half of
+    Theorem 1.1.
+
+    The paper cites GKM17 Theorem 7.1 for "polylog MaxIS approximation is
+    in P-SLOCAL"; this module is that algorithm, executable: compute a
+    [(log n, log n)] network decomposition (itself SLOCAL with locality
+    O(log n)), solve every cluster of every color class optimally in
+    isolation (free in SLOCAL: a cluster plus its radius-[d] ball is one
+    locality-[O(d)] view, and SLOCAL nodes may compute arbitrarily), and
+    keep the best color class.
+
+    Ratio: clusters of one color are pairwise non-adjacent, so each color
+    class's union is independent; a maximum independent set OPT satisfies
+    [Σ_j |OPT ∩ (color j)| = α], hence the best class holds at least
+    [α / c] vertices, and per-cluster optimality only helps.  With
+    [c = O(log n)] colors this is an O(log n)-approximation — comfortably
+    polylogarithmic.
+
+    In simulation the per-cluster "arbitrary computation" is exact branch
+    and bound with a node budget; oversized clusters fall back to greedy
+    min-degree, and the certificate records whether the [α/c] guarantee
+    is intact ([per_cluster_exact]). *)
+
+type result = {
+  set : Ps_maxis.Independent_set.t;     (** maximal independent set *)
+  ratio_bound : int;
+      (** certified λ: the decomposition's color count (valid when
+          [per_cluster_exact]) *)
+  per_cluster_exact : bool;
+      (** every cluster solved optimally (no budget fallback) *)
+  locality : int;
+      (** SLOCAL locality charged: the decomposition's max radius + 1 *)
+  decomposition : Decomposition.t;
+}
+
+val run :
+  ?exact_budget:int ->
+  ?decomposition:Decomposition.t ->
+  Ps_graph.Graph.t ->
+  result
+(** [exact_budget] (default 200_000 search nodes per cluster) caps the
+    per-cluster exact solver.  The returned set is always independent and
+    maximal; only the certified ratio depends on the budget. *)

@@ -1,0 +1,44 @@
+(** Randomized low-diameter decomposition in the style of Miller, Peng
+    and Xu (SPAA 2013) — the randomized counterpart of {!Decomposition}'s
+    deterministic ball carving, and the modern starting point of the
+    decomposition literature the paper's completeness program feeds.
+
+    Every vertex draws an exponential shift [δ_v ~ Exp(β)]; vertex [u]
+    joins the cluster of the center [c] minimizing [d(c, u) − δ_c]
+    (shifted-distance Dijkstra with unit edges).  With probability
+    [1 − 1/poly n] every cluster has radius [O(log n / β)], and each edge
+    is cut (endpoints in different clusters) with probability [O(β)] —
+    so [β] trades cluster size against cut fraction.
+
+    MPX yields a {e partition} without a cluster coloring; for the
+    derandomization pipeline {!to_decomposition} colors the quotient
+    graph greedily, producing a {!Decomposition.t} whose structural
+    invariants hold (partition / connectivity / radius bookkeeping /
+    legal colors) while the ball-carving-specific [log n] bounds need
+    not. *)
+
+type t = {
+  cluster_of : int array;   (** vertex → cluster id *)
+  center_of : int array;    (** cluster id → the vertex whose shift won *)
+  radius_of : int array;    (** observed in-cluster eccentricity bound *)
+  n_clusters : int;
+  beta : float;
+}
+
+val decompose : Ps_util.Rng.t -> beta:float -> Ps_graph.Graph.t -> t
+(** Requires [beta > 0]. *)
+
+val cut_edges : Ps_graph.Graph.t -> t -> int
+(** Number of edges with endpoints in different clusters; expectation
+    ≤ [beta · m] up to constants. *)
+
+val max_radius : t -> int
+
+val is_valid : Ps_graph.Graph.t -> t -> bool
+(** Partition into connected clusters, each within [radius_of] of its
+    center (measured inside the cluster). *)
+
+val to_decomposition : Ps_graph.Graph.t -> t -> Decomposition.t
+(** Greedy-color the quotient graph so adjacent clusters get distinct
+    colors — a structurally valid {!Decomposition.t} (its
+    [ceil log2 n]-specific bound fields are not guaranteed). *)

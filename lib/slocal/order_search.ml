@@ -1,0 +1,63 @@
+module Rng = Ps_util.Rng
+
+type 'a search_result = {
+  best_order : int array;
+  best_score : 'a;
+  evaluations : int;
+}
+
+let search ~rng ?(restarts = 5) ?(steps = 200) ~n ~score ~compare () =
+  if restarts < 1 || steps < 0 then invalid_arg "Order_search.search";
+  let evaluations = ref 0 in
+  let eval order =
+    incr evaluations;
+    score order
+  in
+  let best_order = ref (Array.init n (fun i -> i)) in
+  let best_score = ref (eval !best_order) in
+  for _ = 1 to restarts do
+    let order = Rng.permutation rng n in
+    let current = ref (eval order) in
+    for _ = 1 to steps do
+      if n >= 2 then begin
+        let i = Rng.int rng n and j = Rng.int rng n in
+        let tmp = order.(i) in
+        order.(i) <- order.(j);
+        order.(j) <- tmp;
+        let candidate = eval order in
+        if compare candidate !current >= 0 then current := candidate
+        else begin
+          (* revert *)
+          let tmp = order.(i) in
+          order.(i) <- order.(j);
+          order.(j) <- tmp
+        end
+      end
+    done;
+    if compare !current !best_score > 0 then begin
+      best_order := Array.copy order;
+      best_score := !current
+    end
+  done;
+  { best_order = !best_order;
+    best_score = !best_score;
+    evaluations = !evaluations }
+
+let worst_coloring_order ~rng ?restarts ?steps g =
+  let n = Ps_graph.Graph.n_vertices g in
+  let score order =
+    let colors, _ = Greedy_coloring.run ~order g in
+    Ps_graph.Coloring.num_colors colors
+  in
+  let r = search ~rng ?restarts ?steps ~n ~score ~compare:Int.compare () in
+  (r.best_order, r.best_score)
+
+let worst_mis_order ~rng ?restarts ?steps g =
+  let n = Ps_graph.Graph.n_vertices g in
+  let score order =
+    let flags, _ = Greedy_mis.run ~order g in
+    (* negate: we maximize, adversary minimizes the MIS *)
+    -Array.fold_left (fun a b -> if b then a + 1 else a) 0 flags
+  in
+  let r = search ~rng ?restarts ?steps ~n ~score ~compare:Int.compare () in
+  (r.best_order, -r.best_score)

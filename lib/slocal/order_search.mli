@@ -1,0 +1,48 @@
+(** Adversarial processing-order search.
+
+    SLOCAL algorithms must be correct for {e every} processing order, but
+    their solution {e quality} can swing wildly with the order (greedy
+    coloring on a crown graph: 2 colors or n, adversary's choice).  This
+    module searches for bad orders by random restarts plus hill-climbing
+    over adjacent transpositions — a stress tool for quantifying how much
+    an SLOCAL algorithm's quality depends on the adversary, used by the
+    experiment harness and handy when developing new algorithms. *)
+
+type 'a search_result = {
+  best_order : int array;
+  best_score : 'a;
+  evaluations : int;
+}
+
+val search :
+  rng:Ps_util.Rng.t ->
+  ?restarts:int ->
+  ?steps:int ->
+  n:int ->
+  score:(int array -> 'a) ->
+  compare:('a -> 'a -> int) ->
+  unit ->
+  'a search_result
+(** [search ~rng ~n ~score ~compare ()] maximizes [score] (w.r.t.
+    [compare]) over permutations of [0..n-1]: [restarts] (default 5)
+    random starting orders, each improved by [steps] (default 200)
+    proposed random swaps, keeping a swap when the score does not
+    decrease. *)
+
+val worst_coloring_order :
+  rng:Ps_util.Rng.t ->
+  ?restarts:int ->
+  ?steps:int ->
+  Ps_graph.Graph.t ->
+  int array * int
+(** Convenience: search for the order maximizing the number of colors
+    greedy SLOCAL coloring uses; returns (order, colors). *)
+
+val worst_mis_order :
+  rng:Ps_util.Rng.t ->
+  ?restarts:int ->
+  ?steps:int ->
+  Ps_graph.Graph.t ->
+  int array * int
+(** Order {e minimizing} the greedy MIS size — how small can the
+    adversary force the "maximal" independent set? *)

@@ -1,0 +1,89 @@
+module G = Ps_graph.Graph
+module Rng = Ps_util.Rng
+
+type 'state node_view = {
+  center : int;
+  graph : G.t;
+  ids : int array;
+  states : 'state option array;
+  rng : Rng.t;
+}
+
+module type ALGORITHM = sig
+  type state
+  type output
+
+  val name : string
+  val locality : int
+  val process : state node_view -> state
+  val output : state -> output
+end
+
+type stats = {
+  locality : int;
+  processed : int;
+  max_ball_vertices : int;
+}
+
+let check_permutation n order =
+  if Array.length order <> n then
+    invalid_arg "Slocal.run: order length mismatch";
+  let seen = Array.make n false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n || seen.(v) then
+        invalid_arg "Slocal.run: order is not a permutation";
+      seen.(v) <- true)
+    order
+
+module Run (A : ALGORITHM) = struct
+  let run ?order ?ids ?(seed = 0) g =
+    let n = G.n_vertices g in
+    let order =
+      match order with
+      | None -> Array.init n (fun i -> i)
+      | Some o ->
+          check_permutation n o;
+          o
+    in
+    let ids =
+      match ids with
+      | None -> Array.init n (fun i -> i)
+      | Some ids ->
+          if Array.length ids <> n then
+            invalid_arg "Slocal.run: ids length mismatch";
+          ids
+    in
+    let master = Rng.create seed in
+    let states : A.state option array = Array.make n None in
+    let max_ball = ref 0 in
+    Array.iter
+      (fun v ->
+        let ball_graph, back =
+          Ps_graph.Traverse.ball_subgraph g v A.locality
+        in
+        max_ball := max !max_ball (G.n_vertices ball_graph);
+        let center = ref (-1) in
+        Array.iteri (fun i u -> if u = v then center := i) back;
+        let view =
+          { center = !center;
+            graph = ball_graph;
+            ids = Array.map (fun u -> ids.(u)) back;
+            states = Array.map (fun u -> states.(u)) back;
+            rng = Rng.split_at master v }
+        in
+        states.(v) <- Some (A.process view))
+      order;
+    let outputs =
+      Array.map
+        (function
+          | Some s -> A.output s
+          | None -> assert false)
+        states
+    in
+    (outputs,
+     { locality = A.locality; processed = n; max_ball_vertices = !max_ball })
+
+  let run_random_order ~rng ?ids g =
+    run ~order:(Rng.permutation rng (G.n_vertices g)) ?ids g
+end

@@ -1,0 +1,72 @@
+(** The SLOCAL model of Ghaffari, Kuhn and Maus (STOC 2017), as a
+    simulator.
+
+    In an SLOCAL algorithm with locality [r] the nodes are processed in an
+    {e arbitrary} (adversarial) order.  When node [v] is processed it sees
+    the current state of all nodes in its [r]-hop neighborhood — including
+    the topology of that neighborhood — and computes its own final output
+    as an arbitrary function of this view.  It may additionally store
+    information that later-processed nodes can read as part of [v]'s
+    state.  P-SLOCAL is the class of problems solvable this way with
+    polylogarithmic locality.
+
+    The simulator {e enforces} locality: an algorithm's [process] function
+    receives only the induced ball of radius [r] around the node, so an
+    implementation physically cannot read state outside its license.  The
+    processing order is a parameter; the correctness property of an SLOCAL
+    algorithm ("for every order the output is valid") is exercised by the
+    property-based tests, which run randomized orders. *)
+
+type 'state node_view = {
+  center : int;                  (** position of the processed node in [graph] *)
+  graph : Ps_graph.Graph.t;      (** induced subgraph on the r-ball *)
+  ids : int array;               (** ball position → global identifier *)
+  states : 'state option array;  (** ball position → state ([None] = not yet processed) *)
+  rng : Ps_util.Rng.t;           (** private randomness (most SLOCAL algorithms are deterministic) *)
+}
+
+module type ALGORITHM = sig
+  type state
+  (** What a processed node stores; readable by later nodes within
+      distance [locality]. *)
+
+  type output
+
+  val name : string
+
+  val locality : int
+  (** The radius [r] of the ball exposed to [process]. *)
+
+  val process : state node_view -> state
+  (** Compute the node's state (including, implicitly, its output). *)
+
+  val output : state -> output
+  (** Extract the final output from a processed node's state. *)
+end
+
+type stats = {
+  locality : int;
+  processed : int;
+  max_ball_vertices : int;
+      (** size of the largest view handed to [process] — the "volume" the
+          locality radius translates to on this topology *)
+}
+
+module Run (A : ALGORITHM) : sig
+  val run :
+    ?order:int array ->
+    ?ids:int array ->
+    ?seed:int ->
+    Ps_graph.Graph.t ->
+    A.output array * stats
+  (** Process every node once, in [order] (default: increasing vertex
+      index; must be a permutation).  [ids] assigns identifiers (default:
+      vertex indices).  Outputs are indexed by vertex. *)
+
+  val run_random_order :
+    rng:Ps_util.Rng.t ->
+    ?ids:int array ->
+    Ps_graph.Graph.t ->
+    A.output array * stats
+  (** Convenience: a uniformly random processing order drawn from [rng]. *)
+end

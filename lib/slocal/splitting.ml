@@ -1,0 +1,82 @@
+module G = Ps_graph.Graph
+
+let monochromatic_failures g ~threshold colors =
+  let failures = ref [] in
+  for u = G.n_vertices g - 1 downto 0 do
+    if G.degree g u >= max 1 threshold then begin
+      let saw_red = ref false and saw_blue = ref false in
+      G.iter_neighbors g u (fun w ->
+          if colors.(w) then saw_red := true else saw_blue := true);
+      if not (!saw_red && !saw_blue) then failures := u :: !failures
+    end
+  done;
+  !failures
+
+let is_weak_splitting g ~threshold colors =
+  monochromatic_failures g ~threshold colors = []
+
+let randomized rng g =
+  Array.init (G.n_vertices g) (fun _ -> Ps_util.Rng.bool rng)
+
+let initial_potential g ~threshold =
+  let acc = ref 0.0 in
+  for u = 0 to G.n_vertices g - 1 do
+    let d = G.degree g u in
+    if d >= max 1 threshold then
+      acc := !acc +. (2.0 *. (2.0 ** float_of_int (-d)))
+  done;
+  !acc
+
+(* Conditional expectations.  Per constraint vertex u we track how many
+   neighbors are red/blue and how many are unassigned; the two failure
+   terms are then powers of two (exact in floating point down to 2^-1074,
+   far below any graph this runs on). *)
+let deterministic ?order g ~threshold =
+  let n = G.n_vertices g in
+  let order =
+    match order with
+    | None -> Array.init n (fun i -> i)
+    | Some o ->
+        if Array.length o <> n then
+          invalid_arg "Splitting.deterministic: order length mismatch";
+        o
+  in
+  let threshold = max 1 threshold in
+  let red = Array.make n 0 and blue = Array.make n 0 in
+  let unassigned = Array.init n (fun u -> G.degree g u) in
+  let colors = Array.make n false in
+  (* P(all of N(u) ends monochromatic in one color | partial coloring):
+     zero once an opposite-color neighbor exists, else every unassigned
+     slot must fall the right way. *)
+  let term ~other_count ~slots =
+    if other_count > 0 then 0.0 else 2.0 ** float_of_int (-slots)
+  in
+  let potential_delta v color =
+    (* Change of Φ restricted to constraints u ∈ N(v) when v takes
+       [color], versus leaving v unassigned (the absolute base cancels
+       when comparing the two colors, but computing both sides keeps the
+       code symmetric and obviously monotone). *)
+    G.fold_neighbors g v
+      (fun acc u ->
+        if G.degree g u < threshold then acc
+        else begin
+          let slots = unassigned.(u) - 1 in
+          let red_after, blue_after =
+            if color then (red.(u) + 1, blue.(u)) else (red.(u), blue.(u) + 1)
+          in
+          let all_red = term ~other_count:blue_after ~slots in
+          let all_blue = term ~other_count:red_after ~slots in
+          acc +. all_red +. all_blue
+        end)
+      0.0
+  in
+  Array.iter
+    (fun v ->
+      let choose_red = potential_delta v true <= potential_delta v false in
+      colors.(v) <- choose_red;
+      G.iter_neighbors g v (fun u ->
+          unassigned.(u) <- unassigned.(u) - 1;
+          if choose_red then red.(u) <- red.(u) + 1
+          else blue.(u) <- blue.(u) + 1))
+    order;
+  colors

@@ -1,0 +1,40 @@
+(** Weak 2-splitting — the remaining problem on the paper's list of
+    P-SLOCAL-complete problems ("(weak) local splittings", GKM17).
+
+    A red/blue coloring of the vertices is a {e weak splitting} with
+    threshold [d0] when every vertex of degree ≥ [d0] sees both colors in
+    its neighborhood.  A uniformly random coloring fails at a given
+    high-degree vertex with probability [2^(1-deg)], so for
+    [d0 > log2 n + 1] it succeeds with positive probability — and the
+    {e method of conditional expectations} turns that into a
+    deterministic sequential algorithm, which is exactly an SLOCAL
+    algorithm with locality 2: when vertex [v] is processed it inspects,
+    for each neighbor [u], how many of [u]'s neighbors are already
+    colored each way, and picks the color that does not increase the
+    pessimistic failure estimator
+
+    [Φ = Σ_{deg(u) ≥ d0} ( P(N(u) all red) + P(N(u) all blue) )].
+
+    [Φ] never increases along the process, and a final [Φ < 1] means no
+    failure — the archetype of the derandomization-by-local-computation
+    theme that makes P-SLOCAL-completeness interesting (GHK18). *)
+
+val monochromatic_failures : Ps_graph.Graph.t -> threshold:int -> bool array -> int list
+(** Vertices of degree ≥ [threshold] whose neighborhood is monochromatic
+    under the coloring ([true] = red), sorted. *)
+
+val is_weak_splitting : Ps_graph.Graph.t -> threshold:int -> bool array -> bool
+
+val randomized : Ps_util.Rng.t -> Ps_graph.Graph.t -> bool array
+(** Uniform random coloring — the 0-round LOCAL algorithm. *)
+
+val initial_potential : Ps_graph.Graph.t -> threshold:int -> float
+(** [Σ_{deg(u) ≥ d0} 2^(1-deg u)]; [< 1.0] certifies that
+    {!deterministic} produces a perfect weak splitting. *)
+
+val deterministic :
+  ?order:int array -> Ps_graph.Graph.t -> threshold:int -> bool array
+(** Conditional-expectations coloring in the given processing order
+    (default: increasing index).  Never worse than the potential bound:
+    if [initial_potential < 1] the result has no failures; in general
+    the number of failures is at most the initial potential. *)

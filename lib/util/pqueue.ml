@@ -1,0 +1,92 @@
+type t = {
+  heap : int array;          (* heap of keys *)
+  prio : int array;          (* prio.(key) *)
+  pos : int array;           (* pos.(key) = index in heap, or -1 *)
+  mutable size : int;
+}
+
+let create n =
+  { heap = Array.make (max n 1) 0;
+    prio = Array.make (max n 1) 0;
+    pos = Array.make (max n 1) (-1);
+    size = 0 }
+
+let is_empty t = t.size = 0
+let cardinal t = t.size
+let mem t key = t.pos.(key) >= 0
+
+(* Order by (priority, key) so pops are deterministic. *)
+let less t a b =
+  let pa = t.prio.(a) and pb = t.prio.(b) in
+  pa < pb || (pa = pb && a < b)
+
+let swap t i j =
+  let a = t.heap.(i) and b = t.heap.(j) in
+  t.heap.(i) <- b;
+  t.heap.(j) <- a;
+  t.pos.(b) <- i;
+  t.pos.(a) <- j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && less t t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && less t t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let insert t key prio =
+  if mem t key then invalid_arg "Pqueue.insert: key already present";
+  t.heap.(t.size) <- key;
+  t.pos.(key) <- t.size;
+  t.prio.(key) <- prio;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let priority t key =
+  if not (mem t key) then raise Not_found;
+  t.prio.(key)
+
+let update t key prio =
+  if not (mem t key) then raise Not_found;
+  let old = t.prio.(key) in
+  t.prio.(key) <- prio;
+  let i = t.pos.(key) in
+  if prio < old then sift_up t i else sift_down t i
+
+let remove_at t i =
+  let key = t.heap.(i) in
+  t.size <- t.size - 1;
+  t.pos.(key) <- -1;
+  if i < t.size then begin
+    let last = t.heap.(t.size) in
+    t.heap.(i) <- last;
+    t.pos.(last) <- i;
+    sift_up t i;
+    sift_down t t.pos.(last)
+  end
+
+let remove t key =
+  if not (mem t key) then raise Not_found;
+  remove_at t t.pos.(key)
+
+let peek_min t =
+  if t.size = 0 then raise Not_found;
+  let key = t.heap.(0) in
+  (key, t.prio.(key))
+
+let pop_min t =
+  let ((key, _) as result) = peek_min t in
+  remove_at t t.pos.(key);
+  result

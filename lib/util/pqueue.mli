@@ -1,0 +1,36 @@
+(** Mutable min-priority queue over integer keys with integer priorities,
+    supporting {e decrease-key} and {e increase-key} — the operations the
+    min-degree greedy MaxIS heuristic needs as vertices lose neighbors.
+
+    Implemented as a binary heap with a position index, so all operations
+    are O(log n) and membership is O(1). Keys are drawn from a dense
+    universe [0 .. capacity-1]. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty queue for keys in [0..n-1]. *)
+
+val is_empty : t -> bool
+val cardinal : t -> int
+
+val mem : t -> int -> bool
+
+val insert : t -> int -> int -> unit
+(** [insert q key prio]; raises [Invalid_argument] if [key] is present. *)
+
+val priority : t -> int -> int
+(** Current priority of a present key; raises [Not_found] otherwise. *)
+
+val update : t -> int -> int -> unit
+(** [update q key prio] changes the priority of a present key (either
+    direction). *)
+
+val remove : t -> int -> unit
+(** Remove a present key. *)
+
+val pop_min : t -> int * int
+(** Remove and return [(key, priority)] with minimal priority, ties broken
+    by smaller key. Raises [Not_found] when empty. *)
+
+val peek_min : t -> int * int

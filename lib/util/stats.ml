@@ -1,0 +1,117 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+}
+
+let nonempty a =
+  if Array.length a = 0 then invalid_arg "Stats: empty array"
+
+let mean a =
+  nonempty a;
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let stddev a =
+  nonempty a;
+  let n = Array.length a in
+  if n = 1 then 0.0
+  else begin
+    let m = mean a in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let min_max a =
+  nonempty a;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (a.(0), a.(0)) a
+
+let percentile a q =
+  nonempty a;
+  if q < 0.0 || q > 100.0 then invalid_arg "Stats.percentile";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = q /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+
+let median a = percentile a 50.0
+
+let summarize a =
+  let lo, hi = min_max a in
+  { count = Array.length a;
+    mean = mean a;
+    stddev = stddev a;
+    min = lo;
+    max = hi;
+    median = median a;
+    p90 = percentile a 90.0 }
+
+let of_ints a = Array.map float_of_int a
+
+let geometric_mean a =
+  nonempty a;
+  let sum_logs =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geometric_mean: nonpositive entry"
+        else acc +. log x)
+      0.0 a
+  in
+  exp (sum_logs /. float_of_int (Array.length a))
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.3f sd=%.3f min=%.3f med=%.3f p90=%.3f max=%.3f" s.count
+    s.mean s.stddev s.min s.median s.p90 s.max
+
+let linear_regression points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Stats.linear_regression: need >= 2 points";
+  let xs = Array.map fst points and ys = Array.map snd points in
+  let mx = mean xs and my = mean ys in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sxx := !sxx +. ((x -. mx) *. (x -. mx));
+      sxy := !sxy +. ((x -. mx) *. (y -. my));
+      syy := !syy +. ((y -. my) *. (y -. my)))
+    points;
+  if !sxx = 0.0 then
+    invalid_arg "Stats.linear_regression: all x values equal";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 =
+    if !syy = 0.0 then 1.0 else !sxy *. !sxy /. (!sxx *. !syy)
+  in
+  (slope, intercept, r2)
+
+let histogram ?(bins = 10) a =
+  nonempty a;
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let lo, hi = min_max a in
+  if lo = hi then [| (lo, hi, Array.length a) |]
+  else begin
+    let width = (hi -. lo) /. float_of_int bins in
+    let counts = Array.make bins 0 in
+    Array.iter
+      (fun x ->
+        let b = int_of_float ((x -. lo) /. width) in
+        let b = if b >= bins then bins - 1 else b in
+        counts.(b) <- counts.(b) + 1)
+      a;
+    Array.mapi
+      (fun i c ->
+        (lo +. (float_of_int i *. width), lo +. (float_of_int (i + 1) *. width), c))
+      counts
+  end

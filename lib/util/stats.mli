@@ -1,0 +1,41 @@
+(** Descriptive statistics for experiment tables.
+
+    All functions take a non-empty [float array] unless stated otherwise;
+    empty input raises [Invalid_argument]. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;   (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;      (** 90th percentile, linear interpolation *)
+}
+
+val mean : float array -> float
+val stddev : float array -> float
+val min_max : float array -> float * float
+val percentile : float array -> float -> float
+(** [percentile a q] for [q] in [0,100], linear interpolation between order
+    statistics. Does not mutate its argument. *)
+
+val median : float array -> float
+val summarize : float array -> summary
+val of_ints : int array -> float array
+
+val geometric_mean : float array -> float
+(** Requires all entries positive. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val linear_regression : (float * float) array -> float * float * float
+(** Least-squares fit [y = slope·x + intercept] over [(x, y)] points;
+    returns [(slope, intercept, r²)].  Needs ≥ 2 points with at least two
+    distinct x values ([Invalid_argument] otherwise); an exactly constant
+    y yields [r² = 1]. *)
+
+val histogram : ?bins:int -> float array -> (float * float * int) array
+(** [histogram ~bins a] buckets values into equal-width bins over
+    [min,max]; returns [(lo, hi, count)] per bin. One bin collapses
+    degenerate ranges. Default 10 bins. *)

@@ -1,0 +1,80 @@
+type align = Left | Right
+
+type line = Row of string list | Rule
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable lines : line list; (* reversed *)
+}
+
+let create ?aligns headers =
+  let aligns =
+    match aligns with
+    | None -> List.map (fun _ -> Right) headers
+    | Some a ->
+        if List.length a <> List.length headers then
+          invalid_arg "Table.create: aligns length mismatch";
+        a
+  in
+  { headers; aligns; lines = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: row length mismatch";
+  t.lines <- Row row :: t.lines
+
+let add_rule t = t.lines <- Rule :: t.lines
+
+let render t =
+  let rows =
+    List.filter_map (function Row r -> Some r | Rule -> None)
+      (List.rev t.lines)
+  in
+  let widths =
+    List.fold_left
+      (fun ws row -> List.map2 (fun w c -> max w (String.length c)) ws row)
+      (List.map String.length t.headers)
+      rows
+  in
+  let pad align width s =
+    let gap = width - String.length s in
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+  in
+  let render_cells row =
+    let cells =
+      List.map2 (fun (a, w) c -> pad a w c)
+        (List.combine t.aligns widths)
+        row
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  let body =
+    List.map
+      (function Row r -> render_cells r | Rule -> rule)
+      (List.rev t.lines)
+  in
+  String.concat "\n" (rule :: render_cells t.headers :: rule :: body @ [ rule ])
+
+let print ?title t =
+  (match title with
+  | Some s ->
+      print_newline ();
+      print_endline s;
+      print_endline (String.make (String.length s) '=')
+  | None -> ());
+  print_endline (render t)
+
+let cell_int = string_of_int
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_ratio x = Printf.sprintf "%.3f" x
+
+let cell_bool b = if b then "yes" else "no"

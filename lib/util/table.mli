@@ -1,0 +1,35 @@
+(** ASCII table rendering for experiment output.
+
+    The benchmark harness prints one table per experiment; this module
+    keeps the formatting in one place so every table lines up the same
+    way. Cells are strings; columns are sized to their widest cell. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table. [aligns] defaults to [Right] for every
+    column; its length, when given, must match [headers]. *)
+
+val add_row : t -> string list -> unit
+(** Row length must match the header length. *)
+
+val add_rule : t -> unit
+(** Insert a horizontal separator between row groups. *)
+
+val render : t -> string
+(** Multi-line string, no trailing newline. *)
+
+val print : ?title:string -> t -> unit
+(** Render to stdout with an optional underlined title. *)
+
+(** Cell formatting helpers. *)
+
+val cell_int : int -> string
+val cell_float : ?decimals:int -> float -> string
+val cell_ratio : float -> string
+(** Fixed 3-decimal format used for approximation ratios. *)
+
+val cell_bool : bool -> string
+(** ["yes"] / ["no"]. *)

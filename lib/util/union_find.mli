@@ -1,0 +1,28 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Near-O(1) amortized [find]/[union]; used for connected components and
+    for cluster merging in network decomposition. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets [{0}, ..., {n-1}]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the set containing the element. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two sets; returns [true] iff they were distinct. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of disjoint sets. *)
+
+val size_of : t -> int -> int
+(** Size of the set containing the element. *)
+
+val components : t -> int list array
+(** [components t] groups elements by representative; the array is indexed
+    by a dense component id in [0 .. count-1], each list sorted
+    increasingly. *)

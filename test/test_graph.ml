@@ -1,0 +1,732 @@
+(* Tests for Ps_graph: construction, queries, generators, traversals,
+   coloring, I/O. *)
+
+module G = Ps_graph.Graph
+module Gen = Ps_graph.Gen
+module T = Ps_graph.Traverse
+module C = Ps_graph.Coloring
+module Gio = Ps_graph.Gio
+module Rng = Ps_util.Rng
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Graph core *)
+
+let triangle () = G.of_edges 3 [ (0, 1); (1, 2); (2, 0) ]
+
+let test_graph_basic () =
+  let g = triangle () in
+  check "n" 3 (G.n_vertices g);
+  check "m" 3 (G.n_edges g);
+  check "deg" 2 (G.degree g 0);
+  check_bool "edge" true (G.has_edge g 0 1);
+  check_bool "edge sym" true (G.has_edge g 1 0);
+  check_bool "no self edge" false (G.has_edge g 1 1)
+
+let test_graph_duplicate_edges_collapse () =
+  let g = G.of_edges 3 [ (0, 1); (1, 0); (0, 1) ] in
+  check "m" 1 (G.n_edges g);
+  check "deg 0" 1 (G.degree g 0)
+
+let test_graph_rejects_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument
+    "Graph.of_edges: self-loop") (fun () ->
+      ignore (G.of_edges 2 [ (1, 1) ]))
+
+let test_graph_rejects_out_of_range () =
+  Alcotest.check_raises "range" (Invalid_argument
+    "Graph.of_edges: endpoint out of range") (fun () ->
+      ignore (G.of_edges 2 [ (0, 2) ]))
+
+let test_graph_neighbors_sorted () =
+  let g = G.of_edges 5 [ (2, 4); (2, 0); (2, 3); (2, 1) ] in
+  Alcotest.(check (array int)) "sorted" [| 0; 1; 3; 4 |] (G.neighbors g 2)
+
+let test_graph_empty () =
+  let g = G.empty 4 in
+  check "m" 0 (G.n_edges g);
+  check "max degree" 0 (G.max_degree g);
+  Alcotest.(check (float 1e-9)) "avg" 0.0 (G.avg_degree g)
+
+let test_graph_zero_vertices () =
+  let g = G.empty 0 in
+  check "n" 0 (G.n_vertices g);
+  check "m" 0 (G.n_edges g)
+
+let test_graph_edges_iteration () =
+  let g = triangle () in
+  Alcotest.(check (list (pair int int)))
+    "edges once, lexicographic" [ (0, 1); (0, 2); (1, 2) ] (G.edges g)
+
+let test_graph_fold_exists () =
+  let g = triangle () in
+  check "fold sum" 3 (G.fold_neighbors g 0 (fun a u -> a + u) 0);
+  check_bool "exists" true (G.exists_neighbor g 0 (fun u -> u = 2));
+  check_bool "not exists" false (G.exists_neighbor g 0 (fun u -> u = 0))
+
+let test_induced_subgraph () =
+  let g = G.of_edges 6 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0) ] in
+  let sub, back = G.induced_subgraph g [ 0; 1; 2 ] in
+  check "n" 3 (G.n_vertices sub);
+  check "m" 2 (G.n_edges sub);
+  Alcotest.(check (array int)) "back map" [| 0; 1; 2 |] back
+
+let test_induced_subgraph_relabeling () =
+  let g = G.of_edges 6 [ (3, 5) ] in
+  let sub, back = G.induced_subgraph g [ 5; 3 ] in
+  (* back is sorted ascending *)
+  Alcotest.(check (array int)) "back" [| 3; 5 |] back;
+  check_bool "edge mapped" true (G.has_edge sub 0 1)
+
+let test_complement () =
+  let g = G.of_edges 4 [ (0, 1) ] in
+  let c = G.complement g in
+  check "m" 5 (G.n_edges c);
+  check_bool "lost edge" false (G.has_edge c 0 1);
+  check_bool "gained edge" true (G.has_edge c 2 3);
+  (* double complement is identity *)
+  check_bool "involution" true (G.equal g (G.complement c))
+
+let test_union () =
+  let a = G.of_edges 4 [ (0, 1) ] and b = G.of_edges 4 [ (1, 2); (0, 1) ] in
+  let u = G.union a b in
+  check "m" 2 (G.n_edges u);
+  check_bool "subgraph a" true (G.is_subgraph a u);
+  check_bool "subgraph b" true (G.is_subgraph b u)
+
+let test_avg_max_degree () =
+  let g = Gen.star 5 in
+  check "max" 4 (G.max_degree g);
+  Alcotest.(check (float 1e-9)) "avg" 1.6 (G.avg_degree g)
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let test_gen_ring () =
+  let g = Gen.ring 10 in
+  check "m" 10 (G.n_edges g);
+  check "regular" 2 (G.max_degree g);
+  check_bool "connected" true (T.is_connected g);
+  check "diameter" 5 (T.diameter g)
+
+let test_gen_path () =
+  let g = Gen.path 6 in
+  check "m" 5 (G.n_edges g);
+  check "diameter" 5 (T.diameter g)
+
+let test_gen_complete () =
+  let g = Gen.complete 7 in
+  check "m" 21 (G.n_edges g);
+  check "degree" 6 (G.max_degree g);
+  check "diameter" 1 (T.diameter g)
+
+let test_gen_complete_bipartite () =
+  let g = Gen.complete_bipartite 3 4 in
+  check "m" 12 (G.n_edges g);
+  check_bool "no intra-left edge" false (G.has_edge g 0 1);
+  check_bool "cross edge" true (G.has_edge g 0 3)
+
+let test_gen_grid () =
+  let g = Gen.grid 4 5 in
+  check "n" 20 (G.n_vertices g);
+  check "m" ((3 * 5) + (4 * 4)) (G.n_edges g);
+  check "diameter" 7 (T.diameter g)
+
+let test_gen_balanced_tree () =
+  let g = Gen.balanced_tree 2 3 in
+  check "n" 15 (G.n_vertices g);
+  check "m" 14 (G.n_edges g);
+  check_bool "connected" true (T.is_connected g)
+
+let test_gen_gnp_extremes () =
+  let rng = Rng.create 1 in
+  check "p=0" 0 (G.n_edges (Gen.gnp rng 20 0.0));
+  check "p=1" 190 (G.n_edges (Gen.gnp rng 20 1.0))
+
+let test_gen_gnp_density () =
+  let rng = Rng.create 2 in
+  let n = 300 and p = 0.1 in
+  let g = Gen.gnp rng n p in
+  let expected = p *. float_of_int (n * (n - 1) / 2) in
+  let actual = float_of_int (G.n_edges g) in
+  check_bool "within 15% of expectation" true
+    (abs_float (actual -. expected) /. expected < 0.15)
+
+let test_gen_gnm () =
+  let rng = Rng.create 3 in
+  let g = Gen.gnm rng 50 200 in
+  check "exact m" 200 (G.n_edges g);
+  Alcotest.check_raises "too many" (Invalid_argument
+    "Gen.gnm: m out of range") (fun () -> ignore (Gen.gnm rng 3 4))
+
+let test_gen_random_regular_ish () =
+  let rng = Rng.create 4 in
+  let g = Gen.random_regular_ish rng 100 5 in
+  check_bool "degree cap" true (G.max_degree g <= 5);
+  check_bool "mostly d-regular" true
+    (G.avg_degree g > 4.0)
+
+let test_gen_random_tree () =
+  let rng = Rng.create 5 in
+  for n = 1 to 30 do
+    let g = Gen.random_tree rng n in
+    check "tree edges" (max 0 (n - 1)) (G.n_edges g);
+    check_bool "connected" true (T.is_connected g)
+  done
+
+let test_gen_unit_interval () =
+  let rng = Rng.create 6 in
+  let g = Gen.unit_interval rng 100 20.0 in
+  (* Interval graphs sorted by left endpoint: neighbors form runs, and the
+     graph has no induced C4 — spot-check connectivity of neighborhoods. *)
+  check_bool "nonempty" true (G.n_edges g > 0);
+  for v = 0 to 98 do
+    (* consecutive overlapping windows: neighbor sets are intervals *)
+    let ns = G.neighbors g v in
+    Array.iteri
+      (fun i u ->
+        if i > 0 then check_bool "contiguous ids" true (u > ns.(i - 1)))
+      ns
+  done
+
+let test_gen_power_law () =
+  let rng = Rng.create 7 in
+  let g = Gen.power_law rng 200 2.5 in
+  check "n" 200 (G.n_vertices g);
+  check_bool "connected" true (T.is_connected g);
+  check_bool "skewed" true (G.max_degree g > 3 * int_of_float (G.avg_degree g))
+
+let test_gen_hypercube () =
+  let g = Gen.hypercube 4 in
+  check "n" 16 (G.n_vertices g);
+  check "m = d*2^(d-1)" 32 (G.n_edges g);
+  check "regular" 4 (G.max_degree g);
+  check "diameter = d" 4 (T.diameter g);
+  (* bipartite: 2-colorable *)
+  check "chi" 2
+    (Option.get (C.chromatic_number_within ~budget:1_000_000 g));
+  check "Q0" 1 (G.n_vertices (Gen.hypercube 0))
+
+let test_gen_petersen_invariants () =
+  let g = Gen.petersen () in
+  check "n" 10 (G.n_vertices g);
+  check "m" 15 (G.n_edges g);
+  check "3-regular" 3 (G.max_degree g);
+  check "diameter" 2 (T.diameter g);
+  check "alpha" 4 (Ps_maxis.Exact.independence_number g);
+  check "chi" 3 (Option.get (C.chromatic_number_within ~budget:1_000_000 g));
+  check "gamma" 3
+    (Option.get (Ps_graph.Dominating.domination_number_within
+                   ~budget:1_000_000 g));
+  check "perfect matching" 5 (Ps_graph.Matching.size (Ps_graph.Matching.greedy g))
+
+let test_gen_kneser () =
+  (* K(5,2) is Petersen *)
+  let k52 = Gen.kneser_petersen_family 5 in
+  check "n" 10 (G.n_vertices k52);
+  check "m" 15 (G.n_edges k52);
+  check "alpha = n-1" 4 (Ps_maxis.Exact.independence_number k52);
+  let k62 = Gen.kneser_petersen_family 6 in
+  check "K(6,2) n" 15 (G.n_vertices k62);
+  check "K(6,2) alpha" 5 (Ps_maxis.Exact.independence_number k62);
+  check "K(6,2) chi = n-2" 4
+    (Option.get (C.chromatic_number_within ~budget:5_000_000 k62))
+
+let test_gen_crown () =
+  let g = Gen.crown 4 in
+  check "n" 8 (G.n_vertices g);
+  check "m = n(n-1)" 12 (G.n_edges g);
+  check_bool "matching pair non-adjacent" false (G.has_edge g 0 4);
+  check_bool "cross pair adjacent" true (G.has_edge g 0 5);
+  check "chi" 2 (Option.get (C.chromatic_number_within ~budget:1_000_000 g))
+
+let test_gen_wheel () =
+  let w5 = Gen.wheel 5 in
+  check "n" 6 (G.n_vertices w5);
+  check "m" 10 (G.n_edges w5);
+  check "odd wheel chi" 4
+    (Option.get (C.chromatic_number_within ~budget:1_000_000 w5));
+  check "even wheel chi" 3
+    (Option.get (C.chromatic_number_within ~budget:1_000_000 (Gen.wheel 6)));
+  check "gamma" 1
+    (Option.get (Ps_graph.Dominating.domination_number_within
+                   ~budget:1_000_000 w5))
+
+let test_gen_disjoint_cliques () =
+  let g = Gen.disjoint_cliques 4 3 in
+  check "n" 12 (G.n_vertices g);
+  check "m" 12 (G.n_edges g);
+  check "components" 4 (Array.length (T.connected_components g))
+
+(* ------------------------------------------------------------------ *)
+(* Traversals *)
+
+let test_bfs_distances () =
+  let g = Gen.path 5 in
+  Alcotest.(check (array int)) "path distances" [| 0; 1; 2; 3; 4 |]
+    (T.bfs_distances g 0)
+
+let test_bfs_unreachable () =
+  let g = G.of_edges 4 [ (0, 1) ] in
+  let d = T.bfs_distances g 0 in
+  check "reachable" 1 d.(1);
+  check "unreachable" (-1) d.(2)
+
+let test_bfs_multi () =
+  let g = Gen.path 7 in
+  let d = T.bfs_multi g [ 0; 6 ] in
+  Alcotest.(check (array int)) "multi-source" [| 0; 1; 2; 3; 2; 1; 0 |] d
+
+let test_ball () =
+  let g = Gen.ring 10 in
+  Alcotest.(check (list int)) "ball r=0" [ 0 ] (T.ball g 0 0);
+  Alcotest.(check (list int)) "ball r=1" [ 0; 1; 9 ] (T.ball g 0 1);
+  Alcotest.(check (list int)) "ball r=2" [ 0; 1; 2; 8; 9 ] (T.ball g 0 2)
+
+let test_ball_subgraph () =
+  let g = Gen.ring 10 in
+  let sub, back = T.ball_subgraph g 0 2 in
+  check "vertices" 5 (G.n_vertices sub);
+  check "edges" 4 (G.n_edges sub);
+  Alcotest.(check (array int)) "back" [| 0; 1; 2; 8; 9 |] back
+
+let test_components () =
+  let g = G.of_edges 7 [ (0, 1); (1, 2); (4, 5) ] in
+  let comps = T.connected_components g in
+  check "count" 4 (Array.length comps);
+  let sizes = Array.map List.length comps |> Array.to_list
+              |> List.sort compare in
+  Alcotest.(check (list int)) "sizes" [ 1; 1; 2; 3 ] sizes
+
+let test_eccentricity_diameter () =
+  let g = Gen.grid 3 3 in
+  check "center ecc" 2 (T.eccentricity g 4);
+  check "corner ecc" 4 (T.eccentricity g 0);
+  check "diameter" 4 (T.diameter g)
+
+let test_diameter_disconnected () =
+  check "disconnected" (-1) (T.diameter (G.of_edges 3 [ (0, 1) ]));
+  check "singleton" 0 (T.diameter (G.empty 1));
+  check "empty" 0 (T.diameter (G.empty 0))
+
+let test_dfs_preorder () =
+  let g = Gen.path 4 in
+  Alcotest.(check (list int)) "preorder" [ 0; 1; 2; 3 ] (T.dfs_preorder g 0)
+
+let test_distance () =
+  let g = Gen.ring 12 in
+  check "antipodal" 6 (T.distance g 0 6);
+  check "adjacent" 1 (T.distance g 0 11)
+
+let test_power_graph () =
+  let g = Gen.ring 6 in
+  check_bool "power 1 = g" true (G.equal (T.power g 1) g);
+  check "power 0 edgeless" 0 (G.n_edges (T.power g 0));
+  let p2 = T.power g 2 in
+  check "ring^2 is 4-regular" 4 (G.max_degree p2);
+  check_bool "distance-2 pair adjacent" true (G.has_edge p2 0 2);
+  check_bool "antipodal not adjacent" false (G.has_edge p2 0 3);
+  (* high enough power of a connected graph is complete *)
+  check_bool "power diam = complete" true
+    (G.equal (T.power g (T.diameter g)) (Gen.complete 6));
+  (* edges of G^k are exactly pairs at distance <= k *)
+  let g = Gen.grid 3 4 in
+  let p = T.power g 3 in
+  for u = 0 to G.n_vertices g - 1 do
+    for v = u + 1 to G.n_vertices g - 1 do
+      check_bool "iff distance <= 3" (T.distance g u v <= 3)
+        (G.has_edge p u v)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Coloring *)
+
+let test_coloring_greedy_proper () =
+  let rng = Rng.create 11 in
+  let g = Gen.gnp rng 80 0.1 in
+  let c = C.greedy g in
+  check_bool "proper" true (C.is_proper g c);
+  check_bool "within Delta+1" true (C.max_color c <= G.max_degree g)
+
+let test_coloring_greedy_path_two_colors () =
+  let g = Gen.path 10 in
+  let c = C.greedy g in
+  check "two colors" 2 (C.num_colors c)
+
+let test_coloring_partial () =
+  let g = triangle () in
+  let c = [| 0; 1; C.uncolored |] in
+  check_bool "partial proper" true (C.is_proper_partial g c);
+  check_bool "not total proper" false (C.is_proper g c);
+  let bad = [| 0; 0; C.uncolored |] in
+  check_bool "monochromatic edge" false (C.is_proper_partial g bad)
+
+let test_coloring_classes () =
+  let c = [| 0; 1; 0; C.uncolored; 1 |] in
+  let classes = C.color_classes c in
+  check "count" 2 (Array.length classes);
+  Alcotest.(check (list int)) "class 0" [ 0; 2 ] classes.(0);
+  Alcotest.(check (list int)) "class 1" [ 1; 4 ] classes.(1)
+
+let test_chromatic_known_values () =
+  let chi g = Option.get (C.chromatic_number_within ~budget:2_000_000 g) in
+  check "empty" 1 (chi (G.empty 5));
+  check "zero vertices" 0 (chi (G.empty 0));
+  check "path" 2 (chi (Gen.path 6));
+  check "even cycle" 2 (chi (Gen.ring 8));
+  check "odd cycle" 3 (chi (Gen.ring 9));
+  check "K7" 7 (chi (Gen.complete 7));
+  check "bipartite" 2 (chi (Gen.complete_bipartite 4 5));
+  check "grid" 2 (chi (Gen.grid 4 5));
+  check "tree" 2 (chi (Gen.balanced_tree 3 2))
+
+let test_chromatic_vs_greedy () =
+  let rng = Rng.create 71 in
+  for _ = 1 to 8 do
+    let g = Gen.gnp rng 18 0.3 in
+    let chi = Option.get (C.chromatic_number_within ~budget:2_000_000 g) in
+    check_bool "chi <= greedy" true (chi <= C.num_colors (C.greedy g));
+    (* witness coloring exists and is proper *)
+    match C.k_colorable g chi with
+    | Some f ->
+        check_bool "witness proper" true (C.is_proper g f);
+        check_bool "witness tight" true (C.num_colors f <= chi)
+    | None -> Alcotest.fail "chi not achievable"
+  done
+
+let test_k_colorable_boundaries () =
+  let g = Gen.ring 5 in
+  check_bool "C5 not 2-colorable" true (C.k_colorable g 2 = None);
+  check_bool "C5 3-colorable" true (C.k_colorable g 3 <> None);
+  check_bool "k=0 on empty" true (C.k_colorable (G.empty 0) 0 <> None);
+  check_bool "k=0 with vertices" true (C.k_colorable (G.empty 1) 0 = None)
+
+let test_coloring_custom_order () =
+  let g = Gen.star 5 in
+  (* Color leaves first: all get 0, the center gets 1. *)
+  let c = C.greedy ~order:[| 1; 2; 3; 4; 0 |] g in
+  check "leaf color" 0 c.(1);
+  check "center color" 1 c.(0);
+  check_bool "proper" true (C.is_proper g c)
+
+(* ------------------------------------------------------------------ *)
+(* Dominating sets *)
+
+module D = Ps_graph.Dominating
+
+let test_dominating_verify () =
+  let g = Gen.star 5 in
+  let center = Ps_util.Bitset.of_list 5 [ 0 ] in
+  check_bool "center dominates star" true (D.is_dominating g center);
+  let leaf = Ps_util.Bitset.of_list 5 [ 1 ] in
+  check_bool "leaf does not" false (D.is_dominating g leaf);
+  check_bool "verify raises" true
+    (try
+       D.verify_exn g leaf;
+       false
+     with Invalid_argument _ -> true)
+
+let test_dominating_greedy_valid () =
+  let rng = Rng.create 31 in
+  List.iter
+    (fun g -> check_bool "greedy dominates" true
+        (D.is_dominating g (D.greedy g)))
+    [ Gen.ring 12; Gen.grid 4 5; Gen.gnp rng 70 0.08; G.empty 6;
+      Gen.complete 9; Gen.star 15 ]
+
+let test_dominating_known_numbers () =
+  let gamma g = Option.get (D.domination_number_within ~budget:1_000_000 g) in
+  check "star" 1 (gamma (Gen.star 8));
+  check "complete" 1 (gamma (Gen.complete 7));
+  check "empty" 5 (gamma (G.empty 5));
+  check "P4" 2 (gamma (Gen.path 4));
+  (* gamma(C_n) = ceil(n/3) *)
+  check "C6" 2 (gamma (Gen.ring 6));
+  check "C7" 3 (gamma (Gen.ring 7));
+  check "C9" 3 (gamma (Gen.ring 9))
+
+let test_dominating_exact_at_most_greedy () =
+  let rng = Rng.create 32 in
+  for _ = 1 to 8 do
+    let g = Gen.gnp rng 18 0.15 in
+    let exact = Option.get (D.domination_number_within ~budget:2_000_000 g) in
+    check_bool "exact <= greedy" true
+      (exact <= Ps_util.Bitset.cardinal (D.greedy g))
+  done
+
+let test_dominating_budget_gives_up () =
+  let g = Gen.gnp (Rng.create 33) 30 0.1 in
+  check_bool "tiny budget" true (D.minimum_within ~budget:1 g = None)
+
+(* ------------------------------------------------------------------ *)
+(* Matching *)
+
+module M = Ps_graph.Matching
+
+let test_matching_verify () =
+  let g = Gen.path 4 in
+  check_bool "valid maximal" true
+    (M.is_maximal_matching g [| 1; 0; 3; 2 |]);
+  check_bool "valid but not maximal" false
+    (M.is_maximal_matching g [| -1; -1; 3; 2 |]);
+  check_bool "still a matching" true (M.is_matching g [| -1; -1; 3; 2 |]);
+  check_bool "broken involution" false (M.is_matching g [| 1; 2; 1; -1 |]);
+  check_bool "non-edge pair" false
+    (M.is_matching (Gen.path 4) [| 2; -1; 0; -1 |])
+
+let test_matching_greedy () =
+  let rng = Rng.create 61 in
+  List.iter
+    (fun g ->
+      let m = M.greedy g in
+      check_bool "maximal matching" true (M.is_maximal_matching g m))
+    [ Gen.path 7; Gen.ring 8; Gen.complete 9; Gen.gnp rng 60 0.1;
+      G.empty 5; Gen.star 10 ]
+
+let test_matching_size_and_vertices () =
+  let m = [| 1; 0; -1; 4; 3 |] in
+  check "size" 2 (M.size m);
+  Alcotest.(check (list int)) "matched" [ 0; 1; 3; 4 ] (M.matched_vertices m)
+
+let test_matching_greedy_custom_order () =
+  let g = Gen.path 4 in
+  (* prefer the middle edge: leaves ends unmatched but still maximal *)
+  let m = M.greedy ~order:[ (1, 2) ] g in
+  check "partner of 1" 2 m.(1);
+  check_bool "maximal" true (M.is_maximal_matching g m)
+
+let test_matching_perfect_on_even_ring () =
+  let g = Gen.ring 8 in
+  check "perfect" 4 (M.size (M.greedy g))
+
+(* ------------------------------------------------------------------ *)
+(* I/O *)
+
+let test_io_roundtrip () =
+  let rng = Rng.create 21 in
+  let g = Gen.gnp rng 40 0.15 in
+  let g' = Gio.of_edge_list (Gio.to_edge_list g) in
+  check_bool "roundtrip" true (G.equal g g')
+
+let test_io_comments_and_blanks () =
+  let text = "# a comment\n3 2\n\n0 1\n# another\n1 2\n" in
+  let g = Gio.of_edge_list text in
+  check "n" 3 (G.n_vertices g);
+  check "m" 2 (G.n_edges g)
+
+let test_io_bad_header () =
+  Alcotest.check_raises "bad header"
+    (Failure "Gio.of_edge_list: line 1: header must be \"n m\"") (fun () ->
+      ignore (Gio.of_edge_list "3\n"))
+
+let test_io_edge_count_mismatch () =
+  check_bool "mismatch raises" true
+    (try
+       ignore (Gio.of_edge_list "3 5\n0 1\n");
+       false
+     with Failure _ -> true)
+
+let test_io_dot () =
+  let dot = Gio.to_dot ~name:"t" (triangle ()) in
+  check_bool "mentions graph" true
+    (String.length dot > 10 && String.sub dot 0 7 = "graph t")
+
+let test_io_file_roundtrip () =
+  let g = Gen.grid 3 4 in
+  let path = Filename.temp_file "pslocal" ".graph" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Gio.write_file path g;
+      check_bool "file roundtrip" true (G.equal g (Gio.read_file path)))
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties *)
+
+let arbitrary_gnp =
+  (* Generates (seed, n, p-as-percent) and builds a random graph. *)
+  QCheck.make
+    ~print:(fun (seed, n, p) -> Printf.sprintf "gnp seed=%d n=%d p=%d%%" seed n p)
+    QCheck.Gen.(triple (int_bound 1000) (int_range 1 40) (int_bound 100))
+
+let graph_of (seed, n, p) =
+  Gen.gnp (Rng.create seed) n (float_of_int p /. 100.0)
+
+let prop_handshake =
+  QCheck.Test.make ~count:200 ~name:"handshake: sum of degrees = 2m"
+    arbitrary_gnp (fun params ->
+      let g = graph_of params in
+      let sum = ref 0 in
+      for v = 0 to G.n_vertices g - 1 do
+        sum := !sum + G.degree g v
+      done;
+      !sum = 2 * G.n_edges g)
+
+let prop_has_edge_matches_neighbors =
+  QCheck.Test.make ~count:100 ~name:"has_edge agrees with neighbor lists"
+    arbitrary_gnp (fun params ->
+      let g = graph_of params in
+      let ok = ref true in
+      for u = 0 to G.n_vertices g - 1 do
+        for v = 0 to G.n_vertices g - 1 do
+          if u <> v then begin
+            let listed = Array.mem v (G.neighbors g u) in
+            if listed <> G.has_edge g u v then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let prop_bfs_triangle_inequality =
+  QCheck.Test.make ~count:100
+    ~name:"bfs distances satisfy edge-wise triangle inequality"
+    arbitrary_gnp (fun params ->
+      let g = graph_of params in
+      if G.n_vertices g = 0 then true
+      else begin
+        let d = T.bfs_distances g 0 in
+        let ok = ref true in
+        G.iter_edges g (fun u v ->
+            if d.(u) >= 0 && d.(v) >= 0 && abs (d.(u) - d.(v)) > 1 then
+              ok := false);
+        !ok
+      end)
+
+let prop_greedy_coloring_proper =
+  QCheck.Test.make ~count:100 ~name:"greedy coloring always proper, ≤ Δ+1"
+    arbitrary_gnp (fun params ->
+      let g = graph_of params in
+      let c = C.greedy g in
+      C.is_proper g c && C.max_color c <= G.max_degree g)
+
+let prop_components_partition =
+  QCheck.Test.make ~count:100 ~name:"components partition the vertex set"
+    arbitrary_gnp (fun params ->
+      let g = graph_of params in
+      let comps = T.connected_components g in
+      let all = Array.to_list comps |> List.concat |> List.sort compare in
+      all = List.init (G.n_vertices g) (fun i -> i))
+
+let prop_io_roundtrip =
+  QCheck.Test.make ~count:50 ~name:"edge-list IO roundtrip"
+    arbitrary_gnp (fun params ->
+      let g = graph_of params in
+      G.equal g (Gio.of_edge_list (Gio.to_edge_list g)))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_handshake;
+      prop_has_edge_matches_neighbors;
+      prop_bfs_triangle_inequality;
+      prop_greedy_coloring_proper;
+      prop_components_partition;
+      prop_io_roundtrip ]
+
+let suites =
+  [ ( "graph.core",
+      [ Alcotest.test_case "basic" `Quick test_graph_basic;
+        Alcotest.test_case "duplicates collapse" `Quick
+          test_graph_duplicate_edges_collapse;
+        Alcotest.test_case "rejects self-loop" `Quick
+          test_graph_rejects_self_loop;
+        Alcotest.test_case "rejects out of range" `Quick
+          test_graph_rejects_out_of_range;
+        Alcotest.test_case "neighbors sorted" `Quick
+          test_graph_neighbors_sorted;
+        Alcotest.test_case "empty graph" `Quick test_graph_empty;
+        Alcotest.test_case "zero vertices" `Quick test_graph_zero_vertices;
+        Alcotest.test_case "edges iteration" `Quick
+          test_graph_edges_iteration;
+        Alcotest.test_case "fold/exists" `Quick test_graph_fold_exists;
+        Alcotest.test_case "induced subgraph" `Quick test_induced_subgraph;
+        Alcotest.test_case "induced relabeling" `Quick
+          test_induced_subgraph_relabeling;
+        Alcotest.test_case "complement" `Quick test_complement;
+        Alcotest.test_case "union" `Quick test_union;
+        Alcotest.test_case "degree stats" `Quick test_avg_max_degree ] );
+    ( "graph.gen",
+      [ Alcotest.test_case "ring" `Quick test_gen_ring;
+        Alcotest.test_case "path" `Quick test_gen_path;
+        Alcotest.test_case "complete" `Quick test_gen_complete;
+        Alcotest.test_case "complete bipartite" `Quick
+          test_gen_complete_bipartite;
+        Alcotest.test_case "grid" `Quick test_gen_grid;
+        Alcotest.test_case "balanced tree" `Quick test_gen_balanced_tree;
+        Alcotest.test_case "gnp extremes" `Quick test_gen_gnp_extremes;
+        Alcotest.test_case "gnp density" `Quick test_gen_gnp_density;
+        Alcotest.test_case "gnm" `Quick test_gen_gnm;
+        Alcotest.test_case "random regular-ish" `Quick
+          test_gen_random_regular_ish;
+        Alcotest.test_case "random tree" `Quick test_gen_random_tree;
+        Alcotest.test_case "unit interval" `Quick test_gen_unit_interval;
+        Alcotest.test_case "power law" `Quick test_gen_power_law;
+        Alcotest.test_case "hypercube" `Quick test_gen_hypercube;
+        Alcotest.test_case "petersen invariants" `Quick
+          test_gen_petersen_invariants;
+        Alcotest.test_case "kneser" `Quick test_gen_kneser;
+        Alcotest.test_case "crown" `Quick test_gen_crown;
+        Alcotest.test_case "wheel" `Quick test_gen_wheel;
+        Alcotest.test_case "disjoint cliques" `Quick
+          test_gen_disjoint_cliques ] );
+    ( "graph.traverse",
+      [ Alcotest.test_case "bfs distances" `Quick test_bfs_distances;
+        Alcotest.test_case "bfs unreachable" `Quick test_bfs_unreachable;
+        Alcotest.test_case "bfs multi-source" `Quick test_bfs_multi;
+        Alcotest.test_case "ball" `Quick test_ball;
+        Alcotest.test_case "ball subgraph" `Quick test_ball_subgraph;
+        Alcotest.test_case "components" `Quick test_components;
+        Alcotest.test_case "eccentricity/diameter" `Quick
+          test_eccentricity_diameter;
+        Alcotest.test_case "diameter disconnected" `Quick
+          test_diameter_disconnected;
+        Alcotest.test_case "dfs preorder" `Quick test_dfs_preorder;
+        Alcotest.test_case "distance" `Quick test_distance;
+        Alcotest.test_case "power graph" `Quick test_power_graph ] );
+    ( "graph.coloring",
+      [ Alcotest.test_case "greedy proper" `Quick
+          test_coloring_greedy_proper;
+        Alcotest.test_case "path two colors" `Quick
+          test_coloring_greedy_path_two_colors;
+        Alcotest.test_case "partial" `Quick test_coloring_partial;
+        Alcotest.test_case "classes" `Quick test_coloring_classes;
+        Alcotest.test_case "chromatic known" `Quick
+          test_chromatic_known_values;
+        Alcotest.test_case "chromatic vs greedy" `Quick
+          test_chromatic_vs_greedy;
+        Alcotest.test_case "k-colorable boundaries" `Quick
+          test_k_colorable_boundaries;
+        Alcotest.test_case "custom order" `Quick test_coloring_custom_order ]
+    );
+    ( "graph.dominating",
+      [ Alcotest.test_case "verify" `Quick test_dominating_verify;
+        Alcotest.test_case "greedy valid" `Quick
+          test_dominating_greedy_valid;
+        Alcotest.test_case "known numbers" `Quick
+          test_dominating_known_numbers;
+        Alcotest.test_case "exact <= greedy" `Quick
+          test_dominating_exact_at_most_greedy;
+        Alcotest.test_case "budget" `Quick test_dominating_budget_gives_up ]
+    );
+    ( "graph.matching",
+      [ Alcotest.test_case "verify" `Quick test_matching_verify;
+        Alcotest.test_case "greedy" `Quick test_matching_greedy;
+        Alcotest.test_case "size/vertices" `Quick
+          test_matching_size_and_vertices;
+        Alcotest.test_case "custom order" `Quick
+          test_matching_greedy_custom_order;
+        Alcotest.test_case "perfect on even ring" `Quick
+          test_matching_perfect_on_even_ring ] );
+    ( "graph.io",
+      [ Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+        Alcotest.test_case "comments and blanks" `Quick
+          test_io_comments_and_blanks;
+        Alcotest.test_case "bad header" `Quick test_io_bad_header;
+        Alcotest.test_case "edge count mismatch" `Quick
+          test_io_edge_count_mismatch;
+        Alcotest.test_case "dot export" `Quick test_io_dot;
+        Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip ]
+    );
+    ("graph.properties", props) ]

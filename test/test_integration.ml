@@ -1,0 +1,124 @@
+(* Cross-module integration tests: the data corpus through full
+   pipelines, and end-to-end flows a downstream user would run. *)
+
+module H = Ps_hypergraph.Hypergraph
+module G = Ps_graph.Graph
+module Pipe = Ps_core.Pipeline
+module Cert = Ps_core.Certify
+module Is = Ps_maxis.Independent_set
+module Rng = Ps_util.Rng
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Locate the repository's data/ directory: dune runs tests from the
+   build sandbox, so walk up from cwd until we find it. *)
+let data_dir () =
+  let rec up dir depth =
+    if depth > 8 then None
+    else if Sys.file_exists (Filename.concat dir "data/ring_48.el") then
+      Some (Filename.concat dir "data")
+    else up (Filename.dirname dir) (depth + 1)
+  in
+  up (Sys.getcwd ()) 0
+
+let with_data name f =
+  match data_dir () with
+  | None -> () (* corpus not present (e.g. sandboxed build); skip *)
+  | Some dir -> f (Filename.concat dir name)
+
+let test_corpus_hypergraphs_reduce () =
+  List.iter
+    (fun file ->
+      with_data file (fun path ->
+          let h = Ps_hypergraph.Hio.read_file path in
+          let result = Pipe.solve ~solver:Ps_maxis.Approx.caro_wei h in
+          check_bool (file ^ " certifies") true
+            result.Pipe.certificate.Cert.all_ok))
+    [ "intervals_64_50.hg"; "almost_uniform_48_60.hg"; "sunflower_12.hg" ]
+
+let test_corpus_graphs_mis () =
+  List.iter
+    (fun file ->
+      with_data file (fun path ->
+          let g = Ps_graph.Gio.read_file path in
+          let flags, _ = Ps_local.Luby.run ~seed:1 g in
+          let is = Is.of_indicator flags in
+          check_bool (file ^ " MIS") true
+            (Is.is_independent g is && Is.is_maximal g is)))
+    [ "gnp_100_005.el"; "grid_8x8.el"; "ring_48.el" ]
+
+let test_corpus_decomposition () =
+  with_data "grid_8x8.el" (fun path ->
+      let g = Ps_graph.Gio.read_file path in
+      let d = Ps_slocal.Decomposition.ball_carving g in
+      check_bool "valid" true
+        (Ps_slocal.Decomposition.check_all (Ps_slocal.Decomposition.verify g d)))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end flows without the corpus *)
+
+let test_full_flow_generate_solve_export_verify () =
+  (* What a user script does: generate, solve, serialize, reload, verify. *)
+  let rng = Rng.create 2026 in
+  let h =
+    Ps_hypergraph.Hgen.almost_uniform_random rng ~n:30 ~m:24 ~k:3 ~eps:1.0
+  in
+  let text = Ps_hypergraph.Hio.to_text h in
+  let h' = Ps_hypergraph.Hio.of_text text in
+  check_bool "serialization faithful" true (H.equal h h');
+  let result = Pipe.solve ~solver:Ps_maxis.Approx.greedy_min_degree h' in
+  Ps_cfc.Multicolor.verify_exn h
+    result.Pipe.reduction.Ps_core.Reduction.multicoloring;
+  check_bool "ok" true result.Pipe.certificate.Cert.all_ok
+
+let test_full_flow_three_model_mis_agree_on_validity () =
+  (* LOCAL, SLOCAL and compiled-LOCAL all produce valid MIS on the same
+     instance; sizes may differ, validity may not. *)
+  let g = Ps_graph.Gen.gnp (Rng.create 7) 90 0.07 in
+  let luby, _ = Ps_local.Luby.run ~seed:2 g in
+  let slocal, _ = Ps_slocal.Greedy_mis.run g in
+  let module C = Ps_slocal.Compiler.Make (Ps_slocal.Greedy_mis.Algo) in
+  let compiled = (C.run g).Ps_slocal.Compiler.outputs in
+  List.iter
+    (fun (label, flags) ->
+      let is = Is.of_indicator flags in
+      check_bool (label ^ " valid") true
+        (Is.is_independent g is && Is.is_maximal g is))
+    [ ("luby", luby); ("slocal", slocal); ("compiled", compiled) ];
+  (* all three MIS sizes are within the Turán lower bound and alpha *)
+  let lower =
+    int_of_float (Ps_maxis.Caro_wei.expected_size_bound g)
+  in
+  List.iter
+    (fun (label, flags) ->
+      let size = Is.size (Is.of_indicator flags) in
+      check_bool (label ^ " not absurdly small") true (4 * size >= lower))
+    [ ("luby", luby); ("slocal", slocal); ("compiled", compiled) ]
+
+let test_full_flow_conflict_graph_both_representations_in_reduction () =
+  (* Reduction via materialized solving and via message passing agree on
+     being certified (not necessarily on the coloring). *)
+  let rng = Rng.create 8 in
+  let h = Ps_hypergraph.Hgen.uniform_random rng ~n:16 ~m:12 ~k:3 in
+  let a = Pipe.solve ~k:(Pipe.Fixed 3) ~solver:Ps_maxis.Approx.caro_wei h in
+  let b = Ps_core.Reduction_local.run ~k:3 h in
+  check_bool "centralized certifies" true a.Pipe.certificate.Cert.all_ok;
+  check_bool "local certifies" true
+    (Cert.certify b.Ps_core.Reduction_local.reduction).Cert.all_ok
+
+let suites =
+  [ ( "integration.corpus",
+      [ Alcotest.test_case "hypergraphs reduce" `Quick
+          test_corpus_hypergraphs_reduce;
+        Alcotest.test_case "graphs MIS" `Quick test_corpus_graphs_mis;
+        Alcotest.test_case "decomposition" `Quick test_corpus_decomposition ]
+    );
+    ( "integration.flows",
+      [ Alcotest.test_case "generate-solve-export-verify" `Quick
+          test_full_flow_generate_solve_export_verify;
+        Alcotest.test_case "three-model MIS" `Quick
+          test_full_flow_three_model_mis_agree_on_validity;
+        Alcotest.test_case "both reduction drivers" `Quick
+          test_full_flow_conflict_graph_both_representations_in_reduction ]
+    ) ]

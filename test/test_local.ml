@@ -1,0 +1,763 @@
+(* Tests for the LOCAL-model simulator and its algorithms. *)
+
+module G = Ps_graph.Graph
+module Gen = Ps_graph.Gen
+module Network = Ps_local.Network
+module Gather = Ps_local.Gather
+module Luby = Ps_local.Luby
+module CL = Ps_local.Coloring_local
+module Is = Ps_maxis.Independent_set
+module Rng = Ps_util.Rng
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Network simulator mechanics, tested with tiny custom algorithms. *)
+
+(* Every node halts immediately with its own id: 0 rounds. *)
+module Echo_id = struct
+  type state = unit
+  type message = unit
+  type output = int
+
+  let name = "echo-id"
+  let init (ctx : Network.node_ctx) = Network.Halt ctx.id
+  let step _ _ _ = assert false
+end
+
+(* Every node computes the sum of ids within distance r by flooding
+   partial sums... simplified: count rounds then halt with its degree. *)
+module Degree_after_k (K : sig
+  val rounds : int
+end) =
+struct
+  type state = int (* rounds remaining *)
+  type message = unit
+  type output = int
+
+  let name = "degree-after-k"
+
+  let init (ctx : Network.node_ctx) =
+    if K.rounds = 0 then Network.Halt ctx.degree
+    else Network.Continue (K.rounds, ())
+
+  let step (ctx : Network.node_ctx) remaining _inbox =
+    if remaining <= 1 then Network.Halt ctx.degree
+    else Network.Continue (remaining - 1, ())
+end
+
+(* Collect neighbor ids: one round of communication. *)
+module Neighbor_ids = struct
+  type state = unit
+  type message = int
+  type output = int list
+
+  let name = "neighbor-ids"
+
+  let init (ctx : Network.node_ctx) = Network.Continue ((), ctx.id)
+
+  let step _ () inbox =
+    Network.Halt
+      (Array.to_list inbox |> List.filter_map Fun.id |> List.sort compare)
+end
+
+let test_network_zero_rounds () =
+  let module R = Network.Run (Echo_id) in
+  let outputs, stats = R.run (Gen.ring 5) in
+  Alcotest.(check (array int)) "ids" [| 0; 1; 2; 3; 4 |] outputs;
+  check "rounds" 0 stats.rounds;
+  check "messages" 0 stats.messages_sent
+
+let test_network_round_counting () =
+  let module A = Degree_after_k (struct
+    let rounds = 7
+  end) in
+  let module R = Network.Run (A) in
+  let g = Gen.ring 6 in
+  let outputs, stats = R.run g in
+  check "rounds" 7 stats.rounds;
+  Array.iter (fun d -> check "degree" 2 d) outputs
+
+let test_network_message_counting () =
+  let module A = Degree_after_k (struct
+    let rounds = 3
+  end) in
+  let module R = Network.Run (A) in
+  let g = Gen.ring 6 in
+  let _, stats = R.run g in
+  (* 6 nodes x 2 neighbors x 3 rounds of receipt *)
+  check "messages" 36 stats.messages_sent
+
+let test_network_neighbor_exchange () =
+  let module R = Network.Run (Neighbor_ids) in
+  let outputs, stats = R.run (Gen.path 4) in
+  check "rounds" 1 stats.rounds;
+  Alcotest.(check (list int)) "end node" [ 1 ] outputs.(0);
+  Alcotest.(check (list int)) "middle node" [ 0; 2 ] outputs.(1)
+
+let test_network_custom_ids () =
+  let module R = Network.Run (Neighbor_ids) in
+  let outputs, _ = R.run ~ids:[| 100; 200; 300 |] (Gen.path 3) in
+  Alcotest.(check (list int)) "custom ids" [ 100; 300 ] outputs.(1)
+
+let test_network_duplicate_ids_rejected () =
+  let module R = Network.Run (Echo_id) in
+  Alcotest.check_raises "duplicate" (Invalid_argument
+    "Network.run: duplicate id") (fun () ->
+      ignore (R.run ~ids:[| 1; 1; 2 |] (Gen.path 3)))
+
+let test_network_round_limit () =
+  (* An algorithm that never halts must hit the limit. *)
+  let module Forever = struct
+    type state = unit
+    type message = unit
+    type output = unit
+
+    let name = "forever"
+    let init _ = Network.Continue ((), ())
+    let step _ () _ = Network.Continue ((), ())
+  end in
+  let module R = Network.Run (Forever) in
+  check_bool "limit raised" true
+    (try
+       ignore (R.run ~max_rounds:10 (Gen.ring 3));
+       false
+     with Network.Round_limit_exceeded 10 -> true)
+
+let test_network_empty_graph () =
+  let module R = Network.Run (Echo_id) in
+  let outputs, stats = R.run (G.empty 0) in
+  check "no outputs" 0 (Array.length outputs);
+  check "rounds" 0 stats.rounds
+
+(* ------------------------------------------------------------------ *)
+(* Gather: direct views vs flooding views *)
+
+let test_gather_radius_zero () =
+  let views = Gather.direct_views (Gen.ring 5) 0 in
+  let v = views.(2) in
+  check "center" 2 v.Gather.center;
+  Alcotest.(check (list int)) "vertices" [ 2 ] v.Gather.vertices;
+  Alcotest.(check (list (pair int int))) "edges" [] v.Gather.edges
+
+let test_gather_radius_one_ring () =
+  let views = Gather.direct_views (Gen.ring 6) 1 in
+  let v = views.(0) in
+  Alcotest.(check (list int)) "ball" [ 0; 1; 5 ] v.Gather.vertices;
+  (* edges incident to the 0-ball = edges at 0 *)
+  Alcotest.(check (list (pair int int))) "incident edges"
+    [ (0, 1); (0, 5) ] v.Gather.edges
+
+let test_gather_flood_matches_direct () =
+  let rng = Rng.create 17 in
+  List.iter
+    (fun g ->
+      for r = 0 to 3 do
+        let direct = Gather.direct_views g r in
+        let flooded, stats = Gather.flood_views g r in
+        check "locality respected" r (min r stats.Network.rounds);
+        Array.iteri
+          (fun v (dv : Gather.view) ->
+            let fv = flooded.(v) in
+            check "center" dv.Gather.center fv.Gather.center;
+            Alcotest.(check (list int))
+              "vertices" dv.Gather.vertices fv.Gather.vertices;
+            Alcotest.(check (list (pair int int)))
+              "edges" dv.Gather.edges fv.Gather.edges)
+          direct
+      done)
+    [ Gen.ring 8; Gen.grid 3 4; Gen.gnp rng 25 0.15; Gen.path 6 ]
+
+let test_gather_flood_round_cost () =
+  let _, stats = Gather.flood_views (Gen.ring 8) 3 in
+  check "r rounds" 3 stats.Network.rounds
+
+let test_gather_view_graph () =
+  let views = Gather.direct_views (Gen.ring 6) 1 in
+  let g, back = Gather.view_graph views.(0) in
+  check "vertices" 3 (G.n_vertices g);
+  check "edges" 2 (G.n_edges g);
+  Alcotest.(check (array int)) "ids" [| 0; 1; 5 |] back
+
+let test_gather_whole_graph_at_large_radius () =
+  let g = Gen.grid 3 3 in
+  let views = Gather.direct_views g 10 in
+  let v = views.(4) in
+  check "all vertices" 9 (List.length v.Gather.vertices);
+  check "all edges" (G.n_edges g) (List.length v.Gather.edges)
+
+(* ------------------------------------------------------------------ *)
+(* Luby's MIS *)
+
+let test_luby_is_mis () =
+  let rng = Rng.create 23 in
+  List.iter
+    (fun g ->
+      let flags, _ = Luby.run ~seed:5 g in
+      let is = Is.of_indicator flags in
+      check_bool "independent" true (Is.is_independent g is);
+      check_bool "maximal" true (Is.is_maximal g is))
+    [ Gen.ring 9;
+      Gen.complete 8;
+      Gen.grid 5 5;
+      Gen.gnp rng 120 0.05;
+      Gen.gnp rng 120 0.3;
+      G.empty 10;
+      Gen.star 12 ]
+
+let test_luby_complete_graph_single_winner () =
+  let flags, _ = Luby.run (Gen.complete 10) in
+  check "exactly one" 1
+    (Array.fold_left (fun a b -> if b then a + 1 else a) 0 flags)
+
+let test_luby_empty_graph_all_in () =
+  let flags, stats = Luby.run (G.empty 7) in
+  check_bool "all in MIS" true (Array.for_all Fun.id flags);
+  check "two rounds" 2 stats.rounds
+
+let test_luby_round_complexity_logarithmic () =
+  (* O(log n) w.h.p.: generous constant on a fixed seed keeps this stable. *)
+  let rng = Rng.create 31 in
+  let g = Gen.gnp rng 400 0.05 in
+  let _, stats = Luby.run ~seed:7 g in
+  check_bool "rounds small" true (Luby.iterations stats <= 20)
+
+let test_luby_seed_determinism () =
+  let g = Gen.gnp (Rng.create 3) 60 0.1 in
+  let a, _ = Luby.run ~seed:11 g in
+  let b, _ = Luby.run ~seed:11 g in
+  Alcotest.(check (array bool)) "same seed same MIS" a b
+
+(* ------------------------------------------------------------------ *)
+(* Randomized (Δ+1)-coloring *)
+
+let test_trial_coloring_proper () =
+  let rng = Rng.create 41 in
+  List.iter
+    (fun g ->
+      let colors, _ = CL.run ~seed:3 g in
+      check_bool "proper" true (Ps_graph.Coloring.is_proper g colors);
+      check_bool "Δ+1 colors" true
+        (Ps_graph.Coloring.max_color colors <= G.max_degree g))
+    [ Gen.ring 9;
+      Gen.complete 7;
+      Gen.grid 4 6;
+      Gen.gnp rng 100 0.08;
+      G.empty 5;
+      Gen.star 10 ]
+
+let test_trial_coloring_palette_is_local_degree () =
+  (* Each vertex's color never exceeds its own degree. *)
+  let rng = Rng.create 43 in
+  let g = Gen.gnp rng 80 0.1 in
+  let colors, _ = CL.run g in
+  Array.iteri
+    (fun v c -> check_bool "c <= deg(v)" true (c <= G.degree g v))
+    colors
+
+let test_trial_coloring_round_complexity () =
+  let rng = Rng.create 47 in
+  let g = Gen.gnp rng 300 0.05 in
+  let _, stats = CL.run ~seed:1 g in
+  check_bool "trials small" true (CL.trials stats <= 25)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic coloring: local-maxima peeling *)
+
+module CR = Ps_local.Color_reduction
+
+let test_peeling_proper () =
+  let rng = Rng.create 51 in
+  List.iter
+    (fun g ->
+      let colors, _ = CR.local_maxima_coloring g in
+      check_bool "proper" true (Ps_graph.Coloring.is_proper g colors);
+      check_bool "Δ+1" true
+        (Ps_graph.Coloring.max_color colors <= G.max_degree g))
+    [ Gen.ring 9; Gen.complete 7; Gen.grid 4 5; Gen.gnp rng 90 0.08;
+      G.empty 6; Gen.star 11 ]
+
+let test_peeling_deterministic () =
+  let g = Gen.gnp (Rng.create 52) 50 0.1 in
+  let a, _ = CR.local_maxima_coloring g in
+  let b, _ = CR.local_maxima_coloring g in
+  Alcotest.(check (array int)) "no randomness" a b
+
+let test_peeling_adversarial_ids_slow () =
+  (* Path with increasing ids: only the top id is ever a local maximum,
+     so peeling takes Θ(n) rounds — the deterministic-vs-randomized gap
+     the paper opens with. *)
+  let n = 40 in
+  let g = Gen.path n in
+  let _, stats = CR.local_maxima_coloring ~max_rounds:(2 * n) g in
+  check_bool "linear rounds" true (stats.Network.rounds >= n / 2)
+
+let test_peeling_good_ids_fast () =
+  (* Alternating high/low ids on a path: all even positions are local
+     maxima at once, odd ones follow — two waves, O(1) rounds. *)
+  let n = 40 in
+  let g = Gen.path n in
+  let ids = Array.init n (fun i -> if i mod 2 = 0 then n + i else i) in
+  let colors, stats = CR.local_maxima_coloring ~ids g in
+  check_bool "proper" true (Ps_graph.Coloring.is_proper g colors);
+  check_bool "few rounds" true (stats.Network.rounds <= 5)
+
+let test_mis_from_coloring () =
+  let rng = Rng.create 53 in
+  List.iter
+    (fun g ->
+      let colors = Ps_graph.Coloring.greedy g in
+      let flags, rounds = CR.mis_from_coloring g colors in
+      let is = Is.of_indicator flags in
+      check_bool "independent" true (Is.is_independent g is);
+      check_bool "maximal" true (Is.is_maximal g is);
+      check "rounds = classes" (Ps_graph.Coloring.max_color colors + 1)
+        rounds)
+    [ Gen.ring 10; Gen.grid 5 5; Gen.gnp rng 80 0.1; Gen.complete 6 ]
+
+let test_mis_from_coloring_rejects_improper () =
+  let g = Gen.path 3 in
+  check_bool "rejects" true
+    (try
+       ignore (CR.mis_from_coloring g [| 0; 0; 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Cole-Vishkin *)
+
+module CV = Ps_local.Cole_vishkin
+
+let test_cv_log_star () =
+  check "2" 0 (CV.log_star 2);
+  check "4" 1 (CV.log_star 4);
+  check "16" 2 (CV.log_star 16);
+  check "65536" 3 (CV.log_star 65536)
+
+let test_cv_three_colors_small () =
+  let trace = CV.three_color ~ids:[| 5; 0; 9; 2; 7 |] in
+  check_bool "proper cycle" true (CV.is_proper_cycle trace.CV.colors);
+  Array.iter
+    (fun c -> check_bool "in {0,1,2}" true (c >= 0 && c < 3))
+    trace.CV.colors
+
+let test_cv_identity_ids () =
+  List.iter
+    (fun n ->
+      let trace = CV.three_color ~ids:(Array.init n (fun i -> i)) in
+      check_bool (Printf.sprintf "proper n=%d" n) true
+        (CV.is_proper_cycle trace.CV.colors))
+    [ 3; 4; 5; 7; 64; 1000 ]
+
+let test_cv_random_large_ids () =
+  let rng = Rng.create 54 in
+  for _ = 1 to 10 do
+    let n = 100 + Rng.int rng 400 in
+    let ids = Rng.sample_without_replacement rng n 1_000_000 in
+    let trace = CV.three_color ~ids in
+    check_bool "proper" true (CV.is_proper_cycle trace.CV.colors);
+    (* log* of 10^6 is 4; allow the +O(1) the analysis hides *)
+    check_bool "log* iterations" true (trace.CV.cv_iterations <= 8)
+  done
+
+let test_cv_rejects_duplicates () =
+  check_bool "duplicate ids" true
+    (try
+       ignore (CV.three_color ~ids:[| 1; 1; 2 |]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "too short" true
+    (try
+       ignore (CV.three_color ~ids:[| 1; 2 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cv_iterations_grow_slowly () =
+  (* Doubling n barely moves the iteration count: the log* signature. *)
+  let trace n =
+    (CV.three_color ~ids:(Array.init n (fun i -> i))).CV.cv_iterations
+  in
+  check_bool "flat growth" true (trace 100_000 - trace 100 <= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized maximal matching *)
+
+module ML = Ps_local.Matching_local
+module M = Ps_graph.Matching
+
+let test_matching_local_valid () =
+  let rng = Rng.create 71 in
+  List.iter
+    (fun g ->
+      let outputs, _ = ML.run ~seed:2 g in
+      let partner = ML.to_partner_array outputs in
+      check_bool "maximal matching" true (M.is_maximal_matching g partner))
+    [ Gen.ring 9; Gen.complete 8; Gen.grid 4 5; Gen.gnp rng 80 0.08;
+      G.empty 6; Gen.star 12; Gen.path 2 ]
+
+let test_matching_local_pairs_consistent () =
+  let g = Gen.gnp (Rng.create 72) 50 0.15 in
+  let outputs, _ = ML.run ~seed:3 g in
+  Array.iteri
+    (fun v out ->
+      match out with
+      | Some p -> (
+          match outputs.(p) with
+          | Some q -> check "mutual" v q
+          | None -> Alcotest.fail "partner claims unmatched")
+      | None -> ())
+    outputs
+
+let test_matching_local_round_complexity () =
+  let g = Gen.gnp (Rng.create 73) 300 0.05 in
+  let _, stats = ML.run ~seed:1 g in
+  check_bool "O(log n)-ish iterations" true (ML.iterations stats <= 40)
+
+let test_matching_local_determinism () =
+  let g = Gen.gnp (Rng.create 74) 40 0.2 in
+  let a, _ = ML.run ~seed:9 g in
+  let b, _ = ML.run ~seed:9 g in
+  check_bool "same matching" true (a = b)
+
+(* ------------------------------------------------------------------ *)
+(* CONGEST: BFS and leader election with bandwidth accounting *)
+
+module Congest = Ps_local.Congest
+
+let test_congest_bfs_distances () =
+  let rng = Rng.create 81 in
+  List.iter
+    (fun g ->
+      let result, stats = Congest.bfs_tree ~root:0 g in
+      Alcotest.(check (array int)) "distances = BFS"
+        (Ps_graph.Traverse.bfs_distances g 0)
+        result.Congest.distance;
+      check_bool "CONGEST bandwidth" true
+        (Congest.bandwidth_ok ~n:(G.n_vertices g) stats))
+    [ Gen.ring 12; Gen.grid 4 6; Gen.gnp rng 60 0.08; Gen.path 9;
+      Gen.balanced_tree 2 4 ]
+
+let test_congest_bfs_parents () =
+  let g = Gen.grid 4 4 in
+  let result, _ = Congest.bfs_tree ~root:0 g in
+  Array.iteri
+    (fun v p ->
+      if v = 0 then check "root parent" (-1) p
+      else begin
+        check_bool "parent is a neighbor" true (G.has_edge g v p);
+        check "parent one closer" (result.Congest.distance.(v) - 1)
+          result.Congest.distance.(p)
+      end)
+    result.Congest.parent
+
+let test_congest_bfs_unreachable () =
+  let g = G.of_edges 4 [ (0, 1) ] in
+  let result, _ = Congest.bfs_tree ~root:0 g in
+  check "unreached distance" (-1) result.Congest.distance.(2);
+  check "unreached parent" (-1) result.Congest.parent.(2)
+
+let test_congest_bfs_round_cost () =
+  let g = Gen.path 20 in
+  let _, stats = Congest.bfs_tree ~root:0 g in
+  (* wave reaches distance 19 in round 19; +1 halting round *)
+  check_bool "rounds ~ eccentricity" true
+    (stats.Congest.network.Network.rounds <= 21)
+
+let test_congest_aggregate_count () =
+  let rng = Rng.create 84 in
+  List.iter
+    (fun g ->
+      let totals, stats = Congest.aggregate ~root:0 g in
+      Array.iter (fun t -> check "count = n" (G.n_vertices g) t) totals;
+      check_bool "CONGEST bandwidth" true
+        (Congest.bandwidth_ok ~n:(G.n_vertices g) stats))
+    [ Gen.ring 10; Gen.grid 4 4; Gen.path 7; Gen.star 9;
+      Gen.gnp rng 40 0.15 |> fun g ->
+      if Ps_graph.Traverse.is_connected g then g else Gen.ring 6 ]
+
+let test_congest_aggregate_sum_of_ids () =
+  let g = Gen.grid 3 4 in
+  let totals, _ = Congest.aggregate ~value:(fun id -> id) ~root:5 g in
+  let expected = 12 * 11 / 2 in
+  Array.iter (fun t -> check "sum of ids" expected t) totals
+
+let test_congest_aggregate_disconnected () =
+  let g = G.of_edges 5 [ (0, 1); (1, 2) ] in
+  let totals, _ = Congest.aggregate ~root:0 g in
+  check "component size at root" 3 totals.(0);
+  check "component member" 3 totals.(2);
+  check "outsider" 0 totals.(3)
+
+let test_congest_aggregate_single () =
+  let totals, _ = Congest.aggregate ~root:0 (G.empty 1) in
+  check "singleton" 1 totals.(0)
+
+let test_congest_leader () =
+  let rng = Rng.create 82 in
+  List.iter
+    (fun g ->
+      let leaders, stats = Congest.leader_elect g in
+      Array.iter (fun l -> check "global min" 0 l) leaders;
+      check_bool "CONGEST bandwidth" true
+        (Congest.bandwidth_ok ~n:(G.n_vertices g) stats))
+    [ Gen.ring 10; Gen.grid 3 5; Gen.gnp rng 40 0.2 ]
+
+let test_congest_leader_rejects_disconnected () =
+  check_bool "raises" true
+    (try
+       ignore (Congest.leader_elect (G.of_edges 3 [ (0, 1) ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_congest_gather_is_not_congest () =
+  (* The r-hop gathering algorithm ships whole subgraphs: its messages
+     blow past the O(log n) budget — the reason LOCAL and CONGEST are
+     different models.  Measure it via a sized wrapper. *)
+  let g = Gen.gnp (Rng.create 83) 40 0.3 in
+  let module Sized = struct
+    (* flood known edge sets for 3 rounds, as view gathering does *)
+    type state = int * (int * int) list
+    type message = (int * int) list
+    type output = int
+
+    let name = "sized-flood"
+    let message_bits edges = 64 + (64 * List.length edges)
+
+    let init (_ : Network.node_ctx) = Network.Continue ((0, []), [])
+
+    let step (ctx : Network.node_ctx) (rounds, known) inbox =
+      let known =
+        Array.fold_left
+          (fun acc msg ->
+            match msg with
+            | Some edges ->
+                List.sort_uniq compare (List.rev_append edges acc)
+            | None -> acc)
+          known inbox
+      in
+      let known = List.sort_uniq compare ((ctx.id, ctx.id + 1) :: known) in
+      if rounds >= 3 then Network.Halt (List.length known)
+      else Network.Continue ((rounds + 1, known), known)
+  end in
+  let module R = Congest.Run (Sized) in
+  let _, stats = R.run g in
+  check_bool "exceeds CONGEST bandwidth" false
+    (Congest.bandwidth_ok ~n:(G.n_vertices g) stats)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle runner: implicit graphs behave exactly like materialized ones *)
+
+let test_oracle_matches_materialized_luby () =
+  let rng = Rng.create 55 in
+  for _ = 1 to 5 do
+    let g = Gen.gnp rng 60 0.1 in
+    let direct, direct_stats = Luby.run ~seed:9 g in
+    let oracle, oracle_stats =
+      Luby.run_oracle ~seed:9 ~n:(G.n_vertices g)
+        ~neighbors:(fun v -> G.neighbors g v)
+        ()
+    in
+    Alcotest.(check (array bool)) "same MIS" direct oracle;
+    check "same rounds" direct_stats.Network.rounds
+      oracle_stats.Network.rounds
+  done
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties *)
+
+let arbitrary_gnp =
+  QCheck.make
+    ~print:(fun (seed, n, p) -> Printf.sprintf "seed=%d n=%d p=%d%%" seed n p)
+    QCheck.Gen.(triple (int_bound 500) (int_range 1 40) (int_bound 60))
+
+let graph_of (seed, n, p) =
+  Ps_graph.Gen.gnp (Rng.create seed) n (float_of_int p /. 100.0)
+
+let prop_luby_always_mis =
+  QCheck.Test.make ~count:60 ~name:"Luby outputs a maximal independent set"
+    arbitrary_gnp (fun params ->
+      let g = graph_of params in
+      let flags, _ = Luby.run ~seed:(Hashtbl.hash params) g in
+      let is = Is.of_indicator flags in
+      Is.is_independent g is && Is.is_maximal g is)
+
+let prop_trial_coloring_always_proper =
+  QCheck.Test.make ~count:60 ~name:"trial coloring is always proper"
+    arbitrary_gnp (fun params ->
+      let g = graph_of params in
+      let colors, _ = CL.run ~seed:(Hashtbl.hash params) g in
+      Ps_graph.Coloring.is_proper g colors
+      && Ps_graph.Coloring.max_color colors <= G.max_degree g)
+
+let prop_flood_equals_direct =
+  QCheck.Test.make ~count:30 ~name:"flooded views equal direct views"
+    (QCheck.pair arbitrary_gnp (QCheck.int_bound 3))
+    (fun (params, r) ->
+      let g = graph_of params in
+      let direct = Gather.direct_views g r in
+      let flooded, _ = Gather.flood_views g r in
+      Array.for_all2
+        (fun (a : Gather.view) (b : Gather.view) ->
+          a.Gather.center = b.Gather.center
+          && a.Gather.vertices = b.Gather.vertices
+          && a.Gather.edges = b.Gather.edges)
+        direct flooded)
+
+let prop_peeling_proper =
+  QCheck.Test.make ~count:60 ~name:"local-maxima coloring always proper"
+    arbitrary_gnp (fun params ->
+      let g = graph_of params in
+      let colors, _ = CR.local_maxima_coloring g in
+      Ps_graph.Coloring.is_proper g colors
+      && Ps_graph.Coloring.max_color colors <= G.max_degree g)
+
+let prop_cv_proper =
+  QCheck.Test.make ~count:60 ~name:"Cole-Vishkin 3-colors any id cycle"
+    QCheck.(pair (int_bound 1000) (int_range 3 200))
+    (fun (seed, n) ->
+      let ids =
+        Rng.sample_without_replacement (Rng.create seed) n 100_000
+      in
+      let trace = CV.three_color ~ids in
+      CV.is_proper_cycle trace.CV.colors
+      && Array.for_all (fun c -> c < 3) trace.CV.colors)
+
+let prop_congest_bfs_equals_traverse =
+  QCheck.Test.make ~count:60 ~name:"CONGEST BFS distances = host-side BFS"
+    arbitrary_gnp (fun params ->
+      let g = graph_of params in
+      if G.n_vertices g = 0 then true
+      else
+        let result, _ = Congest.bfs_tree ~root:0 g in
+        result.Congest.distance = Ps_graph.Traverse.bfs_distances g 0)
+
+let prop_matching_local_valid =
+  QCheck.Test.make ~count:60
+    ~name:"proposal matching is always a maximal matching" arbitrary_gnp
+    (fun params ->
+      let g = graph_of params in
+      let outputs, _ = ML.run ~seed:(Hashtbl.hash params) g in
+      M.is_maximal_matching g (ML.to_partner_array outputs))
+
+let prop_aggregate_counts_component =
+  QCheck.Test.make ~count:40
+    ~name:"CONGEST aggregation counts the root's component" arbitrary_gnp
+    (fun params ->
+      let g = graph_of params in
+      if G.n_vertices g = 0 then true
+      else begin
+        let totals, _ = Congest.aggregate ~root:0 g in
+        let reached =
+          Array.fold_left
+            (fun acc d -> if d >= 0 then acc + 1 else acc)
+            0
+            (Ps_graph.Traverse.bfs_distances g 0)
+        in
+        totals.(0) = reached
+      end)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_luby_always_mis;
+      prop_trial_coloring_always_proper;
+      prop_flood_equals_direct;
+      prop_peeling_proper;
+      prop_cv_proper;
+      prop_congest_bfs_equals_traverse;
+      prop_matching_local_valid;
+      prop_aggregate_counts_component ]
+
+let suites =
+  [ ( "local.network",
+      [ Alcotest.test_case "zero rounds" `Quick test_network_zero_rounds;
+        Alcotest.test_case "round counting" `Quick
+          test_network_round_counting;
+        Alcotest.test_case "message counting" `Quick
+          test_network_message_counting;
+        Alcotest.test_case "neighbor exchange" `Quick
+          test_network_neighbor_exchange;
+        Alcotest.test_case "custom ids" `Quick test_network_custom_ids;
+        Alcotest.test_case "duplicate ids rejected" `Quick
+          test_network_duplicate_ids_rejected;
+        Alcotest.test_case "round limit" `Quick test_network_round_limit;
+        Alcotest.test_case "empty graph" `Quick test_network_empty_graph ]
+    );
+    ( "local.gather",
+      [ Alcotest.test_case "radius zero" `Quick test_gather_radius_zero;
+        Alcotest.test_case "radius one on ring" `Quick
+          test_gather_radius_one_ring;
+        Alcotest.test_case "flood matches direct" `Quick
+          test_gather_flood_matches_direct;
+        Alcotest.test_case "flood round cost" `Quick
+          test_gather_flood_round_cost;
+        Alcotest.test_case "view graph" `Quick test_gather_view_graph;
+        Alcotest.test_case "large radius" `Quick
+          test_gather_whole_graph_at_large_radius ] );
+    ( "local.luby",
+      [ Alcotest.test_case "is MIS" `Quick test_luby_is_mis;
+        Alcotest.test_case "complete graph" `Quick
+          test_luby_complete_graph_single_winner;
+        Alcotest.test_case "empty graph" `Quick test_luby_empty_graph_all_in;
+        Alcotest.test_case "logarithmic rounds" `Quick
+          test_luby_round_complexity_logarithmic;
+        Alcotest.test_case "seed determinism" `Quick
+          test_luby_seed_determinism ] );
+    ( "local.coloring",
+      [ Alcotest.test_case "proper" `Quick test_trial_coloring_proper;
+        Alcotest.test_case "local palette" `Quick
+          test_trial_coloring_palette_is_local_degree;
+        Alcotest.test_case "round complexity" `Quick
+          test_trial_coloring_round_complexity ] );
+    ( "local.color_reduction",
+      [ Alcotest.test_case "peeling proper" `Quick test_peeling_proper;
+        Alcotest.test_case "deterministic" `Quick test_peeling_deterministic;
+        Alcotest.test_case "adversarial ids slow" `Quick
+          test_peeling_adversarial_ids_slow;
+        Alcotest.test_case "good ids fast" `Quick test_peeling_good_ids_fast;
+        Alcotest.test_case "mis from coloring" `Quick
+          test_mis_from_coloring;
+        Alcotest.test_case "rejects improper" `Quick
+          test_mis_from_coloring_rejects_improper ] );
+    ( "local.cole_vishkin",
+      [ Alcotest.test_case "log star" `Quick test_cv_log_star;
+        Alcotest.test_case "small cycle" `Quick test_cv_three_colors_small;
+        Alcotest.test_case "identity ids" `Quick test_cv_identity_ids;
+        Alcotest.test_case "random large ids" `Quick
+          test_cv_random_large_ids;
+        Alcotest.test_case "rejects bad input" `Quick
+          test_cv_rejects_duplicates;
+        Alcotest.test_case "log* growth" `Quick
+          test_cv_iterations_grow_slowly ] );
+    ( "local.congest",
+      [ Alcotest.test_case "bfs distances" `Quick test_congest_bfs_distances;
+        Alcotest.test_case "bfs parents" `Quick test_congest_bfs_parents;
+        Alcotest.test_case "bfs unreachable" `Quick
+          test_congest_bfs_unreachable;
+        Alcotest.test_case "bfs round cost" `Quick
+          test_congest_bfs_round_cost;
+        Alcotest.test_case "aggregate count" `Quick
+          test_congest_aggregate_count;
+        Alcotest.test_case "aggregate sum" `Quick
+          test_congest_aggregate_sum_of_ids;
+        Alcotest.test_case "aggregate disconnected" `Quick
+          test_congest_aggregate_disconnected;
+        Alcotest.test_case "aggregate singleton" `Quick
+          test_congest_aggregate_single;
+        Alcotest.test_case "leader election" `Quick test_congest_leader;
+        Alcotest.test_case "leader rejects disconnected" `Quick
+          test_congest_leader_rejects_disconnected;
+        Alcotest.test_case "gathering exceeds bandwidth" `Quick
+          test_congest_gather_is_not_congest ] );
+    ( "local.matching",
+      [ Alcotest.test_case "valid" `Quick test_matching_local_valid;
+        Alcotest.test_case "pairs consistent" `Quick
+          test_matching_local_pairs_consistent;
+        Alcotest.test_case "round complexity" `Quick
+          test_matching_local_round_complexity;
+        Alcotest.test_case "determinism" `Quick
+          test_matching_local_determinism ] );
+    ( "local.oracle",
+      [ Alcotest.test_case "oracle = materialized (Luby)" `Quick
+          test_oracle_matches_materialized_luby ] );
+    ("local.properties", props) ]

@@ -1,0 +1,7 @@
+(* Aggregate all suites into one alcotest binary: `dune runtest`. *)
+
+let () =
+  Alcotest.run "pslocal"
+    (Test_util.suites @ Test_graph.suites @ Test_hypergraph.suites
+   @ Test_local.suites @ Test_slocal.suites @ Test_maxis.suites
+   @ Test_cfc.suites @ Test_core.suites @ Test_integration.suites)

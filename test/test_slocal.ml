@@ -1,0 +1,829 @@
+(* Tests for the SLOCAL simulator, its greedy algorithms, network
+   decomposition and derandomization. *)
+
+module G = Ps_graph.Graph
+module Gen = Ps_graph.Gen
+module Slocal = Ps_slocal.Slocal
+module Gmis = Ps_slocal.Greedy_mis
+module Gcol = Ps_slocal.Greedy_coloring
+module Decomp = Ps_slocal.Decomposition
+module Derand = Ps_slocal.Derandomize
+module Is = Ps_maxis.Independent_set
+module Rng = Ps_util.Rng
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Simulator mechanics *)
+
+(* Locality-0 algorithm: output = number of previously processed nodes
+   visible in the view (always 0 or 1 = itself-only ball). *)
+module Self_only = struct
+  type state = int
+  type output = int
+
+  let name = "self-only"
+  let locality = 0
+
+  let process (view : int Slocal.node_view) =
+    G.n_vertices view.graph
+
+  let output s = s
+end
+
+(* Locality-2 algorithm: output the ball size — checks the simulator hands
+   out exactly the r-ball. *)
+module Ball_size = struct
+  type state = int
+  type output = int
+
+  let name = "ball-size"
+  let locality = 2
+
+  let process (view : int Slocal.node_view) = G.n_vertices view.graph
+  let output s = s
+end
+
+(* Records the number of already-processed nodes in the 1-ball; summed
+   over all nodes this counts each edge at most... used to check state
+   visibility ordering. *)
+module Seen_processed = struct
+  type state = int
+  type output = int
+
+  let name = "seen-processed"
+  let locality = 1
+
+  let process (view : int Slocal.node_view) =
+    let seen = ref 0 in
+    Array.iteri
+      (fun i st -> if i <> view.center && st <> None then incr seen)
+      view.states;
+    !seen
+
+  let output s = s
+end
+
+let test_slocal_locality_zero_view () =
+  let module R = Slocal.Run (Self_only) in
+  let outputs, stats = R.run (Gen.ring 6) in
+  Array.iter (fun b -> check "ball is singleton" 1 b) outputs;
+  check "locality" 0 stats.Slocal.locality;
+  check "processed" 6 stats.Slocal.processed;
+  check "max ball" 1 stats.Slocal.max_ball_vertices
+
+let test_slocal_ball_exposure () =
+  let module R = Slocal.Run (Ball_size) in
+  let outputs, stats = R.run (Gen.ring 10) in
+  Array.iter (fun b -> check "2-ball on ring has 5" 5 b) outputs;
+  check "max ball" 5 stats.Slocal.max_ball_vertices
+
+let test_slocal_order_respected () =
+  let module R = Slocal.Run (Seen_processed) in
+  let g = Gen.path 3 in
+  (* Process 1 first: it sees nothing; 0 and 2 then each see node 1. *)
+  let outputs, _ = R.run ~order:[| 1; 0; 2 |] g in
+  Alcotest.(check (array int)) "visibility" [| 1; 0; 1 |] outputs
+
+let test_slocal_bad_order_rejected () =
+  let module R = Slocal.Run (Self_only) in
+  Alcotest.check_raises "not a permutation" (Invalid_argument
+    "Slocal.run: order is not a permutation") (fun () ->
+      ignore (R.run ~order:[| 0; 0; 2 |] (Gen.path 3)))
+
+let test_slocal_order_length_rejected () =
+  let module R = Slocal.Run (Self_only) in
+  Alcotest.check_raises "length" (Invalid_argument
+    "Slocal.run: order length mismatch") (fun () ->
+      ignore (R.run ~order:[| 0; 1 |] (Gen.path 3)))
+
+(* ------------------------------------------------------------------ *)
+(* Greedy MIS (locality 1) *)
+
+let test_greedy_mis_valid () =
+  let rng = Rng.create 1 in
+  List.iter
+    (fun g ->
+      let flags, stats = Gmis.run g in
+      let is = Is.of_indicator flags in
+      check_bool "independent" true (Is.is_independent g is);
+      check_bool "maximal" true (Is.is_maximal g is);
+      check "locality one" 1 stats.Slocal.locality)
+    [ Gen.ring 9; Gen.complete 6; Gen.grid 4 4; Gen.gnp rng 80 0.1;
+      G.empty 5 ]
+
+let test_greedy_mis_every_order_valid () =
+  let g = Gen.gnp (Rng.create 2) 30 0.2 in
+  let rng = Rng.create 3 in
+  for _ = 1 to 25 do
+    let flags, _ = Gmis.run_random_order ~rng g in
+    let is = Is.of_indicator flags in
+    check_bool "independent" true (Is.is_independent g is);
+    check_bool "maximal" true (Is.is_maximal g is)
+  done
+
+let test_greedy_mis_first_node_always_joins () =
+  let g = Gen.complete 5 in
+  let flags, _ = Gmis.run ~order:[| 3; 0; 1; 2; 4 |] g in
+  check_bool "first in" true flags.(3);
+  check "only one in clique" 1
+    (Array.fold_left (fun a b -> if b then a + 1 else a) 0 flags)
+
+let test_greedy_mis_identity_order_path () =
+  (* Path 0-1-2-3: order 0..3 gives {0, 2} (3 blocked by 2). *)
+  let flags, _ = Gmis.run (Gen.path 4) in
+  Alcotest.(check (array bool)) "greedy path"
+    [| true; false; true; false |] flags
+
+(* ------------------------------------------------------------------ *)
+(* Greedy coloring (locality 1) *)
+
+let test_greedy_coloring_valid () =
+  let rng = Rng.create 4 in
+  List.iter
+    (fun g ->
+      let colors, _ = Gcol.run g in
+      check_bool "proper" true (Ps_graph.Coloring.is_proper g colors);
+      check_bool "Δ+1" true
+        (Ps_graph.Coloring.max_color colors <= G.max_degree g))
+    [ Gen.ring 7; Gen.complete 6; Gen.gnp rng 60 0.15; Gen.star 9 ]
+
+let test_greedy_coloring_every_order_valid () =
+  let g = Gen.gnp (Rng.create 5) 25 0.25 in
+  let rng = Rng.create 6 in
+  for _ = 1 to 25 do
+    let colors, _ = Gcol.run_random_order ~rng g in
+    check_bool "proper" true (Ps_graph.Coloring.is_proper g colors)
+  done
+
+let test_greedy_coloring_matches_sequential () =
+  (* With the identity order the SLOCAL run must equal the sequential
+     greedy coloring — same algorithm, two harnesses. *)
+  let g = Gen.gnp (Rng.create 7) 40 0.15 in
+  let slocal_colors, _ = Gcol.run g in
+  let sequential = Ps_graph.Coloring.greedy g in
+  Alcotest.(check (array int)) "same coloring" sequential slocal_colors
+
+(* ------------------------------------------------------------------ *)
+(* Network decomposition *)
+
+let test_decomposition_valid_on_families () =
+  let rng = Rng.create 8 in
+  List.iter
+    (fun g ->
+      let d = Decomp.ball_carving g in
+      let chk = Decomp.verify g d in
+      check_bool
+        (Format.asprintf "decomposition valid (%a)" Decomp.pp_check chk)
+        true (Decomp.check_all chk))
+    [ Gen.ring 20;
+      Gen.grid 6 6;
+      Gen.complete 10;
+      Gen.gnp rng 150 0.03;
+      Gen.gnp rng 150 0.2;
+      G.empty 12;
+      Gen.star 15;
+      Gen.random_tree rng 60 ]
+
+let test_decomposition_clique_one_cluster () =
+  let d = Decomp.ball_carving (Gen.complete 16) in
+  check "one cluster" 1 d.Decomp.n_clusters;
+  check "one color" 1 d.Decomp.n_colors;
+  check "radius 1" 1 d.Decomp.max_radius
+
+let test_decomposition_empty_graph_singletons () =
+  let d = Decomp.ball_carving (G.empty 5) in
+  check "clusters" 5 d.Decomp.n_clusters;
+  check "colors" 1 d.Decomp.n_colors;
+  check "radius 0" 0 d.Decomp.max_radius
+
+let test_decomposition_covers_all () =
+  let g = Gen.gnp (Rng.create 9) 100 0.05 in
+  let d = Decomp.ball_carving g in
+  Array.iter
+    (fun c -> check_bool "assigned" true (c >= 0 && c < d.Decomp.n_clusters))
+    d.Decomp.cluster_of
+
+let test_decomposition_custom_order () =
+  let g = Gen.path 8 in
+  let d = Decomp.ball_carving ~order:[| 7; 6; 5; 4; 3; 2; 1; 0 |] g in
+  check_bool "valid under any order" true
+    (Decomp.check_all (Decomp.verify g d))
+
+(* ------------------------------------------------------------------ *)
+(* Derandomization *)
+
+let test_derandomized_mis () =
+  let rng = Rng.create 10 in
+  List.iter
+    (fun g ->
+      let r = Derand.mis g in
+      let is = Is.of_indicator r.Derand.outputs in
+      check_bool "independent" true (Is.is_independent g is);
+      check_bool "maximal" true (Is.is_maximal g is);
+      check_bool "round budget O(c·d)" true
+        (r.Derand.simulated_rounds
+        <= r.Derand.decomposition.Decomp.n_colors
+           * (2 * (r.Derand.decomposition.Decomp.max_radius + 2))))
+    [ Gen.ring 16; Gen.grid 5 5; Gen.gnp rng 120 0.05; Gen.complete 9 ]
+
+let test_derandomized_coloring () =
+  let rng = Rng.create 11 in
+  List.iter
+    (fun g ->
+      let r = Derand.coloring g in
+      check_bool "proper" true
+        (Ps_graph.Coloring.is_proper g r.Derand.outputs);
+      check_bool "Δ+1" true
+        (Ps_graph.Coloring.max_color r.Derand.outputs <= G.max_degree g))
+    [ Gen.ring 16; Gen.grid 5 5; Gen.gnp rng 100 0.08 ]
+
+let test_derandomized_reuses_decomposition () =
+  let g = Gen.grid 4 4 in
+  let d = Decomp.ball_carving g in
+  let r = Derand.mis ~decomposition:d g in
+  check "same cluster count" d.Decomp.n_clusters
+    r.Derand.decomposition.Decomp.n_clusters
+
+(* ------------------------------------------------------------------ *)
+(* SLOCAL MaxIS approximation (containment direction of Theorem 1.1) *)
+
+module Mx = Ps_slocal.Maxis_approx
+
+let test_maxis_approx_valid () =
+  let rng = Rng.create 20 in
+  List.iter
+    (fun g ->
+      let r = Mx.run g in
+      check_bool "independent+maximal" true
+        (Is.is_independent g r.Mx.set && Is.is_maximal g r.Mx.set);
+      check_bool "ratio bound >= 1" true (r.Mx.ratio_bound >= 1);
+      check_bool "locality positive" true (r.Mx.locality >= 1))
+    [ Gen.ring 20; Gen.grid 6 6; Gen.gnp rng 100 0.05; Gen.complete 12;
+      G.empty 8; Gen.star 14 ]
+
+let test_maxis_approx_ratio_certified () =
+  (* On graphs small enough for exact alpha, the set must be at least
+     alpha / ratio_bound when every cluster was solved exactly. *)
+  let rng = Rng.create 21 in
+  for _ = 1 to 8 do
+    let g = Gen.gnp rng 30 0.15 in
+    let r = Mx.run g in
+    if r.Mx.per_cluster_exact then begin
+      let alpha = Ps_maxis.Exact.independence_number g in
+      check_bool "alpha/c guarantee" true
+        (Is.size r.Mx.set * r.Mx.ratio_bound >= alpha)
+    end
+  done
+
+let test_maxis_approx_single_cluster_is_exact () =
+  (* A clique decomposes into one cluster with one color: the answer is
+     exactly alpha = 1. *)
+  let g = Gen.complete 10 in
+  let r = Mx.run g in
+  check "exact on clique" 1 (Is.size r.Mx.set);
+  check "one color" 1 r.Mx.ratio_bound
+
+let test_maxis_approx_budget_fallback () =
+  (* With a 1-node budget every cluster falls back to greedy; the result
+     must still be a valid maximal IS, only the certificate weakens. *)
+  let g = Gen.gnp (Rng.create 22) 60 0.1 in
+  let r = Mx.run ~exact_budget:1 g in
+  check_bool "fallback flagged" false r.Mx.per_cluster_exact;
+  check_bool "still valid" true
+    (Is.is_independent g r.Mx.set && Is.is_maximal g r.Mx.set)
+
+let test_maxis_approx_locality_matches_decomposition () =
+  let g = Gen.gnp (Rng.create 23) 80 0.05 in
+  let d = Ps_slocal.Decomposition.ball_carving g in
+  let r = Mx.run ~decomposition:d g in
+  check "locality = radius+1" (d.Decomp.max_radius + 1) r.Mx.locality;
+  check "ratio = colors" d.Decomp.n_colors r.Mx.ratio_bound
+
+(* ------------------------------------------------------------------ *)
+(* SLOCAL dominating set *)
+
+module Gd = Ps_slocal.Greedy_dominating
+
+let test_dominating_valid_all_orders () =
+  let g = Gen.gnp (Rng.create 24) 40 0.1 in
+  let rng = Rng.create 25 in
+  for _ = 1 to 20 do
+    let flags, _ = Gd.run_random_order ~rng g in
+    let set = Is.of_indicator flags in
+    check_bool "dominates" true (Ps_graph.Dominating.is_dominating g set);
+    (* the greedy joiners form an independent set: it is an MIS *)
+    check_bool "independent" true (Is.is_independent g set);
+    check_bool "maximal" true (Is.is_maximal g set)
+  done
+
+let test_dominating_families () =
+  let rng = Rng.create 26 in
+  List.iter
+    (fun g ->
+      let flags, stats = Gd.run g in
+      check_bool "dominates" true
+        (Ps_graph.Dominating.is_dominating g (Is.of_indicator flags));
+      check "locality one" 1 stats.Slocal.locality)
+    [ Gen.ring 12; Gen.complete 8; Gen.star 9; G.empty 5;
+      Gen.gnp rng 60 0.08 ]
+
+(* ------------------------------------------------------------------ *)
+(* Order sensitivity: the crown graph and the adversarial order search *)
+
+module Os = Ps_slocal.Order_search
+
+let test_crown_good_order_two_colors () =
+  let n = 6 in
+  let g = Gen.crown n in
+  (* all left, then all right *)
+  let order = Array.init (2 * n) (fun i -> i) in
+  let colors, _ = Ps_slocal.Greedy_coloring.run ~order g in
+  check "two colors" 2 (Ps_graph.Coloring.num_colors colors)
+
+let test_crown_paired_order_n_colors () =
+  let n = 6 in
+  let g = Gen.crown n in
+  (* 0, n, 1, n+1, ... : each pair is nonadjacent and mirrors colors *)
+  let order =
+    Array.init (2 * n) (fun i -> if i mod 2 = 0 then i / 2 else n + (i / 2))
+  in
+  let colors, _ = Ps_slocal.Greedy_coloring.run ~order g in
+  check "n colors" n (Ps_graph.Coloring.num_colors colors)
+
+let test_order_search_finds_bad_coloring () =
+  let g = Gen.crown 5 in
+  let rng = Rng.create 111 in
+  let _, worst = Os.worst_coloring_order ~rng ~restarts:8 ~steps:300 g in
+  (* chi = 2; the adversary must find something strictly worse *)
+  check_bool "worse than optimal" true (worst >= 3)
+
+let test_order_search_mis_star () =
+  (* on a star the adversary forces the singleton {center} *)
+  let g = Gen.star 10 in
+  let rng = Rng.create 112 in
+  let _, worst = Os.worst_mis_order ~rng ~restarts:6 ~steps:200 g in
+  check "center-only MIS" 1 worst
+
+let test_order_search_result_is_achievable () =
+  let g = Gen.gnp (Rng.create 113) 30 0.15 in
+  let rng = Rng.create 114 in
+  let order, colors = Os.worst_coloring_order ~rng ~restarts:3 ~steps:100 g in
+  let replay, _ = Ps_slocal.Greedy_coloring.run ~order g in
+  check "replayable" colors (Ps_graph.Coloring.num_colors replay)
+
+(* ------------------------------------------------------------------ *)
+(* MPX randomized decomposition *)
+
+module Mpx = Ps_slocal.Mpx
+
+let test_mpx_valid () =
+  let rng = Rng.create 101 in
+  List.iter
+    (fun g ->
+      let d = Mpx.decompose rng ~beta:0.3 g in
+      check_bool "valid" true (Mpx.is_valid g d))
+    [ Gen.ring 30; Gen.grid 7 7; Gen.gnp rng 120 0.04; G.empty 8;
+      Gen.complete 10; Gen.random_tree rng 50 ]
+
+let test_mpx_beta_tradeoff () =
+  (* larger beta => more, smaller clusters and more cut edges *)
+  let g = Gen.grid 12 12 in
+  let small = Mpx.decompose (Rng.create 102) ~beta:0.05 g in
+  let large = Mpx.decompose (Rng.create 102) ~beta:2.0 g in
+  check_bool "more clusters at high beta" true
+    (large.Mpx.n_clusters > small.Mpx.n_clusters);
+  check_bool "smaller radius at high beta" true
+    (Mpx.max_radius large <= Mpx.max_radius small)
+
+let test_mpx_cut_fraction () =
+  (* E[cut] <= ~beta m; average over seeds with generous slack *)
+  let g = Gen.grid 10 10 in
+  let beta = 0.2 in
+  let total = ref 0 in
+  for seed = 1 to 10 do
+    total := !total + Mpx.cut_edges g (Mpx.decompose (Rng.create seed) ~beta g)
+  done;
+  let mean = float_of_int !total /. 10.0 in
+  check_bool "cut fraction bounded" true
+    (mean <= 3.0 *. beta *. float_of_int (G.n_edges g))
+
+let test_mpx_to_decomposition_structural () =
+  let rng = Rng.create 103 in
+  let g = Gen.gnp rng 80 0.06 in
+  let d = Mpx.to_decomposition g (Mpx.decompose rng ~beta:0.4 g) in
+  let chk = Decomp.verify g d in
+  check_bool "partition" true chk.Decomp.is_partition;
+  check_bool "connected" true chk.Decomp.clusters_connected;
+  check_bool "radius bookkeeping" true chk.Decomp.radius_ok;
+  check_bool "colors legal" true chk.Decomp.colors_legal
+
+let test_mpx_feeds_derandomization () =
+  (* the randomized decomposition plugs into the same machinery *)
+  let rng = Rng.create 104 in
+  let g = Gen.gnp rng 70 0.07 in
+  let d = Mpx.to_decomposition g (Mpx.decompose rng ~beta:0.5 g) in
+  let r = Derand.mis ~decomposition:d g in
+  let is = Is.of_indicator r.Derand.outputs in
+  check_bool "valid MIS" true (Is.is_independent g is && Is.is_maximal g is)
+
+let test_graph_contract () =
+  let g = Gen.path 6 in
+  let q = G.contract g [| 0; 0; 1; 1; 2; 2 |] in
+  check "quotient n" 3 (G.n_vertices q);
+  check "quotient m" 2 (G.n_edges q);
+  check_bool "0-1" true (G.has_edge q 0 1);
+  check_bool "1-2" true (G.has_edge q 1 2);
+  check_bool "0-2" false (G.has_edge q 0 2)
+
+(* ------------------------------------------------------------------ *)
+(* The generic SLOCAL -> LOCAL compiler *)
+
+module Compiler = Ps_slocal.Compiler
+
+let test_compiler_sweep_order_is_permutation () =
+  let g = Gen.gnp (Rng.create 91) 60 0.08 in
+  let d = Decomp.ball_carving g in
+  let order = Compiler.sweep_order d in
+  let sorted = Array.copy order in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation"
+    (Array.init (G.n_vertices g) (fun i -> i))
+    sorted
+
+let test_compiler_sweep_respects_colors () =
+  let g = Gen.gnp (Rng.create 92) 60 0.08 in
+  let d = Decomp.ball_carving g in
+  let order = Compiler.sweep_order d in
+  let last_color = ref (-1) in
+  Array.iter
+    (fun v ->
+      let color = d.Decomp.color_of.(d.Decomp.cluster_of.(v)) in
+      check_bool "colors nondecreasing" true (color >= !last_color);
+      last_color := color)
+    order
+
+let test_compiler_mis () =
+  let rng = Rng.create 93 in
+  List.iter
+    (fun g ->
+      let module C = Compiler.Make (Ps_slocal.Greedy_mis.Algo) in
+      let r = C.run g in
+      let is = Is.of_indicator r.Compiler.outputs in
+      check_bool "valid MIS" true
+        (Is.is_independent g is && Is.is_maximal g is);
+      check "round formula"
+        (Compiler.simulated_rounds r.Compiler.decomposition ~locality:1)
+        r.Compiler.simulated_rounds)
+    [ Gen.ring 15; Gen.grid 5 5; Gen.gnp rng 80 0.06; Gen.complete 8 ]
+
+let test_compiler_coloring () =
+  let g = Gen.gnp (Rng.create 94) 70 0.08 in
+  let module C = Compiler.Make (Ps_slocal.Greedy_coloring.Algo) in
+  let r = C.run g in
+  check_bool "proper" true (Ps_graph.Coloring.is_proper g r.Compiler.outputs);
+  check_bool "Δ+1" true
+    (Ps_graph.Coloring.max_color r.Compiler.outputs <= G.max_degree g)
+
+let test_compiler_dominating () =
+  let g = Gen.gnp (Rng.create 95) 60 0.1 in
+  let module C = Compiler.Make (Ps_slocal.Greedy_dominating.Algo) in
+  let r = C.run g in
+  check_bool "dominates" true
+    (Ps_graph.Dominating.is_dominating g
+       (Is.of_indicator r.Compiler.outputs))
+
+let test_compiler_matches_slocal_run_with_same_order () =
+  (* The compiler IS an SLOCAL execution with the sweep order: outputs
+     must coincide exactly. *)
+  let g = Gen.gnp (Rng.create 96) 50 0.1 in
+  let d = Decomp.ball_carving g in
+  let order = Compiler.sweep_order d in
+  let module C = Compiler.Make (Ps_slocal.Greedy_mis.Algo) in
+  let r = C.run ~decomposition:d g in
+  let direct, _ = Ps_slocal.Greedy_mis.run ~order g in
+  Alcotest.(check (array bool)) "identical" direct r.Compiler.outputs
+
+let test_compiler_matching_locality_two () =
+  (* locality 2: the compiler must decompose G^2 so parallel clusters
+     cannot race on shared edges *)
+  let rng = Rng.create 97 in
+  List.iter
+    (fun g ->
+      let module C = Compiler.Make (Ps_slocal.Greedy_matching.Algo) in
+      let r = C.run g in
+      let partner =
+        Array.map
+          (function
+            | Ps_slocal.Greedy_matching.Algo.Matched_with id -> id
+            | Ps_slocal.Greedy_matching.Algo.Single ->
+                Ps_graph.Matching.unmatched)
+          r.Compiler.outputs
+      in
+      check_bool "maximal matching" true
+        (Ps_graph.Matching.is_maximal_matching g partner))
+    [ Gen.ring 12; Gen.gnp rng 50 0.1; Gen.grid 4 5 ]
+
+let test_compiler_round_bound_polylog () =
+  (* On bounded-growth inputs the charged rounds stay around
+     c·2(d+r+1) = O(log^2 n). *)
+  let g = Gen.grid 20 20 in
+  let module C = Compiler.Make (Ps_slocal.Greedy_mis.Algo) in
+  let r = C.run g in
+  check_bool "small" true (r.Compiler.simulated_rounds <= 80)
+
+(* ------------------------------------------------------------------ *)
+(* SLOCAL greedy matching (locality 2) *)
+
+module Gm = Ps_slocal.Greedy_matching
+module M = Ps_graph.Matching
+
+let test_matching_slocal_valid () =
+  let rng = Rng.create 71 in
+  List.iter
+    (fun g ->
+      let partner, stats = Gm.run g in
+      check_bool "maximal matching" true (M.is_maximal_matching g partner);
+      check "locality two" 2 stats.Slocal.locality)
+    [ Gen.ring 9; Gen.complete 8; Gen.grid 4 4; Gen.gnp rng 60 0.1;
+      G.empty 5; Gen.star 10; Gen.path 2 ]
+
+let test_matching_slocal_every_order () =
+  let g = Gen.gnp (Rng.create 72) 30 0.2 in
+  let rng = Rng.create 73 in
+  for _ = 1 to 25 do
+    let partner, _ = Gm.run_random_order ~rng g in
+    check_bool "maximal matching" true (M.is_maximal_matching g partner)
+  done
+
+let test_matching_slocal_path_identity_order () =
+  (* path 0-1-2-3, identity order: 0 claims 1; 1 honors; 2 claims 3. *)
+  let partner, _ = Gm.run (Gen.path 4) in
+  Alcotest.(check (array int)) "pairs" [| 1; 0; 3; 2 |] partner
+
+(* ------------------------------------------------------------------ *)
+(* Weak splitting *)
+
+module Sp = Ps_slocal.Splitting
+
+let test_splitting_verifier () =
+  (* K4: threshold 3 constrains every vertex. *)
+  let g = Gen.complete 4 in
+  check_bool "balanced ok" true
+    (Sp.is_weak_splitting g ~threshold:3 [| true; true; false; false |]);
+  check_bool "monochromatic fails" false
+    (Sp.is_weak_splitting g ~threshold:3 [| true; true; true; true |]);
+  Alcotest.(check (list int)) "everyone fails" [ 0; 1; 2; 3 ]
+    (Sp.monochromatic_failures g ~threshold:3 [| true; true; true; true |])
+
+let test_splitting_threshold_excuses_low_degree () =
+  let g = Gen.star 5 in
+  (* leaves have degree 1 < threshold: only the center is constrained *)
+  let colors = [| true; true; false; true; true |] in
+  check_bool "center sees both" true (Sp.is_weak_splitting g ~threshold:2 colors);
+  check_bool "all-red center fails" false
+    (Sp.is_weak_splitting g ~threshold:2 [| false; true; true; true; true |])
+
+let test_splitting_initial_potential () =
+  let g = Gen.complete 5 in
+  (* every vertex: degree 4, term 2*2^-4 = 1/8; five vertices = 5/8 *)
+  Alcotest.(check (float 1e-9)) "potential" 0.625
+    (Sp.initial_potential g ~threshold:3)
+
+let test_splitting_deterministic_succeeds_when_certified () =
+  let rng = Rng.create 61 in
+  for _ = 1 to 10 do
+    (* dense random graph: min degree well above log2 n + 1 *)
+    let g = Gen.gnp rng 60 0.5 in
+    let threshold = 12 in
+    if Sp.initial_potential g ~threshold < 1.0 then begin
+      let colors = Sp.deterministic g ~threshold in
+      check_bool "no failures" true (Sp.is_weak_splitting g ~threshold colors)
+    end
+  done
+
+let test_splitting_deterministic_any_order () =
+  let g = Gen.gnp (Rng.create 62) 50 0.5 in
+  let threshold = 12 in
+  let rng = Rng.create 63 in
+  if Sp.initial_potential g ~threshold < 1.0 then
+    for _ = 1 to 10 do
+      let order = Rng.permutation rng (G.n_vertices g) in
+      let colors = Sp.deterministic ~order g ~threshold in
+      check_bool "no failures any order" true
+        (Sp.is_weak_splitting g ~threshold colors)
+    done
+
+let test_splitting_randomized_usually_works_when_dense () =
+  let g = Gen.complete_bipartite 20 20 in
+  let rng = Rng.create 64 in
+  let successes = ref 0 in
+  for _ = 1 to 20 do
+    if Sp.is_weak_splitting g ~threshold:15 (Sp.randomized rng g) then
+      incr successes
+  done;
+  (* failure prob per vertex 2^-19; 40 vertices; ~always works *)
+  check_bool "random splitting whp" true (!successes >= 19)
+
+let test_splitting_failure_count_bounded_by_potential () =
+  (* Even when the certificate is above 1 the conditional-expectations
+     argument bounds failures by the initial potential. *)
+  let rng = Rng.create 65 in
+  for _ = 1 to 10 do
+    let g = Gen.gnp rng 40 0.2 in
+    let threshold = 4 in
+    let colors = Sp.deterministic g ~threshold in
+    let failures =
+      List.length (Sp.monochromatic_failures g ~threshold colors)
+    in
+    check_bool "failures <= potential" true
+      (float_of_int failures
+      <= Sp.initial_potential g ~threshold +. 1e-9)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties *)
+
+let arbitrary_gnp =
+  QCheck.make
+    ~print:(fun (seed, n, p) -> Printf.sprintf "seed=%d n=%d p=%d%%" seed n p)
+    QCheck.Gen.(triple (int_bound 500) (int_range 1 35) (int_bound 60))
+
+let graph_of (seed, n, p) =
+  Gen.gnp (Rng.create seed) n (float_of_int p /. 100.0)
+
+let prop_greedy_mis_any_order =
+  QCheck.Test.make ~count:80
+    ~name:"SLOCAL greedy MIS is maximal+independent for random orders"
+    arbitrary_gnp (fun params ->
+      let g = graph_of params in
+      let rng = Rng.create (Hashtbl.hash params) in
+      let flags, _ = Gmis.run_random_order ~rng g in
+      let is = Is.of_indicator flags in
+      Is.is_independent g is && Is.is_maximal g is)
+
+let prop_greedy_coloring_any_order =
+  QCheck.Test.make ~count:80
+    ~name:"SLOCAL greedy coloring proper for random orders" arbitrary_gnp
+    (fun params ->
+      let g = graph_of params in
+      let rng = Rng.create (Hashtbl.hash params) in
+      let colors, _ = Gcol.run_random_order ~rng g in
+      Ps_graph.Coloring.is_proper g colors
+      && Ps_graph.Coloring.max_color colors <= G.max_degree g)
+
+let prop_decomposition_valid =
+  QCheck.Test.make ~count:60
+    ~name:"ball carving yields a valid (log n, log n) decomposition"
+    arbitrary_gnp (fun params ->
+      let g = graph_of params in
+      Decomp.check_all (Decomp.verify g (Decomp.ball_carving g)))
+
+let prop_derandomized_mis_valid =
+  QCheck.Test.make ~count:40 ~name:"derandomized MIS is a valid MIS"
+    arbitrary_gnp (fun params ->
+      let g = graph_of params in
+      let r = Derand.mis g in
+      let is = Is.of_indicator r.Derand.outputs in
+      Is.is_independent g is && Is.is_maximal g is)
+
+let prop_maxis_approx_valid =
+  QCheck.Test.make ~count:40
+    ~name:"SLOCAL MaxIS approximation: valid set, alpha/c certified"
+    arbitrary_gnp (fun params ->
+      let g = graph_of params in
+      let r = Mx.run g in
+      Is.is_independent g r.Mx.set
+      && Is.is_maximal g r.Mx.set
+      && (not r.Mx.per_cluster_exact
+         || Is.size r.Mx.set * r.Mx.ratio_bound
+            >= Ps_maxis.Exact.independence_number g))
+
+let prop_dominating_any_order =
+  QCheck.Test.make ~count:60
+    ~name:"SLOCAL greedy dominating set dominates for random orders"
+    arbitrary_gnp (fun params ->
+      let g = graph_of params in
+      let rng = Rng.create (Hashtbl.hash params) in
+      let flags, _ = Gd.run_random_order ~rng g in
+      Ps_graph.Dominating.is_dominating g (Is.of_indicator flags))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_greedy_mis_any_order;
+      prop_greedy_coloring_any_order;
+      prop_decomposition_valid;
+      prop_derandomized_mis_valid;
+      prop_maxis_approx_valid;
+      prop_dominating_any_order ]
+
+let suites =
+  [ ( "slocal.simulator",
+      [ Alcotest.test_case "locality zero" `Quick
+          test_slocal_locality_zero_view;
+        Alcotest.test_case "ball exposure" `Quick test_slocal_ball_exposure;
+        Alcotest.test_case "order respected" `Quick
+          test_slocal_order_respected;
+        Alcotest.test_case "bad order rejected" `Quick
+          test_slocal_bad_order_rejected;
+        Alcotest.test_case "order length" `Quick
+          test_slocal_order_length_rejected ] );
+    ( "slocal.greedy_mis",
+      [ Alcotest.test_case "valid" `Quick test_greedy_mis_valid;
+        Alcotest.test_case "every order valid" `Quick
+          test_greedy_mis_every_order_valid;
+        Alcotest.test_case "first node joins" `Quick
+          test_greedy_mis_first_node_always_joins;
+        Alcotest.test_case "identity order on path" `Quick
+          test_greedy_mis_identity_order_path ] );
+    ( "slocal.greedy_coloring",
+      [ Alcotest.test_case "valid" `Quick test_greedy_coloring_valid;
+        Alcotest.test_case "every order valid" `Quick
+          test_greedy_coloring_every_order_valid;
+        Alcotest.test_case "matches sequential" `Quick
+          test_greedy_coloring_matches_sequential ] );
+    ( "slocal.decomposition",
+      [ Alcotest.test_case "valid on families" `Quick
+          test_decomposition_valid_on_families;
+        Alcotest.test_case "clique" `Quick
+          test_decomposition_clique_one_cluster;
+        Alcotest.test_case "empty graph" `Quick
+          test_decomposition_empty_graph_singletons;
+        Alcotest.test_case "covers all" `Quick test_decomposition_covers_all;
+        Alcotest.test_case "custom order" `Quick
+          test_decomposition_custom_order ] );
+    ( "slocal.derandomize",
+      [ Alcotest.test_case "MIS" `Quick test_derandomized_mis;
+        Alcotest.test_case "coloring" `Quick test_derandomized_coloring;
+        Alcotest.test_case "reuses decomposition" `Quick
+          test_derandomized_reuses_decomposition ] );
+    ( "slocal.maxis_approx",
+      [ Alcotest.test_case "valid" `Quick test_maxis_approx_valid;
+        Alcotest.test_case "ratio certified" `Quick
+          test_maxis_approx_ratio_certified;
+        Alcotest.test_case "clique exact" `Quick
+          test_maxis_approx_single_cluster_is_exact;
+        Alcotest.test_case "budget fallback" `Quick
+          test_maxis_approx_budget_fallback;
+        Alcotest.test_case "locality from decomposition" `Quick
+          test_maxis_approx_locality_matches_decomposition ] );
+    ( "slocal.dominating",
+      [ Alcotest.test_case "valid all orders" `Quick
+          test_dominating_valid_all_orders;
+        Alcotest.test_case "families" `Quick test_dominating_families ] );
+    ( "slocal.order_sensitivity",
+      [ Alcotest.test_case "crown good order" `Quick
+          test_crown_good_order_two_colors;
+        Alcotest.test_case "crown paired order" `Quick
+          test_crown_paired_order_n_colors;
+        Alcotest.test_case "search finds bad coloring" `Quick
+          test_order_search_finds_bad_coloring;
+        Alcotest.test_case "search minimizes star MIS" `Quick
+          test_order_search_mis_star;
+        Alcotest.test_case "search replayable" `Quick
+          test_order_search_result_is_achievable ] );
+    ( "slocal.mpx",
+      [ Alcotest.test_case "valid" `Quick test_mpx_valid;
+        Alcotest.test_case "beta tradeoff" `Quick test_mpx_beta_tradeoff;
+        Alcotest.test_case "cut fraction" `Quick test_mpx_cut_fraction;
+        Alcotest.test_case "to_decomposition" `Quick
+          test_mpx_to_decomposition_structural;
+        Alcotest.test_case "feeds derandomization" `Quick
+          test_mpx_feeds_derandomization;
+        Alcotest.test_case "graph contract" `Quick test_graph_contract ] );
+    ( "slocal.compiler",
+      [ Alcotest.test_case "sweep permutation" `Quick
+          test_compiler_sweep_order_is_permutation;
+        Alcotest.test_case "sweep colors ordered" `Quick
+          test_compiler_sweep_respects_colors;
+        Alcotest.test_case "MIS" `Quick test_compiler_mis;
+        Alcotest.test_case "coloring" `Quick test_compiler_coloring;
+        Alcotest.test_case "dominating" `Quick test_compiler_dominating;
+        Alcotest.test_case "matching (locality 2)" `Quick
+          test_compiler_matching_locality_two;
+        Alcotest.test_case "equals SLOCAL run" `Quick
+          test_compiler_matches_slocal_run_with_same_order;
+        Alcotest.test_case "round bound" `Quick
+          test_compiler_round_bound_polylog ] );
+    ( "slocal.matching",
+      [ Alcotest.test_case "valid" `Quick test_matching_slocal_valid;
+        Alcotest.test_case "every order" `Quick
+          test_matching_slocal_every_order;
+        Alcotest.test_case "path identity order" `Quick
+          test_matching_slocal_path_identity_order ] );
+    ( "slocal.splitting",
+      [ Alcotest.test_case "verifier" `Quick test_splitting_verifier;
+        Alcotest.test_case "threshold excuses low degree" `Quick
+          test_splitting_threshold_excuses_low_degree;
+        Alcotest.test_case "initial potential" `Quick
+          test_splitting_initial_potential;
+        Alcotest.test_case "deterministic certified" `Quick
+          test_splitting_deterministic_succeeds_when_certified;
+        Alcotest.test_case "deterministic any order" `Quick
+          test_splitting_deterministic_any_order;
+        Alcotest.test_case "randomized whp" `Quick
+          test_splitting_randomized_usually_works_when_dense;
+        Alcotest.test_case "failures <= potential" `Quick
+          test_splitting_failure_count_bounded_by_potential ] );
+    ("slocal.properties", props) ]
