@@ -3,17 +3,52 @@
      dune exec bench/main.exe              # every experiment + micro-benches
      dune exec bench/main.exe -- e3 e4     # a subset
      dune exec bench/main.exe -- micro     # micro-benchmarks only
+     dune exec bench/main.exe -- micro --quick   # CI smoke run
 
    Experiment ids follow EXPERIMENTS.md: e1-e7 are the paper's claims,
-   a1-a3 the ablations. *)
+   a1-a3 the ablations.  The micro run also writes BENCH_micro.json
+   (benchmark name -> ns/run) so the perf trajectory is tracked across
+   PRs; [--quick] shrinks the per-benchmark measurement quota for CI. *)
 
 let usage () =
-  print_endline "usage: main.exe [e1 .. e7 | a1 .. a3 | micro]...";
+  print_endline "usage: main.exe [e1 .. e7 | a1 .. a3 | micro] [--quick]...";
   print_endline "  (no arguments runs everything)";
   exit 1
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_json path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n";
+      let last = List.length rows - 1 in
+      List.iteri
+        (fun i (name, ns) ->
+          Printf.fprintf oc "  \"%s\": %.1f%s\n" (json_escape name)
+            (if Float.is_nan ns then 0.0 else ns)
+            (if i = last then "" else ","))
+        rows;
+      output_string oc "}\n");
+  Printf.printf "wrote %s (%d entries)\n" path (List.length rows)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let args = List.filter (fun a -> a <> "--quick") args in
   let known = List.map fst Experiments.all @ [ "micro" ] in
   List.iter
     (fun a -> if not (List.mem a known) then usage ())
@@ -24,4 +59,7 @@ let () =
   List.iter
     (fun (name, run) -> if selected name then run ())
     Experiments.all;
-  if selected "micro" then Micro.run ()
+  if selected "micro" then begin
+    let rows = Micro.run ~quick () in
+    write_bench_json "BENCH_micro.json" rows
+  end

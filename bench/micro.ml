@@ -8,10 +8,39 @@ module Hgen = Ps_hypergraph.Hgen
 
 let seed = 7
 
+(* Conflict-graph construction at three scales (the CSR fast path), the
+   list-based reference builder it replaced on the smallest scale, and
+   the 2-domain parallel build — together they track the perf trajectory
+   of the paper's central construction across PRs (BENCH_micro.json). *)
+
+let build_scaling_instance m =
+  let n = 4 * m / 3 in
+  Hgen.uniform_random (Rng.create seed) ~n ~m ~k:4
+
 let conflict_graph_build =
-  let h = Hgen.uniform_random (Rng.create seed) ~n:32 ~m:24 ~k:4 in
+  let h = build_scaling_instance 24 in
   Test.make ~name:"conflict_graph.build (m=24,k=3)"
     (Staged.stage (fun () -> Ps_core.Conflict_graph.build h ~k:3))
+
+let conflict_graph_build_m96 =
+  let h = build_scaling_instance 96 in
+  Test.make ~name:"conflict_graph.build (m=96,k=3)"
+    (Staged.stage (fun () -> Ps_core.Conflict_graph.build h ~k:3))
+
+let conflict_graph_build_m384 =
+  let h = build_scaling_instance 384 in
+  Test.make ~name:"conflict_graph.build (m=384,k=3)"
+    (Staged.stage (fun () -> Ps_core.Conflict_graph.build h ~k:3))
+
+let conflict_graph_build_reference =
+  let h = build_scaling_instance 24 in
+  Test.make ~name:"conflict_graph.build_reference (m=24,k=3)"
+    (Staged.stage (fun () -> Ps_core.Conflict_graph.build_reference h ~k:3))
+
+let conflict_graph_build_domains2 =
+  let h = build_scaling_instance 384 in
+  Test.make ~name:"conflict_graph.build domains=2 (m=384,k=3)"
+    (Staged.stage (fun () -> Ps_core.Conflict_graph.build ~domains:2 h ~k:3))
 
 let greedy_on_conflict_graph =
   let h = Hgen.uniform_random (Rng.create seed) ~n:32 ~m:24 ~k:4 in
@@ -82,18 +111,21 @@ let congest_bfs =
 
 let tests =
   Test.make_grouped ~name:"pslocal"
-    [ conflict_graph_build; greedy_on_conflict_graph;
+    [ conflict_graph_build; conflict_graph_build_m96;
+      conflict_graph_build_m384; conflict_graph_build_reference;
+      conflict_graph_build_domains2; greedy_on_conflict_graph;
       caro_wei_on_conflict_graph; reduction_end_to_end; luby_run;
       slocal_greedy_mis; ball_carving; cf_conservative; exact_maxis;
       exact_gk; mpx_decompose; compiled_mis; congest_bfs ]
 
-let run () =
+let run ?(quick = false) () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
+  let quota = if quick then 0.05 else 0.5 in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:true ()
   in
   let raw = Benchmark.all cfg instances tests in
   let results =
@@ -123,12 +155,17 @@ let run () =
           rows := (name, estimate, r2) :: !rows)
         per_test)
     merged;
+  let rows =
+    List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows
+  in
   List.iter
     (fun (name, estimate, r2) ->
       Ps_util.Table.add_row table
         [ name;
           Ps_util.Table.cell_float ~decimals:0 estimate;
           Ps_util.Table.cell_float ~decimals:4 r2 ])
-    (List.sort compare !rows);
+    rows;
   Ps_util.Table.print
-    ~title:"Micro-benchmarks (bechamel OLS estimate, monotonic clock)" table
+    ~title:"Micro-benchmarks (bechamel OLS estimate, monotonic clock)" table;
+  (* name -> ns/run, for the machine-readable BENCH_micro.json *)
+  List.map (fun (name, estimate, _) -> (name, estimate)) rows

@@ -33,9 +33,26 @@ type t = {
   k : int;
 }
 
-val build : Ps_hypergraph.Hypergraph.t -> k:int -> t
+val build : ?domains:int -> Ps_hypergraph.Hypergraph.t -> k:int -> t
 (** Materialize [G_k].  Size is polynomial:
-    [|V| = k·Σ|e|] and [|E| = O(k² · Σ_e |e|² · max-degree)]. *)
+    [|V| = k·Σ|e|] and [|E| = O(k² · Σ_e |e|² · max-degree)].
+
+    Builds the CSR representation directly: a counting pass sizes every
+    adjacency row by enumerating each triple's neighborhood (as encoded
+    ids, deduplicated by sort + adjacent-skip in a reusable buffer) and
+    a fill pass writes the rows in place — no intermediate edge list, no
+    hashing, cost linear in the output size.  [domains > 1] splits both
+    passes across that many OCaml domains ({!Ps_util.Parallel}); rows
+    are computed independently into disjoint regions, so the result is
+    bit-identical ({!Ps_graph.Graph.equal}) for every domain count.
+    Default [domains = 1] (sequential). *)
+
+val build_reference : Ps_hypergraph.Hypergraph.t -> k:int -> t
+(** The straightforward list-based builder the CSR path replaced:
+    emits every family's pairs into an edge list and normalizes through
+    {!Ps_graph.Graph.of_edges}.  Kept as the differential-testing oracle
+    for {!build} (the property suite checks [Graph.equal] on random
+    hypergraphs) and as the micro-benchmark baseline. *)
 
 val adjacent : Ps_hypergraph.Hypergraph.t -> k:int -> Triple.t -> Triple.t -> bool
 (** Direct evaluation of the edge-family definitions, no graph needed —

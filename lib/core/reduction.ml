@@ -39,6 +39,10 @@ let run ?max_phases ?(seed = 0) ~solver ~k h =
   let multicoloring = Mc.blank h in
   let phases = ref [] in
   let remaining = ref (List.init m (fun e -> e)) in
+  (* Scratch reused every phase: global edge id -> retired by some phase.
+     Turns the remaining-edge prune into O(|remaining|) array lookups
+     instead of an O(|remaining|·|happy|) List.mem scan. *)
+  let retired = Array.make (max m 1) false in
   let phase = ref 0 in
   while !remaining <> [] do
     if !phase >= max_phases then raise (Stalled !phase);
@@ -74,8 +78,8 @@ let run ?max_phases ?(seed = 0) ~solver ~k h =
           (if is_size = 0 then infinity
            else float_of_int (H.n_edges hi) /. float_of_int is_size) }
       :: !phases;
-    remaining :=
-      List.filter (fun e -> not (List.mem e happy_global)) !remaining;
+    List.iter (fun e -> retired.(e) <- true) happy_global;
+    remaining := List.filter (fun e -> not retired.(e)) !remaining;
     incr phase
   done;
   { hypergraph = h;

@@ -29,6 +29,8 @@ let run ?max_phases ?(seed = 0) ~k h =
   let multicoloring = Mc.blank h in
   let phases = ref [] in
   let remaining = ref (List.init m (fun e -> e)) in
+  (* Same bool-array prune as [Reduction.run] — see the comment there. *)
+  let retired = Array.make (max m 1) false in
   let phase = ref 0 in
   let virtual_rounds = ref 0 and messages = ref 0 in
   while !remaining <> [] do
@@ -63,8 +65,8 @@ let run ?max_phases ?(seed = 0) ~k h =
           (if is_size = 0 then infinity
            else float_of_int (H.n_edges hi) /. float_of_int is_size) }
       :: !phases;
-    remaining :=
-      List.filter (fun e -> not (List.mem e happy_global)) !remaining;
+    List.iter (fun e -> retired.(e) <- true) happy_global;
+    remaining := List.filter (fun e -> not retired.(e)) !remaining;
     incr phase
   done;
   let reduction =

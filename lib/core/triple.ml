@@ -19,17 +19,22 @@ module Indexer = struct
     h : H.t;
     k : int;
     start : int array;        (* start.(e) = Σ_{e' < e} |e'|; length m+1 *)
-    position : (int * int, int) Hashtbl.t; (* (e, v) -> rank of v in e *)
+    position : (int, int) Hashtbl.t;
+        (* e·n + v -> rank of v in e; int-encoded keys avoid boxed-tuple
+           allocation and polymorphic hashing on every encode *)
   }
+
+  let pos_key ix e v = (e * H.n_vertices ix.h) + v
 
   let make h ~k =
     if k < 1 then invalid_arg "Triple.Indexer.make: k must be >= 1";
     let m = H.n_edges h in
+    let n = H.n_vertices h in
     let start = Array.make (m + 1) 0 in
     let position = Hashtbl.create 64 in
     for e = 0 to m - 1 do
       start.(e + 1) <- start.(e) + H.edge_size h e;
-      Array.iteri (fun p v -> Hashtbl.add position (e, v) p) (H.edge h e)
+      Array.iteri (fun p v -> Hashtbl.add position ((e * n) + v) p) (H.edge h e)
     done;
     { h; k; start; position }
 
@@ -37,10 +42,16 @@ module Indexer = struct
 
   let k ix = ix.k
 
+  let in_bounds ix t =
+    t.edge >= 0 && t.edge < H.n_edges ix.h
+    && t.vertex >= 0 && t.vertex < H.n_vertices ix.h
+
   let encode ix t =
     if t.color < 0 || t.color >= ix.k then
       invalid_arg "Triple.Indexer.encode: color out of range";
-    match Hashtbl.find_opt ix.position (t.edge, t.vertex) with
+    if not (in_bounds ix t) then
+      invalid_arg "Triple.Indexer.encode: vertex not in edge";
+    match Hashtbl.find_opt ix.position (pos_key ix t.edge t.vertex) with
     | None -> invalid_arg "Triple.Indexer.encode: vertex not in edge"
     | Some p -> ((ix.start.(t.edge) + p) * ix.k) + t.color
 
@@ -59,8 +70,8 @@ module Indexer = struct
     { edge; vertex; color }
 
   let mem ix t =
-    t.color >= 0 && t.color < ix.k
-    && Hashtbl.mem ix.position (t.edge, t.vertex)
+    t.color >= 0 && t.color < ix.k && in_bounds ix t
+    && Hashtbl.mem ix.position (pos_key ix t.edge t.vertex)
 
   let iter ix f =
     for idx = 0 to total ix - 1 do

@@ -51,7 +51,7 @@ exception Budget_exhausted
 let k_colorable_search ~budget g k =
   let n = Graph.n_vertices g in
   let order = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare (Graph.degree g b) (Graph.degree g a)) order;
+  Array.sort (fun a b -> Int.compare (Graph.degree g b) (Graph.degree g a)) order;
   let colors = Array.make n uncolored in
   let nodes = ref 0 in
   let exception Found in

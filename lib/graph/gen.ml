@@ -150,7 +150,7 @@ let random_tree rng n =
 let unit_interval rng n len =
   if len < 0.0 then invalid_arg "Gen.unit_interval";
   let left = Array.init n (fun _ -> Rng.float rng len) in
-  Array.sort compare left;
+  Array.sort Float.compare left;
   let acc = ref [] in
   for u = 0 to n - 1 do
     let v = ref (u + 1) in

@@ -38,23 +38,26 @@ let of_normalized_edges n edges =
     edges;
   for v = 0 to n - 1 do
     let row = Array.sub adj offsets.(v) deg.(v) in
-    Array.sort compare row;
+    Array.sort Int.compare row;
     Array.blit row 0 adj offsets.(v) deg.(v)
   done;
   { n; offsets; adj }
 
 let normalize n edges =
+  (* Dedup on the int-pair encoding u·n + v (u < v): monomorphic int
+     hashing instead of boxed-tuple keys. *)
   let seen = Hashtbl.create (List.length edges) in
   List.filter_map
     (fun (u, v) ->
       if u < 0 || u >= n || v < 0 || v >= n then
         invalid_arg "Graph.of_edges: endpoint out of range";
       if u = v then invalid_arg "Graph.of_edges: self-loop";
-      let e = if u < v then (u, v) else (v, u) in
-      if Hashtbl.mem seen e then None
+      let u, v = if u < v then (u, v) else (v, u) in
+      let key = (u * n) + v in
+      if Hashtbl.mem seen key then None
       else begin
-        Hashtbl.add seen e ();
-        Some e
+        Hashtbl.add seen key ();
+        Some (u, v)
       end)
     edges
 
@@ -63,6 +66,98 @@ let of_edges n edges =
   of_normalized_edges n (normalize n edges)
 
 let of_edge_array n edges = of_edges n (Array.to_list edges)
+
+(* Fast-path constructors.  Both take ownership of already-final data and
+   skip normalization; full structural validation runs only when the
+   PSLOCAL_DEBUG environment variable is set (or on explicit request), so
+   the release-mode cost is O(1) beyond the caller's own work. *)
+
+let debug_validation =
+  match Sys.getenv_opt "PSLOCAL_DEBUG" with
+  | None | Some "" | Some "0" | Some "false" -> false
+  | Some _ -> true
+
+let validate_csr g =
+  let len = Array.length g.offsets in
+  if len <> g.n + 1 then invalid_arg "Graph.of_csr: offsets length <> n+1";
+  if g.offsets.(0) <> 0 then invalid_arg "Graph.of_csr: offsets.(0) <> 0";
+  for v = 0 to g.n - 1 do
+    if g.offsets.(v + 1) < g.offsets.(v) then
+      invalid_arg "Graph.of_csr: offsets not monotone"
+  done;
+  if g.offsets.(g.n) <> Array.length g.adj then
+    invalid_arg "Graph.of_csr: offsets.(n) <> |adj|";
+  for v = 0 to g.n - 1 do
+    for i = g.offsets.(v) to g.offsets.(v + 1) - 1 do
+      let u = g.adj.(i) in
+      if u < 0 || u >= g.n then invalid_arg "Graph.of_csr: endpoint out of range";
+      if u = v then invalid_arg "Graph.of_csr: self-loop";
+      if i > g.offsets.(v) && g.adj.(i - 1) >= u then
+        invalid_arg "Graph.of_csr: row not strictly increasing"
+    done
+  done;
+  (* Symmetry: u ∈ row v ⟹ v ∈ row u (binary search per entry). *)
+  for v = 0 to g.n - 1 do
+    for i = g.offsets.(v) to g.offsets.(v + 1) - 1 do
+      let u = g.adj.(i) in
+      let lo = ref g.offsets.(u) and hi = ref (g.offsets.(u + 1) - 1) in
+      let found = ref false in
+      while (not !found) && !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        if g.adj.(mid) = v then found := true
+        else if g.adj.(mid) < v then lo := mid + 1
+        else hi := mid - 1
+      done;
+      if not !found then invalid_arg "Graph.of_csr: asymmetric adjacency"
+    done
+  done
+
+let of_csr ?validate n ~offsets ~adj =
+  if n < 0 then invalid_arg "Graph.of_csr: negative vertex count";
+  let g = { n; offsets; adj } in
+  let validate = match validate with Some v -> v | None -> debug_validation in
+  if validate then validate_csr g;
+  g
+
+let of_sorted_edge_array ?validate n edges =
+  if n < 0 then invalid_arg "Graph.of_sorted_edge_array: negative vertex count";
+  (let validate = match validate with Some v -> v | None -> debug_validation in
+   if validate then
+     Array.iteri
+       (fun i (u, v) ->
+         if u < 0 || v >= n || u >= v then
+           invalid_arg "Graph.of_sorted_edge_array: edge not normalized";
+         if i > 0 then begin
+           let pu, pv = edges.(i - 1) in
+           if pu > u || (pu = u && pv >= v) then
+             invalid_arg "Graph.of_sorted_edge_array: edges not sorted/unique"
+         end)
+       edges);
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let offsets = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    offsets.(v + 1) <- offsets.(v) + deg.(v)
+  done;
+  let adj = Array.make offsets.(n) 0 in
+  let cursor = Array.copy offsets in
+  (* Lexicographic input order writes every row in increasing order: for a
+     fixed row w, all back-edges (u, w) are scanned before any forward
+     edge (w, x) — their first components satisfy u < w — and each group
+     arrives in increasing order, with u < w < x throughout.  So no
+     per-row sort is needed. *)
+  Array.iter
+    (fun (u, v) ->
+      adj.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1;
+      adj.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1)
+    edges;
+  { n; offsets; adj }
 
 let empty n = of_edges n []
 
@@ -128,21 +223,21 @@ let edges g =
 let vertices g = List.init g.n (fun i -> i)
 
 let induced_subgraph g vs =
-  let vs = List.sort_uniq compare vs in
+  let vs = List.sort_uniq Int.compare vs in
   List.iter (check_vertex g) vs;
   let back = Array.of_list vs in
-  let fwd = Hashtbl.create (Array.length back) in
-  Array.iteri (fun i v -> Hashtbl.add fwd v i) back;
+  (* Dense renaming array instead of a hash table: original id -> new id. *)
+  let fwd = Array.make g.n (-1) in
+  Array.iteri (fun i v -> fwd.(v) <- i) back;
   let sub_edges = ref [] in
+  (* [back] is increasing, so for v < u the new ids satisfy i < j and the
+     collected edges are already normalized (distinct, u < v). *)
   Array.iteri
     (fun i v ->
       iter_neighbors g v (fun u ->
-          if v < u then
-            match Hashtbl.find_opt fwd u with
-            | Some j -> sub_edges := (i, j) :: !sub_edges
-            | None -> ()))
+          if v < u && fwd.(u) >= 0 then sub_edges := (i, fwd.(u)) :: !sub_edges))
     back;
-  (of_edges (Array.length back) !sub_edges, back)
+  (of_normalized_edges (Array.length back) !sub_edges, back)
 
 let complement g =
   let acc = ref [] in

@@ -18,6 +18,25 @@ val of_edges : int -> (int * int) list -> t
 val of_edge_array : int -> (int * int) array -> t
 (** Array variant of {!of_edges}. *)
 
+val of_csr : ?validate:bool -> int -> offsets:int array -> adj:int array -> t
+(** [of_csr n ~offsets ~adj] adopts already-built CSR data with {e no}
+    normalization pass: [offsets] must have length [n+1] with
+    [offsets.(0) = 0], and each row [adj.(offsets.(v) ..
+    offsets.(v+1)-1)] must be strictly increasing, self-loop-free, in
+    range, and symmetric.  The arrays are owned by the graph afterwards —
+    callers must not mutate them.  Violated preconditions are only
+    detected when [validate] is true (default: set the [PSLOCAL_DEBUG]
+    environment variable), in which case every precondition is checked
+    and [Invalid_argument] raised; otherwise construction is O(1). *)
+
+val of_sorted_edge_array : ?validate:bool -> int -> (int * int) array -> t
+(** [of_sorted_edge_array n edges] builds CSR directly from an edge array
+    that is already normalized: each edge once as [(u, v)] with [u < v],
+    sorted lexicographically, no duplicates.  Runs in O(n + m) with no
+    hashing and no per-row sort.  Preconditions are checked only under
+    [validate] (default: the [PSLOCAL_DEBUG] environment variable), as in
+    {!of_csr}. *)
+
 val empty : int -> t
 (** [empty n] has [n] vertices and no edges. *)
 

@@ -40,7 +40,7 @@ let ball g v r =
             Queue.add w queue
           end)
   done;
-  List.sort compare !members
+  List.sort Int.compare !members
 
 let ball_subgraph g v r = Graph.induced_subgraph g (ball g v r)
 

@@ -1,0 +1,46 @@
+(* Minimal fork-join helpers over OCaml 5 domains.
+
+   The repository's parallel code paths (the conflict-graph CSR builder)
+   only need deterministic data-parallel loops over disjoint index
+   ranges, so this module stays deliberately small: no pools, no work
+   stealing.  Spawning a domain costs microseconds; callers should only
+   ask for [domains > 1] on inputs large enough to amortize that. *)
+
+let available () = Domain.recommended_domain_count ()
+
+let fork_join ~domains f =
+  if domains <= 1 then f 0
+  else begin
+    let workers =
+      Array.init (domains - 1) (fun i -> Domain.spawn (fun () -> f (i + 1)))
+    in
+    let first = ref (try f 0; None with e -> Some e) in
+    Array.iter
+      (fun d ->
+        try Domain.join d
+        with e -> if Option.is_none !first then first := Some e)
+      workers;
+    match !first with Some e -> raise e | None -> ()
+  end
+
+let range ~pieces ~lo ~hi i =
+  if pieces <= 0 then invalid_arg "Parallel.range: pieces must be positive";
+  if i < 0 || i >= pieces then invalid_arg "Parallel.range: piece out of range";
+  let len = hi - lo in
+  if len <= 0 then (lo, lo)
+  else begin
+    let base = len / pieces and extra = len mod pieces in
+    let s = lo + (i * base) + min i extra in
+    let e = s + base + if i < extra then 1 else 0 in
+    (s, e)
+  end
+
+let parallel_for ~domains ~lo ~hi f =
+  if hi > lo then begin
+    let domains = max 1 (min domains (hi - lo)) in
+    fork_join ~domains (fun d ->
+        let s, e = range ~pieces:domains ~lo ~hi d in
+        for i = s to e - 1 do
+          f i
+        done)
+  end

@@ -1,0 +1,31 @@
+(** Fork-join data parallelism over OCaml 5 domains.
+
+    Designed for deterministic bulk work split into disjoint contiguous
+    index ranges — each worker writes its own slice of a pre-sized array,
+    so results are bit-identical for every domain count.  There is no
+    pool: every call spawns [domains - 1] fresh domains and joins them
+    before returning, which is the right trade-off for the coarse-grained
+    passes used here (a spawn costs microseconds). *)
+
+val available : unit -> int
+(** [Domain.recommended_domain_count ()] — a sensible upper bound for
+    the [domains] arguments below. *)
+
+val fork_join : domains:int -> (int -> unit) -> unit
+(** [fork_join ~domains f] runs [f 0 .. f (domains-1)], with [f 0] on the
+    calling domain and the rest on freshly spawned domains, and returns
+    once all have finished.  [domains <= 1] degrades to plain [f 0] with
+    no spawning.  If any [f d] raises, all workers are still joined and
+    one of the exceptions is re-raised. *)
+
+val range : pieces:int -> lo:int -> hi:int -> int -> int * int
+(** [range ~pieces ~lo ~hi i] is the [i]-th of [pieces] balanced
+    contiguous subranges of [\[lo, hi)], as a [(start, stop)] pair with
+    [stop] exclusive.  The subranges partition [\[lo, hi)] and differ in
+    length by at most one. *)
+
+val parallel_for : domains:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for ~domains ~lo ~hi f] calls [f i] for every
+    [lo <= i < hi], split across up to [domains] domains in contiguous
+    chunks ([range] above).  The effective domain count is clamped to the
+    iteration count; [domains <= 1] runs sequentially in order. *)

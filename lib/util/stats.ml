@@ -35,7 +35,7 @@ let percentile a q =
   nonempty a;
   if q < 0.0 || q > 100.0 then invalid_arg "Stats.percentile";
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let rank = q /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor rank) in

@@ -184,6 +184,26 @@ let test_vertex_count_formula () =
   check "matches size_formula" (Cg.size_formula h ~k:3)
     (G.n_vertices cg.Cg.graph)
 
+let test_csr_builder_matches_reference () =
+  let rng = Rng.create 40 in
+  List.iter
+    (fun h ->
+      List.iter
+        (fun k ->
+          let reference = (Cg.build_reference h ~k).Cg.graph in
+          check_bool "csr = reference" true
+            (G.equal (Cg.build h ~k).Cg.graph reference);
+          check_bool "csr domains=2 = reference" true
+            (G.equal (Cg.build ~domains:2 h ~k).Cg.graph reference);
+          check_bool "csr domains=3 = reference" true
+            (G.equal (Cg.build ~domains:3 h ~k).Cg.graph reference))
+        [ 1; 2; 3 ])
+    [ sample ();
+      H.of_edges 5 [];
+      Hgen.uniform_random rng ~n:12 ~m:9 ~k:3;
+      Hgen.sunflower ~n_petals:5 ~core:2 ~petal:2;
+      Hgen.random_intervals rng ~n:20 ~m:12 ~min_len:2 ~max_len:6 ]
+
 (* ------------------------------------------------------------------ *)
 (* Structure-aware exact solver for G_k *)
 
@@ -471,6 +491,47 @@ let test_reduction_with_degraded_solver_still_certifies () =
          .Pipe.reduction.Red.total_phases)
 
 (* ------------------------------------------------------------------ *)
+(* Seed-behavior regression: the CSR builder and the bool-array edge
+   pruning must not change what the reduction computes.  The expected
+   numbers below were captured by running the pre-CSR (list-based)
+   implementation on data/sunflower_12.hg with these exact parameters;
+   any drift in the conflict graph or the phase loop shows up here. *)
+
+let sunflower_file = "../data/sunflower_12.hg"
+
+let phase_rows r =
+  List.map
+    (fun (p : Red.phase_record) ->
+      [ p.Red.phase; p.Red.edges_before; p.Red.conflict_vertices;
+        p.Red.conflict_edges; p.Red.is_size; p.Red.newly_happy ])
+    r.Red.phases
+
+let test_reduction_seed_behavior_sunflower () =
+  let h = Ps_hypergraph.Hio.read_file sunflower_file in
+  check "n" 39 (H.n_vertices h);
+  check "m" 12 (H.n_edges h);
+  (* Full-strength solver: a single phase clearing all 12 edges. *)
+  let r = Red.run ~seed:0 ~solver:Approx.greedy_min_degree ~k:2 h in
+  check "phases (greedy)" 1 r.Red.total_phases;
+  check "colors (greedy)" 2 r.Red.colors_used;
+  Alcotest.(check (list (list int)))
+    "phase records (greedy)"
+    [ [ 0; 12; 144; 4356; 12; 12 ] ]
+    (phase_rows r);
+  (* Degraded solver: the multi-phase trajectory, pinned number by number. *)
+  let solver = Approx.degrade ~keep:0.3 Approx.greedy_min_degree in
+  let r = Red.run ~seed:0 ~solver ~k:2 h in
+  check "phases (degraded)" 4 r.Red.total_phases;
+  check "colors (degraded)" 5 r.Red.colors_used;
+  Alcotest.(check (list (list int)))
+    "phase records (degraded)"
+    [ [ 0; 12; 144; 4356; 4; 4 ];
+      [ 1; 8; 96; 2040; 1; 1 ];
+      [ 2; 7; 84; 1596; 1; 1 ];
+      [ 3; 6; 72; 1206; 3; 6 ] ]
+    (phase_rows r)
+
+(* ------------------------------------------------------------------ *)
 (* Ablation: reusing the same palette across phases must break CF. *)
 
 let test_palette_reuse_ablation () =
@@ -686,9 +747,21 @@ let prop_implicit_oracle_sound =
       done;
       !ok)
 
+let prop_csr_build_matches_reference =
+  QCheck.Test.make ~count:60
+    ~name:"CSR build (domains 1 and 2) = build_reference"
+    arbitrary_hg (fun params ->
+      let h = hg_of params in
+      let _, _, _, k = params in
+      let k = min k (max 1 (H.n_vertices h)) in
+      let oracle = (Cg.build_reference h ~k).Cg.graph in
+      G.equal (Cg.build h ~k).Cg.graph oracle
+      && G.equal (Cg.build ~domains:2 h ~k).Cg.graph oracle)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_lemma_a; prop_lemma_b; prop_theorem_11; prop_implicit_oracle_sound ]
+    [ prop_lemma_a; prop_lemma_b; prop_theorem_11; prop_implicit_oracle_sound;
+      prop_csr_build_matches_reference ]
 
 let suites =
   [ ( "core.triple",
@@ -710,7 +783,9 @@ let suites =
           test_edge_family_formula_edge_cliques;
         Alcotest.test_case "dot export" `Quick test_to_dot;
         Alcotest.test_case "vertex count formula" `Quick
-          test_vertex_count_formula ] );
+          test_vertex_count_formula;
+        Alcotest.test_case "CSR = reference" `Quick
+          test_csr_builder_matches_reference ] );
     ( "core.exact_gk",
       [ Alcotest.test_case "matches generic" `Quick
           test_exact_gk_matches_generic;
@@ -751,6 +826,8 @@ let suites =
           test_reduction_with_degraded_solver_still_certifies;
         Alcotest.test_case "broken solver stalls" `Quick
           test_reduction_stalls_on_broken_solver;
+        Alcotest.test_case "seed behavior sunflower_12" `Quick
+          test_reduction_seed_behavior_sunflower;
         Alcotest.test_case "palette reuse ablation" `Quick
           test_palette_reuse_ablation ] );
     ( "core.simulate",

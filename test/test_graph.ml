@@ -544,6 +544,59 @@ let test_io_file_roundtrip () =
       check_bool "file roundtrip" true (G.equal g (Gio.read_file path)))
 
 (* ------------------------------------------------------------------ *)
+(* Fast-path constructors *)
+
+let test_of_sorted_edge_array () =
+  let edges = [| (0, 1); (0, 2); (1, 2); (2, 3) |] in
+  let fast = G.of_sorted_edge_array ~validate:true 4 edges in
+  let slow = G.of_edges 4 (Array.to_list edges) in
+  check_bool "equal to of_edges" true (G.equal fast slow)
+
+let test_of_sorted_edge_array_rejects_unsorted () =
+  check_bool "unsorted rejected" true
+    (try
+       ignore (G.of_sorted_edge_array ~validate:true 3 [| (1, 2); (0, 1) |]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "reversed endpoint rejected" true
+    (try
+       ignore (G.of_sorted_edge_array ~validate:true 3 [| (1, 0) |]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "duplicate rejected" true
+    (try
+       ignore (G.of_sorted_edge_array ~validate:true 3 [| (0, 1); (0, 1) |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_of_csr () =
+  (* path 0 - 1 - 2 as raw CSR *)
+  let g =
+    G.of_csr ~validate:true 3 ~offsets:[| 0; 1; 3; 4 |] ~adj:[| 1; 0; 2; 1 |]
+  in
+  check_bool "equal to of_edges" true
+    (G.equal g (G.of_edges 3 [ (0, 1); (1, 2) ]))
+
+let test_of_csr_rejects_invalid () =
+  check_bool "asymmetric rejected" true
+    (try
+       ignore (G.of_csr ~validate:true 2 ~offsets:[| 0; 1; 1 |] ~adj:[| 1 |]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "unsorted row rejected" true
+    (try
+       ignore
+         (G.of_csr ~validate:true 3 ~offsets:[| 0; 2; 3; 4 |]
+            ~adj:[| 2; 1; 0; 0 |]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "bad offsets length rejected" true
+    (try
+       ignore (G.of_csr ~validate:true 2 ~offsets:[| 0; 0 |] ~adj:[||]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
 (* qcheck properties *)
 
 let arbitrary_gnp =
@@ -616,6 +669,16 @@ let prop_io_roundtrip =
       let g = graph_of params in
       G.equal g (Gio.of_edge_list (Gio.to_edge_list g)))
 
+let prop_sorted_edge_array_fast_path =
+  QCheck.Test.make ~count:100
+    ~name:"of_sorted_edge_array (validated) = of_edges on sorted edges"
+    arbitrary_gnp (fun params ->
+      let g = graph_of params in
+      (* [G.edges] returns each edge once, u < v, lexicographic. *)
+      let edges = Array.of_list (G.edges g) in
+      G.equal g
+        (G.of_sorted_edge_array ~validate:true (G.n_vertices g) edges))
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [ prop_handshake;
@@ -623,7 +686,8 @@ let props =
       prop_bfs_triangle_inequality;
       prop_greedy_coloring_proper;
       prop_components_partition;
-      prop_io_roundtrip ]
+      prop_io_roundtrip;
+      prop_sorted_edge_array_fast_path ]
 
 let suites =
   [ ( "graph.core",
@@ -646,7 +710,14 @@ let suites =
           test_induced_subgraph_relabeling;
         Alcotest.test_case "complement" `Quick test_complement;
         Alcotest.test_case "union" `Quick test_union;
-        Alcotest.test_case "degree stats" `Quick test_avg_max_degree ] );
+        Alcotest.test_case "degree stats" `Quick test_avg_max_degree;
+        Alcotest.test_case "of_sorted_edge_array" `Quick
+          test_of_sorted_edge_array;
+        Alcotest.test_case "of_sorted_edge_array rejects" `Quick
+          test_of_sorted_edge_array_rejects_unsorted;
+        Alcotest.test_case "of_csr" `Quick test_of_csr;
+        Alcotest.test_case "of_csr rejects" `Quick
+          test_of_csr_rejects_invalid ] );
     ( "graph.gen",
       [ Alcotest.test_case "ring" `Quick test_gen_ring;
         Alcotest.test_case "path" `Quick test_gen_path;
