@@ -4,14 +4,19 @@
      dune exec bench/main.exe -- e3 e4     # a subset
      dune exec bench/main.exe -- micro     # micro-benchmarks only
      dune exec bench/main.exe -- micro --quick   # CI smoke run
+     dune exec bench/main.exe -- e3 --trace=trace.jsonl  # + telemetry dump
 
    Experiment ids follow EXPERIMENTS.md: e1-e7 are the paper's claims,
    a1-a3 the ablations.  The micro run also writes BENCH_micro.json
    (benchmark name -> ns/run) so the perf trajectory is tracked across
-   PRs; [--quick] shrinks the per-benchmark measurement quota for CI. *)
+   PRs; [--quick] shrinks the per-benchmark measurement quota for CI.
+   [--trace[=FILE]] turns the telemetry recorder on for the experiment
+   runs and dumps the JSON-lines trace (default file: trace.jsonl). *)
 
 let usage () =
-  print_endline "usage: main.exe [e1 .. e7 | a1 .. a3 | micro] [--quick]...";
+  print_endline
+    "usage: main.exe [e1 .. e7 | a1 .. a3 | micro] [--quick] \
+     [--trace[=FILE]]...";
   print_endline "  (no arguments runs everything)";
   exit 1
 
@@ -45,20 +50,43 @@ let write_bench_json path rows =
       output_string oc "}\n");
   Printf.printf "wrote %s (%d entries)\n" path (List.length rows)
 
+let trace_of_arg a =
+  if a = "--trace" then Some "trace.jsonl"
+  else if String.length a > 8 && String.sub a 0 8 = "--trace=" then
+    Some (String.sub a 8 (String.length a - 8))
+  else None
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
-  let args = List.filter (fun a -> a <> "--quick") args in
+  let trace =
+    List.fold_left
+      (fun acc a -> match trace_of_arg a with Some f -> Some f | None -> acc)
+      None args
+  in
+  let args =
+    List.filter (fun a -> a <> "--quick" && trace_of_arg a = None) args
+  in
   let known = List.map fst Experiments.all @ [ "micro" ] in
   List.iter
     (fun a -> if not (List.mem a known) then usage ())
     args;
+  if trace <> None then Ps_util.Telemetry.set_enabled true;
   let selected name = args = [] || List.mem name args in
   print_endline
     "P-SLOCAL-completeness of MaxIS approximation - experiment harness";
   List.iter
     (fun (name, run) -> if selected name then run ())
     Experiments.all;
+  (* Dump the experiments' trace before the micro-benches: bechamel runs
+     each staged closure thousands of times and would bury the phase
+     spans of interest under repetitions. *)
+  (match trace with
+  | None -> ()
+  | Some path ->
+      Ps_util.Telemetry.write_file path;
+      Printf.printf "wrote telemetry trace to %s\n" path;
+      Ps_util.Telemetry.set_enabled false);
   if selected "micro" then begin
     let rows = Micro.run ~quick () in
     write_bench_json "BENCH_micro.json" rows

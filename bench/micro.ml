@@ -119,6 +119,15 @@ let tests =
       exact_gk; mpx_decompose; compiled_mis; congest_bfs ]
 
 let run ?(quick = false) () =
+  (* BENCH_micro.json tracks the production path across PRs: force the
+     telemetry recorder off for the measurement window so a stray
+     PSLOCAL_TRACE in the environment cannot skew the trajectory (and
+     bechamel's thousands of reps don't accumulate spans). *)
+  let telemetry_was = Ps_util.Telemetry.enabled () in
+  Ps_util.Telemetry.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Ps_util.Telemetry.set_enabled telemetry_was)
+  @@ fun () ->
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in

@@ -25,6 +25,32 @@ let output_arg =
   let doc = "Output file (stdout when omitted)." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
+let trace_arg =
+  let doc =
+    "Record a telemetry trace (spans, counters, gauges) and dump it as \
+     JSON lines to $(docv) after the run ($(b,-) for stdout).  Implies \
+     what setting $(b,PSLOCAL_TRACE) does: the instrumented code paths \
+     start recording."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Run [f] with telemetry per the [--trace] flag, dumping afterwards.
+   The flag enables recording; PSLOCAL_TRACE alone also records, but
+   only --trace dumps the result anywhere. *)
+let with_trace trace f =
+  (match trace with Some _ -> Ps_util.Telemetry.set_enabled true | None -> ());
+  let result = f () in
+  (match trace with
+  | None -> ()
+  | Some "-" -> print_string (Ps_util.Telemetry.to_json_lines ())
+  | Some path ->
+      Ps_util.Telemetry.write_file path;
+      Logs.app (fun m -> m "telemetry trace written to %s" path));
+  result
+
 let write_out output text =
   match output with
   | None -> print_string text
@@ -169,7 +195,7 @@ let solver_of_name = function
   | "exact" -> Ps_maxis.Approx.exact
   | other -> failwith (Printf.sprintf "unknown solver %S" other)
 
-let reduce input solver k seed verbose output =
+let reduce input solver k seed verbose trace output =
   if verbose then
     Logs.Src.set_level Ps_core.Reduction.log_src (Some Logs.Debug);
   let h = Ps_hypergraph.Hio.read_file input in
@@ -179,7 +205,9 @@ let reduce input solver k seed verbose output =
     | Some k -> Ps_core.Pipeline.Fixed k
   in
   let result =
-    Ps_core.Pipeline.solve ~seed ~k:k_choice ~solver:(solver_of_name solver) h
+    with_trace trace (fun () ->
+        Ps_core.Pipeline.solve ~seed ~k:k_choice
+          ~solver:(solver_of_name solver) h)
   in
   let r = result.Ps_core.Pipeline.reduction in
   let t =
@@ -237,7 +265,9 @@ let reduce_cmd =
        ~doc:
          "Conflict-free multicoloring via the Theorem 1.1 reduction \
           (iterated MaxIS approximation).")
-    Term.(const reduce $ input $ solver $ k $ seed_arg $ verbose $ output_arg)
+    Term.(
+      const reduce $ input $ solver $ k $ seed_arg $ verbose $ trace_arg
+      $ output_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify *)
@@ -277,7 +307,8 @@ let verify_cmd =
 (* ------------------------------------------------------------------ *)
 (* mis *)
 
-let mis input seed =
+let mis input seed trace =
+  with_trace trace @@ fun () ->
   let g = Ps_graph.Gio.read_file input in
   let t =
     Ps_util.Table.create
@@ -315,21 +346,26 @@ let mis_cmd =
   in
   Cmd.v
     (Cmd.info "mis" ~doc:"Run the MIS algorithm zoo on a graph.")
-    Term.(const mis $ input $ seed_arg)
+    Term.(const mis $ input $ seed_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* decompose *)
 
-let decompose input =
-  let g = Ps_graph.Gio.read_file input in
-  let d = Ps_slocal.Decomposition.ball_carving g in
-  let check = Ps_slocal.Decomposition.verify g d in
-  Format.printf
-    "%a@.clusters=%d colors=%d max_radius=%d@.verified: %a@." G.pp g
-    d.Ps_slocal.Decomposition.n_clusters d.Ps_slocal.Decomposition.n_colors
-    d.Ps_slocal.Decomposition.max_radius Ps_slocal.Decomposition.pp_check
-    check;
-  exit (if Ps_slocal.Decomposition.check_all check then 0 else 1)
+let decompose input trace =
+  let code =
+    with_trace trace (fun () ->
+        let g = Ps_graph.Gio.read_file input in
+        let d = Ps_slocal.Decomposition.ball_carving g in
+        let check = Ps_slocal.Decomposition.verify g d in
+        Format.printf
+          "%a@.clusters=%d colors=%d max_radius=%d@.verified: %a@." G.pp g
+          d.Ps_slocal.Decomposition.n_clusters
+          d.Ps_slocal.Decomposition.n_colors
+          d.Ps_slocal.Decomposition.max_radius
+          Ps_slocal.Decomposition.pp_check check;
+        if Ps_slocal.Decomposition.check_all check then 0 else 1)
+  in
+  exit code
 
 let decompose_cmd =
   let input =
@@ -341,7 +377,7 @@ let decompose_cmd =
   Cmd.v
     (Cmd.info "decompose"
        ~doc:"Ball-carving (log n, log n) network decomposition.")
-    Term.(const decompose $ input)
+    Term.(const decompose $ input $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* matching *)

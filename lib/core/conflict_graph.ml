@@ -1,6 +1,7 @@
 module H = Ps_hypergraph.Hypergraph
 module G = Ps_graph.Graph
 module Ix = Triple.Indexer
+module Tm = Ps_util.Telemetry
 
 type t = {
   graph : G.t;
@@ -281,18 +282,23 @@ let csr_graph ~k ~domains tb =
   let total = tb.nslots * k in
   let domains = max 1 (min domains (max tb.nslots 1)) in
   let deg = Array.make (max total 1) 0 in
-  (* Counting pass: size every row (no sort needed to count). *)
-  Ps_util.Parallel.fork_join ~domains (fun d ->
-      let lo, hi = Ps_util.Parallel.range ~pieces:domains ~lo:0 ~hi:tb.nslots d in
-      let sc = scratch_create tb.nslots in
-      for s = lo to hi - 1 do
-        collect_slots tb sc s;
-        let ds = slot_degree sc ~k s in
-        clear_slots sc;
-        for c = 0 to k - 1 do
-          deg.((s * k) + c) <- ds
-        done
-      done);
+  (* Counting pass: size every row (no sort needed to count).  The
+     telemetry spans bracket the fork_join calls — the recorder is not
+     domain-safe, so nothing inside a worker touches it. *)
+  Tm.with_span "count_pass" (fun () ->
+      Ps_util.Parallel.fork_join ~domains (fun d ->
+          let lo, hi =
+            Ps_util.Parallel.range ~pieces:domains ~lo:0 ~hi:tb.nslots d
+          in
+          let sc = scratch_create tb.nslots in
+          for s = lo to hi - 1 do
+            collect_slots tb sc s;
+            let ds = slot_degree sc ~k s in
+            clear_slots sc;
+            for c = 0 to k - 1 do
+              deg.((s * k) + c) <- ds
+            done
+          done));
   let offsets = Array.make (total + 1) 0 in
   for i = 0 to total - 1 do
     offsets.(i + 1) <- offsets.(i) + deg.(i)
@@ -301,44 +307,60 @@ let csr_graph ~k ~domains tb =
   (* Fill pass: sort each slot's neighbor slots once, then write its k
      rows in place with a linear walk — ascending slots × ascending
      colors keep every row strictly increasing. *)
-  Ps_util.Parallel.fork_join ~domains (fun d ->
-      let lo, hi = Ps_util.Parallel.range ~pieces:domains ~lo:0 ~hi:tb.nslots d in
-      let sc = scratch_create tb.nslots in
-      for s = lo to hi - 1 do
-        collect_slots tb sc s;
-        sort_range sc.slots.data 0 sc.slots.len;
-        for c = 0 to k - 1 do
-          let w = ref offsets.((s * k) + c) in
-          for i = 0 to sc.slots.len - 1 do
-            let x = sc.slots.data.(i) in
-            let m = Char.code (Bytes.get sc.mask x) in
-            let base = x * k in
-            if x = s || m land edge_bit = 0 && m land samev_bit <> 0 then
-              for c' = 0 to k - 1 do
-                if c' <> c then begin
-                  adj.(!w) <- base + c';
+  Tm.with_span "fill_pass" (fun () ->
+      Ps_util.Parallel.fork_join ~domains (fun d ->
+          let lo, hi =
+            Ps_util.Parallel.range ~pieces:domains ~lo:0 ~hi:tb.nslots d
+          in
+          let sc = scratch_create tb.nslots in
+          for s = lo to hi - 1 do
+            collect_slots tb sc s;
+            sort_range sc.slots.data 0 sc.slots.len;
+            for c = 0 to k - 1 do
+              let w = ref offsets.((s * k) + c) in
+              for i = 0 to sc.slots.len - 1 do
+                let x = sc.slots.data.(i) in
+                let m = Char.code (Bytes.get sc.mask x) in
+                let base = x * k in
+                if x = s || m land edge_bit = 0 && m land samev_bit <> 0 then
+                  for c' = 0 to k - 1 do
+                    if c' <> c then begin
+                      adj.(!w) <- base + c';
+                      incr w
+                    end
+                  done
+                else if m land edge_bit <> 0 then
+                  for c' = 0 to k - 1 do
+                    adj.(!w) <- base + c';
+                    incr w
+                  done
+                else begin
+                  adj.(!w) <- base + c;
                   incr w
                 end
               done
-            else if m land edge_bit <> 0 then
-              for c' = 0 to k - 1 do
-                adj.(!w) <- base + c';
-                incr w
-              done
-            else begin
-              adj.(!w) <- base + c;
-              incr w
-            end
-          done
-        done;
-        clear_slots sc
-      done);
+            done;
+            clear_slots sc
+          done));
+  Tm.set_int "csr_rows" total;
+  Tm.set_int "csr_edges" (offsets.(total) / 2);
   G.of_csr total ~offsets ~adj
 
 let build ?(domains = 1) h ~k =
+  Tm.with_span "conflict_graph.build" @@ fun () ->
+  Tm.set_int "k" k;
+  Tm.set_int "domains" domains;
+  Tm.set_int "hyperedges" (H.n_edges h);
   let ix = Ix.make h ~k in
-  let tb = tables_of h in
-  { graph = csr_graph ~k ~domains tb; indexer = ix; k }
+  let tb = Tm.with_span "tables" (fun () -> tables_of h) in
+  Tm.set_int "slots" tb.nslots;
+  let graph = csr_graph ~k ~domains tb in
+  if Tm.enabled () then begin
+    Tm.incr "conflict_graph.builds";
+    Tm.count "conflict_graph.csr_rows" (G.n_vertices graph);
+    Tm.count "conflict_graph.csr_edges" (G.n_edges graph)
+  end;
+  { graph; indexer = ix; k }
 
 let iter_neighbors_implicit h ix (t : Triple.t) f =
   let k = Ix.k ix in

@@ -3,6 +3,7 @@ module G = Ps_graph.Graph
 module Is = Ps_maxis.Independent_set
 module Mc = Ps_cfc.Multicolor
 module Cf = Ps_cfc.Cf_coloring
+module Tm = Ps_util.Telemetry
 
 type phase_record = {
   phase : int;
@@ -31,7 +32,11 @@ let log_src = Logs.Src.create "ps_core.reduction" ~doc:"Theorem 1.1 phases"
 module Log = (val Logs.src_log log_src)
 
 let run ?max_phases ?(seed = 0) ~solver ~k h =
+  Tm.with_span "reduction.run" @@ fun () ->
   let m = H.n_edges h in
+  Tm.set_int "m" m;
+  Tm.set_int "k" k;
+  Tm.set_str "solver" solver.Ps_maxis.Approx.name;
   let max_phases =
     match max_phases with Some p -> p | None -> (4 * m) + 16
   in
@@ -46,9 +51,14 @@ let run ?max_phases ?(seed = 0) ~solver ~k h =
   let phase = ref 0 in
   while !remaining <> [] do
     if !phase >= max_phases then raise (Stalled !phase);
+    Tm.with_span "phase" @@ fun () ->
+    Tm.set_int "phase" !phase;
     let hi, back = H.restrict_edges h !remaining in
     let cg = Conflict_graph.build hi ~k in
-    let is = Ps_maxis.Approx.solve_verified solver rng cg.graph in
+    let is =
+      Tm.with_span "solve" (fun () ->
+          Ps_maxis.Approx.solve_verified solver rng cg.graph)
+    in
     let f_i = Correspondence.coloring_of_is hi cg.indexer is in
     (* Publish phase colors on the global palette [phase·k ..]. *)
     Array.iteri
@@ -67,6 +77,23 @@ let run ?max_phases ?(seed = 0) ~solver ~k h =
     Log.debug (fun m ->
         m "phase %d: |E|=%d |V(Gk)|=%d |I|=%d happy=%d" !phase (H.n_edges hi)
           (G.n_vertices cg.graph) is_size newly_happy);
+    let lambda_effective =
+      if is_size = 0 then infinity
+      else float_of_int (H.n_edges hi) /. float_of_int is_size
+    in
+    if Tm.enabled () then begin
+      Tm.set_int "edges_before" (H.n_edges hi);
+      Tm.set_int "conflict_vertices" (G.n_vertices cg.graph);
+      Tm.set_int "conflict_edges" (G.n_edges cg.graph);
+      Tm.set_int "is_size" is_size;
+      Tm.set_int "newly_happy" newly_happy;
+      Tm.set_float "lambda_effective" lambda_effective;
+      Tm.set_float "decay_factor"
+        (1.0 -. (float_of_int newly_happy /. float_of_int (H.n_edges hi)));
+      Tm.incr "reduction.phases";
+      Tm.count "reduction.edges_retired" newly_happy;
+      Tm.gauge_max "reduction.lambda_max" lambda_effective
+    end;
     phases :=
       { phase = !phase;
         edges_before = H.n_edges hi;
@@ -74,18 +101,19 @@ let run ?max_phases ?(seed = 0) ~solver ~k h =
         conflict_edges = G.n_edges cg.graph;
         is_size;
         newly_happy;
-        lambda_effective =
-          (if is_size = 0 then infinity
-           else float_of_int (H.n_edges hi) /. float_of_int is_size) }
+        lambda_effective }
       :: !phases;
     List.iter (fun e -> retired.(e) <- true) happy_global;
     remaining := List.filter (fun e -> not retired.(e)) !remaining;
     incr phase
   done;
+  let colors_used = Mc.total_colors multicoloring in
+  Tm.set_int "total_phases" !phase;
+  Tm.set_int "colors_used" colors_used;
   { hypergraph = h;
     k;
     solver_name = solver.Ps_maxis.Approx.name;
     multicoloring;
     phases = List.rev !phases;
     total_phases = !phase;
-    colors_used = Mc.total_colors multicoloring }
+    colors_used }

@@ -3,6 +3,7 @@ module Is = Ps_maxis.Independent_set
 module Mc = Ps_cfc.Multicolor
 module Cf = Ps_cfc.Cf_coloring
 module Ix = Triple.Indexer
+module Tm = Ps_util.Telemetry
 
 type local_cost = {
   phases : int;
@@ -22,7 +23,10 @@ type run = {
 let coordination_rounds_per_phase = 2
 
 let run ?max_phases ?(seed = 0) ~k h =
+  Tm.with_span "reduction_local.run" @@ fun () ->
   let m = H.n_edges h in
+  Tm.set_int "m" m;
+  Tm.set_int "k" k;
   let max_phases =
     match max_phases with Some p -> p | None -> (4 * m) + 16
   in
@@ -35,6 +39,8 @@ let run ?max_phases ?(seed = 0) ~k h =
   let virtual_rounds = ref 0 and messages = ref 0 in
   while !remaining <> [] do
     if !phase >= max_phases then raise (Reduction.Stalled !phase);
+    Tm.with_span "phase" @@ fun () ->
+    Tm.set_int "phase" !phase;
     let hi, back = H.restrict_edges h !remaining in
     let ix = Ix.make hi ~k in
     (* Luby over the implicit conflict graph: no materialization. *)
@@ -53,6 +59,22 @@ let run ?max_phases ?(seed = 0) ~k h =
     let newly_happy = List.length happy_global in
     if newly_happy = 0 then raise (Reduction.Stalled !phase);
     let is_size = Is.size is in
+    let lambda_effective =
+      if is_size = 0 then infinity
+      else float_of_int (H.n_edges hi) /. float_of_int is_size
+    in
+    if Tm.enabled () then begin
+      Tm.set_int "edges_before" (H.n_edges hi);
+      Tm.set_int "conflict_vertices" (Ix.total ix);
+      Tm.set_int "is_size" is_size;
+      Tm.set_int "newly_happy" newly_happy;
+      Tm.set_float "lambda_effective" lambda_effective;
+      Tm.set_int "virtual_rounds" sim.Simulate.virtual_rounds;
+      Tm.set_int "messages" sim.Simulate.messages;
+      Tm.incr "reduction_local.phases";
+      Tm.count "reduction_local.virtual_rounds" sim.Simulate.virtual_rounds;
+      Tm.count "reduction_local.messages" sim.Simulate.messages
+    end;
     phases :=
       { Reduction.phase = !phase;
         edges_before = H.n_edges hi;
@@ -61,9 +83,7 @@ let run ?max_phases ?(seed = 0) ~k h =
         (* never materialized; -1 marks "not measured" *)
         is_size;
         newly_happy;
-        lambda_effective =
-          (if is_size = 0 then infinity
-           else float_of_int (H.n_edges hi) /. float_of_int is_size) }
+        lambda_effective }
       :: !phases;
     List.iter (fun e -> retired.(e) <- true) happy_global;
     remaining := List.filter (fun e -> not retired.(e)) !remaining;
@@ -78,6 +98,9 @@ let run ?max_phases ?(seed = 0) ~k h =
       total_phases = !phase;
       colors_used = Mc.total_colors multicoloring }
   in
+  Tm.set_int "total_phases" !phase;
+  Tm.set_int "virtual_rounds" !virtual_rounds;
+  Tm.set_int "messages" !messages;
   { reduction;
     cost =
       { phases = !phase;

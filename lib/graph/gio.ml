@@ -9,6 +9,29 @@ let to_edge_list g =
 let fail_line lineno msg =
   failwith (Printf.sprintf "Gio.of_edge_list: line %d: %s" lineno msg)
 
+(* Tokenize on any whitespace, not just ' ': tab-separated and CRLF
+   edge-list files are common in the wild and used to be rejected with
+   "bad edge" (the '\r' or '\t' stuck to a token). *)
+let is_space c = c = ' ' || c = '\t' || c = '\r' || c = '\012'
+
+let tokens line =
+  let n = String.length line in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    while !i < n && is_space line.[!i] do Stdlib.incr i done;
+    let start = !i in
+    while !i < n && not (is_space line.[!i]) do Stdlib.incr i done;
+    if !i > start then out := String.sub line start (!i - start) :: !out
+  done;
+  List.rev !out
+
+let check_vertex lineno ~n v =
+  if v < 0 || v >= n then
+    fail_line lineno
+      (Printf.sprintf "vertex id %d out of range [0, %d)" v n);
+  v
+
 let of_edge_list text =
   let lines = String.split_on_char '\n' text in
   let parsed =
@@ -19,19 +42,24 @@ let of_edge_list text =
   | [] -> failwith "Gio.of_edge_list: empty input"
   | (lineno, header) :: rest ->
       let n, m =
-        match String.split_on_char ' ' header |> List.filter (( <> ) "") with
+        match tokens header with
         | [ a; b ] -> (
             try (int_of_string a, int_of_string b)
             with Failure _ -> fail_line lineno "bad header")
         | _ -> fail_line lineno "header must be \"n m\""
       in
+      if n < 0 then fail_line lineno "vertex count must be nonnegative";
+      if m < 0 then fail_line lineno "edge count must be nonnegative";
       let edges =
         List.map
           (fun (lineno, line) ->
-            match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-            | [ a; b ] -> (
-                try (int_of_string a, int_of_string b)
-                with Failure _ -> fail_line lineno "bad edge")
+            match tokens line with
+            | [ a; b ] ->
+                let u, v =
+                  try (int_of_string a, int_of_string b)
+                  with Failure _ -> fail_line lineno "bad edge"
+                in
+                (check_vertex lineno ~n u, check_vertex lineno ~n v)
             | _ -> fail_line lineno "edge must be \"u v\"")
           rest
       in

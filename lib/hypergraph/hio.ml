@@ -14,9 +14,25 @@ let to_text h =
 let fail_line lineno msg =
   failwith (Printf.sprintf "Hio.of_text: line %d: %s" lineno msg)
 
+(* Same whitespace tolerance as [Gio.of_edge_list]: tabs, CRLF line
+   endings and form feeds all separate tokens instead of poisoning
+   them. *)
+let is_space c = c = ' ' || c = '\t' || c = '\r' || c = '\012'
+
+let tokens line =
+  let n = String.length line in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    while !i < n && is_space line.[!i] do incr i done;
+    let start = !i in
+    while !i < n && not (is_space line.[!i]) do incr i done;
+    if !i > start then out := String.sub line start (!i - start) :: !out
+  done;
+  List.rev !out
+
 let ints_of_line lineno line =
-  String.split_on_char ' ' line
-  |> List.filter (( <> ) "")
+  tokens line
   |> List.map (fun s ->
          try int_of_string s with Failure _ -> fail_line lineno "not a number")
 
@@ -35,6 +51,8 @@ let of_text text =
         | [ n; m ] -> (n, m)
         | _ -> fail_line lineno "header must be \"n m\""
       in
+      if n < 0 then fail_line lineno "vertex count must be nonnegative";
+      if m < 0 then fail_line lineno "edge count must be nonnegative";
       let edges =
         List.map
           (fun (lineno, line) ->
@@ -42,6 +60,13 @@ let of_text text =
             | size :: members ->
                 if List.length members <> size then
                   fail_line lineno "edge size mismatch";
+                List.iter
+                  (fun v ->
+                    if v < 0 || v >= n then
+                      fail_line lineno
+                        (Printf.sprintf "vertex id %d out of range [0, %d)" v
+                           n))
+                  members;
                 members
             | [] -> fail_line lineno "empty line")
           rest

@@ -1,5 +1,6 @@
 module G = Ps_graph.Graph
 module Rng = Ps_util.Rng
+module Tm = Ps_util.Telemetry
 
 type node_ctx = {
   id : int;
@@ -36,6 +37,9 @@ module Run_oracle (A : ALGORITHM) = struct
 
   let run ?(max_rounds = 10_000) ?ids ?(seed = 0)
       ?(on_deliver = fun (_ : A.message) -> ()) ~n ~neighbors () =
+    Tm.with_span "local.run" @@ fun () ->
+    Tm.set_str "algorithm" A.name;
+    Tm.set_int "n" n;
     let ids =
       match ids with
       | None -> Array.init n (fun i -> i)
@@ -76,6 +80,7 @@ module Run_oracle (A : ALGORITHM) = struct
     while not (all_halted ()) do
       if !rounds >= max_rounds then raise (Round_limit_exceeded max_rounds);
       incr rounds;
+      let sent_before_round = !messages_sent in
       (* Snapshot this round's broadcasts so delivery is synchronous. *)
       let outgoing =
         Array.map
@@ -105,7 +110,11 @@ module Run_oracle (A : ALGORITHM) = struct
                 | Halt o -> Halted o))
           status
       in
-      Array.blit next 0 status 0 n
+      Array.blit next 0 status 0 n;
+      if Tm.enabled () then begin
+        Tm.incr "local.rounds";
+        Tm.count "local.messages" (!messages_sent - sent_before_round)
+      end
     done;
     let outputs =
       Array.map
@@ -114,6 +123,8 @@ module Run_oracle (A : ALGORITHM) = struct
           | Running _ -> assert false)
         status
     in
+    Tm.set_int "rounds" !rounds;
+    Tm.set_int "messages_sent" !messages_sent;
     (outputs, { rounds = !rounds; messages_sent = !messages_sent })
 end
 

@@ -1,4 +1,5 @@
 module G = Ps_graph.Graph
+module Tm = Ps_util.Telemetry
 
 type t = {
   cluster_of : int array;
@@ -43,7 +44,9 @@ let carve_ball g active v =
   (!ball, !ring, !radius)
 
 let ball_carving ?order g =
+  Tm.with_span "decomposition.ball_carving" @@ fun () ->
   let n = G.n_vertices g in
+  Tm.set_int "n" n;
   let order =
     match order with
     | None -> Array.init n (fun i -> i)
@@ -86,6 +89,12 @@ let ball_carving ?order g =
   let color_of = Array.of_list (List.rev !colors) in
   let center_of = Array.of_list (List.rev !centers) in
   let radius_of = Array.of_list (List.rev !radii) in
+  if Tm.enabled () then begin
+    Tm.set_int "clusters" !n_clusters;
+    Tm.set_int "colors" !color;
+    Tm.set_int "max_radius" (Array.fold_left max 0 radius_of);
+    Tm.count "decomposition.clusters" !n_clusters
+  end;
   { cluster_of;
     color_of;
     center_of;

@@ -1,4 +1,5 @@
 module Rng = Ps_util.Rng
+module Tm = Ps_util.Telemetry
 
 type 'a search_result = {
   best_order : int array;
@@ -8,6 +9,10 @@ type 'a search_result = {
 
 let search ~rng ?(restarts = 5) ?(steps = 200) ~n ~score ~compare () =
   if restarts < 1 || steps < 0 then invalid_arg "Order_search.search";
+  Tm.with_span "order_search" @@ fun () ->
+  Tm.set_int "n" n;
+  Tm.set_int "restarts" restarts;
+  Tm.set_int "steps" steps;
   let evaluations = ref 0 in
   let eval order =
     incr evaluations;
@@ -39,6 +44,9 @@ let search ~rng ?(restarts = 5) ?(steps = 200) ~n ~score ~compare () =
       best_score := !current
     end
   done;
+  Tm.set_int "evaluations" !evaluations;
+  Tm.count "order_search.restarts" restarts;
+  Tm.count "order_search.evaluations" !evaluations;
   { best_order = !best_order;
     best_score = !best_score;
     evaluations = !evaluations }

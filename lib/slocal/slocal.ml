@@ -1,5 +1,6 @@
 module G = Ps_graph.Graph
 module Rng = Ps_util.Rng
+module Tm = Ps_util.Telemetry
 
 type 'state node_view = {
   center : int;
@@ -38,7 +39,11 @@ let check_permutation n order =
 
 module Run (A : ALGORITHM) = struct
   let run ?order ?ids ?(seed = 0) g =
+    Tm.with_span "slocal.run" @@ fun () ->
+    Tm.set_str "algorithm" A.name;
+    Tm.set_int "locality" A.locality;
     let n = G.n_vertices g in
+    Tm.set_int "n" n;
     let order =
       match order with
       | None -> Array.init n (fun i -> i)
@@ -63,6 +68,12 @@ module Run (A : ALGORITHM) = struct
           Ps_graph.Traverse.ball_subgraph g v A.locality
         in
         max_ball := max !max_ball (G.n_vertices ball_graph);
+        if Tm.enabled () then begin
+          Tm.incr "slocal.processed";
+          Tm.count "slocal.ball_vertices" (G.n_vertices ball_graph);
+          Tm.gauge_max "slocal.max_ball_vertices"
+            (float_of_int (G.n_vertices ball_graph))
+        end;
         let center = ref (-1) in
         Array.iteri (fun i u -> if u = v then center := i) back;
         let view =
@@ -81,6 +92,8 @@ module Run (A : ALGORITHM) = struct
           | None -> assert false)
         states
     in
+    Tm.set_int "processed" n;
+    Tm.set_int "max_ball_vertices" !max_ball;
     (outputs,
      { locality = A.locality; processed = n; max_ball_vertices = !max_ball })
 

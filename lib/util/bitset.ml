@@ -3,9 +3,15 @@ type t = { words : int array; capacity : int }
 (* 62 usable bits per OCaml int keeps everything unboxed. *)
 let bits_per_word = 62
 
+(* A full word: bits 0..61 set. [1 lsl 62] overflows into the sign bit,
+   so build the mask by complement instead. *)
+let full_word = lnot (lnot 0 lsl bits_per_word)
+
 let create capacity =
   if capacity < 0 then invalid_arg "Bitset.create";
-  { words = Array.make ((capacity + bits_per_word - 1) / bits_per_word + 1) 0;
+  (* Exactly ceil(capacity/62) words: an extra word here used to waste
+     space on every set and slow down all the word-wise operations. *)
+  { words = Array.make ((capacity + bits_per_word - 1) / bits_per_word) 0;
     capacity }
 
 let capacity t = t.capacity
@@ -37,11 +43,14 @@ let is_empty t = Array.for_all (fun w -> w = 0) t.words
 
 let clear t = Array.fill t.words 0 (Array.length t.words) 0
 
+(* Word-wise fill: every word fully set, then mask the final word down to
+   the capacity so no stray bits sit above it — [equal], [subset] and
+   [cardinal] compare words directly and would see phantom elements. *)
 let fill t =
-  for i = 0 to t.capacity - 1 do
-    let w = i / bits_per_word in
-    t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
-  done
+  let n = Array.length t.words in
+  Array.fill t.words 0 n full_word;
+  let r = t.capacity mod bits_per_word in
+  if r <> 0 then t.words.(n - 1) <- full_word lsr (bits_per_word - r)
 
 let copy t = { words = Array.copy t.words; capacity = t.capacity }
 

@@ -24,7 +24,9 @@ val clear : t -> unit
 (** Remove every element. *)
 
 val fill : t -> unit
-(** Add every element of the universe. *)
+(** Add every element of the universe. Word-wise (O(capacity/62)); never
+    sets stray bits above the capacity, so [equal]/[subset]/[cardinal]
+    stay exact on filled sets. *)
 
 val copy : t -> t
 

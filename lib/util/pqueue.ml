@@ -2,18 +2,32 @@ type t = {
   heap : int array;          (* heap of keys *)
   prio : int array;          (* prio.(key) *)
   pos : int array;           (* pos.(key) = index in heap, or -1 *)
+  capacity : int;            (* keys live in [0, capacity) *)
   mutable size : int;
 }
 
 let create n =
+  if n < 0 then invalid_arg "Pqueue.create: negative capacity";
   { heap = Array.make (max n 1) 0;
     prio = Array.make (max n 1) 0;
     pos = Array.make (max n 1) (-1);
+    capacity = n;
     size = 0 }
 
 let is_empty t = t.size = 0
 let cardinal t = t.size
-let mem t key = t.pos.(key) >= 0
+let capacity t = t.capacity
+
+(* Explicit check so a stray key fails with the key and the capacity in
+   the message instead of escaping as a bare array-bounds error. *)
+let check_key t key =
+  if key < 0 || key >= t.capacity then
+    invalid_arg
+      (Printf.sprintf "Pqueue: key %d out of range [0, %d)" key t.capacity)
+
+let mem t key =
+  check_key t key;
+  t.pos.(key) >= 0
 
 (* Order by (priority, key) so pops are deterministic. *)
 let less t a b =

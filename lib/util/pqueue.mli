@@ -4,17 +4,30 @@
 
     Implemented as a binary heap with a position index, so all operations
     are O(log n) and membership is O(1). Keys are drawn from a dense
-    universe [0 .. capacity-1]. *)
+    universe [0 .. capacity-1].
+
+    {b Fixed capacity.} The capacity chosen at {!create} time is final:
+    the backing arrays never grow, and every operation that takes a key
+    raises [Invalid_argument] — naming the offending key and the
+    capacity — when the key is outside [0 .. capacity-1]. Size the queue
+    for the full key universe up front. *)
 
 type t
 
 val create : int -> t
-(** [create n] is an empty queue for keys in [0..n-1]. *)
+(** [create n] is an empty queue for keys in [0..n-1]. The capacity [n]
+    is fixed for the lifetime of the queue. Raises [Invalid_argument] if
+    [n < 0]. *)
 
 val is_empty : t -> bool
 val cardinal : t -> int
 
+val capacity : t -> int
+(** The fixed key-universe size chosen at {!create} time. *)
+
 val mem : t -> int -> bool
+(** [mem q key] is whether [key] is currently in the queue. Raises
+    [Invalid_argument] if [key] is outside [0 .. capacity-1]. *)
 
 val insert : t -> int -> int -> unit
 (** [insert q key prio]; raises [Invalid_argument] if [key] is present. *)

@@ -1,0 +1,240 @@
+type value = Int of int | Float of float | Bool of bool | Str of string
+
+type span = {
+  span_name : string;
+  start_ns : int64;
+  mutable stop_ns : int64;
+  mutable fields : (string * value) list; (* newest first; reversed on export *)
+  mutable children : span list;           (* newest first; reversed on export *)
+}
+
+(* The whole recorder hides behind this one flag: every public entry
+   point tests it first and returns before touching the clock, the
+   hashtables or the allocator.  [PSLOCAL_TRACE] seeds it at startup. *)
+let enabled_flag =
+  ref
+    (match Sys.getenv_opt "PSLOCAL_TRACE" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let roots : span list ref = ref [] (* completed top-level spans, newest first *)
+let stack : span list ref = ref [] (* open spans, innermost first *)
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 32
+
+let reset () =
+  roots := [];
+  stack := [];
+  Hashtbl.reset counters;
+  Hashtbl.reset gauges
+
+let now () = Monotonic_clock.now ()
+
+let with_span name f =
+  if not !enabled_flag then f ()
+  else begin
+    let sp =
+      { span_name = name;
+        start_ns = now ();
+        stop_ns = 0L;
+        fields = [];
+        children = [] }
+    in
+    stack := sp :: !stack;
+    let finish () =
+      sp.stop_ns <- now ();
+      (match !stack with
+      | top :: rest when top == sp -> stack := rest
+      | _ -> () (* a nested reset discarded us; nothing to unwind *));
+      match !stack with
+      | parent :: _ -> parent.children <- sp :: parent.children
+      | [] -> roots := sp :: !roots
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let set key v =
+  if !enabled_flag then
+    match !stack with
+    | sp :: _ -> sp.fields <- (key, v) :: sp.fields
+    | [] -> ()
+
+let set_int key v = set key (Int v)
+let set_float key v = set key (Float v)
+let set_bool key v = set key (Bool v)
+let set_str key v = set key (Str v)
+
+let counter_ref name =
+  match Hashtbl.find_opt counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add counters name r;
+      r
+
+let count name n =
+  if !enabled_flag then begin
+    let r = counter_ref name in
+    r := !r + n
+  end
+let incr name = count name 1
+
+let gauge_ref name =
+  match Hashtbl.find_opt gauges name with
+  | Some r -> r
+  | None ->
+      let r = ref 0.0 in
+      Hashtbl.add gauges name r;
+      r
+
+let gauge name v = if !enabled_flag then gauge_ref name := v
+
+let gauge_max name v =
+  if !enabled_flag then begin
+    let r = gauge_ref name in
+    if v > !r then r := v
+  end
+
+let counter_value name =
+  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+
+let gauge_value name = Option.map ( ! ) (Hashtbl.find_opt gauges name)
+
+let root_spans () = List.rev !roots
+
+let find_spans name =
+  let acc = ref [] in
+  let rec go sp =
+    if sp.span_name = name then acc := sp :: !acc;
+    List.iter go (List.rev sp.children)
+  in
+  List.iter go (root_spans ());
+  List.rev !acc
+
+let field sp key = List.assoc_opt key sp.fields
+let duration_ns sp = Int64.sub sp.stop_ns sp.start_ns
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+(* Later writes to a field key shadow earlier ones: keep the first
+   occurrence of each key in the newest-first list. *)
+let export_fields sp =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (k, _) ->
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    sp.fields
+  |> List.rev
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_value ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Bool b -> Format.pp_print_bool ppf b
+  | Str s -> Format.fprintf ppf "%S" s
+
+let pp_duration ppf ns =
+  let ns = Int64.to_float ns in
+  if ns >= 1e9 then Format.fprintf ppf "%.3f s" (ns /. 1e9)
+  else if ns >= 1e6 then Format.fprintf ppf "%.3f ms" (ns /. 1e6)
+  else Format.fprintf ppf "%.1f us" (ns /. 1e3)
+
+let pp_tree ppf () =
+  let rec pp_span depth sp =
+    Format.fprintf ppf "%s%-*s %a" (String.make (2 * depth) ' ')
+      (max 1 (32 - (2 * depth)))
+      sp.span_name pp_duration (duration_ns sp);
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_value v)
+      (export_fields sp);
+    Format.pp_print_newline ppf ();
+    List.iter (pp_span (depth + 1)) (List.rev sp.children)
+  in
+  List.iter (pp_span 0) (root_spans ());
+  (match sorted_bindings counters with
+  | [] -> ()
+  | cs ->
+      Format.fprintf ppf "counters:@.";
+      List.iter (fun (k, v) -> Format.fprintf ppf "  %-30s %d@." k v) cs);
+  match sorted_bindings gauges with
+  | [] -> ()
+  | gs ->
+      Format.fprintf ppf "gauges:@.";
+      List.iter (fun (k, v) -> Format.fprintf ppf "  %-30s %g@." k v) gs
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON numbers must be finite; infinities show up in lambda fields of
+   empty phases, so map them to strings rather than emit invalid JSON. *)
+let json_of_value = function
+  | Int i -> string_of_int i
+  | Float f ->
+      if Float.is_finite f then Printf.sprintf "%.17g" f
+      else Printf.sprintf "\"%s\"" (Float.to_string f)
+  | Bool b -> string_of_bool b
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let to_json_lines () =
+  let buf = Buffer.create 4096 in
+  let rec emit path sp =
+    let path =
+      if path = "" then sp.span_name else path ^ "/" ^ sp.span_name
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "{\"type\":\"span\",\"name\":\"%s\",\"path\":\"%s\",\"start_ns\":%Ld,\"dur_ns\":%Ld,\"fields\":{"
+         (json_escape sp.span_name) (json_escape path) sp.start_ns
+         (duration_ns sp));
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":%s" (json_escape k) (json_of_value v)))
+      (export_fields sp);
+    Buffer.add_string buf "}}\n";
+    List.iter (emit path) (List.rev sp.children)
+  in
+  List.iter (emit "") (root_spans ());
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"type\":\"counter\",\"name\":\"%s\",\"value\":%d}\n"
+           (json_escape k) v))
+    (sorted_bindings counters);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%s}\n"
+           (json_escape k)
+           (json_of_value (Float v))))
+    (sorted_bindings gauges);
+  Buffer.contents buf
+
+let write_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json_lines ()))

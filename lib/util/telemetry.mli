@@ -1,0 +1,107 @@
+(** Telemetry: hierarchical spans, named counters and gauges, with a
+    genuinely free disabled path.
+
+    Every quantitative claim of the paper is a per-phase quantity of the
+    reduction pipeline (edge counts, independent-set sizes, effective λ,
+    rounds × messages in the simulators).  This module makes those
+    quantities observable on any run: the simulators and the reduction
+    drivers record {e spans} (named, timed, hierarchical, carrying typed
+    fields) plus global {e counters} and {e gauges}, and two exporters
+    turn a recording into a human-readable tree or JSON lines.
+
+    {b Gating.}  Recording is off unless the [PSLOCAL_TRACE] environment
+    variable is set (to anything but [""] or ["0"]) or {!set_enabled}
+    [true] was called.  When disabled, every entry point is a single
+    mutable-bool test — no allocation, no clock read, no hashtable
+    lookup — so instrumented hot paths (the conflict-graph builder, the
+    LOCAL message loop) cost nothing in production builds.
+
+    {b Concurrency.}  The recorder is deliberately not domain-safe:
+    instrument around parallel sections ({!Parallel.fork_join}), never
+    inside worker bodies. *)
+
+(** Typed field values attached to spans. *)
+type value = Int of int | Float of float | Bool of bool | Str of string
+
+(** A completed or in-flight span.  [stop_ns = start_ns] while open;
+    [fields] and [children] are in insertion order. *)
+type span = {
+  span_name : string;
+  start_ns : int64;
+  mutable stop_ns : int64;
+  mutable fields : (string * value) list;
+  mutable children : span list;
+}
+
+val enabled : unit -> bool
+(** Current gate state (initially: whether [PSLOCAL_TRACE] is set). *)
+
+val set_enabled : bool -> unit
+(** Flip the gate programmatically (e.g. the CLI's [--trace]).  Turning
+    recording on does not clear previous data; see {!reset}. *)
+
+val reset : unit -> unit
+(** Drop all recorded spans, counters and gauges.  Open spans are
+    discarded — call it only between top-level operations. *)
+
+(** {1 Recording} *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a fresh span: timed with the
+    monotonic clock, child of the innermost open span (or a root).  The
+    span is closed even if [f] raises.  Disabled: exactly [f ()]. *)
+
+val set_int : string -> int -> unit
+(** Attach a field to the innermost open span (no-op outside any span;
+    a later write to the same key shadows the earlier one on export). *)
+
+val set_float : string -> float -> unit
+val set_bool : string -> bool -> unit
+val set_str : string -> string -> unit
+
+val count : string -> int -> unit
+(** [count name n] adds [n] to the named global counter (created at 0). *)
+
+val incr : string -> unit
+(** [incr name] is [count name 1]. *)
+
+val gauge : string -> float -> unit
+(** [gauge name v] sets the named gauge (last write wins). *)
+
+val gauge_max : string -> float -> unit
+(** [gauge_max name v] raises the named gauge to at least [v]. *)
+
+(** {1 Inspection} *)
+
+val counter_value : string -> int
+(** Current value of a counter, [0] if never touched. *)
+
+val gauge_value : string -> float option
+
+val root_spans : unit -> span list
+(** Completed top-level spans, oldest first. *)
+
+val find_spans : string -> span list
+(** All completed spans with the given name, in depth-first recording
+    order (parents before children, siblings oldest first). *)
+
+val field : span -> string -> value option
+(** Latest value written for a field key, if any. *)
+
+val duration_ns : span -> int64
+
+(** {1 Export} *)
+
+val pp_tree : Format.formatter -> unit -> unit
+(** Human-readable tree: one line per span with duration and fields,
+    indented by depth, followed by counters and gauges. *)
+
+val to_json_lines : unit -> string
+(** One JSON object per line: spans (depth-first; [{"type":"span",
+    "name":..,"path":..,"start_ns":..,"dur_ns":..,"fields":{..}}]) then
+    counters and gauges ([{"type":"counter"|"gauge","name":..,
+    "value":..}]).  The output parses line-by-line with any JSON
+    parser. *)
+
+val write_file : string -> unit
+(** Write {!to_json_lines} to a file. *)

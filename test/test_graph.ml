@@ -522,6 +522,25 @@ let test_io_bad_header () =
     (Failure "Gio.of_edge_list: line 1: header must be \"n m\"") (fun () ->
       ignore (Gio.of_edge_list "3\n"))
 
+let test_io_whitespace_tolerance () =
+  (* tabs, runs of blanks and CRLF line endings all parse *)
+  let g = Gio.of_edge_list "3\t2\r\n0  \t1\r\n 1\t 2 \r\n" in
+  check "n" 3 (G.n_vertices g);
+  check "m" 2 (G.n_edges g);
+  check_bool "edge 0-1" true (G.has_edge g 0 1);
+  check_bool "edge 1-2" true (G.has_edge g 1 2)
+
+let test_io_rejects_out_of_range_vertex () =
+  Alcotest.check_raises "id = n"
+    (Failure "Gio.of_edge_list: line 2: vertex id 3 out of range [0, 3)")
+    (fun () -> ignore (Gio.of_edge_list "3 1\n0 3\n"));
+  Alcotest.check_raises "negative id"
+    (Failure "Gio.of_edge_list: line 3: vertex id -1 out of range [0, 3)")
+    (fun () -> ignore (Gio.of_edge_list "3 2\n0 1\n-1 2\n"));
+  Alcotest.check_raises "negative vertex count"
+    (Failure "Gio.of_edge_list: line 1: vertex count must be nonnegative")
+    (fun () -> ignore (Gio.of_edge_list "-3 0\n"))
+
 let test_io_edge_count_mismatch () =
   check_bool "mismatch raises" true
     (try
@@ -669,6 +688,41 @@ let prop_io_roundtrip =
       let g = graph_of params in
       G.equal g (Gio.of_edge_list (Gio.to_edge_list g)))
 
+(* Re-render [text] with randomized token separators: runs of spaces and
+   tabs between tokens, optional leading/trailing blanks, CRLF line
+   endings. A parser that tokenizes on single ' ' only chokes on all of
+   these. *)
+let mangle_whitespace rng text =
+  let buf = Buffer.create (String.length text * 2) in
+  let sep () =
+    for _ = 0 to Rng.int rng 3 do
+      Buffer.add_char buf (if Rng.bernoulli rng 0.5 then '\t' else ' ')
+    done
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if line <> "" then begin
+           if Rng.bernoulli rng 0.3 then sep ();
+           List.iteri
+             (fun i tok ->
+               if i > 0 then sep ();
+               Buffer.add_string buf tok)
+             (String.split_on_char ' ' line);
+           if Rng.bernoulli rng 0.3 then sep ();
+           if Rng.bernoulli rng 0.5 then Buffer.add_char buf '\r';
+           Buffer.add_char buf '\n'
+         end);
+  Buffer.contents buf
+
+let prop_io_roundtrip_whitespace =
+  QCheck.Test.make ~count:50
+    ~name:"edge-list IO roundtrip under randomized whitespace"
+    arbitrary_gnp (fun params ->
+      let seed, _, _ = params in
+      let g = graph_of params in
+      let text = mangle_whitespace (Rng.create (seed + 1)) (Gio.to_edge_list g) in
+      G.equal g (Gio.of_edge_list text))
+
 let prop_sorted_edge_array_fast_path =
   QCheck.Test.make ~count:100
     ~name:"of_sorted_edge_array (validated) = of_edges on sorted edges"
@@ -687,6 +741,7 @@ let props =
       prop_greedy_coloring_proper;
       prop_components_partition;
       prop_io_roundtrip;
+      prop_io_roundtrip_whitespace;
       prop_sorted_edge_array_fast_path ]
 
 let suites =
@@ -795,6 +850,10 @@ let suites =
         Alcotest.test_case "comments and blanks" `Quick
           test_io_comments_and_blanks;
         Alcotest.test_case "bad header" `Quick test_io_bad_header;
+        Alcotest.test_case "whitespace tolerance" `Quick
+          test_io_whitespace_tolerance;
+        Alcotest.test_case "out-of-range vertex" `Quick
+          test_io_rejects_out_of_range_vertex;
         Alcotest.test_case "edge count mismatch" `Quick
           test_io_edge_count_mismatch;
         Alcotest.test_case "dot export" `Quick test_io_dot;

@@ -313,6 +313,22 @@ let test_hio_size_mismatch () =
        false
      with Failure _ -> true)
 
+let test_hio_whitespace_tolerance () =
+  let h = Hio.of_text "3\t1\r\n2  0 \t 2 \r\n" in
+  check "m" 1 (H.n_edges h);
+  Alcotest.(check (array int)) "edge" [| 0; 2 |] (H.edge h 0)
+
+let test_hio_rejects_out_of_range_vertex () =
+  Alcotest.check_raises "id = n"
+    (Failure "Hio.of_text: line 2: vertex id 3 out of range [0, 3)")
+    (fun () -> ignore (Hio.of_text "3 1\n2 0 3\n"));
+  Alcotest.check_raises "negative id"
+    (Failure "Hio.of_text: line 2: vertex id -2 out of range [0, 3)")
+    (fun () -> ignore (Hio.of_text "3 1\n2 -2 1\n"));
+  Alcotest.check_raises "negative edge count"
+    (Failure "Hio.of_text: line 1: edge count must be nonnegative")
+    (fun () -> ignore (Hio.of_text "3 -1\n"))
+
 let test_hio_file_roundtrip () =
   let h = sample () in
   let path = Filename.temp_file "pslocal" ".hg" in
@@ -388,6 +404,39 @@ let prop_hio_roundtrip =
       let h = hypergraph_of params in
       H.equal h (Hio.of_text (Hio.to_text h)))
 
+(* Same separator randomization as the Gio test: runs of spaces/tabs,
+   optional leading/trailing blanks, CRLF endings. *)
+let mangle_whitespace rng text =
+  let buf = Buffer.create (String.length text * 2) in
+  let sep () =
+    for _ = 0 to Rng.int rng 3 do
+      Buffer.add_char buf (if Rng.bernoulli rng 0.5 then '\t' else ' ')
+    done
+  in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if line <> "" then begin
+           if Rng.bernoulli rng 0.3 then sep ();
+           List.iteri
+             (fun i tok ->
+               if i > 0 then sep ();
+               Buffer.add_string buf tok)
+             (String.split_on_char ' ' line);
+           if Rng.bernoulli rng 0.3 then sep ();
+           if Rng.bernoulli rng 0.5 then Buffer.add_char buf '\r';
+           Buffer.add_char buf '\n'
+         end);
+  Buffer.contents buf
+
+let prop_hio_roundtrip_whitespace =
+  QCheck.Test.make ~count:50
+    ~name:"hypergraph IO roundtrip under randomized whitespace"
+    arbitrary_hypergraph (fun params ->
+      let seed, _, _, _ = params in
+      let h = hypergraph_of params in
+      let text = mangle_whitespace (Rng.create (seed + 1)) (Hio.to_text h) in
+      H.equal h (Hio.of_text text))
+
 let prop_restrict_preserves_edges =
   QCheck.Test.make ~count:50 ~name:"restrict keeps exactly chosen edges"
     arbitrary_hypergraph (fun params ->
@@ -409,6 +458,7 @@ let props =
       prop_sum_degrees_is_sum_sizes;
       prop_primal_edge_iff_shared;
       prop_hio_roundtrip;
+      prop_hio_roundtrip_whitespace;
       prop_restrict_preserves_edges ]
 
 let suites =
@@ -471,6 +521,10 @@ let suites =
         Alcotest.test_case "random roundtrip" `Quick
           test_hio_random_roundtrip;
         Alcotest.test_case "comments" `Quick test_hio_comments;
+        Alcotest.test_case "whitespace tolerance" `Quick
+          test_hio_whitespace_tolerance;
+        Alcotest.test_case "out-of-range vertex" `Quick
+          test_hio_rejects_out_of_range_vertex;
         Alcotest.test_case "size mismatch" `Quick test_hio_size_mismatch;
         Alcotest.test_case "file roundtrip" `Quick test_hio_file_roundtrip ]
     );

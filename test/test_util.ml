@@ -210,6 +210,34 @@ let test_bitset_equal_capacity_mismatch () =
     "Bitset: capacity mismatch") (fun () ->
       ignore (B.equal (B.create 3) (B.create 4)))
 
+let test_bitset_fill_boundaries () =
+  (* 62 bits per word: exercise fill at capacities around the word
+     boundary (and zero). fill must set exactly the universe — the
+     masked final word may not leak bits above the capacity, or
+     cardinal/iter/equal would disagree. *)
+  List.iter
+    (fun cap ->
+      let s = B.create cap in
+      B.fill s;
+      check (Printf.sprintf "cardinal at %d" cap) cap (B.cardinal s);
+      let seen = ref [] in
+      B.iter (fun i -> seen := i :: !seen) s;
+      Alcotest.(check (list int))
+        (Printf.sprintf "iter at %d" cap)
+        (List.init cap (fun i -> i))
+        (List.rev !seen);
+      (* filled set equals the one built element-by-element *)
+      let e = B.create cap in
+      for i = 0 to cap - 1 do B.add e i done;
+      check_bool (Printf.sprintf "equal at %d" cap) true (B.equal s e);
+      check_bool (Printf.sprintf "subset at %d" cap) true (B.subset e s);
+      (* removing the last element must drop cardinal by exactly one *)
+      if cap > 0 then begin
+        B.remove s (cap - 1);
+        check (Printf.sprintf "remove at %d" cap) (cap - 1) (B.cardinal s)
+      end)
+    [ 0; 1; 61; 62; 63; 124 ]
+
 let test_bitset_word_boundary () =
   (* 62 bits per word: exercise indices straddling the boundary. *)
   let s = B.create 124 in
@@ -310,6 +338,29 @@ let test_pq_empty_pop () =
   let q = Pq.create 5 in
   Alcotest.check_raises "empty pop" Not_found (fun () ->
       ignore (Pq.pop_min q))
+
+let test_pq_out_of_range () =
+  let q = Pq.create 5 in
+  check "capacity" 5 (Pq.capacity q);
+  Alcotest.check_raises "negative key"
+    (Invalid_argument "Pqueue: key -1 out of range [0, 5)") (fun () ->
+      Pq.insert q (-1) 0);
+  Alcotest.check_raises "key = capacity"
+    (Invalid_argument "Pqueue: key 5 out of range [0, 5)") (fun () ->
+      ignore (Pq.mem q 5));
+  Alcotest.check_raises "way out"
+    (Invalid_argument "Pqueue: key 1000 out of range [0, 5)") (fun () ->
+      Pq.update q 1000 3);
+  (* the failed operations must not have corrupted the queue *)
+  Pq.insert q 4 7;
+  Alcotest.(check (pair int int)) "still works" (4, 7) (Pq.pop_min q)
+
+let test_pq_zero_capacity () =
+  let q = Pq.create 0 in
+  check_bool "empty" true (Pq.is_empty q);
+  Alcotest.check_raises "no valid keys"
+    (Invalid_argument "Pqueue: key 0 out of range [0, 0)") (fun () ->
+      Pq.insert q 0 0)
 
 let test_pq_heap_sort () =
   (* Popping everything must yield priorities in nondecreasing order. *)
@@ -485,6 +536,76 @@ let prop_pqueue_sorts =
       in
       drain min_int)
 
+(* Model-based check of Pqueue against a sorted association list.  Each
+   random (key, prio) pair drives one step: insert when absent, update
+   when present — with an occasional remove — and every pop_min must
+   agree with the model's (prio, key)-minimum. *)
+let prop_pqueue_model =
+  let cap = 16 in
+  let model_min m =
+    List.fold_left
+      (fun best (k, p) ->
+        match best with
+        | Some (bk, bp) when (bp, bk) <= (p, k) -> best
+        | _ -> Some (k, p))
+      None m
+  in
+  QCheck.Test.make ~count:200 ~name:"pqueue agrees with assoc-list model"
+    QCheck.(
+      list (triple (int_bound (cap - 1)) (int_bound 100) (int_bound 4)))
+    (fun steps ->
+      let q = Pq.create cap in
+      let model = ref [] in
+      List.for_all
+        (fun (key, prio, action) ->
+          let present_q = Pq.mem q key in
+          let present_m = List.mem_assoc key !model in
+          present_q = present_m
+          &&
+          match action with
+          | 0 when present_m ->
+              Pq.remove q key;
+              model := List.remove_assoc key !model;
+              true
+          | 1 when not (Pq.is_empty q) ->
+              let popped = Pq.pop_min q in
+              let expected = model_min !model in
+              model := List.remove_assoc (fst popped) !model;
+              Some popped = expected
+          | _ ->
+              if present_m then begin
+                Pq.update q key prio;
+                model := (key, prio) :: List.remove_assoc key !model
+              end
+              else begin
+                Pq.insert q key prio;
+                model := (key, prio) :: !model
+              end;
+              Pq.cardinal q = List.length !model
+              && Pq.priority q key = prio)
+        steps
+      &&
+      (* drain: the full pop sequence must equal the model sorted by
+         (prio, key) *)
+      let rec drain acc =
+        if Pq.is_empty q then List.rev acc
+        else drain (Pq.pop_min q :: acc)
+      in
+      drain []
+      = List.sort
+          (fun (k1, p1) (k2, p2) -> compare (p1, k1) (p2, k2))
+          !model)
+
+let prop_pqueue_rejects_out_of_range =
+  QCheck.Test.make ~count:100 ~name:"pqueue rejects out-of-range keys"
+    QCheck.(pair (int_bound 20) int)
+    (fun (cap, key) ->
+      QCheck.assume (key < 0 || key >= cap);
+      let q = Pq.create cap in
+      match Pq.insert q key 0 with
+      | () -> false
+      | exception Invalid_argument _ -> Pq.is_empty q)
+
 let prop_percentile_monotone =
   QCheck.Test.make ~count:100 ~name:"percentile is monotone in q"
     QCheck.(list_of_size (QCheck.Gen.int_range 1 30) (float_bound_exclusive 100.0))
@@ -505,6 +626,8 @@ let props =
       prop_bitset_demorgan;
       prop_permutation_valid;
       prop_pqueue_sorts;
+      prop_pqueue_model;
+      prop_pqueue_rejects_out_of_range;
       prop_percentile_monotone ]
 
 let suites =
@@ -534,6 +657,8 @@ let suites =
         Alcotest.test_case "bounds" `Quick test_bitset_bounds;
         Alcotest.test_case "cardinal" `Quick test_bitset_cardinal;
         Alcotest.test_case "fill/clear" `Quick test_bitset_fill_clear;
+        Alcotest.test_case "fill at word boundaries" `Quick
+          test_bitset_fill_boundaries;
         Alcotest.test_case "set algebra" `Quick test_bitset_set_algebra;
         Alcotest.test_case "subset/disjoint" `Quick
           test_bitset_subset_disjoint;
@@ -556,6 +681,8 @@ let suites =
         Alcotest.test_case "duplicate insert" `Quick
           test_pq_duplicate_insert;
         Alcotest.test_case "empty pop" `Quick test_pq_empty_pop;
+        Alcotest.test_case "out of range" `Quick test_pq_out_of_range;
+        Alcotest.test_case "zero capacity" `Quick test_pq_zero_capacity;
         Alcotest.test_case "heap sort" `Quick test_pq_heap_sort ] );
     ( "util.stats",
       [ Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
