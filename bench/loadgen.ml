@@ -1,0 +1,291 @@
+(* Load generator for the solve service.
+
+     dune exec bench/loadgen.exe                # full sweep
+     dune exec bench/loadgen.exe -- --quick     # CI smoke run
+     dune exec bench/loadgen.exe -- --domains=8 --out=serve.json
+
+   Drives an in-process {!Ps_server.Engine} through the complete wire
+   path — each request is encoded to a JSON line, parsed and validated
+   by {!Ps_server.Server.handle_line}, solved on a worker domain and
+   serialized back — so the measured cost includes protocol overhead,
+   not just the solver.
+
+   Two modes, both on the sunflower_12 reduce workload:
+   - closed loop: N client threads, each keeps exactly one request in
+     flight; sweeps N to find the saturation throughput.
+   - open loop: requests arrive at a fixed rate regardless of
+     completions, which exposes queueing delay and the shed
+     ([overloaded]) behaviour past saturation.
+
+   Results go to BENCH_serve.json (throughput + p50/p95/p99 latency per
+   sweep point) and to stdout as tables. *)
+
+module Json = Ps_server.Json
+module Server = Ps_server.Server
+module Engine = Ps_server.Engine
+
+let now_ns = Ps_util.Telemetry.now_ns
+
+(* ------------------------------------------------------------------ *)
+(* Workload *)
+
+let request_line =
+  let h = Ps_hypergraph.Hgen.sunflower ~n_petals:12 ~core:3 ~petal:3 in
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.Int 0);
+         ("method", Json.Str "reduce");
+         ( "params",
+           Json.Obj
+             [ ("hypergraph", Json.Str (Ps_hypergraph.Hio.to_text h));
+               ("solver", Json.Str "greedy") ] ) ])
+
+let response_ok line =
+  match Json.parse line with
+  | Ok j -> Option.bind (Json.member "ok" j) Json.to_bool_opt = Some true
+  | Error _ -> false
+
+let response_overloaded line =
+  match Json.parse line with
+  | Ok j ->
+      Option.bind (Json.member "error" j) (Json.member "code")
+      |> Fun.flip Option.bind Json.to_string_opt
+      = Some "overloaded"
+  | Error _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Measurement points *)
+
+type point = {
+  label : string;
+  offered : int;      (* requests submitted *)
+  completed : int;    (* ok responses *)
+  shed : int;         (* overloaded responses *)
+  errors : int;       (* any other non-ok response *)
+  duration_s : float;
+  latencies_ms : float array;  (* sorted, completed requests only *)
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(max 0 (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+let throughput p =
+  if p.duration_s > 0.0 then float_of_int p.completed /. p.duration_s else 0.0
+
+(* Per-thread latency sink; merged after the point finishes so the hot
+   path never contends on a shared lock. *)
+type sink = { mutable lat : float list; mutable ok : int;
+              mutable shed : int; mutable errors : int }
+
+let new_sink () = { lat = []; ok = 0; shed = 0; errors = 0 }
+
+let record sink ~t0_ns line =
+  let ms = Int64.to_float (Int64.sub (now_ns ()) t0_ns) /. 1e6 in
+  if response_ok line then begin
+    sink.ok <- sink.ok + 1;
+    sink.lat <- ms :: sink.lat
+  end
+  else if response_overloaded line then sink.shed <- sink.shed + 1
+  else sink.errors <- sink.errors + 1
+
+let finish ~label ~offered ~duration_s sinks =
+  let ok = List.fold_left (fun a s -> a + s.ok) 0 sinks in
+  let shed = List.fold_left (fun a s -> a + s.shed) 0 sinks in
+  let errors = List.fold_left (fun a s -> a + s.errors) 0 sinks in
+  let lat =
+    Array.of_list (List.concat_map (fun s -> s.lat) sinks)
+  in
+  Array.sort compare lat;
+  { label; offered; completed = ok; shed; errors; duration_s;
+    latencies_ms = lat }
+
+(* ------------------------------------------------------------------ *)
+(* Closed loop: [concurrency] threads, one request in flight each. *)
+
+let closed_point ~domains ~concurrency ~duration_s =
+  let engine = Engine.create { Engine.default_config with domains } in
+  let stop_at =
+    Int64.add (now_ns ()) (Int64.of_float (duration_s *. 1e9))
+  in
+  let offered = Atomic.make 0 in
+  let client sink () =
+    (* One blocking request at a time: a tiny latch per call. *)
+    let m = Mutex.create () and c = Condition.create () in
+    let slot = ref None in
+    let reply line =
+      Mutex.lock m;
+      slot := Some line;
+      Condition.signal c;
+      Mutex.unlock m
+    in
+    while now_ns () < stop_at do
+      Atomic.incr offered;
+      let t0_ns = now_ns () in
+      slot := None;
+      Server.handle_line ~engine
+        ~max_line_bytes:Ps_server.Protocol.default_max_bytes ~reply
+        request_line;
+      Mutex.lock m;
+      while !slot = None do
+        Condition.wait c m
+      done;
+      let line = Option.get !slot in
+      Mutex.unlock m;
+      record sink ~t0_ns line
+    done
+  in
+  let sinks = List.init concurrency (fun _ -> new_sink ()) in
+  let t0 = now_ns () in
+  let threads = List.map (fun s -> Thread.create (client s) ()) sinks in
+  List.iter Thread.join threads;
+  let duration_s = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9 in
+  Engine.shutdown ~drain:true engine;
+  finish
+    ~label:(Printf.sprintf "closed/c%d" concurrency)
+    ~offered:(Atomic.get offered) ~duration_s sinks
+
+(* ------------------------------------------------------------------ *)
+(* Open loop: fixed arrival rate, replies recorded asynchronously. *)
+
+let open_point ~domains ~rate_rps ~duration_s =
+  let engine = Engine.create { Engine.default_config with domains } in
+  let sink = new_sink () in
+  let sink_mutex = Mutex.create () in
+  let outstanding = Atomic.make 0 in
+  let t0 = now_ns () in
+  let offered = ref 0 in
+  let target = int_of_float (float_of_int rate_rps *. duration_s) in
+  (* Deficit pacing: send however many requests are due by now, then
+     sleep briefly — robust to coarse timer granularity. *)
+  while !offered < target do
+    let elapsed_s = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9 in
+    let due =
+      min target (int_of_float (float_of_int rate_rps *. elapsed_s))
+    in
+    while !offered < due do
+      incr offered;
+      Atomic.incr outstanding;
+      let t0_ns = now_ns () in
+      let reply line =
+        Mutex.lock sink_mutex;
+        record sink ~t0_ns line;
+        Mutex.unlock sink_mutex;
+        Atomic.decr outstanding
+      in
+      Server.handle_line ~engine
+        ~max_line_bytes:Ps_server.Protocol.default_max_bytes ~reply
+        request_line
+    done;
+    Thread.delay 0.001
+  done;
+  (* Drain delivers every outstanding reply before returning. *)
+  Engine.shutdown ~drain:true engine;
+  assert (Atomic.get outstanding = 0);
+  let duration_s = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9 in
+  finish
+    ~label:(Printf.sprintf "open/r%d" rate_rps)
+    ~offered:!offered ~duration_s [ sink ]
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
+let point_json p =
+  Json.Obj
+    [ ("label", Json.Str p.label);
+      ("offered", Json.Int p.offered);
+      ("completed", Json.Int p.completed);
+      ("shed", Json.Int p.shed);
+      ("errors", Json.Int p.errors);
+      ("duration_s", Json.Float p.duration_s);
+      ("throughput_rps", Json.Float (throughput p));
+      ("p50_ms", Json.Float (percentile p.latencies_ms 0.50));
+      ("p95_ms", Json.Float (percentile p.latencies_ms 0.95));
+      ("p99_ms", Json.Float (percentile p.latencies_ms 0.99)) ]
+
+let print_table ~title points =
+  let t =
+    Ps_util.Table.create
+      ~aligns:[ Left; Right; Right; Right; Right; Right; Right; Right ]
+      [ "point"; "offered"; "ok"; "shed"; "rps"; "p50 ms"; "p95 ms";
+        "p99 ms" ]
+  in
+  List.iter
+    (fun p ->
+      Ps_util.Table.add_row t
+        [ p.label;
+          Ps_util.Table.cell_int p.offered;
+          Ps_util.Table.cell_int p.completed;
+          Ps_util.Table.cell_int p.shed;
+          Ps_util.Table.cell_float ~decimals:1 (throughput p);
+          Ps_util.Table.cell_float ~decimals:3 (percentile p.latencies_ms 0.50);
+          Ps_util.Table.cell_float ~decimals:3 (percentile p.latencies_ms 0.95);
+          Ps_util.Table.cell_float ~decimals:3 (percentile p.latencies_ms 0.99)
+        ])
+    points;
+  Ps_util.Table.print ~title t
+
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  print_endline
+    "usage: loadgen.exe [--quick] [--domains=N] [--out=FILE]";
+  exit 1
+
+let () =
+  let quick = ref false and domains = ref 4 and out = ref "BENCH_serve.json" in
+  List.iter
+    (fun a ->
+      let prefixed p = String.length a > String.length p
+                       && String.sub a 0 (String.length p) = p in
+      let value p = String.sub a (String.length p)
+                      (String.length a - String.length p) in
+      if a = "--quick" then quick := true
+      else if prefixed "--domains=" then
+        domains := int_of_string (value "--domains=")
+      else if prefixed "--out=" then out := value "--out="
+      else usage ())
+    (List.tl (Array.to_list Sys.argv));
+  let domains = max 1 !domains in
+  let duration_s = if !quick then 0.5 else 2.0 in
+  let concurrencies = if !quick then [ 1; 4 ] else [ 1; 2; 4; 8; 16 ] in
+  let rates = if !quick then [ 200 ] else [ 100; 500; 2000 ] in
+  Printf.printf
+    "loadgen: sunflower_12 reduce, %d worker domain(s), %gs per point\n\n"
+    domains duration_s;
+  let closed =
+    List.map
+      (fun c -> closed_point ~domains ~concurrency:c ~duration_s)
+      concurrencies
+  in
+  print_table ~title:"Closed loop (one request in flight per client)" closed;
+  print_newline ();
+  let open_ =
+    List.map (fun r -> open_point ~domains ~rate_rps:r ~duration_s) rates
+  in
+  print_table ~title:"Open loop (fixed arrival rate)" open_;
+  print_newline ();
+  let doc =
+    Json.Obj
+      [ ("workload", Json.Str "sunflower_12/reduce/greedy");
+        ("domains", Json.Int domains);
+        ("duration_s", Json.Float duration_s);
+        ("closed_loop", Json.List (List.map point_json closed));
+        ("open_loop", Json.List (List.map point_json open_)) ]
+  in
+  let oc = open_out !out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string doc);
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" !out;
+  (* The service-level objective the server is sized for: a 4-domain
+     pool must sustain at least 200 solved reduce requests per second. *)
+  let best = List.fold_left (fun a p -> Float.max a (throughput p)) 0.0 closed in
+  if domains >= 4 && best < 200.0 then begin
+    Printf.eprintf "FAIL: peak closed-loop throughput %.1f rps < 200 rps\n"
+      best;
+    exit 1
+  end

@@ -6,7 +6,8 @@
      reduce          run the Theorem 1.1 reduction on a hypergraph
      verify          check a multicoloring file against a hypergraph
      mis             run the MIS algorithm zoo on a graph
-     decompose       ball-carving network decomposition of a graph *)
+     decompose       ball-carving network decomposition of a graph
+     serve           long-running solve service (JSON line protocol) *)
 
 open Cmdliner
 
@@ -50,6 +51,20 @@ let with_trace trace f =
       Ps_util.Telemetry.write_file path;
       Logs.app (fun m -> m "telemetry trace written to %s" path));
   result
+
+let json_arg =
+  let doc =
+    "Emit the result as one JSON line in the solve server's response \
+     schema (see $(b,pslocal serve)) instead of human-readable tables."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+(* One-shot commands share the server's encoders, so `pslocal X --json`
+   and the served method X produce byte-identical result objects. *)
+let print_json_result result =
+  print_endline
+    (Ps_server.Protocol.response_to_line
+       (Ps_server.Protocol.ok_response ~id:Ps_server.Json.Null result))
 
 let write_out output text =
   match output with
@@ -187,15 +202,13 @@ let gen_hypergraph_cmd =
 (* ------------------------------------------------------------------ *)
 (* reduce *)
 
-let solver_of_name = function
-  | "greedy" -> Ps_maxis.Approx.greedy_min_degree
-  | "caro-wei" -> Ps_maxis.Approx.caro_wei
-  | "caro-wei-x8" -> Ps_maxis.Approx.caro_wei_boosted 8
-  | "adversarial" -> Ps_maxis.Approx.greedy_adversarial
-  | "exact" -> Ps_maxis.Approx.exact
-  | other -> failwith (Printf.sprintf "unknown solver %S" other)
+(* The server's registry is the single source of solver names. *)
+let solver_of_name name =
+  match Ps_server.Protocol.solver_of_name name with
+  | Some s -> s
+  | None -> failwith (Printf.sprintf "unknown solver %S" name)
 
-let reduce input solver k seed verbose trace output =
+let reduce input solver k seed verbose trace json output =
   if verbose then
     Logs.Src.set_level Ps_core.Reduction.log_src (Some Logs.Debug);
   let h = Ps_hypergraph.Hio.read_file input in
@@ -209,6 +222,17 @@ let reduce input solver k seed verbose trace output =
         Ps_core.Pipeline.solve ~seed ~k:k_choice
           ~solver:(solver_of_name solver) h)
   in
+  if json then begin
+    print_json_result
+      (Ps_server.Protocol.reduce_result ~detail:false result);
+    match output with
+    | None -> ()
+    | Some _ ->
+        write_out output
+          (multicoloring_to_text
+             result.Ps_core.Pipeline.reduction.Ps_core.Reduction.multicoloring)
+  end
+  else begin
   let r = result.Ps_core.Pipeline.reduction in
   let t =
     Ps_util.Table.create
@@ -237,6 +261,7 @@ let reduce input solver k seed verbose trace output =
       write_out output
         (multicoloring_to_text r.Ps_core.Reduction.multicoloring);
       Logs.app (fun m -> m "multicoloring written")
+  end
 
 let reduce_cmd =
   let input =
@@ -267,7 +292,7 @@ let reduce_cmd =
           (iterated MaxIS approximation).")
     Term.(
       const reduce $ input $ solver $ k $ seed_arg $ verbose $ trace_arg
-      $ output_arg)
+      $ json_arg $ output_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify *)
@@ -307,9 +332,14 @@ let verify_cmd =
 (* ------------------------------------------------------------------ *)
 (* mis *)
 
-let mis input seed trace =
+let mis input seed trace json =
   with_trace trace @@ fun () ->
   let g = Ps_graph.Gio.read_file input in
+  if json then
+    print_json_result
+      (Ps_server.Protocol.mis_result
+         (Ps_server.Service.mis_entries ~seed Ps_server.Protocol.Mis_all g))
+  else
   let t =
     Ps_util.Table.create
       ~aligns:[ Ps_util.Table.Left; Ps_util.Table.Right; Ps_util.Table.Left ]
@@ -346,24 +376,29 @@ let mis_cmd =
   in
   Cmd.v
     (Cmd.info "mis" ~doc:"Run the MIS algorithm zoo on a graph.")
-    Term.(const mis $ input $ seed_arg $ trace_arg)
+    Term.(const mis $ input $ seed_arg $ trace_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* decompose *)
 
-let decompose input trace =
+let decompose input trace json =
   let code =
     with_trace trace (fun () ->
         let g = Ps_graph.Gio.read_file input in
         let d = Ps_slocal.Decomposition.ball_carving g in
         let check = Ps_slocal.Decomposition.verify g d in
-        Format.printf
-          "%a@.clusters=%d colors=%d max_radius=%d@.verified: %a@." G.pp g
-          d.Ps_slocal.Decomposition.n_clusters
-          d.Ps_slocal.Decomposition.n_colors
-          d.Ps_slocal.Decomposition.max_radius
-          Ps_slocal.Decomposition.pp_check check;
-        if Ps_slocal.Decomposition.check_all check then 0 else 1)
+        let ok = Ps_slocal.Decomposition.check_all check in
+        if json then
+          print_json_result
+            (Ps_server.Protocol.decompose_result d ~verified:ok)
+        else
+          Format.printf
+            "%a@.clusters=%d colors=%d max_radius=%d@.verified: %a@." G.pp g
+            d.Ps_slocal.Decomposition.n_clusters
+            d.Ps_slocal.Decomposition.n_colors
+            d.Ps_slocal.Decomposition.max_radius
+            Ps_slocal.Decomposition.pp_check check;
+        if ok then 0 else 1)
   in
   exit code
 
@@ -377,7 +412,7 @@ let decompose_cmd =
   Cmd.v
     (Cmd.info "decompose"
        ~doc:"Ball-carving (log n, log n) network decomposition.")
-    Term.(const decompose $ input $ trace_arg)
+    Term.(const decompose $ input $ trace_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* matching *)
@@ -517,6 +552,73 @@ let bfs_cmd =
     Term.(const bfs $ input $ root)
 
 (* ------------------------------------------------------------------ *)
+(* serve *)
+
+let serve socket domains queue timeout_ms trace =
+  with_trace trace @@ fun () ->
+  let engine =
+    { Ps_server.Engine.domains =
+        (match domains with
+        | Some d -> d
+        | None -> Ps_server.Engine.default_config.Ps_server.Engine.domains);
+      queue_capacity = queue;
+      default_timeout_ms = timeout_ms }
+  in
+  let config = { Ps_server.Server.default_config with engine } in
+  match socket with
+  | None -> Ps_server.Server.serve_stdio ~config ()
+  | Some path -> Ps_server.Server.serve_unix_socket ~config ~path ()
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) instead of serving \
+             stdin/stdout.  A stale socket file left by a previous run is \
+             replaced.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker pool size (defaults to min(4, available cores)).  Each \
+             worker is an OCaml domain solving one request at a time.")
+  in
+  let queue =
+    Arg.(
+      value
+      & opt int
+          Ps_server.Engine.default_config.Ps_server.Engine.queue_capacity
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bounded request-queue capacity.  When full, new requests are \
+             shed immediately with an $(b,overloaded) error response.")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline, measured from enqueue (queue \
+             wait counts).  Requests may override it with a $(b,timeout_ms) \
+             field.  No deadline if omitted.")
+  in
+  let doc =
+    "Long-running solve service speaking newline-delimited JSON (requests \
+     in, responses out, correlated by $(b,id)).  Methods: reduce, mis, \
+     decompose, certify, ping, stats.  Drains in-flight jobs on SIGTERM, \
+     SIGINT or EOF before exiting."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const serve $ socket $ domains $ queue $ timeout_ms $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc =
@@ -526,7 +628,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "pslocal" ~version:"1.0.0" ~doc)
     [ gen_graph_cmd; gen_hypergraph_cmd; reduce_cmd; verify_cmd; mis_cmd;
-      decompose_cmd; matching_cmd; cf_color_cmd; set_cover_cmd; bfs_cmd ]
+      decompose_cmd; matching_cmd; cf_color_cmd; set_cover_cmd; bfs_cmd;
+      serve_cmd ]
 
 let () =
   Logs.set_reporter (Logs.format_reporter ());

@@ -24,6 +24,7 @@ type result = {
 }
 
 val solve :
+  ?cancel:(unit -> bool) ->
   ?seed:int ->
   ?k:k_choice ->
   solver:Ps_maxis.Approx.solver ->
@@ -31,9 +32,11 @@ val solve :
   result
 (** Run end to end ([k] defaults to [From_conservative]).  Raises
     [Failure] when the certificate fails — by Theorem 1.1 that can only
-    mean a bug, so it is loud. *)
+    mean a bug, so it is loud.  [cancel] is forwarded to
+    {!Reduction.run}'s per-phase cooperative-cancellation poll. *)
 
 val solve_unchecked :
+  ?cancel:(unit -> bool) ->
   ?seed:int ->
   ?k:k_choice ->
   solver:Ps_maxis.Approx.solver ->

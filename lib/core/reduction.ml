@@ -26,12 +26,13 @@ type run = {
 }
 
 exception Stalled of int
+exception Canceled
 
 let log_src = Logs.Src.create "ps_core.reduction" ~doc:"Theorem 1.1 phases"
 
 module Log = (val Logs.src_log log_src)
 
-let run ?max_phases ?(seed = 0) ~solver ~k h =
+let run ?max_phases ?(cancel = fun () -> false) ?(seed = 0) ~solver ~k h =
   Tm.with_span "reduction.run" @@ fun () ->
   let m = H.n_edges h in
   Tm.set_int "m" m;
@@ -51,6 +52,7 @@ let run ?max_phases ?(seed = 0) ~solver ~k h =
   let phase = ref 0 in
   while !remaining <> [] do
     if !phase >= max_phases then raise (Stalled !phase);
+    if cancel () then raise Canceled;
     Tm.with_span "phase" @@ fun () ->
     Tm.set_int "phase" !phase;
     let hi, back = H.restrict_edges h !remaining in

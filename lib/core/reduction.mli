@@ -50,8 +50,12 @@ exception Stalled of int
     non-empty independent sets on non-empty graphs; the guard exists so a
     broken solver cannot loop forever). Carries the phase index. *)
 
+exception Canceled
+(** Raised when the [cancel] hook of {!run} returns [true] — see below. *)
+
 val run :
   ?max_phases:int ->
+  ?cancel:(unit -> bool) ->
   ?seed:int ->
   solver:Ps_maxis.Approx.solver ->
   k:int ->
@@ -61,4 +65,9 @@ val run :
     beyond the theoretical [ρ] of any reasonable solver, as even a
     1-edge-per-phase solver finishes in [m] phases.  The result's
     multicoloring is conflict-free by construction; {!Certify} re-checks
-    everything independently. *)
+    everything independently.
+
+    [cancel] (default: never) is polled once per phase, before any phase
+    work; a [true] answer raises {!Canceled}.  This is the cooperative
+    hook the solve server uses for per-job deadlines: the check costs one
+    call per phase and cancellation latency is bounded by one phase. *)

@@ -22,7 +22,7 @@ type run = {
    1-hop exchanges in H). *)
 let coordination_rounds_per_phase = 2
 
-let run ?max_phases ?(seed = 0) ~k h =
+let run ?max_phases ?(cancel = fun () -> false) ?(seed = 0) ~k h =
   Tm.with_span "reduction_local.run" @@ fun () ->
   let m = H.n_edges h in
   Tm.set_int "m" m;
@@ -39,6 +39,7 @@ let run ?max_phases ?(seed = 0) ~k h =
   let virtual_rounds = ref 0 and messages = ref 0 in
   while !remaining <> [] do
     if !phase >= max_phases then raise (Reduction.Stalled !phase);
+    if cancel () then raise Reduction.Canceled;
     Tm.with_span "phase" @@ fun () ->
     Tm.set_int "phase" !phase;
     let hi, back = H.restrict_edges h !remaining in

@@ -31,6 +31,7 @@ type run = {
 
 val run :
   ?max_phases:int ->
+  ?cancel:(unit -> bool) ->
   ?seed:int ->
   k:int ->
   Ps_hypergraph.Hypergraph.t ->
@@ -38,4 +39,5 @@ val run :
 (** Execute the message-passing reduction.  The output multicoloring is
     conflict-free (certify with {!Certify.certify} on [reduction]); raises
     {!Reduction.Stalled} under the same conditions as the centralized
-    driver. *)
+    driver, and {!Reduction.Canceled} when [cancel] (polled once per
+    phase, as in {!Reduction.run}) answers [true]. *)

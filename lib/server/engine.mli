@@ -1,0 +1,84 @@
+(** The job engine: a bounded request queue in front of a pool of OCaml 5
+    worker domains, with explicit load shedding, per-job deadlines and a
+    draining shutdown.
+
+    {b Shed policy.}  The queue is the only buffer in the system, and it
+    is bounded: a submission that finds it full is rejected {e now} with
+    an [overloaded] error response instead of queueing unboundedly —
+    callers get immediate backpressure and latency of accepted jobs stays
+    bounded by [capacity / throughput].
+
+    {b Deadlines.}  A job's deadline is measured from the moment it is
+    accepted (so time spent queued counts — a job that waited past its
+    deadline is answered [timeout] without running).  During a solve the
+    deadline is enforced cooperatively: the cancel hook is polled once
+    per phase of the reduction loop ({!Ps_core.Reduction.run}), so
+    cancellation latency is one phase, not one instruction.
+
+    {b Shutdown.}  [shutdown] (drain mode, the default) stops accepting,
+    lets the workers finish every queued and in-flight job, and joins the
+    pool; with [~drain:false] the queue is still emptied but the cancel
+    hook answers [true] immediately, so running solves abort at the next
+    phase boundary and remaining jobs are answered [shutting_down].
+
+    {b Observability.}  Every finished job becomes a [server.job]
+    telemetry span (fields: method, ok, queue_wait_ns, solve_ns,
+    serialize_ns) and feeds the [server.*] counters and gauges; the same
+    numbers, plus latency percentiles over a sliding window, are returned
+    by {!stats_json} — which is exactly what the protocol's [stats]
+    method responds with. *)
+
+type config = {
+  domains : int;                  (** worker pool size (≥ 1) *)
+  queue_capacity : int;           (** pending-job bound (≥ 1) *)
+  default_timeout_ms : int option;
+      (** deadline for requests that carry none; [None] = unbounded *)
+}
+
+val default_config : config
+(** 4 workers (clamped to the machine), capacity 64, no default deadline. *)
+
+type handler =
+  stats:(unit -> Json.t) ->
+  cancel:(unit -> bool) ->
+  Protocol.request ->
+  (Json.t, Protocol.error) result
+(** What workers run.  [Ps_core.Reduction.Canceled] escaping the handler
+    is mapped to [timeout] (deadline) or [shutting_down] (abort); any
+    other exception to an [internal] error.  The [stats] argument is this
+    engine's own {!stats_json}. *)
+
+type t
+
+val create : ?handler:handler -> config -> t
+(** Spawn the worker domains.  [handler] defaults to {!Service.handle}. *)
+
+type submit_outcome = Accepted | Rejected_overloaded | Rejected_shutting_down
+
+val submit : t -> Protocol.request -> reply:(string -> unit) -> submit_outcome
+(** Hand a validated request to the pool.  [reply] is invoked exactly
+    once per submission with the serialized response line (no newline):
+    from a worker domain for accepted jobs, or synchronously on the
+    calling thread with the [overloaded] / [shutting_down] error when the
+    job is shed.  [reply] must be thread-safe and must not block for long
+    (it holds a worker); exceptions it raises are swallowed and counted
+    as [server.reply_failures]. *)
+
+val record_invalid : t -> unit
+(** Count a line the transport rejected before submission (parse or
+    validation failure) so [stats] reflects malformed traffic too. *)
+
+val stats_json : t -> Json.t
+(** Snapshot: configuration, uptime, queue depth, in-flight count,
+    accepted/rejected/completed/failed/timeout totals, throughput, and
+    p50/p95/p99/max/mean latency (ms) over the last 4096 jobs.  Also
+    refreshes the [server.latency_p*_ms] telemetry gauges. *)
+
+val queue_depth : t -> int
+val inflight : t -> int
+val completed : t -> int
+
+val shutdown : ?drain:bool -> t -> unit
+(** Stop accepting, dispose of every pending job as described above, join
+    the workers.  Idempotent; concurrent submissions during shutdown are
+    answered [shutting_down]. *)

@@ -1,0 +1,306 @@
+module H = Ps_hypergraph.Hypergraph
+module Hio = Ps_hypergraph.Hio
+module Gio = Ps_graph.Gio
+module Mc = Ps_cfc.Multicolor
+
+type error_code =
+  | Parse_error
+  | Invalid_request
+  | Unknown_method
+  | Payload_too_large
+  | Overloaded
+  | Timeout
+  | Shutting_down
+  | Internal
+
+type error = { code : error_code; message : string }
+
+let error_code_string = function
+  | Parse_error -> "parse_error"
+  | Invalid_request -> "invalid_request"
+  | Unknown_method -> "unknown_method"
+  | Payload_too_large -> "payload_too_large"
+  | Overloaded -> "overloaded"
+  | Timeout -> "timeout"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+type solve_params = {
+  hypergraph : H.t;
+  solver : Ps_maxis.Approx.solver;
+  solver_name : string;
+  k : int option;
+  seed : int;
+  detail : bool;
+}
+
+type mis_algo = Mis_greedy | Mis_luby | Mis_slocal | Mis_derandomized | Mis_all
+
+type call =
+  | Reduce of solve_params
+  | Certify of solve_params
+  | Mis of { graph : Ps_graph.Graph.t; algo : mis_algo; seed : int }
+  | Decompose of { graph : Ps_graph.Graph.t }
+  | Ping
+  | Stats
+
+type request = { id : Json.t; timeout_ms : int option; call : call }
+
+let default_max_bytes = 4 * 1024 * 1024
+
+let solver_of_name = function
+  | "greedy" -> Some Ps_maxis.Approx.greedy_min_degree
+  | "caro-wei" -> Some Ps_maxis.Approx.caro_wei
+  | "caro-wei-x8" -> Some (Ps_maxis.Approx.caro_wei_boosted 8)
+  | "adversarial" -> Some Ps_maxis.Approx.greedy_adversarial
+  | "exact" -> Some Ps_maxis.Approx.exact
+  | _ -> None
+
+let mis_algo_of_name = function
+  | "greedy" -> Some Mis_greedy
+  | "luby" -> Some Mis_luby
+  | "slocal" -> Some Mis_slocal
+  | "derandomized" -> Some Mis_derandomized
+  | "all" -> Some Mis_all
+  | _ -> None
+
+let method_name = function
+  | Reduce _ -> "reduce"
+  | Certify _ -> "certify"
+  | Mis _ -> "mis"
+  | Decompose _ -> "decompose"
+  | Ping -> "ping"
+  | Stats -> "stats"
+
+let mis_algo_name = function
+  | Mis_greedy -> "greedy"
+  | Mis_luby -> "luby"
+  | Mis_slocal -> "slocal"
+  | Mis_derandomized -> "derandomized"
+  | Mis_all -> "all"
+
+(* ------------------------------------------------------------------ *)
+(* Request validation *)
+
+(* Short-circuiting field extraction: every branch either produces the
+   value or a typed [error]; nothing in this file raises on bad input. *)
+
+let err code fmt = Printf.ksprintf (fun message -> { code; message }) fmt
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let opt_field params key decode what =
+  match Json.member key params with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match decode v with
+      | Some x -> Ok (Some x)
+      | None ->
+          Error (err Invalid_request "field %S must be %s" key what))
+
+let str_field params key =
+  opt_field params key Json.to_string_opt "a string"
+
+let int_field params key = opt_field params key Json.to_int_opt "an integer"
+let bool_field params key = opt_field params key Json.to_bool_opt "a boolean"
+
+let required what key = function
+  | Some v -> Ok v
+  | None -> Error (err Invalid_request "missing required field %S (%s)" key what)
+
+let positive key = function
+  | Some v when v <= 0 ->
+      Error (err Invalid_request "field %S must be positive (got %d)" key v)
+  | v -> Ok v
+
+(* Inline payloads: the Gio/Hio readers raise [Failure] with a
+   line-numbered message on malformed text (bad headers, negative or
+   out-of-range ids, junk tokens); that message becomes the typed
+   [invalid_request] response body. *)
+let hypergraph_payload params =
+  let* text = str_field params "hypergraph" in
+  let* text = required "inline Hio text" "hypergraph" text in
+  match Hio.of_text text with
+  | h -> Ok h
+  | exception Failure msg ->
+      Error (err Invalid_request "hypergraph payload: %s" msg)
+
+let graph_payload params =
+  let* text = str_field params "graph" in
+  let* text = required "inline Gio edge-list text" "graph" text in
+  match Gio.of_edge_list text with
+  | g -> Ok g
+  | exception Failure msg -> Error (err Invalid_request "graph payload: %s" msg)
+
+let solve_params params =
+  let* hypergraph = hypergraph_payload params in
+  let* solver_name = str_field params "solver" in
+  let solver_name = Option.value solver_name ~default:"greedy" in
+  let* solver =
+    match solver_of_name solver_name with
+    | Some s -> Ok s
+    | None -> Error (err Invalid_request "unknown solver %S" solver_name)
+  in
+  let* k = int_field params "k" in
+  let* k = positive "k" k in
+  let* seed = int_field params "seed" in
+  let* detail = bool_field params "detail" in
+  Ok
+    { hypergraph;
+      solver;
+      solver_name;
+      k;
+      seed = Option.value seed ~default:0;
+      detail = Option.value detail ~default:false }
+
+let parse_call meth params =
+  match meth with
+  | "reduce" ->
+      let* p = solve_params params in
+      Ok (Reduce p)
+  | "certify" ->
+      let* p = solve_params params in
+      Ok (Certify p)
+  | "mis" ->
+      let* graph = graph_payload params in
+      let* algo = str_field params "algo" in
+      let algo_name = Option.value algo ~default:"greedy" in
+      let* algo =
+        match mis_algo_of_name algo_name with
+        | Some a -> Ok a
+        | None -> Error (err Invalid_request "unknown MIS algo %S" algo_name)
+      in
+      let* seed = int_field params "seed" in
+      Ok (Mis { graph; algo; seed = Option.value seed ~default:0 })
+  | "decompose" ->
+      let* graph = graph_payload params in
+      Ok (Decompose { graph })
+  | "ping" -> Ok Ping
+  | "stats" -> Ok Stats
+  | other -> Error (err Unknown_method "unknown method %S" other)
+
+let parse_request ?(max_bytes = default_max_bytes) line =
+  let tag id r = Result.map_error (fun e -> (id, e)) r in
+  if String.length line > max_bytes then
+    Error
+      ( Json.Null,
+        err Payload_too_large "request line is %d bytes (cap %d)"
+          (String.length line) max_bytes )
+  else
+    match Json.parse line with
+    | Error msg -> Error (Json.Null, err Parse_error "%s" msg)
+    | Ok (Json.Obj _ as envelope) ->
+        let id = Option.value (Json.member "id" envelope) ~default:Json.Null in
+        tag id
+          (let* meth =
+             match Json.member "method" envelope with
+             | Some (Json.Str m) -> Ok m
+             | Some _ ->
+                 Error (err Invalid_request "field \"method\" must be a string")
+             | None ->
+                 Error (err Invalid_request "missing required field \"method\"")
+           in
+           let* params =
+             match Json.member "params" envelope with
+             | None | Some Json.Null -> Ok (Json.Obj [])
+             | Some (Json.Obj _ as p) -> Ok p
+             | Some _ ->
+                 Error (err Invalid_request "field \"params\" must be an object")
+           in
+           let* timeout_ms = int_field params "timeout_ms" in
+           let* timeout_ms = positive "timeout_ms" timeout_ms in
+           let* call = parse_call meth params in
+           Ok { id; timeout_ms; call })
+    | Ok _ ->
+        Error (Json.Null, err Invalid_request "request must be a JSON object")
+
+(* ------------------------------------------------------------------ *)
+(* Responses *)
+
+let ok_response ~id result =
+  Json.Obj [ ("id", id); ("ok", Json.Bool true); ("result", result) ]
+
+let error_response ~id { code; message } =
+  Json.Obj
+    [ ("id", id);
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj
+          [ ("code", Json.Str (error_code_string code));
+            ("message", Json.Str message) ] ) ]
+
+let response_to_line = Json.to_string
+
+(* ------------------------------------------------------------------ *)
+(* Result encoders *)
+
+let certificate_json (c : Ps_core.Certify.t) =
+  Json.Obj
+    [ ("conflict_free", Json.Bool c.conflict_free);
+      ("phase_happiness_ok", Json.Bool c.phase_happiness_ok);
+      ("decay_ok", Json.Bool c.decay_ok);
+      ("lambda_max", Json.Float c.lambda_max);
+      ("rho_bound", Json.Float c.rho_bound);
+      ("phases_used", Json.Int c.phases_used);
+      ("phases_within_rho", Json.Bool c.phases_within_rho);
+      ("colors_used", Json.Int c.colors_used);
+      ("color_budget", Json.Int c.color_budget);
+      ("colors_within_budget", Json.Bool c.colors_within_budget);
+      ("all_ok", Json.Bool c.all_ok) ]
+
+let phase_record_json (p : Ps_core.Reduction.phase_record) =
+  Json.Obj
+    [ ("phase", Json.Int p.phase);
+      ("edges_before", Json.Int p.edges_before);
+      ("conflict_vertices", Json.Int p.conflict_vertices);
+      ("conflict_edges", Json.Int p.conflict_edges);
+      ("is_size", Json.Int p.is_size);
+      ("newly_happy", Json.Int p.newly_happy);
+      ("lambda_effective", Json.Float p.lambda_effective) ]
+
+let reduce_result ~detail (r : Ps_core.Pipeline.result) =
+  let red = r.Ps_core.Pipeline.reduction in
+  let _, compacted = Mc.compact red.Ps_core.Reduction.multicoloring in
+  let base =
+    [ ("k", Json.Int r.Ps_core.Pipeline.k);
+      ("solver", Json.Str red.Ps_core.Reduction.solver_name);
+      ("n", Json.Int (H.n_vertices red.Ps_core.Reduction.hypergraph));
+      ("m", Json.Int (H.n_edges red.Ps_core.Reduction.hypergraph));
+      ("phases", Json.Int red.Ps_core.Reduction.total_phases);
+      ("colors_used", Json.Int red.Ps_core.Reduction.colors_used);
+      ("colors_compacted", Json.Int compacted);
+      ( "certified",
+        Json.Bool r.Ps_core.Pipeline.certificate.Ps_core.Certify.all_ok );
+      ("certificate", certificate_json r.Ps_core.Pipeline.certificate) ]
+  in
+  let extra =
+    if not detail then []
+    else
+      [ ( "phase_records",
+          Json.List
+            (List.map phase_record_json red.Ps_core.Reduction.phases) );
+        ( "multicoloring",
+          Json.List
+            (Array.to_list
+               (Array.map
+                  (fun colors ->
+                    Json.List (List.map (fun c -> Json.Int c) colors))
+                  red.Ps_core.Reduction.multicoloring)) ) ]
+  in
+  Json.Obj (base @ extra)
+
+let mis_entry ~algorithm ~size ?rounds ?locality () =
+  Json.Obj
+    ([ ("algorithm", Json.Str algorithm); ("size", Json.Int size) ]
+    @ (match rounds with Some r -> [ ("rounds", Json.Int r) ] | None -> [])
+    @
+    match locality with Some l -> [ ("locality", Json.Int l) ] | None -> [])
+
+let mis_result entries = Json.Obj [ ("algorithms", Json.List entries) ]
+
+let decompose_result (d : Ps_slocal.Decomposition.t) ~verified =
+  Json.Obj
+    [ ("clusters", Json.Int d.Ps_slocal.Decomposition.n_clusters);
+      ("colors", Json.Int d.Ps_slocal.Decomposition.n_colors);
+      ("max_radius", Json.Int d.Ps_slocal.Decomposition.max_radius);
+      ("verified", Json.Bool verified) ]

@@ -1,0 +1,106 @@
+(** The solve service's wire protocol: newline-delimited JSON.
+
+    One request per line, one response per line, in either direction of a
+    byte stream (stdin/stdout or a Unix socket).  A request is
+
+    {v {"id": <any>, "method": "reduce", "params": {...}} v}
+
+    and every request — including malformed ones — produces exactly one
+    response, either
+
+    {v {"id": <echoed>, "ok": true,  "result": {...}}
+       {"id": <echoed>, "ok": false, "error": {"code": "...", "message": "..."}} v}
+
+    Responses may arrive out of order (jobs run on a worker pool); the
+    echoed [id] is the correlation key.  Malformed input of any kind maps
+    to a typed {!error} — parsing never raises on untrusted bytes.
+
+    Methods: [reduce] and [certify] (Theorem 1.1 pipeline on an inline
+    Hio hypergraph payload), [mis] and [decompose] (inline Gio edge-list
+    payload), [ping], [stats].  The same result encoders back the CLI's
+    [--json] mode, so one-shot and served output are byte-compatible. *)
+
+type error_code =
+  | Parse_error        (** line is not a JSON value *)
+  | Invalid_request    (** JSON fine; envelope, params or payload invalid *)
+  | Unknown_method
+  | Payload_too_large  (** request line exceeds the configured byte cap *)
+  | Overloaded         (** queue full — the shed response *)
+  | Timeout            (** per-job deadline expired *)
+  | Shutting_down      (** submitted to, or aborted by, a closing server *)
+  | Internal           (** handler raised: a bug, reported not crashed *)
+
+type error = { code : error_code; message : string }
+
+val error_code_string : error_code -> string
+(** Lower-snake wire names: ["parse_error"], ["overloaded"], ... *)
+
+(** What a validated request asks for.  Inline payloads arrive already
+    parsed: Hio/Gio rejection (negative ids, out-of-range vertices,
+    malformed headers) happens at validation time and surfaces as
+    {!Invalid_request}. *)
+
+type solve_params = {
+  hypergraph : Ps_hypergraph.Hypergraph.t;
+  solver : Ps_maxis.Approx.solver;
+  solver_name : string;
+  k : int option;       (** [None]: derive k from the conservative CF coloring *)
+  seed : int;
+  detail : bool;        (** include per-phase records and the multicoloring *)
+}
+
+type mis_algo = Mis_greedy | Mis_luby | Mis_slocal | Mis_derandomized | Mis_all
+
+type call =
+  | Reduce of solve_params
+  | Certify of solve_params
+  | Mis of { graph : Ps_graph.Graph.t; algo : mis_algo; seed : int }
+  | Decompose of { graph : Ps_graph.Graph.t }
+  | Ping
+  | Stats
+
+type request = {
+  id : Json.t;               (** echoed verbatim; [Null] when absent *)
+  timeout_ms : int option;   (** per-job deadline, measured from accept *)
+  call : call;
+}
+
+val default_max_bytes : int
+(** Request-line size cap when none is configured: 4 MiB. *)
+
+val parse_request : ?max_bytes:int -> string -> (request, Json.t * error) result
+(** Validate one request line.  On error the returned [Json.t] is the
+    request id if one could be recovered from the line ([Null] otherwise)
+    so the error response still correlates. *)
+
+val method_name : call -> string
+(** Wire name of the method a call came from ("reduce", "ping", ...). *)
+
+val solver_of_name : string -> Ps_maxis.Approx.solver option
+(** The CLI's solver registry, shared: greedy, caro-wei, caro-wei-x8,
+    adversarial, exact. *)
+
+val mis_algo_of_name : string -> mis_algo option
+val mis_algo_name : mis_algo -> string
+
+(** {1 Response construction} *)
+
+val ok_response : id:Json.t -> Json.t -> Json.t
+val error_response : id:Json.t -> error -> Json.t
+
+val response_to_line : Json.t -> string
+(** Compact encoding, no trailing newline (the transport adds it). *)
+
+(** {1 Result encoders} (shared with [pslocal --json]) *)
+
+val reduce_result : detail:bool -> Ps_core.Pipeline.result -> Json.t
+val certificate_json : Ps_core.Certify.t -> Json.t
+
+val mis_entry :
+  algorithm:string -> size:int -> ?rounds:int -> ?locality:int -> unit -> Json.t
+
+val mis_result : Json.t list -> Json.t
+(** Wraps per-algorithm entries as [{"algorithms": [...]}]. *)
+
+val decompose_result :
+  Ps_slocal.Decomposition.t -> verified:bool -> Json.t

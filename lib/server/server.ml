@@ -1,0 +1,162 @@
+module P = Protocol
+
+type config = {
+  engine : Engine.config;
+  max_line_bytes : int;
+}
+
+let default_config =
+  { engine = Engine.default_config; max_line_bytes = P.default_max_bytes }
+
+let handle_line ~engine ~max_line_bytes ~reply line =
+  if String.trim line <> "" then
+    match P.parse_request ~max_bytes:max_line_bytes line with
+    | Ok req -> ignore (Engine.submit engine req ~reply : Engine.submit_outcome)
+    | Error (id, err) ->
+        Engine.record_invalid engine;
+        reply (P.response_to_line (P.error_response ~id err))
+
+(* Stop latch: the accept/read loops block in their own threads; the
+   main thread sleeps in [await] until SIGTERM/SIGINT/EOF trips the
+   latch, then runs the drain.
+
+   The latch is a bare atomic and [await] polls it, deliberately.  Two
+   alternatives both fail here:
+   - A mutex/condvar latch woken from a [Sys.signal] handler: OCaml
+     signal handlers run at poll points on whatever thread polls next,
+     which can be the thread already holding the latch mutex (relocking
+     raises mid-handler), and with main, the readers and every worker
+     domain parked in blocking C calls there may be no poll point at
+     all — SIGTERM hangs.  The handler below only flips the atomic,
+     which is async-safe, and the 50 ms poll in [await] guarantees a
+     prompt poll point.
+   - Masking + [Thread.wait_signal]: the runtime's internal threads
+     (the systhreads tick thread, domain 0's backup thread) are created
+     before user code and keep the signals unblocked, so with the
+     disposition left at default the kernel can deliver there and kill
+     the process.  Installing a handler fixes the disposition
+     process-wide whichever thread the kernel picks. *)
+type latch = { stopped : bool Atomic.t }
+
+let make_latch () = { stopped = Atomic.make false }
+let trip latch = Atomic.set latch.stopped true
+let tripped latch = Atomic.get latch.stopped
+
+let await latch =
+  while not (tripped latch) do
+    Thread.delay 0.05
+  done
+
+(* [f latch] runs with SIGTERM/SIGINT tripping the latch; previous
+   dispositions are restored on exit. *)
+let with_termination_latch f =
+  let latch = make_latch () in
+  let install s = Sys.signal s (Sys.Signal_handle (fun _ -> trip latch)) in
+  let prev_term = install Sys.sigterm and prev_int = install Sys.sigint in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigint prev_int)
+    (fun () -> f latch)
+
+(* ------------------------------------------------------------------ *)
+(* stdio *)
+
+let serve_stdio ?(config = default_config) () =
+  with_termination_latch @@ fun latch ->
+  let engine = Engine.create config.engine in
+  let out_mutex = Mutex.create () in
+  let reply line =
+    Mutex.lock out_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock out_mutex)
+      (fun () ->
+        print_string line;
+        print_newline ();
+        flush stdout)
+  in
+  let reader () =
+    (try
+       let rec loop () =
+         let line = input_line stdin in
+         handle_line ~engine ~max_line_bytes:config.max_line_bytes ~reply line;
+         loop ()
+       in
+       loop ()
+     with End_of_file | Sys_error _ -> ());
+    trip latch
+  in
+  let _reader : Thread.t = Thread.create reader () in
+  await latch;
+  (* Drain: every accepted job still answers before we return.  The
+     reader thread may stay blocked in [input_line]; it holds no locks
+     and dies with the process. *)
+  Engine.shutdown ~drain:true engine
+
+(* ------------------------------------------------------------------ *)
+(* Unix socket *)
+
+let serve_unix_socket ?(config = default_config) ~path () =
+  with_termination_latch @@ fun latch ->
+  let engine = Engine.create config.engine in
+  (if Sys.file_exists path then
+     match (Unix.stat path).Unix.st_kind with
+     | Unix.S_SOCK -> Unix.unlink path
+     | _ -> failwith (Printf.sprintf "serve: %s exists and is not a socket" path));
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX path);
+  Unix.listen listen_fd 64;
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let connection fd () =
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let out_mutex = Mutex.create () in
+    let reply line =
+      Mutex.lock out_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock out_mutex)
+        (fun () ->
+          output_string oc line;
+          output_char oc '\n';
+          flush oc)
+    in
+    (try
+       let rec loop () =
+         let line = input_line ic in
+         handle_line ~engine ~max_line_bytes:config.max_line_bytes ~reply line;
+         loop ()
+       in
+       loop ()
+     with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+    (* Leave the fd open until the process exits or the client hangs up
+       first: in-flight replies for this connection may still be pending
+       in the engine.  Closing here would turn them into reply failures
+       during drain.  The kernel reclaims the fd at exit; long-running
+       servers recycle few enough connection threads for this to hold. *)
+    ()
+  in
+  let accept_loop () =
+    let rec loop () =
+      (* Poll so a tripped latch stops the accept loop promptly. *)
+      match Unix.select [ listen_fd ] [] [] 0.25 with
+      | [], _, _ -> if tripped latch then () else loop ()
+      | _ :: _, _, _ ->
+          let fd, _ = Unix.accept listen_fd in
+          let _t : Thread.t = Thread.create (connection fd) () in
+          if tripped latch then () else loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          if tripped latch then () else loop ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+    in
+    loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigpipe prev_pipe;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      let acceptor = Thread.create accept_loop () in
+      await latch;
+      Thread.join acceptor;
+      Engine.shutdown ~drain:true engine)

@@ -1,0 +1,39 @@
+(** Transports for the solve service: newline-delimited JSON over
+    stdin/stdout or a Unix-domain socket, in front of one {!Engine}.
+
+    Both modes follow the same lifecycle: read lines, validate with
+    {!Protocol.parse_request} (malformed lines are answered immediately
+    with their typed error — they never occupy the queue), submit valid
+    requests to the engine, and interleave responses onto the output as
+    workers finish (out-of-order; correlate by [id]).  On [SIGTERM],
+    [SIGINT] or end of input the server stops reading, drains every
+    queued and in-flight job so each accepted request still gets its
+    response, and returns — the exit is clean, never a crash. *)
+
+type config = {
+  engine : Engine.config;
+  max_line_bytes : int;  (** request-line cap; longer → [payload_too_large] *)
+}
+
+val default_config : config
+(** {!Engine.default_config} plus {!Protocol.default_max_bytes}. *)
+
+val serve_stdio : ?config:config -> unit -> unit
+(** Serve stdin → stdout until EOF or a termination signal, then drain
+    and return.  Responses are written one per line, each flushed, writes
+    serialized by an internal lock. *)
+
+val serve_unix_socket : ?config:config -> path:string -> unit -> unit
+(** Bind (replacing any stale socket file), accept concurrent
+    connections (one reader thread each), serve until a termination
+    signal, then stop accepting, drain, unlink the socket and return.
+    [SIGPIPE] is ignored for the duration; replies to a hung-up client
+    are dropped and counted as reply failures. *)
+
+(**/**)
+
+val handle_line :
+  engine:Engine.t -> max_line_bytes:int -> reply:(string -> unit) ->
+  string -> unit
+(** One line through validate-or-reject + submit; exposed for tests and
+    the load generator.  Blank lines are ignored. *)

@@ -1,0 +1,51 @@
+module P = Protocol
+module Is = Ps_maxis.Independent_set
+
+let solve ~cancel (p : P.solve_params) =
+  Ps_core.Pipeline.solve_unchecked ~cancel ~seed:p.seed
+    ?k:(Option.map (fun k -> Ps_core.Pipeline.Fixed k) p.k)
+    ~solver:p.solver p.hypergraph
+
+let mis_one ~seed g = function
+  | P.Mis_greedy ->
+      let is = Ps_maxis.Greedy.min_degree g in
+      P.mis_entry ~algorithm:"greedy" ~size:(Is.size is) ()
+  | P.Mis_luby ->
+      let flags, stats = Ps_local.Luby.run ~seed g in
+      P.mis_entry ~algorithm:"luby"
+        ~size:(Is.size (Is.of_indicator flags))
+        ~rounds:stats.Ps_local.Network.rounds ()
+  | P.Mis_slocal ->
+      let flags, _ = Ps_slocal.Greedy_mis.run ~seed g in
+      P.mis_entry ~algorithm:"slocal"
+        ~size:(Is.size (Is.of_indicator flags))
+        ~locality:1 ()
+  | P.Mis_derandomized ->
+      let d = Ps_slocal.Derandomize.mis g in
+      P.mis_entry ~algorithm:"derandomized"
+        ~size:(Is.size (Is.of_indicator d.Ps_slocal.Derandomize.outputs))
+        ~rounds:d.Ps_slocal.Derandomize.simulated_rounds ()
+  | P.Mis_all -> assert false
+
+let mis_entries ~seed algo g =
+  match algo with
+  | P.Mis_all ->
+      List.map (mis_one ~seed g)
+        [ P.Mis_greedy; P.Mis_luby; P.Mis_slocal; P.Mis_derandomized ]
+  | one -> [ mis_one ~seed g one ]
+
+let handle ~stats ~cancel (req : P.request) =
+  match req.call with
+  | P.Ping -> Ok (Json.Obj [ ("pong", Json.Bool true) ])
+  | P.Stats -> Ok (stats ())
+  | P.Reduce p -> Ok (P.reduce_result ~detail:p.detail (solve ~cancel p))
+  | P.Certify p ->
+      Ok (P.certificate_json (solve ~cancel p).Ps_core.Pipeline.certificate)
+  | P.Mis { graph; algo; seed } ->
+      Ok (P.mis_result (mis_entries ~seed algo graph))
+  | P.Decompose { graph } ->
+      let d = Ps_slocal.Decomposition.ball_carving graph in
+      let check = Ps_slocal.Decomposition.verify graph d in
+      Ok
+        (P.decompose_result d
+           ~verified:(Ps_slocal.Decomposition.check_all check))

@@ -1,0 +1,24 @@
+(** Request semantics: one validated {!Protocol.request} in, one result
+    out.  Pure dispatch — no queues, no IO — so the engine, the one-shot
+    CLI and the tests all execute methods through the same code path.
+
+    [cancel] is the cooperative deadline hook threaded into the phase
+    loop ({!Ps_core.Reduction.run}); a cancelled solve escapes as
+    {!Ps_core.Reduction.Canceled}, which the caller (the engine) maps to
+    a [timeout] or [shutting_down] error.  Any other exception is the
+    caller's to turn into an [internal] error. *)
+
+val handle :
+  stats:(unit -> Json.t) ->
+  cancel:(unit -> bool) ->
+  Protocol.request ->
+  (Json.t, Protocol.error) result
+(** Execute the request.  [stats] supplies the [stats] method's snapshot
+    (the engine closes over itself).  Never returns [Error] for [reduce]
+    on a valid instance — a failed certificate is reported inside the
+    result ([certified: false]), not as a protocol error. *)
+
+val mis_entries :
+  seed:int -> Protocol.mis_algo -> Ps_graph.Graph.t -> Json.t list
+(** Per-algorithm result rows ([Mis_all] = the whole zoo, in the CLI's
+    table order); shared by the server and [pslocal mis --json]. *)

@@ -8,19 +8,30 @@
 
 let available () = Domain.recommended_domain_count ()
 
+(* Each body runs under its own exception trap so a raising worker can
+   never leave a sibling unjoined: the spawn closures cannot throw out of
+   [Domain.spawn]'s thunk, every domain is joined unconditionally, and
+   the first failure (by worker index, caller's chunk 0 first) is
+   re-raised with its original backtrace once all domains are back. *)
 let fork_join ~domains f =
   if domains <= 1 then f 0
   else begin
-    let workers =
-      Array.init (domains - 1) (fun i -> Domain.spawn (fun () -> f (i + 1)))
+    let protect d () =
+      match f d with
+      | () -> None
+      | exception e -> Some (e, Printexc.get_raw_backtrace ())
     in
-    let first = ref (try f 0; None with e -> Some e) in
+    let workers =
+      Array.init (domains - 1) (fun i -> Domain.spawn (protect (i + 1)))
+    in
+    let failures = Array.make domains None in
+    failures.(0) <- protect 0 ();
+    Array.iteri (fun i d -> failures.(i + 1) <- Domain.join d) workers;
     Array.iter
-      (fun d ->
-        try Domain.join d
-        with e -> if Option.is_none !first then first := Some e)
-      workers;
-    match !first with Some e -> raise e | None -> ()
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      failures
   end
 
 let range ~pieces ~lo ~hi i =

@@ -15,8 +15,14 @@ val fork_join : domains:int -> (int -> unit) -> unit
 (** [fork_join ~domains f] runs [f 0 .. f (domains-1)], with [f 0] on the
     calling domain and the rest on freshly spawned domains, and returns
     once all have finished.  [domains <= 1] degrades to plain [f 0] with
-    no spawning.  If any [f d] raises, all workers are still joined and
-    one of the exceptions is re-raised. *)
+    no spawning.
+
+    {b Failure semantics.}  A raising worker never deadlocks or leaks the
+    others: every spawned domain is joined unconditionally before the
+    call returns.  If one or more [f d] raise, the exception of the
+    lowest-indexed failing worker (the caller's own chunk 0 first) is
+    re-raised with its original backtrace after all domains have been
+    joined; the remaining exceptions are dropped. *)
 
 val range : pieces:int -> lo:int -> hi:int -> int -> int * int
 (** [range ~pieces ~lo ~hi i] is the [i]-th of [pieces] balanced

@@ -24,6 +24,10 @@ let split_at t i =
   let salt = Int64.mul (Int64.of_int (i + 1)) 0xD1B54A32D192ED03L in
   { state = mix64 (Int64.logxor t.state salt) }
 
+let streams t n =
+  if n < 0 then invalid_arg "Rng.streams: n must be non-negative";
+  Array.init n (split_at t)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection sampling on the top 62 bits to avoid modulo bias. *)

@@ -27,6 +27,23 @@ val split_at : t -> int -> t
 (** [split_at t i] derives the [i]-th child deterministically {e without}
     advancing [t]; used to give node [i] of a network its own stream. *)
 
+val streams : t -> int -> t array
+(** [streams t n] is [n] fresh generators, the [i]-th equal to
+    [split_at t i], derived without advancing [t].
+
+    {b Per-domain contract.}  This is the constructor for giving each
+    worker of a domain pool its own randomness: the children are
+    deterministic functions of [t]'s current state and the index alone
+    (same parent state ⇒ same array, independent of domain scheduling),
+    their streams are statistically independent of each other and of
+    [t]'s own subsequent output (distinct indices select distinct points
+    of a second Weyl sequence, then pass through the full SplitMix64
+    finalizer — no two children, and no child/parent pair, share state
+    trajectories), and each child is a private, unshared [t]: handing
+    child [i] to domain [i] requires no locking.  [t] itself must not be
+    used concurrently with the derivation, so derive the array before
+    spawning. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -20,22 +20,41 @@ let enabled_flag =
 let enabled () = !enabled_flag
 let set_enabled b = enabled_flag := b
 
+(* Domain safety: the open-span stack is domain-local (nesting is a
+   per-domain notion — a worker's spans must not adopt another domain's
+   parent), while the completed roots, counters and gauges are shared and
+   guarded by [lock].  The mutex is touched only when recording is on,
+   and only at root completion / counter writes — the per-field hot path
+   stays lock-free on domain-local state. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let roots : span list ref = ref [] (* completed top-level spans, newest first *)
-let stack : span list ref = ref [] (* open spans, innermost first *)
+
+let stack_key : span list ref Domain.DLS.key =
+  (* open spans of the current domain, innermost first *)
+  Domain.DLS.new_key (fun () -> ref [])
+
 let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
 let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 32
 
 let reset () =
-  roots := [];
-  stack := [];
-  Hashtbl.reset counters;
-  Hashtbl.reset gauges
+  locked (fun () ->
+      roots := [];
+      Hashtbl.reset counters;
+      Hashtbl.reset gauges);
+  Domain.DLS.get stack_key := []
 
 let now () = Monotonic_clock.now ()
+let now_ns = now
 
 let with_span name f =
   if not !enabled_flag then f ()
   else begin
+    let stack = Domain.DLS.get stack_key in
     let sp =
       { span_name = name;
         start_ns = now ();
@@ -51,14 +70,29 @@ let with_span name f =
       | _ -> () (* a nested reset discarded us; nothing to unwind *));
       match !stack with
       | parent :: _ -> parent.children <- sp :: parent.children
-      | [] -> roots := sp :: !roots
+      | [] -> locked (fun () -> roots := sp :: !roots)
     in
     Fun.protect ~finally:finish f
   end
 
+(* Fields are stored newest-first (see the type above); reversing the
+   caller's insertion-ordered list keeps export order identical to what
+   the equivalent set_* sequence would have produced. *)
+let add_completed_span ~name ~start_ns ~stop_ns fields =
+  if !enabled_flag then begin
+    let sp =
+      { span_name = name;
+        start_ns;
+        stop_ns;
+        fields = List.rev fields;
+        children = [] }
+    in
+    locked (fun () -> roots := sp :: !roots)
+  end
+
 let set key v =
   if !enabled_flag then
-    match !stack with
+    match !(Domain.DLS.get stack_key) with
     | sp :: _ -> sp.fields <- (key, v) :: sp.fields
     | [] -> ()
 
@@ -76,10 +110,11 @@ let counter_ref name =
       r
 
 let count name n =
-  if !enabled_flag then begin
-    let r = counter_ref name in
-    r := !r + n
-  end
+  if !enabled_flag then
+    locked (fun () ->
+        let r = counter_ref name in
+        r := !r + n)
+
 let incr name = count name 1
 
 let gauge_ref name =
@@ -90,20 +125,23 @@ let gauge_ref name =
       Hashtbl.add gauges name r;
       r
 
-let gauge name v = if !enabled_flag then gauge_ref name := v
+let gauge name v =
+  if !enabled_flag then locked (fun () -> gauge_ref name := v)
 
 let gauge_max name v =
-  if !enabled_flag then begin
-    let r = gauge_ref name in
-    if v > !r then r := v
-  end
+  if !enabled_flag then
+    locked (fun () ->
+        let r = gauge_ref name in
+        if v > !r then r := v)
 
 let counter_value name =
-  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with Some r -> !r | None -> 0)
 
-let gauge_value name = Option.map ( ! ) (Hashtbl.find_opt gauges name)
+let gauge_value name =
+  locked (fun () -> Option.map ( ! ) (Hashtbl.find_opt gauges name))
 
-let root_spans () = List.rev !roots
+let root_spans () = List.rev (locked (fun () -> !roots))
 
 let find_spans name =
   let acc = ref [] in
@@ -135,7 +173,7 @@ let export_fields sp =
   |> List.rev
 
 let sorted_bindings tbl =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl []
+  locked (fun () -> Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let pp_value ppf = function

@@ -16,9 +16,17 @@
     lookup — so instrumented hot paths (the conflict-graph builder, the
     LOCAL message loop) cost nothing in production builds.
 
-    {b Concurrency.}  The recorder is deliberately not domain-safe:
-    instrument around parallel sections ({!Parallel.fork_join}), never
-    inside worker bodies. *)
+    {b Concurrency.}  The recorder is domain-safe: the open-span stack is
+    domain-local (each domain nests its own spans; a worker's root spans
+    are published to the shared trace on completion), while counters,
+    gauges and the completed-root list sit behind a mutex that is only
+    touched when recording is on.  Short-lived fork-join sections
+    ({!Parallel.fork_join}) should still be instrumented around, not
+    inside, the parallel loop — per-element spans would swamp the trace —
+    but long-lived worker pools (the solve server) may record freely:
+    {!with_span} inside a job lands the span in the global trace, and
+    externally timed work can be committed with {!now_ns} +
+    {!add_completed_span}. *)
 
 (** Typed field values attached to spans. *)
 type value = Int of int | Float of float | Bool of bool | Str of string
@@ -50,6 +58,24 @@ val with_span : string -> (unit -> 'a) -> 'a
 (** [with_span name f] runs [f] inside a fresh span: timed with the
     monotonic clock, child of the innermost open span (or a root).  The
     span is closed even if [f] raises.  Disabled: exactly [f ()]. *)
+
+val now_ns : unit -> int64
+(** The recorder's monotonic clock, for callers assembling their own
+    spans (see {!add_completed_span}).  Always live, even disabled. *)
+
+val add_completed_span :
+  name:string ->
+  start_ns:int64 ->
+  stop_ns:int64 ->
+  (string * value) list ->
+  unit
+(** [add_completed_span ~name ~start_ns ~stop_ns fields] installs an
+    externally timed, already-finished span as a new root (it never
+    attaches to the currently open span).  Fields are taken in insertion
+    order, as if written by consecutive [set_*] calls.  This is the entry
+    point for work whose lifetime does not fit a {!with_span} scope —
+    e.g. a served job timed from enqueue (on the IO thread) to response
+    (on a worker domain).  Safe from any domain.  Disabled: no-op. *)
 
 val set_int : string -> int -> unit
 (** Attach a field to the innermost open span (no-op outside any span;

@@ -1,0 +1,556 @@
+(* Tests for the solve service: the JSON layer, protocol validation on
+   hostile input, the engine's shed/timeout/drain behaviour with injected
+   handlers, the transport line loop, and the two satellite hardenings
+   (Parallel.fork_join exception propagation, Rng.streams).
+
+   Engine tests use handlers that block on explicit latches rather than
+   sleeps wherever possible, so they are scheduling-robust; every wait
+   has a deadline so a regression fails loudly instead of hanging the
+   suite. *)
+
+module Json = Ps_server.Json
+module P = Ps_server.Protocol
+module Engine = Ps_server.Engine
+module Server = Ps_server.Server
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let parse_ok s =
+  match Json.parse s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let parse_err s =
+  match Json.parse s with
+  | Ok _ -> Alcotest.failf "parse %S: expected an error" s
+  | Error e -> e
+
+let test_json_roundtrip () =
+  let cases =
+    [ "null"; "true"; "false"; "0"; "-42"; "3.5"; "\"\"";
+      "\"a\\\"b\\\\c\\n\""; "[]"; "[1,2,3]"; "{}";
+      "{\"a\":1,\"b\":[true,null],\"c\":{\"d\":\"e\"}}" ]
+  in
+  List.iter
+    (fun s -> check_string s s (Json.to_string (parse_ok s)))
+    cases
+
+let test_json_unicode () =
+  check_string "bmp escape" "\"\xc3\xa9\"" (Json.to_string (parse_ok "\"\\u00e9\""));
+  check_string "surrogate pair" "\"\xf0\x9f\x99\x82\""
+    (Json.to_string (parse_ok "\"\\ud83d\\ude42\""))
+
+let test_json_errors () =
+  List.iter
+    (fun s -> ignore (parse_err s : string))
+    [ ""; "{"; "[1,2"; "\"unterminated"; "01"; "1.2.3"; "nul";
+      "{\"a\" 1}"; "[1,]"; "{,}"; "1 2"; "[1] x"; "\"\\ud83d\"" ]
+
+let test_json_int_overflow_widens () =
+  match parse_ok "99999999999999999999" with
+  | Json.Float f -> check_bool "widened" true (f > 9e18)
+  | j -> Alcotest.failf "expected Float, got %s" (Json.to_string j)
+
+let test_json_max_depth () =
+  let deep n = String.concat "" (List.init n (fun _ -> "[")) in
+  (match Json.parse ~max_depth:8 (deep 64) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected depth error");
+  ignore (parse_ok "[[[[1]]]]" : Json.t)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol validation on hostile input *)
+
+let code_of s =
+  match P.parse_request s with
+  | Ok _ -> Alcotest.failf "parse_request %S: expected an error" s
+  | Error (_, e) -> P.error_code_string e.P.code
+
+let test_protocol_truncated_line () =
+  check_string "truncated json" "parse_error"
+    (code_of "{\"id\":1,\"method\":\"redu");
+  check_string "empty object" "invalid_request" (code_of "{}")
+
+let test_protocol_oversized_payload () =
+  let line =
+    "{\"id\":7,\"method\":\"ping\",\"pad\":\"" ^ String.make 256 'x' ^ "\"}"
+  in
+  match P.parse_request ~max_bytes:64 line with
+  | Error (_, e) ->
+      check_string "code" "payload_too_large" (P.error_code_string e.P.code)
+  | Ok _ -> Alcotest.fail "expected payload_too_large"
+
+let test_protocol_unknown_method () =
+  match P.parse_request "{\"id\":3,\"method\":\"frobnicate\"}" with
+  | Error (id, e) ->
+      check_string "code" "unknown_method" (P.error_code_string e.P.code);
+      check_bool "id recovered" true (Json.equal id (Json.Int 3))
+  | Ok _ -> Alcotest.fail "expected unknown_method"
+
+let reduce_line payload =
+  Json.to_string
+    (Json.Obj
+       [ ("id", Json.Int 1);
+         ("method", Json.Str "reduce");
+         ("params", Json.Obj [ ("hypergraph", Json.Str payload) ]) ])
+
+let test_protocol_bad_hypergraph_ids () =
+  (* Negative and int-overflowing vertex ids inside the inline Hio
+     payload must surface as invalid_request, never as an exception. *)
+  List.iter
+    (fun payload ->
+      check_string payload "invalid_request" (code_of (reduce_line payload)))
+    [ "3 1\n2 0 -1";                      (* negative vertex *)
+      "3 1\n2 0 99999999999999999999";    (* overflows int_of_string *)
+      "-3 1\n";                           (* negative header *)
+      "3 1\n2 0 5";                       (* vertex out of range *)
+      "not a header" ]
+
+let test_protocol_bad_params () =
+  let mk fields =
+    Json.to_string
+      (Json.Obj
+         [ ("id", Json.Int 1); ("method", Json.Str "reduce");
+           ( "params",
+             Json.Obj
+               (("hypergraph", Json.Str "2 1\n2 0 1") :: fields) ) ])
+  in
+  check_string "k=0" "invalid_request"
+    (code_of
+       (Json.to_string
+          (Json.Obj
+             [ ("id", Json.Int 1); ("method", Json.Str "reduce");
+               ( "params",
+                 Json.Obj
+                   [ ("hypergraph", Json.Str "2 1\n2 0 1");
+                     ("k", Json.Int 0) ] ) ])));
+  check_string "timeout_ms=0" "invalid_request"
+    (code_of (mk [ ("timeout_ms", Json.Int 0) ]));
+  check_string "unknown solver" "invalid_request"
+    (code_of
+       (Json.to_string
+          (Json.Obj
+             [ ("id", Json.Int 1); ("method", Json.Str "reduce");
+               ( "params",
+                 Json.Obj
+                   [ ("hypergraph", Json.Str "2 1\n2 0 1");
+                     ("solver", Json.Str "quantum") ] ) ])))
+
+(* ------------------------------------------------------------------ *)
+(* Engine: reply collection helpers *)
+
+type replies = { m : Mutex.t; mutable lines : string list }
+
+let new_replies () = { m = Mutex.create (); lines = [] }
+
+let push r line =
+  Mutex.lock r.m;
+  r.lines <- line :: r.lines;
+  Mutex.unlock r.m
+
+let count r =
+  Mutex.lock r.m;
+  let n = List.length r.lines in
+  Mutex.unlock r.m;
+  n
+
+let wait_for_replies ?(timeout_s = 10.0) r n =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  while count r < n && Unix.gettimeofday () < deadline do
+    Thread.delay 0.005
+  done;
+  if count r < n then
+    Alcotest.failf "timed out waiting for %d replies (got %d)" n (count r)
+
+let error_code_of_line line =
+  let j = parse_ok line in
+  match Option.bind (Json.member "error" j) (Json.member "code") with
+  | Some (Json.Str s) -> s
+  | _ -> "ok"
+
+let codes r =
+  Mutex.lock r.m;
+  let cs = List.map error_code_of_line r.lines in
+  Mutex.unlock r.m;
+  List.sort compare cs
+
+let ping_req n = { P.id = Json.Int n; timeout_ms = None; call = P.Ping }
+
+(* A latch the handler blocks on until the test releases it. *)
+type gate = { gm : Mutex.t; gc : Condition.t; mutable open_ : bool }
+
+let new_gate () = { gm = Mutex.create (); gc = Condition.create (); open_ = false }
+
+let open_gate g =
+  Mutex.lock g.gm;
+  g.open_ <- true;
+  Condition.broadcast g.gc;
+  Mutex.unlock g.gm
+
+let await_gate g =
+  Mutex.lock g.gm;
+  while not g.open_ do
+    Condition.wait g.gc g.gm
+  done;
+  Mutex.unlock g.gm
+
+let test_engine_overload_shed () =
+  let gate = new_gate () in
+  let handler ~stats:_ ~cancel:_ _req =
+    await_gate gate;
+    Ok (Json.Obj [ ("done", Json.Bool true) ])
+  in
+  let engine =
+    Engine.create ~handler
+      { Engine.domains = 1; queue_capacity = 1; default_timeout_ms = None }
+  in
+  let r = new_replies () in
+  (* First job occupies the single worker; wait until it is actually
+     in flight so the queue-capacity accounting below is deterministic. *)
+  check_bool "first accepted" true
+    (Engine.submit engine (ping_req 1) ~reply:(push r) = Engine.Accepted);
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while Engine.inflight engine < 1 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.005
+  done;
+  check_int "in flight" 1 (Engine.inflight engine);
+  (* Second fills the queue; third is shed with an immediate reply. *)
+  check_bool "second accepted" true
+    (Engine.submit engine (ping_req 2) ~reply:(push r) = Engine.Accepted);
+  check_bool "third shed" true
+    (Engine.submit engine (ping_req 3) ~reply:(push r)
+    = Engine.Rejected_overloaded);
+  check_int "shed replied synchronously" 1 (count r);
+  check_string "shed code" "overloaded"
+    (error_code_of_line (List.hd r.lines));
+  open_gate gate;
+  Engine.shutdown ~drain:true engine;
+  wait_for_replies r 3;
+  check_bool "accepted jobs succeeded" true
+    (codes r = [ "ok"; "ok"; "overloaded" ])
+
+let test_engine_timeout_cancels () =
+  (* The handler cooperates with [cancel] exactly like the phase loop
+     does; a 20 ms deadline must cut it off with a timeout response. *)
+  let handler ~stats:_ ~cancel _req =
+    while not (cancel ()) do
+      Thread.delay 0.002
+    done;
+    raise Ps_core.Reduction.Canceled
+  in
+  let engine =
+    Engine.create ~handler
+      { Engine.domains = 1; queue_capacity = 4; default_timeout_ms = None }
+  in
+  let r = new_replies () in
+  let req = { P.id = Json.Int 1; timeout_ms = Some 20; call = P.Ping } in
+  ignore (Engine.submit engine req ~reply:(push r) : Engine.submit_outcome);
+  wait_for_replies r 1;
+  check_string "timeout code" "timeout" (error_code_of_line (List.hd r.lines));
+  Engine.shutdown ~drain:true engine
+
+let test_engine_queue_expired_job_skips_handler () =
+  (* A job whose deadline passes while it waits in the queue answers
+     [timeout] without the handler ever running. *)
+  let ran = Atomic.make 0 in
+  let gate = new_gate () in
+  let handler ~stats:_ ~cancel:_ req =
+    (match req.P.id with
+    | Json.Int 1 -> await_gate gate
+    | _ -> Atomic.incr ran);
+    Ok Json.Null
+  in
+  let engine =
+    Engine.create ~handler
+      { Engine.domains = 1; queue_capacity = 4; default_timeout_ms = None }
+  in
+  let r = new_replies () in
+  ignore (Engine.submit engine (ping_req 1) ~reply:(push r)
+          : Engine.submit_outcome);
+  let expiring =
+    { P.id = Json.Int 2; timeout_ms = Some 10; call = P.Ping }
+  in
+  ignore (Engine.submit engine expiring ~reply:(push r)
+          : Engine.submit_outcome);
+  Thread.delay 0.05;  (* let the 10 ms budget elapse in the queue *)
+  open_gate gate;
+  Engine.shutdown ~drain:true engine;
+  wait_for_replies r 2;
+  check_bool "expired answered timeout" true
+    (List.mem "timeout" (codes r));
+  check_int "handler never ran for expired job" 0 (Atomic.get ran)
+
+let test_engine_drain_answers_everything () =
+  let handler ~stats:_ ~cancel:_ _req =
+    Thread.delay 0.005;
+    Ok Json.Null
+  in
+  let engine =
+    Engine.create ~handler
+      { Engine.domains = 2; queue_capacity = 64; default_timeout_ms = None }
+  in
+  let r = new_replies () in
+  let n = 20 in
+  for i = 1 to n do
+    check_bool "accepted" true
+      (Engine.submit engine (ping_req i) ~reply:(push r) = Engine.Accepted)
+  done;
+  (* Shutdown before most jobs have run: drain must still answer all. *)
+  Engine.shutdown ~drain:true engine;
+  check_int "every accepted job answered" n (count r);
+  check_bool "all ok" true (List.for_all (( = ) "ok") (codes r));
+  (* Submissions after close are rejected with a typed error. *)
+  check_bool "post-close rejected" true
+    (Engine.submit engine (ping_req 99) ~reply:(push r)
+    = Engine.Rejected_shutting_down);
+  check_string "post-close code" "shutting_down"
+    (error_code_of_line (List.hd r.lines))
+
+let test_engine_abort_cancels_in_flight () =
+  let entered = new_gate () in
+  let handler ~stats:_ ~cancel _req =
+    open_gate entered;
+    while not (cancel ()) do
+      Thread.delay 0.002
+    done;
+    raise Ps_core.Reduction.Canceled
+  in
+  let engine =
+    Engine.create ~handler
+      { Engine.domains = 1; queue_capacity = 4; default_timeout_ms = None }
+  in
+  let r = new_replies () in
+  ignore (Engine.submit engine (ping_req 1) ~reply:(push r)
+          : Engine.submit_outcome);
+  await_gate entered;
+  Engine.shutdown ~drain:false engine;
+  wait_for_replies r 1;
+  check_string "abort code" "shutting_down"
+    (error_code_of_line (List.hd r.lines))
+
+let test_engine_handler_exception_is_internal () =
+  let handler ~stats:_ ~cancel:_ req =
+    match req.P.id with
+    | Json.Int 1 -> failwith "boom"
+    | _ -> Ok Json.Null
+  in
+  let engine =
+    Engine.create ~handler
+      { Engine.domains = 1; queue_capacity = 4; default_timeout_ms = None }
+  in
+  let r = new_replies () in
+  ignore (Engine.submit engine (ping_req 1) ~reply:(push r)
+          : Engine.submit_outcome);
+  wait_for_replies r 1;
+  check_string "internal code" "internal"
+    (error_code_of_line (List.hd r.lines));
+  (* The worker survived the exception and keeps serving. *)
+  ignore (Engine.submit engine (ping_req 2) ~reply:(push r)
+          : Engine.submit_outcome);
+  wait_for_replies r 2;
+  check_bool "next job ok" true (List.mem "ok" (codes r));
+  Engine.shutdown ~drain:true engine
+
+(* ------------------------------------------------------------------ *)
+(* Transport line loop over the real service handler *)
+
+let with_real_engine f =
+  let engine =
+    Engine.create
+      { Engine.domains = 2; queue_capacity = 16; default_timeout_ms = None }
+  in
+  Fun.protect ~finally:(fun () -> Engine.shutdown ~drain:true engine)
+    (fun () -> f engine)
+
+let feed engine r line =
+  Server.handle_line ~engine ~max_line_bytes:P.default_max_bytes
+    ~reply:(push r) line
+
+let test_server_survives_malformed_batch () =
+  with_real_engine @@ fun engine ->
+  let r = new_replies () in
+  List.iter (feed engine r)
+    [ "{\"id\":1,\"method\":\"ping\"}";
+      "garbage";
+      "{\"id\":\"x\",\"method\":\"nope\"}";
+      "{\"id\":2,\"method\":\"reduce\",\"params\":{\"hypergraph\":\"1 1\\n2 0 -5\"}}";
+      "";  (* blank lines are ignored, not answered *)
+      "{\"id\":3,\"method\":\"ping\"}" ]  ;
+  wait_for_replies r 5;
+  check_int "blank line ignored" 5 (count r);
+  check_bool "typed errors and live pings" true
+    (codes r = [ "invalid_request"; "ok"; "ok"; "parse_error";
+                 "unknown_method" ])
+
+let test_server_stats_roundtrip () =
+  with_real_engine @@ fun engine ->
+  let r = new_replies () in
+  feed engine r "{\"id\":1,\"method\":\"ping\"}";
+  wait_for_replies r 1;
+  let s = new_replies () in
+  feed engine s "{\"id\":2,\"method\":\"stats\"}";
+  wait_for_replies s 1;
+  let j = parse_ok (List.hd s.lines) in
+  let result = Option.get (Json.member "result" j) in
+  let get name =
+    match Option.bind (Json.member name result) Json.to_int_opt with
+    | Some v -> v
+    | None -> Alcotest.failf "stats missing %s" name
+  in
+  check_bool "accepted >= 2" true (get "accepted" >= 2);
+  check_bool "completed >= 1" true (get "completed" >= 1);
+  check_bool "latency window present" true
+    (Json.member "latency_ms" result <> None)
+
+let test_server_reduce_roundtrip_certified () =
+  with_real_engine @@ fun engine ->
+  let h = Ps_hypergraph.Hgen.sunflower ~n_petals:12 ~core:3 ~petal:3 in
+  let r = new_replies () in
+  feed engine r
+    (Json.to_string
+       (Json.Obj
+          [ ("id", Json.Int 1);
+            ("method", Json.Str "reduce");
+            ( "params",
+              Json.Obj
+                [ ("hypergraph", Json.Str (Ps_hypergraph.Hio.to_text h)) ] )
+          ]));
+  wait_for_replies r 1;
+  let j = parse_ok (List.hd r.lines) in
+  check_string "ok" "ok" (error_code_of_line (List.hd r.lines));
+  let result = Option.get (Json.member "result" j) in
+  check_bool "certified" true
+    (Option.bind (Json.member "certified" result) Json.to_bool_opt
+    = Some true)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: fork_join propagates a worker's exception *)
+
+exception Chunk_failed of int
+
+let test_fork_join_propagates_exception () =
+  let reached = Atomic.make 0 in
+  (match
+     Ps_util.Parallel.fork_join ~domains:4 (fun i ->
+         Atomic.incr reached;
+         if i = 2 then raise (Chunk_failed i))
+   with
+  | () -> Alcotest.fail "expected Chunk_failed"
+  | exception Chunk_failed 2 -> ()
+  | exception e ->
+      Alcotest.failf "wrong exception: %s" (Printexc.to_string e));
+  check_int "every chunk ran" 4 (Atomic.get reached);
+  (* No deadlock, no poisoned state: the next fork_join still works. *)
+  let sum = Atomic.make 0 in
+  Ps_util.Parallel.fork_join ~domains:4 (fun i ->
+      ignore (Atomic.fetch_and_add sum i : int));
+  check_int "subsequent fork_join fine" 6 (Atomic.get sum)
+
+let test_fork_join_first_failure_wins () =
+  (* When several workers raise, the exception of the lowest-indexed
+     chunk is the one reported (a deterministic choice). *)
+  match
+    Ps_util.Parallel.fork_join ~domains:4 (fun i ->
+        if i >= 1 then raise (Chunk_failed i))
+  with
+  | () -> Alcotest.fail "expected Chunk_failed"
+  | exception Chunk_failed 1 -> ()
+  | exception e ->
+      Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: Rng.streams *)
+
+let drain rng n = List.init n (fun _ -> Ps_util.Rng.bits64 rng)
+
+let test_rng_streams_deterministic () =
+  let a = Ps_util.Rng.streams (Ps_util.Rng.create 42) 4 in
+  let b = Ps_util.Rng.streams (Ps_util.Rng.create 42) 4 in
+  Array.iteri
+    (fun i ra -> check_bool "same stream" true (drain ra 16 = drain b.(i) 16))
+    a
+
+let test_rng_streams_independent () =
+  let parent = Ps_util.Rng.create 7 in
+  let streams = Ps_util.Rng.streams parent 8 in
+  let outputs = Array.map (fun r -> drain r 8) streams in
+  Array.iteri
+    (fun i oi ->
+      Array.iteri
+        (fun j oj ->
+          if i < j then check_bool "streams differ" false (oi = oj))
+        outputs)
+    outputs;
+  (* Derivation does not advance the parent... *)
+  check_bool "parent undisturbed" true
+    (drain parent 8 = drain (Ps_util.Rng.create 7) 8);
+  (* ...and the parent's own stream differs from every child's. *)
+  let fresh = Ps_util.Rng.create 7 in
+  let parent_out = drain fresh 8 in
+  Array.iter
+    (fun o -> check_bool "parent differs from child" false (o = parent_out))
+    outputs
+
+let test_rng_streams_validation () =
+  check_int "zero streams" 0
+    (Array.length (Ps_util.Rng.streams (Ps_util.Rng.create 1) 0));
+  match Ps_util.Rng.streams (Ps_util.Rng.create 1) (-1) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let suites =
+  [ ( "server.json",
+      [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "unicode" `Quick test_json_unicode;
+        Alcotest.test_case "errors" `Quick test_json_errors;
+        Alcotest.test_case "int overflow widens" `Quick
+          test_json_int_overflow_widens;
+        Alcotest.test_case "max depth" `Quick test_json_max_depth ] );
+    ( "server.protocol",
+      [ Alcotest.test_case "truncated line" `Quick
+          test_protocol_truncated_line;
+        Alcotest.test_case "oversized payload" `Quick
+          test_protocol_oversized_payload;
+        Alcotest.test_case "unknown method" `Quick
+          test_protocol_unknown_method;
+        Alcotest.test_case "bad hypergraph ids" `Quick
+          test_protocol_bad_hypergraph_ids;
+        Alcotest.test_case "bad params" `Quick test_protocol_bad_params ] );
+    ( "server.engine",
+      [ Alcotest.test_case "overload shed" `Quick test_engine_overload_shed;
+        Alcotest.test_case "timeout cancels" `Quick
+          test_engine_timeout_cancels;
+        Alcotest.test_case "queue-expired skips handler" `Quick
+          test_engine_queue_expired_job_skips_handler;
+        Alcotest.test_case "drain answers everything" `Quick
+          test_engine_drain_answers_everything;
+        Alcotest.test_case "abort cancels in flight" `Quick
+          test_engine_abort_cancels_in_flight;
+        Alcotest.test_case "handler exception -> internal" `Quick
+          test_engine_handler_exception_is_internal ] );
+    ( "server.transport",
+      [ Alcotest.test_case "survives malformed batch" `Quick
+          test_server_survives_malformed_batch;
+        Alcotest.test_case "stats roundtrip" `Quick
+          test_server_stats_roundtrip;
+        Alcotest.test_case "reduce roundtrip certified" `Quick
+          test_server_reduce_roundtrip_certified ] );
+    ( "server.parallel",
+      [ Alcotest.test_case "fork_join propagates exception" `Quick
+          test_fork_join_propagates_exception;
+        Alcotest.test_case "fork_join first failure wins" `Quick
+          test_fork_join_first_failure_wins ] );
+    ( "server.rng",
+      [ Alcotest.test_case "streams deterministic" `Quick
+          test_rng_streams_deterministic;
+        Alcotest.test_case "streams independent" `Quick
+          test_rng_streams_independent;
+        Alcotest.test_case "streams validation" `Quick
+          test_rng_streams_validation ] ) ]
