@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples data clean
+.PHONY: all build test lint tsan bench examples data clean
 
 all: build
 
@@ -7,6 +7,17 @@ build:
 
 test:
 	dune runtest --force
+
+# Repo-specific static analysis (bin/pslint.ml) over lib/.
+lint:
+	dune build @lint
+
+# Concurrency stress harness.  On a plain switch this exercises the
+# schedules; actual race *detection* needs a TSan switch
+# (ocaml-option-tsan, OCaml >= 5.2) — see the `tsan` job in CI.
+tsan:
+	dune build test/race_stress.exe
+	dune exec test/race_stress.exe -- --domains 4 --iters 400
 
 bench:
 	dune exec bench/main.exe

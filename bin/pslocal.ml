@@ -552,6 +552,163 @@ let bfs_cmd =
     Term.(const bfs $ input $ root)
 
 (* ------------------------------------------------------------------ *)
+(* audit *)
+
+(* Vertex-set certificate file: whitespace-separated ids, '#' comments. *)
+let ids_of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      In_channel.input_all ic
+      |> String.split_on_char '\n'
+      |> List.filter (fun line -> not (String.starts_with ~prefix:"#" line))
+      |> String.concat " "
+      |> String.split_on_char ' '
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.filter (fun tok -> tok <> "")
+      |> List.map (fun tok ->
+             match int_of_string_opt tok with
+             | Some v -> v
+             | None ->
+                 failwith
+                   (Printf.sprintf "%s: %S is not a vertex id" path tok)))
+
+let audit hypergraph graph coloring is_file ds_file solver k seed json =
+  let module D = Ps_check.Diagnostic in
+  let finish ~checks diags =
+    if json then
+      print_json_result (Ps_server.Protocol.check_result ~checks diags)
+    else begin
+      List.iter (fun d -> Format.printf "%a@." D.pp d) diags;
+      match diags with
+      | [] -> Format.printf "audit OK (%s)@." (String.concat ", " checks)
+      | ds ->
+          Format.printf "audit FAILED: %d diagnostic(s) (%s)@."
+            (List.length ds)
+            (String.concat ", " checks)
+    end;
+    exit (match diags with [] -> 0 | _ :: _ -> 1)
+  in
+  match (hypergraph, graph) with
+  | None, None | Some _, Some _ ->
+      failwith "audit: pass exactly one of HYPERGRAPH or --graph"
+  | Some path, None -> begin
+      let h = Ps_hypergraph.Hio.read_file path in
+      match coloring with
+      | Some cpath ->
+          (* Certify a claimed coloring — the referee mode. *)
+          let mc = multicoloring_of_file (H.n_vertices h) cpath in
+          finish ~checks:[ "multicoloring" ]
+            (Ps_check.Check_cfc.multicoloring h mc)
+      | None ->
+          (* Run the Theorem 1.1 pipeline, then deep-audit its own run:
+             conflict-freeness, per-phase decay, ρ and k·ρ budgets. *)
+          let k_choice =
+            match k with
+            | None -> Ps_core.Pipeline.From_conservative
+            | Some k -> Ps_core.Pipeline.Fixed k
+          in
+          let result =
+            Ps_core.Pipeline.solve_unchecked ~seed ~k:k_choice
+              ~solver:(solver_of_name solver) h
+          in
+          let diags = Ps_core.Certify.diagnostics result.reduction in
+          if not json then
+            Format.printf "reduction: %d phases, %d colors, λmax=%.2f@."
+              result.reduction.Ps_core.Reduction.total_phases
+              result.reduction.Ps_core.Reduction.colors_used
+              (Ps_check.Check_phase.lambda_max
+                 (Ps_core.Certify.phases_for_check result.reduction));
+          finish ~checks:[ "multicoloring"; "phase-audit" ] diags
+    end
+  | None, Some path ->
+      let g = Ps_graph.Gio.read_file path in
+      let csr = Ps_check.Check_graph.csr g in
+      let is_checks, is_diags =
+        match is_file with
+        | None -> ([], [])
+        | Some f ->
+            ( [ "independent_set" ],
+              Ps_check.Check_set.independent_list g (ids_of_file f) )
+      in
+      let ds_checks, ds_diags =
+        match ds_file with
+        | None -> ([], [])
+        | Some f ->
+            ( [ "dominating_set" ],
+              Ps_check.Check_set.dominating_list g (ids_of_file f) )
+      in
+      finish
+        ~checks:(("csr" :: is_checks) @ ds_checks)
+        (csr @ is_diags @ ds_diags)
+
+let audit_cmd =
+  let hypergraph =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"HYPERGRAPH"
+          ~doc:
+            "Hypergraph file (Hio).  Without $(b,--coloring), runs the \
+             reduction and deep-audits its own output; with it, certifies \
+             the given multicoloring.")
+  in
+  let graph =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "graph" ] ~docv:"FILE"
+          ~doc:
+            "Audit a graph (Gio edge list) instead: CSR well-formedness, \
+             plus any vertex-set certificates given below.")
+  in
+  let coloring =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "coloring" ] ~docv:"FILE"
+          ~doc:"Multicoloring file (\"v: c1 c2 ...\") to certify against \
+                HYPERGRAPH.")
+  in
+  let is_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "is" ] ~docv:"FILE"
+          ~doc:"Independent-set certificate (whitespace-separated ids).")
+  in
+  let ds_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "ds" ] ~docv:"FILE"
+          ~doc:"Dominating-set certificate (whitespace-separated ids).")
+  in
+  let solver =
+    Arg.(
+      value & opt string "greedy"
+      & info [ "solver" ]
+          ~doc:"MaxIS solver for the self-audit run (see $(b,reduce)).")
+  in
+  let k =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "k" ] ~doc:"Palette size per phase (default: derived).")
+  in
+  let doc =
+    "Deep invariant audit with positioned diagnostics.  Exit 0 when every \
+     certifier passes, 1 with one diagnostic per violation otherwise \
+     (machine-readable with $(b,--json), same schema as the served \
+     $(b,check) method)."
+  in
+  Cmd.v (Cmd.info "audit" ~doc)
+    Term.(
+      const audit $ hypergraph $ graph $ coloring $ is_file $ ds_file
+      $ solver $ k $ seed_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
 (* serve *)
 
 let serve socket domains queue timeout_ms trace =
@@ -629,7 +786,7 @@ let main_cmd =
     (Cmd.info "pslocal" ~version:"1.0.0" ~doc)
     [ gen_graph_cmd; gen_hypergraph_cmd; reduce_cmd; verify_cmd; mis_cmd;
       decompose_cmd; matching_cmd; cf_color_cmd; set_cover_cmd; bfs_cmd;
-      serve_cmd ]
+      audit_cmd; serve_cmd ]
 
 let () =
   Logs.set_reporter (Logs.format_reporter ());

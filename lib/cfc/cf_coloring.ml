@@ -22,12 +22,12 @@ let unique_color_witness h f e =
           (1 + Option.value ~default:0 (Hashtbl.find_opt counts f.(v))));
   let witness = ref None in
   H.iter_edge h e (fun v ->
-      if !witness = None && f.(v) <> uncolored
+      if Option.is_none !witness && f.(v) <> uncolored
          && Hashtbl.find counts f.(v) = 1
       then witness := Some (v, f.(v)));
   !witness
 
-let happy h f e = unique_color_witness h f e <> None
+let happy h f e = Option.is_some (unique_color_witness h f e)
 
 let happy_edges h f =
   List.filter (happy h f) (List.init (H.n_edges h) (fun i -> i))

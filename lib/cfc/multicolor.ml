@@ -9,7 +9,8 @@ let of_single f =
 
 let add_color f v c =
   if c < 0 then invalid_arg "Multicolor.add_color: negative color";
-  if not (List.mem c f.(v)) then f.(v) <- List.sort compare (c :: f.(v))
+  if not (List.exists (Int.equal c) f.(v)) then
+    f.(v) <- List.sort Int.compare (c :: f.(v))
 
 let colors_of f v = f.(v)
 
@@ -23,15 +24,15 @@ let unique_witness h f e =
         f.(v));
   let witness = ref None in
   H.iter_edge h e (fun v ->
-      if !witness = None then
+      if Option.is_none !witness then
         List.iter
           (fun c ->
-            if !witness = None && Hashtbl.find counts c = 1 then
+            if Option.is_none !witness && Hashtbl.find counts c = 1 then
               witness := Some (v, c))
           f.(v));
   !witness
 
-let happy h f e = unique_witness h f e <> None
+let happy h f e = Option.is_some (unique_witness h f e)
 
 let count_happy h f =
   let acc = ref 0 in
@@ -62,7 +63,9 @@ let verify_exn h f =
 let compact f =
   let used = Hashtbl.create 16 in
   Array.iter (List.iter (fun c -> Hashtbl.replace used c ())) f;
-  let sorted = List.sort compare (Hashtbl.fold (fun c () l -> c :: l) used []) in
+  let sorted =
+    List.sort Int.compare (Hashtbl.fold (fun c () l -> c :: l) used [])
+  in
   let renumber = Hashtbl.create 16 in
   List.iteri (fun i c -> Hashtbl.add renumber c i) sorted;
   ( Array.map (List.map (Hashtbl.find renumber)) f,
@@ -72,4 +75,4 @@ let merge a b =
   if Array.length a <> Array.length b then
     invalid_arg "Multicolor.merge: length mismatch";
   Array.init (Array.length a) (fun v ->
-      List.sort_uniq compare (a.(v) @ b.(v)))
+      List.sort_uniq Int.compare (a.(v) @ b.(v)))

@@ -1,0 +1,16 @@
+module H = Ps_hypergraph.Hypergraph
+
+let reduction ~h ~k ~multicoloring ~colors_used ~total_phases ~phases =
+  let colors_rederived = Ps_cfc.Multicolor.total_colors multicoloring in
+  let bookkeeping =
+    if colors_rederived <> colors_used then
+      [ Diagnostic.v "phase-bookkeeping" Diagnostic.Global
+          "run reports %d colors used but the multicoloring holds %d"
+          colors_used colors_rederived ]
+    else []
+  in
+  Check_cfc.multicoloring h multicoloring
+  @ bookkeeping
+  @ Check_phase.audit ~m:(H.n_edges h) ~k ~colors_used ~total_phases phases
+
+let ok diags = match diags with [] -> true | _ :: _ -> false

@@ -1,0 +1,20 @@
+(** Whole-run certification: everything Theorem 1.1 promises about a
+    finished reduction, re-checked from first principles.
+
+    Combines the conflict-free multicoloring certifier with the phase
+    decay/budget audits and cross-checks the run's own bookkeeping
+    (reported color count vs. the multicoloring).  An empty diagnostic
+    list is the machine-checkable certificate [pslocal audit] and the
+    server's [check] method report. *)
+
+val reduction :
+  h:Ps_hypergraph.Hypergraph.t ->
+  k:int ->
+  multicoloring:Ps_cfc.Multicolor.t ->
+  colors_used:int ->
+  total_phases:int ->
+  phases:Check_phase.phase list ->
+  Diagnostic.t list
+
+val ok : Diagnostic.t list -> bool
+(** [ok d] iff [d] is empty. *)

@@ -1,0 +1,83 @@
+module H = Ps_hypergraph.Hypergraph
+module Mc = Ps_cfc.Multicolor
+module D = Diagnostic
+
+let rep_rule = "multicoloring-rep"
+let cf_rule = "conflict-free"
+
+let representation h (mc : Mc.t) =
+  let a = D.acc () in
+  let n = H.n_vertices h in
+  if Array.length mc <> n then
+    D.push a
+      (D.v rep_rule D.Global "multicoloring covers %d vertices, hypergraph has %d"
+         (Array.length mc) n)
+  else
+    Array.iteri
+      (fun v colors ->
+        let rec walk = function
+          | [] -> ()
+          | c :: rest ->
+              if c < 0 then
+                D.push a (D.v rep_rule (D.Vertex v) "negative color %d" c)
+              else
+                (match rest with
+                | c' :: _ when c' <= c ->
+                    D.push a
+                      (D.v rep_rule (D.Vertex v)
+                         "color list not strictly increasing: %d then %d" c c')
+                | _ -> ());
+              walk rest
+        in
+        walk colors)
+      mc;
+  D.close a
+
+(* Why an edge is unhappy, concretely: every (vertex, color) pair it
+   could nominate collides with another member holding the same color.
+   The message names one such collision so the reader can start there. *)
+let unhappy_detail h mc e =
+  let members = H.edge h e in
+  let example = ref None in
+  Array.iter
+    (fun v ->
+      List.iter
+        (fun c ->
+          if Option.is_none !example then
+            Array.iter
+              (fun u ->
+                if u <> v && Option.is_none !example
+                   && List.exists (fun c' -> c' = c) (Mc.colors_of mc u)
+                then example := Some (v, c, u))
+              members)
+        (Mc.colors_of mc v))
+    members;
+  !example
+
+let multicoloring h mc =
+  match representation h mc with
+  | _ :: _ as rep -> rep (* shape is broken; happiness is undefined *)
+  | [] ->
+      let a = D.acc () in
+      for e = 0 to H.n_edges h - 1 do
+        if not (Mc.happy h mc e) then
+          let members =
+            H.edge h e |> Array.to_list |> List.map string_of_int
+            |> String.concat ","
+          in
+          match unhappy_detail h mc e with
+          | Some (v, c, u) ->
+              D.push a
+                (D.v cf_rule (D.Edge e)
+                   "no uniquely-colored vertex among {%s} — e.g. color %d of \
+                    vertex %d is also held by vertex %d"
+                   members c v u)
+          | None ->
+              D.push a
+                (D.v cf_rule (D.Edge e)
+                   "no member of {%s} carries any color" members)
+      done;
+      D.close a
+
+let conflict_free h mc =
+  match multicoloring h mc with [] -> true | _ -> false

@@ -1,0 +1,21 @@
+(** Conflict-free multicoloring certification (the reduction's output
+    object, Theorem 1.2's input problem).
+
+    Two layers: representation — the {!Ps_cfc.Multicolor.t} array must
+    cover the vertex set with sorted, distinct, nonnegative color lists —
+    and semantics — every hyperedge must own a (vertex, color) pair
+    unique within the edge.  An unhappy edge's diagnostic names a
+    concrete collision, which is what makes a rejected certificate
+    actionable. *)
+
+val representation :
+  Ps_hypergraph.Hypergraph.t -> Ps_cfc.Multicolor.t -> Diagnostic.t list
+(** Rule [multicoloring-rep]: shape and per-vertex color-list invariants. *)
+
+val multicoloring :
+  Ps_hypergraph.Hypergraph.t -> Ps_cfc.Multicolor.t -> Diagnostic.t list
+(** {!representation} first; when the shape is sound, rule
+    [conflict-free] adds one positioned diagnostic per unhappy edge. *)
+
+val conflict_free :
+  Ps_hypergraph.Hypergraph.t -> Ps_cfc.Multicolor.t -> bool

@@ -1,0 +1,100 @@
+module G = Ps_graph.Graph
+module D = Diagnostic
+
+let rule = "csr"
+
+(* The checker re-derives every structural invariant from the raw arrays
+   rather than trusting the accessors: [Graph.of_csr ~validate:false]
+   (the production fast path) adopts caller arrays unchecked, so this is
+   the independent referee for that trust. *)
+let csr g =
+  let a = D.acc () in
+  let offsets, adj = G.to_csr g in
+  let n = G.n_vertices g in
+  let len_adj = Array.length adj in
+  if Array.length offsets <> n + 1 then begin
+    D.push a
+      (D.v rule D.Global "offsets has length %d, expected n+1 = %d"
+         (Array.length offsets) (n + 1));
+    D.close a
+  end
+  else begin
+    if offsets.(0) <> 0 then
+      D.push a (D.v rule (D.Offset 0) "offsets.(0) = %d, expected 0" offsets.(0));
+    for v = 0 to n - 1 do
+      if offsets.(v + 1) < offsets.(v) then
+        D.push a
+          (D.v rule (D.Offset (v + 1)) "offsets decrease: %d after %d"
+             offsets.(v + 1) offsets.(v))
+    done;
+    if offsets.(n) <> len_adj then
+      D.push a
+        (D.v rule (D.Offset n) "offsets.(n) = %d but |adj| = %d" offsets.(n)
+           len_adj);
+    if len_adj mod 2 <> 0 then
+      D.push a
+        (D.v rule D.Global "|adj| = %d is odd — rows cannot be symmetric"
+           len_adj);
+    (* Per-row invariants; guard the bounds so a corrupted offsets array
+       yields diagnostics, not an array access exception. *)
+    let row_ok v = offsets.(v) >= 0 && offsets.(v) <= offsets.(v + 1)
+                   && offsets.(v + 1) <= len_adj in
+    for v = 0 to n - 1 do
+      if not (row_ok v) then
+        D.push a
+          (D.v rule (D.Row v) "row bounds [%d, %d) fall outside adj (length %d)"
+             offsets.(v) offsets.(v + 1) len_adj)
+      else begin
+        let lo = offsets.(v) and hi = offsets.(v + 1) in
+        for i = lo to hi - 1 do
+          let u = adj.(i) in
+          if u < 0 || u >= n then
+            D.push a
+              (D.v rule (D.Row v) "entry %d out of range [0, %d)" u n)
+          else if u = v then
+            D.push a (D.v rule (D.Row v) "self-loop: %d adjacent to itself" v)
+          else if i > lo && adj.(i - 1) >= u then
+            D.push a
+              (D.v rule (D.Row v)
+                 "row not strictly increasing: %d then %d (slots %d, %d)"
+                 adj.(i - 1) u (i - 1) i)
+        done
+      end
+    done;
+    (* Symmetry: every arc (v, u) needs its mate (u, v).  Linear row scan
+       on purpose — binary search would assume the sortedness we may just
+       have found violated. *)
+    for v = 0 to n - 1 do
+      if row_ok v then
+        for i = offsets.(v) to offsets.(v + 1) - 1 do
+          let u = adj.(i) in
+          if u >= 0 && u < n && u <> v && row_ok u then begin
+            let present = ref false in
+            for j = offsets.(u) to offsets.(u + 1) - 1 do
+              if adj.(j) = v then present := true
+            done;
+            if not !present then
+              D.push a
+                (D.v rule (D.Graph_edge (v, u))
+                   "asymmetric: %d lists %d but %d does not list %d" v u u v)
+          end
+        done
+    done;
+    (* Accessor consistency: the sizes the rest of the repository reads
+       must match what the arrays actually hold. *)
+    if D.count a = 0 then begin
+      if G.n_edges g * 2 <> len_adj then
+        D.push a
+          (D.v rule D.Global "n_edges = %d but adj holds %d arcs" (G.n_edges g)
+             len_adj);
+      for v = 0 to n - 1 do
+        if G.degree g v <> offsets.(v + 1) - offsets.(v) then
+          D.push a
+            (D.v rule (D.Row v) "degree %d but row length %d" (G.degree g v)
+               (offsets.(v + 1) - offsets.(v)))
+      done
+    end;
+    D.close a
+  end
+
+let csr_ok g = csr g = []

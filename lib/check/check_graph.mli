@@ -1,0 +1,17 @@
+(** CSR well-formedness certification.
+
+    {!Ps_graph.Graph.of_csr} and {!Ps_graph.Graph.of_sorted_edge_array}
+    adopt caller-built arrays with no normalization (their [validate]
+    pass is off on the production path), and the parallel conflict-graph
+    builder writes rows from several domains.  This checker re-derives
+    every representation invariant from the raw arrays
+    ({!Ps_graph.Graph.to_csr}): offsets shape and monotonicity, rows
+    strictly increasing / in range / self-loop-free, arc symmetry, and
+    consistency of the [degree]/[n_edges] accessors with the storage. *)
+
+val csr : Ps_graph.Graph.t -> Diagnostic.t list
+(** Empty iff the representation is well-formed.  Diagnostics are
+    positioned at the offending offset slot, row, or arc; output is
+    bounded per {!Diagnostic.acc}. *)
+
+val csr_ok : Ps_graph.Graph.t -> bool

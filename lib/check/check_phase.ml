@@ -1,0 +1,143 @@
+module D = Diagnostic
+
+type phase = {
+  index : int;
+  edges_before : int;
+  is_size : int;
+  newly_happy : int;
+  lambda_effective : float;
+}
+
+(* Floating-point slack for the analytic inequalities: the recorded λ is
+   itself a quotient of the recorded integers, so the re-derived bounds
+   are exact up to rounding of that division. *)
+let eps = 1e-9
+
+let happiness ps =
+  let a = D.acc () in
+  List.iter
+    (fun p ->
+      if p.newly_happy < p.is_size then
+        D.push a
+          (D.v "phase-happiness" (D.Phase p.index)
+             "only %d edges became happy for an independent set of size %d \
+              (Lemma 2.1 promises one per selected triple)"
+             p.newly_happy p.is_size);
+      if p.newly_happy <= 0 then
+        D.push a
+          (D.v "phase-happiness" (D.Phase p.index)
+             "phase retired no edge — the loop cannot terminate"))
+    ps;
+  D.close a
+
+let lambda ps =
+  let a = D.acc () in
+  List.iter
+    (fun p ->
+      if p.is_size > 0 then begin
+        let expected =
+          float_of_int p.edges_before /. float_of_int p.is_size
+        in
+        if Float.abs (p.lambda_effective -. expected) > eps then
+          D.push a
+            (D.v "phase-lambda" (D.Phase p.index)
+               "recorded λ = %.6f but |E_i|/|I_i| = %d/%d = %.6f"
+               p.lambda_effective p.edges_before p.is_size expected)
+      end
+      else if p.edges_before > 0 && Float.is_finite p.lambda_effective then
+        D.push a
+          (D.v "phase-lambda" (D.Phase p.index)
+             "empty independent set on %d edges must record λ = ∞"
+             p.edges_before))
+    ps;
+  D.close a
+
+let decay ps =
+  let a = D.acc () in
+  let rec walk = function
+    | [] | [ _ ] -> ()
+    | p :: (q :: _ as rest) ->
+        if q.index <> p.index + 1 then
+          D.push a
+            (D.v "phase-decay" (D.Phase q.index)
+               "phase indices not consecutive: %d after %d" q.index p.index);
+        (* Exact bookkeeping: the next phase sees precisely the edges
+           this one did not retire. *)
+        if q.edges_before <> p.edges_before - p.newly_happy then
+          D.push a
+            (D.v "phase-decay" (D.Phase q.index)
+               "|E_{i+1}| = %d but |E_i| - newly_happy = %d - %d = %d"
+               q.edges_before p.edges_before p.newly_happy
+               (p.edges_before - p.newly_happy));
+        (* The proof's analytic bound: |E_{i+1}| ≤ (1 - 1/λ_i)·|E_i|. *)
+        let bound =
+          float_of_int p.edges_before
+          *. (1.0 -. (1.0 /. p.lambda_effective))
+        in
+        if float_of_int q.edges_before > bound +. eps then
+          D.push a
+            (D.v "phase-decay" (D.Phase q.index)
+               "|E_{i+1}| = %d exceeds (1 - 1/λ)·|E_i| = %.3f"
+               q.edges_before bound);
+        walk rest
+  in
+  walk ps;
+  D.close a
+
+let termination ps =
+  let a = D.acc () in
+  (match List.rev ps with
+  | [] -> ()
+  | last :: _ ->
+      let leftover = last.edges_before - last.newly_happy in
+      if leftover <> 0 then
+        D.push a
+          (D.v "phase-termination" (D.Phase last.index)
+             "%d edges remain after the final phase" leftover));
+  D.close a
+
+let lambda_max ps =
+  List.fold_left (fun m p -> Float.max m p.lambda_effective) 1.0 ps
+
+let rho_bound ~m ~total_phases ps =
+  let a = D.acc () in
+  let lmax = lambda_max ps in
+  let rho = if m = 0 then 1.0 else (lmax *. log (float_of_int m)) +. 1.0 in
+  if float_of_int total_phases > rho +. eps then
+    D.push a
+      (D.v "rho-bound" D.Global
+         "%d phases exceed ρ = λmax·ln m + 1 = %.2f·ln %d + 1 = %.2f"
+         total_phases lmax m rho);
+  D.close a
+
+let color_budget ~k ~total_phases ~colors_used =
+  let a = D.acc () in
+  let budget = k * total_phases in
+  if colors_used > budget then
+    D.push a
+      (D.v "color-budget" D.Global
+         "%d colors used exceed the k·ρ budget of k·phases = %d·%d = %d"
+         colors_used k total_phases budget);
+  D.close a
+
+let audit ~m ~k ~colors_used ~total_phases ps =
+  let a = D.acc () in
+  if List.length ps <> total_phases then
+    D.push a
+      (D.v "phase-bookkeeping" D.Global
+         "%d phase records for a run reporting %d phases" (List.length ps)
+         total_phases);
+  (match ps with
+  | p0 :: _ when p0.edges_before <> m ->
+      D.push a
+        (D.v "phase-bookkeeping" (D.Phase p0.index)
+           "first phase saw %d edges, hypergraph has %d" p0.edges_before m)
+  | [] when m > 0 ->
+      D.push a
+        (D.v "phase-bookkeeping" D.Global
+           "no phase records for a hypergraph with %d edges" m)
+  | _ -> ());
+  D.close a
+  @ happiness ps @ lambda ps @ decay ps @ termination ps
+  @ rho_bound ~m ~total_phases ps
+  @ color_budget ~k ~total_phases ~colors_used

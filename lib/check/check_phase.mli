@@ -1,0 +1,54 @@
+(** Per-phase decay and budget audits for the Theorem 1.1 reduction.
+
+    The reduction's correctness argument is quantitative: with a
+    λ-approximate MaxIS oracle each phase retires at least [|E_i|/λ]
+    edges ([|E_{i+1}| ≤ (1 − 1/λ)·|E_i|]), so [ρ = λ·ln m + 1] phases
+    suffice and the union coloring spends at most [k·ρ] colors.  These
+    certifiers re-derive every one of those inequalities from recorded
+    per-phase numbers.  The record type here is deliberately independent
+    of [Ps_core] (this library sits below it so the reduction loop can
+    call the graph/set checkers at phase boundaries);
+    [Ps_core.Certify.diagnostics] converts and aggregates. *)
+
+type phase = {
+  index : int;              (** 0-based, consecutive *)
+  edges_before : int;       (** [|E_i|] *)
+  is_size : int;            (** [|I^i|] *)
+  newly_happy : int;        (** edges retired by the phase *)
+  lambda_effective : float; (** recorded [|E_i| / |I^i|] *)
+}
+
+val happiness : phase list -> Diagnostic.t list
+(** Rule [phase-happiness]: [newly_happy ≥ is_size] (Lemma 2.1: each
+    selected triple makes its edge happy) and [newly_happy > 0]. *)
+
+val lambda : phase list -> Diagnostic.t list
+(** Rule [phase-lambda]: the recorded λ equals [|E_i|/|I_i|]. *)
+
+val decay : phase list -> Diagnostic.t list
+(** Rule [phase-decay]: consecutive indices, exact edge bookkeeping
+    [|E_{i+1}| = |E_i| − newly_happy], and the analytic bound
+    [|E_{i+1}| ≤ (1 − 1/λ_i)·|E_i|]. *)
+
+val termination : phase list -> Diagnostic.t list
+(** Rule [phase-termination]: the final phase leaves zero edges. *)
+
+val rho_bound : m:int -> total_phases:int -> phase list -> Diagnostic.t list
+(** Rule [rho-bound]: [total_phases ≤ λmax·ln m + 1]. *)
+
+val color_budget :
+  k:int -> total_phases:int -> colors_used:int -> Diagnostic.t list
+(** Rule [color-budget]: [colors_used ≤ k·total_phases]. *)
+
+val lambda_max : phase list -> float
+(** Largest recorded λ (1.0 when empty). *)
+
+val audit :
+  m:int ->
+  k:int ->
+  colors_used:int ->
+  total_phases:int ->
+  phase list ->
+  Diagnostic.t list
+(** Everything above, plus rule [phase-bookkeeping] (record count matches
+    the reported phase count; the first phase saw all [m] edges). *)

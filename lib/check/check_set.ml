@@ -1,0 +1,78 @@
+module G = Ps_graph.Graph
+module B = Ps_util.Bitset
+module D = Diagnostic
+
+let capacity_check rule a g s =
+  let n = G.n_vertices g in
+  if B.capacity s <> n then begin
+    D.push a
+      (D.v rule D.Global "certificate universe is %d vertices, graph has %d"
+         (B.capacity s) n);
+    false
+  end
+  else true
+
+let independent g s =
+  let a = D.acc () in
+  if capacity_check "independent-set" a g s then
+    (* Scan arcs u -> v with u < v so each offending edge is reported
+       once, at its canonical orientation. *)
+    for u = 0 to G.n_vertices g - 1 do
+      if B.mem s u then
+        G.iter_neighbors g u (fun v ->
+            if u < v && B.mem s v then
+              D.push a
+                (D.v "independent-set" (D.Graph_edge (u, v))
+                   "both endpoints selected"))
+    done;
+  D.close a
+
+let maximal_independent g s =
+  let a = D.acc () in
+  if capacity_check "maximal-independent-set" a g s then begin
+    List.iter (D.push a) (independent g s);
+    for v = 0 to G.n_vertices g - 1 do
+      if (not (B.mem s v)) && not (G.exists_neighbor g v (B.mem s)) then
+        D.push a
+          (D.v "maximal-independent-set" (D.Vertex v)
+             "outside the set with no selected neighbor — the set is not \
+              maximal")
+    done
+  end;
+  D.close a
+
+let dominating g s =
+  let a = D.acc () in
+  if capacity_check "dominating-set" a g s then
+    for v = 0 to G.n_vertices g - 1 do
+      if (not (B.mem s v)) && not (G.exists_neighbor g v (B.mem s)) then
+        D.push a
+          (D.v "dominating-set" (D.Vertex v)
+             "neither selected nor adjacent to a selected vertex")
+    done;
+  D.close a
+
+(* Wire-facing variants: vertex lists arrive from untrusted payloads, so
+   range errors must become diagnostics, not [Bitset] exceptions. *)
+let of_vertex_list rule g vs =
+  let n = G.n_vertices g in
+  let a = D.acc () in
+  let s = B.create n in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then
+        D.push a
+          (D.v rule (D.Vertex v) "vertex id out of range [0, %d)" n)
+      else B.add s v)
+    vs;
+  (s, a)
+
+let independent_list g vs =
+  let s, a = of_vertex_list "independent-set" g vs in
+  if D.count a = 0 then List.iter (D.push a) (independent g s);
+  D.close a
+
+let dominating_list g vs =
+  let s, a = of_vertex_list "dominating-set" g vs in
+  if D.count a = 0 then List.iter (D.push a) (dominating g s);
+  D.close a

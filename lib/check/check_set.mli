@@ -1,0 +1,29 @@
+(** Independent-set and dominating-set certificates.
+
+    The two vertex-set objects the repository's solvers emit, audited
+    against the graph: an independent set has no internal edge (Lemma 2.1
+    rests on exactly this for the conflict graph), a dominating set
+    touches every closed neighborhood.  Each violation is positioned at
+    the offending edge or vertex. *)
+
+val independent : Ps_graph.Graph.t -> Ps_util.Bitset.t -> Diagnostic.t list
+(** Rule [independent-set]: one diagnostic per internal edge (canonical
+    [u < v] orientation), bounded per {!Diagnostic.acc}. *)
+
+val maximal_independent :
+  Ps_graph.Graph.t -> Ps_util.Bitset.t -> Diagnostic.t list
+(** {!independent} plus rule [maximal-independent-set]: every outside
+    vertex must see a selected neighbor. *)
+
+val dominating : Ps_graph.Graph.t -> Ps_util.Bitset.t -> Diagnostic.t list
+(** Rule [dominating-set]: one diagnostic per undominated vertex. *)
+
+(** {1 Untrusted vertex lists}
+
+    The server's [check] method receives sets as id lists; out-of-range
+    ids become positioned diagnostics instead of exceptions.  Range
+    errors short-circuit the semantic check (a set that does not parse
+    has no meaningful certificate). *)
+
+val independent_list : Ps_graph.Graph.t -> int list -> Diagnostic.t list
+val dominating_list : Ps_graph.Graph.t -> int list -> Diagnostic.t list

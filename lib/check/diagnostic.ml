@@ -1,0 +1,68 @@
+type where =
+  | Global
+  | Vertex of int
+  | Edge of int
+  | Graph_edge of int * int
+  | Row of int
+  | Offset of int
+  | Phase of int
+
+type t = { rule : string; where : where; message : string }
+
+let v rule where fmt =
+  Format.kasprintf (fun message -> { rule; where; message }) fmt
+
+let pp_where ppf = function
+  | Global -> Format.pp_print_string ppf "global"
+  | Vertex v -> Format.fprintf ppf "vertex %d" v
+  | Edge e -> Format.fprintf ppf "edge %d" e
+  | Graph_edge (u, v) -> Format.fprintf ppf "edge (%d,%d)" u v
+  | Row v -> Format.fprintf ppf "row %d" v
+  | Offset i -> Format.fprintf ppf "offset %d" i
+  | Phase i -> Format.fprintf ppf "phase %d" i
+
+let pp ppf d =
+  Format.fprintf ppf "[%s] %a: %s" d.rule pp_where d.where d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+let where_kind = function
+  | Global -> "global"
+  | Vertex _ -> "vertex"
+  | Edge _ -> "edge"
+  | Graph_edge _ -> "graph_edge"
+  | Row _ -> "row"
+  | Offset _ -> "offset"
+  | Phase _ -> "phase"
+
+let where_indices = function
+  | Global -> []
+  | Vertex i | Edge i | Row i | Offset i | Phase i -> [ i ]
+  | Graph_edge (u, v) -> [ u; v ]
+
+(* Bounded accumulator: certifiers on corrupted large inputs must not
+   build million-entry diagnostic lists.  Overflow is summarized by one
+   trailing diagnostic so "how much more is wrong" is never silent. *)
+type acc = {
+  limit : int;
+  mutable kept : t list; (* newest first *)
+  mutable count : int;
+}
+
+let default_limit = 64
+let acc ?(limit = default_limit) () = { limit; kept = []; count = 0 }
+
+let push a d =
+  a.count <- a.count + 1;
+  if a.count <= a.limit then a.kept <- d :: a.kept
+
+let count a = a.count
+
+let close a =
+  let kept = List.rev a.kept in
+  if a.count <= a.limit then kept
+  else
+    kept
+    @ [ v "diagnostic-limit" Global
+          "%d further diagnostics suppressed (limit %d)" (a.count - a.limit)
+          a.limit ]

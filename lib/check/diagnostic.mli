@@ -1,0 +1,56 @@
+(** Positioned audit diagnostics.
+
+    Every certifier in this library reports failures as a list of these —
+    a machine-readable rule name, a structured position inside the object
+    being checked, and a human message.  An empty list is the certificate
+    that every invariant held.  The server's [check] method and
+    [pslocal audit] render the same values, so wire and CLI diagnostics
+    cannot drift apart. *)
+
+type where =
+  | Global                    (** the object as a whole *)
+  | Vertex of int             (** a (hyper)graph vertex *)
+  | Edge of int               (** a hyperedge index *)
+  | Graph_edge of int * int   (** a graph edge (u, v) *)
+  | Row of int                (** a CSR adjacency row *)
+  | Offset of int             (** a CSR offset slot *)
+  | Phase of int              (** a reduction phase index *)
+
+type t = { rule : string; where : where; message : string }
+
+val v : string -> where -> ('a, Format.formatter, unit, t) format4 -> 'a
+(** [v rule where fmt ...] formats a diagnostic. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as ["[rule] where: message"]. *)
+
+val to_string : t -> string
+
+val pp_where : Format.formatter -> where -> unit
+
+val where_kind : where -> string
+(** Stable lowercase tag for wire encodings ("vertex", "graph_edge", ...). *)
+
+val where_indices : where -> int list
+(** The integer coordinates of the position, outermost first. *)
+
+(** {1 Bounded accumulation}
+
+    Certifiers use an accumulator capped at {!default_limit} entries (a
+    corrupted million-edge input must not materialize a million
+    diagnostics); overflow is summarized by a final [diagnostic-limit]
+    entry carrying the suppressed count. *)
+
+type acc
+
+val default_limit : int
+(** 64. *)
+
+val acc : ?limit:int -> unit -> acc
+val push : acc -> t -> unit
+
+val count : acc -> int
+(** Total pushed, including suppressed. *)
+
+val close : acc -> t list
+(** Kept diagnostics in push order, plus the overflow summary if any. *)

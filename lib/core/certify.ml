@@ -64,6 +64,21 @@ let certify (run : Reduction.run) =
     colors_within_budget;
     all_ok }
 
+let phases_for_check (run : Reduction.run) =
+  List.map
+    (fun (p : Reduction.phase_record) ->
+      { Ps_check.Check_phase.index = p.phase;
+        edges_before = p.edges_before;
+        is_size = p.is_size;
+        newly_happy = p.newly_happy;
+        lambda_effective = p.lambda_effective })
+    run.phases
+
+let diagnostics (run : Reduction.run) =
+  Ps_check.Audit.reduction ~h:run.hypergraph ~k:run.k
+    ~multicoloring:run.multicoloring ~colors_used:run.colors_used
+    ~total_phases:run.total_phases ~phases:(phases_for_check run)
+
 let pp ppf c =
   Format.fprintf ppf
     "cf=%b happiness=%b decay=%b λmax=%.2f ρ=%.1f phases=%d within_ρ=%b \

@@ -30,4 +30,16 @@ type t = {
 
 val certify : Reduction.run -> t
 
+val phases_for_check : Reduction.run -> Ps_check.Check_phase.phase list
+(** The run's phase records in {!Ps_check.Check_phase}'s core-agnostic
+    form — what the deep auditors consume. *)
+
+val diagnostics : Reduction.run -> Ps_check.Diagnostic.t list
+(** The deep audit behind {!certify}'s booleans: the full
+    {!Ps_check.Audit.reduction} pass over the run, yielding {e positioned}
+    diagnostics (which edge is unhappy, which phase broke the decay
+    bound) instead of a pass/fail summary.  Empty iff the run certifies;
+    [pslocal audit] and the server's [check] method render exactly this
+    list. *)
+
 val pp : Format.formatter -> t -> unit

@@ -32,6 +32,29 @@ let log_src = Logs.Src.create "ps_core.reduction" ~doc:"Theorem 1.1 phases"
 
 module Log = (val Logs.src_log log_src)
 
+(* Deep per-phase certification, mirroring the PSLOCAL_DEBUG convention
+   of [Ps_graph.Graph]'s fast constructors: off, the phase loop trusts
+   its components; on, every conflict graph is audited for CSR
+   well-formedness and every solver answer for independence before the
+   phase commits.  A violation aborts loudly with the first positioned
+   diagnostic — these invariants failing means a bug, not bad input. *)
+let debug_checks =
+  match Sys.getenv_opt "PSLOCAL_DEBUG" with
+  | None | Some "" | Some "0" | Some "false" -> false
+  | Some _ -> true
+
+let phase_boundary_checks ~phase (cg : Conflict_graph.t) is =
+  let fail what = function
+    | [] -> ()
+    | d :: _ ->
+        invalid_arg
+          (Printf.sprintf "Reduction.run: phase %d %s: %s" phase what
+             (Ps_check.Diagnostic.to_string d))
+  in
+  fail "conflict graph" (Ps_check.Check_graph.csr cg.Conflict_graph.graph);
+  fail "solver output"
+    (Ps_check.Check_set.independent cg.Conflict_graph.graph is)
+
 let run ?max_phases ?(cancel = fun () -> false) ?(seed = 0) ~solver ~k h =
   Tm.with_span "reduction.run" @@ fun () ->
   let m = H.n_edges h in
@@ -50,7 +73,7 @@ let run ?max_phases ?(cancel = fun () -> false) ?(seed = 0) ~solver ~k h =
      instead of an O(|remaining|·|happy|) List.mem scan. *)
   let retired = Array.make (max m 1) false in
   let phase = ref 0 in
-  while !remaining <> [] do
+  while (match !remaining with [] -> false | _ :: _ -> true) do
     if !phase >= max_phases then raise (Stalled !phase);
     if cancel () then raise Canceled;
     Tm.with_span "phase" @@ fun () ->
@@ -61,6 +84,7 @@ let run ?max_phases ?(cancel = fun () -> false) ?(seed = 0) ~solver ~k h =
       Tm.with_span "solve" (fun () ->
           Ps_maxis.Approx.solve_verified solver rng cg.graph)
     in
+    if debug_checks then phase_boundary_checks ~phase:!phase cg is;
     let f_i = Correspondence.coloring_of_is hi cg.indexer is in
     (* Publish phase colors on the global palette [phase·k ..]. *)
     Array.iteri

@@ -70,4 +70,10 @@ val run :
     [cancel] (default: never) is polled once per phase, before any phase
     work; a [true] answer raises {!Canceled}.  This is the cooperative
     hook the solve server uses for per-job deadlines: the check costs one
-    call per phase and cancellation latency is bounded by one phase. *)
+    call per phase and cancellation latency is bounded by one phase.
+
+    With the [PSLOCAL_DEBUG] environment variable set, every phase
+    boundary additionally runs the deep {!Ps_check} certifiers on its
+    intermediate objects — CSR well-formedness of the conflict graph and
+    independence of the solver's answer — and raises [Invalid_argument]
+    with the first positioned diagnostic on a violation. *)

@@ -37,7 +37,7 @@ let run ?max_phases ?(cancel = fun () -> false) ?(seed = 0) ~k h =
   let retired = Array.make (max m 1) false in
   let phase = ref 0 in
   let virtual_rounds = ref 0 and messages = ref 0 in
-  while !remaining <> [] do
+  while (match !remaining with [] -> false | _ :: _ -> true) do
     if !phase >= max_phases then raise (Reduction.Stalled !phase);
     if cancel () then raise Reduction.Canceled;
     Tm.with_span "phase" @@ fun () ->

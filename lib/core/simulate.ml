@@ -8,7 +8,7 @@ let neighbors_oracle h ix idx =
   Conflict_graph.iter_neighbors_implicit h ix (Ix.decode ix idx) (fun t ->
       acc := Ix.encode ix t :: !acc);
   let arr = Array.of_list !acc in
-  Array.sort compare arr;
+  Array.sort Int.compare arr;
   arr
 
 type mis_result = {

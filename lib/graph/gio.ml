@@ -36,7 +36,7 @@ let of_edge_list text =
   let lines = String.split_on_char '\n' text in
   let parsed =
     List.mapi (fun i line -> (i + 1, String.trim line)) lines
-    |> List.filter (fun (_, line) -> line <> "" && line.[0] <> '#')
+    |> List.filter (fun (_, line) -> String.length line > 0 && line.[0] <> '#')
   in
   match parsed with
   | [] -> failwith "Gio.of_edge_list: empty input"

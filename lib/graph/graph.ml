@@ -65,6 +65,8 @@ let of_edges n edges =
   if n < 0 then invalid_arg "Graph.of_edges: negative vertex count";
   of_normalized_edges n (normalize n edges)
 
+let to_csr g = (Array.copy g.offsets, Array.copy g.adj)
+
 let of_edge_array n edges = of_edges n (Array.to_list edges)
 
 (* Fast-path constructors.  Both take ownership of already-final data and

@@ -40,6 +40,13 @@ val of_sorted_edge_array : ?validate:bool -> int -> (int * int) array -> t
 val empty : int -> t
 (** [empty n] has [n] vertices and no edges. *)
 
+val to_csr : t -> int array * int array
+(** [(offsets, adj)] — copies of the internal CSR arrays, so external
+    auditors ({!Ps_check.Check_graph}) can certify the representation
+    itself rather than a view reconstructed through the accessors.
+    [offsets] has length [n+1]; row [v] is
+    [adj.(offsets.(v) .. offsets.(v+1)-1)]. *)
+
 (** {1 Size} *)
 
 val n_vertices : t -> int

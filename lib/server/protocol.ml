@@ -36,11 +36,23 @@ type solve_params = {
 
 type mis_algo = Mis_greedy | Mis_luby | Mis_slocal | Mis_derandomized | Mis_all
 
+type check_target =
+  | Check_multicoloring of {
+      hypergraph : H.t;
+      multicoloring : Mc.t;
+    }
+  | Check_graph_sets of {
+      graph : Ps_graph.Graph.t;
+      independent_set : int list option;
+      dominating_set : int list option;
+    }
+
 type call =
   | Reduce of solve_params
   | Certify of solve_params
   | Mis of { graph : Ps_graph.Graph.t; algo : mis_algo; seed : int }
   | Decompose of { graph : Ps_graph.Graph.t }
+  | Check of check_target
   | Ping
   | Stats
 
@@ -69,6 +81,7 @@ let method_name = function
   | Certify _ -> "certify"
   | Mis _ -> "mis"
   | Decompose _ -> "decompose"
+  | Check _ -> "check"
   | Ping -> "ping"
   | Stats -> "stats"
 
@@ -153,6 +166,83 @@ let solve_params params =
       seed = Option.value seed ~default:0;
       detail = Option.value detail ~default:false }
 
+(* [check] payloads: vertex/color lists arrive as JSON arrays of
+   integers.  Shape errors (non-arrays, non-integers) are protocol-level
+   [invalid_request]s; {e semantic} errors (out-of-range ids, unhappy
+   edges) are the checkers' job and come back as positioned diagnostics
+   in an [ok] response — a failed certificate is a result, not a
+   protocol failure. *)
+let int_list_field params key =
+  match Json.member key params with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match Json.to_list_opt v with
+      | None ->
+          Error (err Invalid_request "field %S must be an array" key)
+      | Some items -> (
+          let ints = List.filter_map Json.to_int_opt items in
+          if List.length ints = List.length items then Ok (Some ints)
+          else
+            Error
+              (err Invalid_request "field %S must hold only integers" key)))
+
+let multicoloring_field params =
+  match Json.member "multicoloring" params with
+  | None | Some Json.Null ->
+      Error
+        (err Invalid_request
+           "missing required field \"multicoloring\" (array of per-vertex \
+            color arrays)")
+  | Some v -> (
+      match Json.to_list_opt v with
+      | None ->
+          Error (err Invalid_request "field \"multicoloring\" must be an array")
+      | Some rows ->
+          let mc = Array.make (List.length rows) [] in
+          (* A vertex-count mismatch with the hypergraph is let through
+             deliberately: the checker reports it as a positioned
+             diagnostic, which is the whole point of the method. *)
+          let rec fill i = function
+            | [] -> Ok mc
+            | row :: rest -> (
+                match Json.to_list_opt row with
+                | None ->
+                    Error
+                      (err Invalid_request
+                         "multicoloring entry %d must be an array of colors" i)
+                | Some cells ->
+                    let colors = List.filter_map Json.to_int_opt cells in
+                    if List.length colors <> List.length cells then
+                      Error
+                        (err Invalid_request
+                           "multicoloring entry %d must hold only integers" i)
+                    else begin
+                      mc.(i) <- List.sort_uniq Int.compare colors;
+                      fill (i + 1) rest
+                    end)
+          in
+          fill 0 rows)
+
+let check_params params =
+  match Json.member "hypergraph" params with
+  | Some _ ->
+      let* hypergraph = hypergraph_payload params in
+      let* multicoloring = multicoloring_field params in
+      Ok (Check_multicoloring { hypergraph; multicoloring })
+  | None -> (
+      match Json.member "graph" params with
+      | Some _ ->
+          let* graph = graph_payload params in
+          let* independent_set = int_list_field params "independent_set" in
+          let* dominating_set = int_list_field params "dominating_set" in
+          Ok (Check_graph_sets { graph; independent_set; dominating_set })
+      | None ->
+          Error
+            (err Invalid_request
+               "check needs a \"hypergraph\" (with \"multicoloring\") or a \
+                \"graph\" (optionally with \"independent_set\" / \
+                \"dominating_set\")"))
+
 let parse_call meth params =
   match meth with
   | "reduce" ->
@@ -175,6 +265,9 @@ let parse_call meth params =
   | "decompose" ->
       let* graph = graph_payload params in
       Ok (Decompose { graph })
+  | "check" ->
+      let* target = check_params params in
+      Ok (Check target)
   | "ping" -> Ok Ping
   | "stats" -> Ok Stats
   | other -> Error (err Unknown_method "unknown method %S" other)
@@ -297,6 +390,32 @@ let mis_entry ~algorithm ~size ?rounds ?locality () =
     match locality with Some l -> [ ("locality", Json.Int l) ] | None -> [])
 
 let mis_result entries = Json.Obj [ ("algorithms", Json.List entries) ]
+
+let diagnostic_json (d : Ps_check.Diagnostic.t) =
+  Json.Obj
+    [ ("rule", Json.Str d.Ps_check.Diagnostic.rule);
+      ( "where",
+        Json.Obj
+          [ ( "kind",
+              Json.Str (Ps_check.Diagnostic.where_kind d.Ps_check.Diagnostic.where) );
+            ( "at",
+              Json.List
+                (List.map
+                   (fun i -> Json.Int i)
+                   (Ps_check.Diagnostic.where_indices d.Ps_check.Diagnostic.where))
+            ) ] );
+      ( "position",
+        Json.Str
+          (Format.asprintf "%a" Ps_check.Diagnostic.pp_where
+             d.Ps_check.Diagnostic.where) );
+      ("message", Json.Str d.Ps_check.Diagnostic.message) ]
+
+let check_result ~checks diagnostics =
+  Json.Obj
+    [ ( "valid",
+        Json.Bool (match diagnostics with [] -> true | _ :: _ -> false) );
+      ("checks", Json.List (List.map (fun c -> Json.Str c) checks));
+      ("diagnostics", Json.List (List.map diagnostic_json diagnostics)) ]
 
 let decompose_result (d : Ps_slocal.Decomposition.t) ~verified =
   Json.Obj

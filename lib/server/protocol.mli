@@ -51,11 +51,30 @@ type solve_params = {
 
 type mis_algo = Mis_greedy | Mis_luby | Mis_slocal | Mis_derandomized | Mis_all
 
+(** What the [check] method certifies: a claimed conflict-free
+    multicoloring against an inline Hio hypergraph, or vertex-set
+    certificates (independent / dominating) against an inline Gio graph
+    (the graph's CSR representation is audited either way).  Semantic
+    failures — an unhappy edge, an internal edge, an out-of-range id —
+    are {e results} (positioned diagnostics with [valid: false]), not
+    protocol errors. *)
+type check_target =
+  | Check_multicoloring of {
+      hypergraph : Ps_hypergraph.Hypergraph.t;
+      multicoloring : Ps_cfc.Multicolor.t;
+    }
+  | Check_graph_sets of {
+      graph : Ps_graph.Graph.t;
+      independent_set : int list option;
+      dominating_set : int list option;
+    }
+
 type call =
   | Reduce of solve_params
   | Certify of solve_params
   | Mis of { graph : Ps_graph.Graph.t; algo : mis_algo; seed : int }
   | Decompose of { graph : Ps_graph.Graph.t }
+  | Check of check_target
   | Ping
   | Stats
 
@@ -104,3 +123,13 @@ val mis_result : Json.t list -> Json.t
 
 val decompose_result :
   Ps_slocal.Decomposition.t -> verified:bool -> Json.t
+
+val diagnostic_json : Ps_check.Diagnostic.t -> Json.t
+(** [{"rule", "where": {"kind", "at"}, "position", "message"}] — the wire
+    form of a positioned audit diagnostic. *)
+
+val check_result : checks:string list -> Ps_check.Diagnostic.t list -> Json.t
+(** [{"valid", "checks", "diagnostics"}]; [valid] iff no diagnostics.
+    [checks] names the certifiers that ran ("csr", "multicoloring",
+    "independent_set", "dominating_set").  Shared by the served [check]
+    method and [pslocal audit --json]. *)

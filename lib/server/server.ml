@@ -71,7 +71,8 @@ let serve_stdio ?(config = default_config) () =
     Fun.protect
       ~finally:(fun () -> Mutex.unlock out_mutex)
       (fun () ->
-        print_string line;
+        (* stdout is the wire protocol here *)
+        print_string line (* pslint: allow no-print *);
         print_newline ();
         flush stdout)
   in

@@ -34,10 +34,33 @@ let mis_entries ~seed algo g =
         [ P.Mis_greedy; P.Mis_luby; P.Mis_slocal; P.Mis_derandomized ]
   | one -> [ mis_one ~seed g one ]
 
+let check_target = function
+  | P.Check_multicoloring { hypergraph; multicoloring } ->
+      P.check_result ~checks:[ "multicoloring" ]
+        (Ps_check.Check_cfc.multicoloring hypergraph multicoloring)
+  | P.Check_graph_sets { graph; independent_set; dominating_set } ->
+      let csr = Ps_check.Check_graph.csr graph in
+      let is_checks, is_diags =
+        match independent_set with
+        | None -> ([], [])
+        | Some vs ->
+            ([ "independent_set" ], Ps_check.Check_set.independent_list graph vs)
+      in
+      let ds_checks, ds_diags =
+        match dominating_set with
+        | None -> ([], [])
+        | Some vs ->
+            ([ "dominating_set" ], Ps_check.Check_set.dominating_list graph vs)
+      in
+      P.check_result
+        ~checks:(("csr" :: is_checks) @ ds_checks)
+        (csr @ is_diags @ ds_diags)
+
 let handle ~stats ~cancel (req : P.request) =
   match req.call with
   | P.Ping -> Ok (Json.Obj [ ("pong", Json.Bool true) ])
   | P.Stats -> Ok (stats ())
+  | P.Check target -> Ok (check_target target)
   | P.Reduce p -> Ok (P.reduce_result ~detail:p.detail (solve ~cancel p))
   | P.Certify p ->
       Ok (P.certificate_json (solve ~cancel p).Ps_core.Pipeline.certificate)

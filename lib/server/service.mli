@@ -22,3 +22,9 @@ val mis_entries :
   seed:int -> Protocol.mis_algo -> Ps_graph.Graph.t -> Json.t list
 (** Per-algorithm result rows ([Mis_all] = the whole zoo, in the CLI's
     table order); shared by the server and [pslocal mis --json]. *)
+
+val check_target : Protocol.check_target -> Json.t
+(** The [check] method's body: run the {!Ps_check} certifiers named by
+    the target and wrap their diagnostics as a
+    {!Protocol.check_result}.  Always an [ok] result — [valid: false]
+    with diagnostics is the answer for a bad certificate. *)

@@ -14,7 +14,12 @@ let sweep_order (d : Decomposition.t) =
         let c = d.cluster_of.(v) in
         (d.color_of.(c), c, v))
   in
-  Array.sort compare keyed;
+  let cmp (c1, k1, v1) (c2, k2, v2) =
+    match Int.compare c1 c2 with
+    | 0 -> ( match Int.compare k1 k2 with 0 -> Int.compare v1 v2 | r -> r)
+    | r -> r
+  in
+  Array.sort cmp keyed;
   Array.map (fun (_, _, v) -> v) keyed
 
 let simulated_rounds (d : Decomposition.t) ~locality =

@@ -37,7 +37,7 @@ let mis ?decomposition g =
   let status = Array.make n None in
   let decide_vertex v =
     let blocked =
-      G.exists_neighbor g v (fun u -> status.(u) = Some true)
+      G.exists_neighbor g v (fun u -> Option.value ~default:false status.(u))
     in
     status.(v) <- Some (not blocked)
   in

@@ -7,9 +7,9 @@ module Algo = struct
 
   let process (view : bool Slocal.node_view) =
     let dominated =
-      view.states.(view.center) = Some true
+      Option.value ~default:false view.states.(view.center)
       || Ps_graph.Graph.exists_neighbor view.graph view.center (fun u ->
-             view.states.(u) = Some true)
+             Option.value ~default:false view.states.(u))
     in
     not dominated
 

@@ -18,7 +18,7 @@ module Algo = struct
         match view.states.(u) with
         | Some (Matched_with id) when id = my_id ->
             let uid = view.ids.(u) in
-            if !claimer = None || uid < Option.get !claimer then
+            if (match !claimer with None -> true | Some c -> uid < c) then
               claimer := Some uid
         | Some (Matched_with _) | Some Single | None -> ());
     match !claimer with
@@ -28,7 +28,7 @@ module Algo = struct
            already claimed by one of its own processed neighbors *)
         let candidate = ref None in
         G.iter_neighbors view.graph view.center (fun u ->
-            if view.states.(u) = None then begin
+            if Option.is_none view.states.(u) then begin
               let u_id = view.ids.(u) in
               let claimed =
                 G.exists_neighbor view.graph u (fun w ->
@@ -39,7 +39,7 @@ module Algo = struct
                     | Some Single | None -> false)
               in
               if not claimed then
-                if !candidate = None || u_id < Option.get !candidate then
+                if (match !candidate with None -> true | Some c -> u_id < c) then
                   candidate := Some u_id
             end);
         (match !candidate with

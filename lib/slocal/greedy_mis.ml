@@ -8,7 +8,7 @@ module Algo = struct
   let process (view : state Slocal.node_view) =
     not
       (Ps_graph.Graph.exists_neighbor view.graph view.center (fun u ->
-           view.states.(u) = Some true))
+           Option.value ~default:false view.states.(u)))
 
   let output s = s
 end

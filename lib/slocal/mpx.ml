@@ -12,7 +12,8 @@ type t = {
 module Frontier = Set.Make (struct
   type t = float * int (* shifted arrival time, vertex *)
 
-  let compare = compare
+  let compare (t1, v1) (t2, v2) =
+    match Float.compare t1 t2 with 0 -> Int.compare v1 v2 | c -> c
 end)
 
 (* Shifted-distance Dijkstra: every vertex is a potential center starting

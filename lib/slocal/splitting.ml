@@ -13,7 +13,9 @@ let monochromatic_failures g ~threshold colors =
   !failures
 
 let is_weak_splitting g ~threshold colors =
-  monochromatic_failures g ~threshold colors = []
+  match monochromatic_failures g ~threshold colors with
+  | [] -> true
+  | _ :: _ -> false
 
 let randomized rng g =
   Array.init (G.n_vertices g) (fun _ -> Ps_util.Rng.bool rng)

@@ -1,3 +1,6 @@
+(* pslint: allow-file no-print — [print] is the CLI's console renderer;
+   everything else in this module returns strings. *)
+
 type align = Left | Right
 
 type line = Row of string list | Rule

@@ -11,6 +11,8 @@ type span = {
 (* The whole recorder hides behind this one flag: every public entry
    point tests it first and returns before touching the clock, the
    hashtables or the allocator.  [PSLOCAL_TRACE] seeds it at startup. *)
+(* intentionally global: reads are a single flag load and writes happen
+   only at startup/configure time.  pslint: allow global-state *)
 let enabled_flag =
   ref
     (match Sys.getenv_opt "PSLOCAL_TRACE" with
@@ -32,13 +34,17 @@ let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
+(* pslint: allow global-state — guarded by [lock] above *)
 let roots : span list ref = ref [] (* completed top-level spans, newest first *)
 
 let stack_key : span list ref Domain.DLS.key =
   (* open spans of the current domain, innermost first *)
   Domain.DLS.new_key (fun () -> ref [])
 
+(* pslint: allow global-state — guarded by [lock] above *)
 let counters : (string, int ref) Hashtbl.t = Hashtbl.create 32
+
+(* pslint: allow global-state — guarded by [lock] above *)
 let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 32
 
 let reset () =

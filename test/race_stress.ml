@@ -1,0 +1,173 @@
+(* Concurrency stress harness for the TSan CI job (`make tsan`).
+
+   Not an alcotest suite: TSan wants long, hot, genuinely concurrent
+   schedules, and it reports races as runtime errors on its own — this
+   binary just has to drive the shared-state machinery hard and assert
+   the coarse invariants that survive any interleaving.  Three storms:
+
+   1. Engine: many client threads submitting against a small bounded
+      queue (shed path), short deadlines served by a deliberately slow
+      cooperative handler (timeout path), a drain shutdown racing the
+      last submissions, and an abort (~drain:false) shutdown mid-flight.
+      Invariant: every submission gets exactly one reply.
+
+   2. Parallel.fork_join: repeated disjoint-slice writes with varying
+      domain counts, plus the failure path (one worker raises; all
+      domains must still be joined and the exception re-raised).
+
+   3. Telemetry: every domain hammers spans/counters/gauges while one
+      concurrently exports and resets.  Invariant: counters converge to
+      the exact expected total once everyone joins.
+
+   Exit 0 and a final "race_stress: OK" on success; any assertion
+   failure, uncaught exception, or TSan report is a failure. *)
+
+module Json = Ps_server.Json
+module P = Ps_server.Protocol
+module Engine = Ps_server.Engine
+module Tm = Ps_util.Telemetry
+module Parallel = Ps_util.Parallel
+
+let domains = ref 4
+let iters = ref 200
+let quick = ref false
+
+let speclist =
+  [ ("--domains", Arg.Set_int domains, "N  worker/client parallelism (default 4)");
+    ("--iters", Arg.Set_int iters, "N  iterations per storm (default 200)");
+    ("--quick", Arg.Set quick, "  cut iteration counts for smoke runs") ]
+
+(* ------------------------------------------------------------------ *)
+(* Storm 1: the engine *)
+
+(* Cooperative busy handler: [Ping] requests whose id is divisible by 3
+   spin until cancelled (forcing the deadline machinery to fire), the
+   rest answer immediately. *)
+let stress_handler ~stats:_ ~cancel (req : P.request) =
+  (match req.id with
+  | Json.Int i when i mod 3 = 0 ->
+      let deadline = Unix.gettimeofday () +. 0.5 in
+      while (not (cancel ())) && Unix.gettimeofday () < deadline do
+        Thread.yield ()
+      done;
+      if cancel () then raise Ps_core.Reduction.Canceled
+  | _ -> ());
+  Ok (Json.Obj [ ("pong", Json.Bool true) ])
+
+let engine_storm ~clients ~per_client ~drain =
+  let engine =
+    Engine.create ~handler:stress_handler
+      { Engine.domains = !domains; queue_capacity = 8;
+        default_timeout_ms = Some 20 }
+  in
+  let replies = Atomic.make 0 in
+  let submitted = Atomic.make 0 in
+  let client t =
+    for i = 0 to per_client - 1 do
+      let req =
+        { P.id = Json.Int ((t * per_client) + i);
+          timeout_ms = (if i mod 5 = 0 then Some 5 else None);
+          call = P.Ping }
+      in
+      let (_ : Engine.submit_outcome) =
+        Engine.submit engine req ~reply:(fun (_ : string) ->
+            Atomic.incr replies)
+      in
+      Atomic.incr submitted;
+      if i mod 7 = 0 then Thread.yield ()
+    done
+  in
+  let threads = List.init clients (fun t -> Thread.create client t) in
+  if not drain then begin
+    (* Race the abort against in-flight work: give the clients a head
+       start, then pull the plug. *)
+    Thread.delay 0.05;
+    Engine.shutdown ~drain:false engine
+  end;
+  List.iter Thread.join threads;
+  Engine.shutdown engine;
+  (* drain-mode shutdown above is idempotent; after it, every
+     submission must have produced exactly one reply. *)
+  let s = Atomic.get submitted and r = Atomic.get replies in
+  if s <> r then failwith (Printf.sprintf "engine storm: %d submissions but %d replies" s r);
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Storm 2: fork_join *)
+
+let fork_join_storm ~rounds =
+  let n = 1 lsl 14 in
+  let out = Array.make n 0 in
+  for round = 1 to rounds do
+    let d = 1 + (round mod !domains) in
+    Parallel.parallel_for ~domains:d ~lo:0 ~hi:n (fun i ->
+        out.(i) <- (round * 31) + i);
+    for i = 0 to n - 1 do
+      if out.(i) <> (round * 31) + i then
+        failwith
+          (Printf.sprintf "fork_join storm: round %d slot %d holds %d" round
+             i out.(i))
+    done
+  done;
+  (* Failure path: worker 1 raises; the others must be joined and the
+     exception re-raised (lowest failing index wins). *)
+  let exception Boom in
+  (match
+     Parallel.fork_join ~domains:(max 2 !domains) (fun d ->
+         if d = 1 then raise Boom else Thread.yield ())
+   with
+  | () -> failwith "fork_join storm: exception was swallowed"
+  | exception Boom -> ());
+  rounds
+
+(* ------------------------------------------------------------------ *)
+(* Storm 3: telemetry *)
+
+let telemetry_storm ~rounds =
+  Tm.set_enabled true;
+  Tm.reset ();
+  let d = max 2 !domains in
+  let per_domain = rounds * 50 in
+  Parallel.fork_join ~domains:d (fun me ->
+      for i = 1 to per_domain do
+        if me = 0 && i mod 17 = 0 then begin
+          (* concurrent export while the others write *)
+          let (_ : string) = Tm.to_json_lines () in
+          let (_ : int) = Tm.counter_value "race.ticks" in
+          ()
+        end;
+        Tm.with_span "race.span" (fun () ->
+            Tm.set_int "iter" i;
+            Tm.incr "race.ticks";
+            Tm.gauge "race.level" (float_of_int i);
+            Tm.gauge_max "race.peak" (float_of_int i))
+      done);
+  let expect = d * per_domain in
+  let got = Tm.counter_value "race.ticks" in
+  if got <> expect then
+    failwith
+      (Printf.sprintf "telemetry storm: expected %d ticks, counted %d" expect
+         got);
+  Tm.reset ();
+  Tm.set_enabled false;
+  expect
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Arg.parse speclist
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "race_stress [--domains N] [--iters N] [--quick]";
+  if !quick then iters := min !iters 40;
+  let per_client = max 1 (!iters / 4) in
+  let jobs_drained = engine_storm ~clients:8 ~per_client ~drain:true in
+  Printf.printf "engine drain storm: %d submissions, all replied\n%!"
+    jobs_drained;
+  let jobs_aborted = engine_storm ~clients:8 ~per_client ~drain:false in
+  Printf.printf "engine abort storm: %d submissions, all replied\n%!"
+    jobs_aborted;
+  let rounds = fork_join_storm ~rounds:(max 1 (!iters / 10)) in
+  Printf.printf "fork_join storm: %d rounds verified\n%!" rounds;
+  let ticks = telemetry_storm ~rounds:(max 1 (!iters / 10)) in
+  Printf.printf "telemetry storm: %d ticks accounted for\n%!" ticks;
+  print_endline "race_stress: OK"

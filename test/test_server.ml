@@ -504,6 +504,157 @@ let test_rng_streams_validation () =
   | exception Invalid_argument _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Service.handle: one test per method, straight through the dispatcher
+   (no engine, no transport) *)
+
+let run_handle call =
+  Ps_server.Service.handle
+    ~stats:(fun () -> Json.Obj [ ("stub", Json.Bool true) ])
+    ~cancel:(fun () -> false)
+    { P.id = Json.Int 1; timeout_ms = None; call }
+
+let handle_ok call =
+  match run_handle call with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "handle: unexpected error %s" e.P.message
+
+let member name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %S in %s" name (Json.to_string j)
+
+let test_service_ping_stats () =
+  (match member "pong" (handle_ok P.Ping) with
+  | Json.Bool true -> ()
+  | j -> Alcotest.failf "pong: %s" (Json.to_string j));
+  match member "stub" (handle_ok P.Stats) with
+  | Json.Bool true -> ()
+  | j -> Alcotest.failf "stats must return the injected snapshot: %s"
+           (Json.to_string j)
+
+let test_service_mis_all_algorithms () =
+  let g = Ps_graph.Gen.ring 9 in
+  let names algo =
+    match member "algorithms" (handle_ok (P.Mis { graph = g; algo; seed = 5 }))
+    with
+    | Json.List entries ->
+        List.map
+          (fun e ->
+            match (member "algorithm" e, member "size" e) with
+            | Json.Str a, Json.Int s ->
+                check_bool (a ^ " nonempty") true (s > 0);
+                a
+            | _ -> Alcotest.fail "malformed mis entry")
+          entries
+    | j -> Alcotest.failf "algorithms: %s" (Json.to_string j)
+  in
+  check_int "greedy alone" 1 (List.length (names P.Mis_greedy));
+  Alcotest.(check (list string))
+    "all four, table order"
+    [ "greedy"; "luby"; "slocal"; "derandomized" ]
+    (names P.Mis_all)
+
+let test_service_decompose () =
+  let g = Ps_graph.Gen.grid 5 5 in
+  let r = handle_ok (P.Decompose { graph = g }) in
+  (match member "verified" r with
+  | Json.Bool true -> ()
+  | j -> Alcotest.failf "decomposition must verify: %s" (Json.to_string j));
+  match member "clusters" r with
+  | Json.Int c -> check_bool "has clusters" true (c > 0)
+  | j -> Alcotest.failf "clusters: %s" (Json.to_string j)
+
+let solve_params_of h =
+  { P.hypergraph = h; solver = Ps_maxis.Approx.greedy_min_degree;
+    solver_name = "greedy"; k = None; seed = 7; detail = false }
+
+let test_service_reduce_and_certify () =
+  let h = Ps_hypergraph.Hypergraph.of_edges 4 [ [ 0; 1 ]; [ 2; 3 ] ] in
+  let r = handle_ok (P.Reduce (solve_params_of h)) in
+  (match member "certified" r with
+  | Json.Bool true -> ()
+  | j -> Alcotest.failf "certified: %s" (Json.to_string j));
+  let c = handle_ok (P.Certify (solve_params_of h)) in
+  match member "all_ok" c with
+  | Json.Bool true -> ()
+  | j -> Alcotest.failf "certificate all_ok: %s" (Json.to_string j)
+
+let check_hg = Ps_hypergraph.Hypergraph.of_edges 3 [ [ 0; 1 ]; [ 1; 2 ] ]
+
+let valid_of r =
+  match member "valid" r with
+  | Json.Bool b -> b
+  | j -> Alcotest.failf "valid: %s" (Json.to_string j)
+
+let diagnostics_of r =
+  match member "diagnostics" r with
+  | Json.List ds -> ds
+  | j -> Alcotest.failf "diagnostics: %s" (Json.to_string j)
+
+let test_service_check_multicoloring () =
+  let ok =
+    handle_ok
+      (P.Check
+         (P.Check_multicoloring
+            { hypergraph = check_hg; multicoloring = [| [ 0 ]; []; [ 0 ] |] }))
+  in
+  check_bool "valid coloring accepted" true (valid_of ok);
+  check_int "no diagnostics" 0 (List.length (diagnostics_of ok));
+  let bad =
+    handle_ok
+      (P.Check
+         (P.Check_multicoloring
+            { hypergraph = check_hg; multicoloring = [| [ 0 ]; [ 0 ]; [ 1 ] |] }))
+  in
+  check_bool "collision rejected" false (valid_of bad);
+  match diagnostics_of bad with
+  | d :: _ -> (
+      (match member "rule" d with
+      | Json.Str r -> check_string "rule" "conflict-free" r
+      | j -> Alcotest.failf "rule: %s" (Json.to_string j));
+      match member "kind" (member "where" d) with
+      | Json.Str k -> check_string "positioned at an edge" "edge" k
+      | j -> Alcotest.failf "kind: %s" (Json.to_string j))
+  | [] -> Alcotest.fail "expected diagnostics"
+
+let test_service_check_graph_sets () =
+  let g = Ps_graph.Gen.path 3 in
+  let r =
+    handle_ok
+      (P.Check
+         (P.Check_graph_sets
+            { graph = g; independent_set = Some [ 0; 2 ];
+              dominating_set = Some [ 1 ] }))
+  in
+  check_bool "good certificates" true (valid_of r);
+  (match member "checks" r with
+  | Json.List cs -> check_int "csr + both sets" 3 (List.length cs)
+  | j -> Alcotest.failf "checks: %s" (Json.to_string j));
+  let bad =
+    handle_ok
+      (P.Check
+         (P.Check_graph_sets
+            { graph = g; independent_set = Some [ 0; 1 ];
+              dominating_set = None }))
+  in
+  check_bool "internal edge rejected" false (valid_of bad)
+
+let test_service_check_wire_parse () =
+  (* the protocol layer builds the same targets from a request line *)
+  let line =
+    {|{"id":9,"method":"check","params":{"hypergraph":"3 2\n2 0 1\n2 1 2","multicoloring":[[0],[],[0]]}}|}
+  in
+  (match P.parse_request line with
+  | Ok req ->
+      check_bool "parsed check is valid" true (valid_of (handle_ok req.P.call))
+  | Error (_, e) -> Alcotest.failf "parse: %s" e.P.message);
+  (* neither hypergraph nor graph: invalid_request, not a crash *)
+  match P.parse_request {|{"id":9,"method":"check","params":{}}|} with
+  | Ok _ -> Alcotest.fail "expected invalid_request"
+  | Error (_, e) ->
+      check_string "code" "invalid_request" (P.error_code_string e.P.code)
+
+(* ------------------------------------------------------------------ *)
 
 let suites =
   [ ( "server.json",
@@ -547,6 +698,19 @@ let suites =
           test_fork_join_propagates_exception;
         Alcotest.test_case "fork_join first failure wins" `Quick
           test_fork_join_first_failure_wins ] );
+    ( "server.service",
+      [ Alcotest.test_case "ping and stats" `Quick test_service_ping_stats;
+        Alcotest.test_case "mis all algorithms" `Quick
+          test_service_mis_all_algorithms;
+        Alcotest.test_case "decompose" `Quick test_service_decompose;
+        Alcotest.test_case "reduce and certify" `Quick
+          test_service_reduce_and_certify;
+        Alcotest.test_case "check multicoloring" `Quick
+          test_service_check_multicoloring;
+        Alcotest.test_case "check graph sets" `Quick
+          test_service_check_graph_sets;
+        Alcotest.test_case "check wire parse" `Quick
+          test_service_check_wire_parse ] );
     ( "server.rng",
       [ Alcotest.test_case "streams deterministic" `Quick
           test_rng_streams_deterministic;
