@@ -4,6 +4,7 @@
      dune exec bench/main.exe -- e3 e4     # a subset
      dune exec bench/main.exe -- micro     # micro-benchmarks only
      dune exec bench/main.exe -- micro --quick   # CI smoke run
+     dune exec bench/main.exe -- reduce    # engine comparison (BENCH_reduce.json)
      dune exec bench/main.exe -- e3 --trace=trace.jsonl  # + telemetry dump
 
    Experiment ids follow EXPERIMENTS.md: e1-e7 are the paper's claims,
@@ -15,7 +16,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [e1 .. e7 | a1 .. a3 | micro] [--quick] \
+    "usage: main.exe [e1 .. e7 | a1 .. a3 | micro | reduce] [--quick] \
      [--trace[=FILE]]...";
   print_endline "  (no arguments runs everything)";
   exit 1
@@ -67,7 +68,7 @@ let () =
   let args =
     List.filter (fun a -> a <> "--quick" && trace_of_arg a = None) args
   in
-  let known = List.map fst Experiments.all @ [ "micro" ] in
+  let known = List.map fst Experiments.all @ [ "micro"; "reduce" ] in
   List.iter
     (fun a -> if not (List.mem a known) then usage ())
     args;
@@ -90,4 +91,6 @@ let () =
   if selected "micro" then begin
     let rows = Micro.run ~quick () in
     write_bench_json "BENCH_micro.json" rows
-  end
+  end;
+  if selected "reduce" then
+    Reduce_bench.run ~quick () |> Reduce_bench.write_json "BENCH_reduce.json"

@@ -42,6 +42,21 @@ let conflict_graph_build_domains2 =
   Test.make ~name:"conflict_graph.build domains=2 (m=384,k=3)"
     (Staged.stage (fun () -> Ps_core.Conflict_graph.build ~domains:2 h ~k:3))
 
+(* The auto heuristic (domains:0) must never lose to the sequential
+   build: on small instances or few cores it resolves to 1 domain and
+   this row should match the plain m=384 row up to noise. *)
+let conflict_graph_build_auto =
+  let h = build_scaling_instance 384 in
+  Test.make ~name:"conflict_graph.build domains=auto (m=384,k=3)"
+    (Staged.stage (fun () -> Ps_core.Conflict_graph.build ~domains:0 h ~k:3))
+
+(* Plain-graph greedy at a size where the two-pass neighborhood
+   deletion (skipping the Pq.update sift chase) is visible. *)
+let greedy_min_degree_n1024 =
+  let g = Ps_graph.Gen.gnp (Rng.create seed) 1024 0.01 in
+  Test.make ~name:"maxis.greedy_min_degree (n=1024)"
+    (Staged.stage (fun () -> Ps_maxis.Greedy.min_degree g))
+
 let greedy_on_conflict_graph =
   let h = Hgen.uniform_random (Rng.create seed) ~n:32 ~m:24 ~k:4 in
   let cg = Ps_core.Conflict_graph.build h ~k:3 in
@@ -113,7 +128,8 @@ let tests =
   Test.make_grouped ~name:"pslocal"
     [ conflict_graph_build; conflict_graph_build_m96;
       conflict_graph_build_m384; conflict_graph_build_reference;
-      conflict_graph_build_domains2; greedy_on_conflict_graph;
+      conflict_graph_build_domains2; conflict_graph_build_auto;
+      greedy_min_degree_n1024; greedy_on_conflict_graph;
       caro_wei_on_conflict_graph; reduction_end_to_end; luby_run;
       slocal_greedy_mis; ball_carving; cf_conservative; exact_maxis;
       exact_gk; mpx_decompose; compiled_mis; congest_bfs ]

@@ -1,0 +1,138 @@
+(* End-to-end reduction benchmark: the `Rebuild and `Incremental phase
+   engines head to head, across instance sizes and solver strengths,
+   written to BENCH_reduce.json.
+
+   Solver strength controls the phase count and hence how much the
+   incremental engine can possibly win: near-optimal solvers (the two
+   full heuristics) finish in 1-3 phases, so reuse can at best save the
+   later builds of those few phases; the λ-degraded solver (caro-wei
+   keeping 5% of its answer — the paper's λ-approximation premise)
+   stretches the run to dozens of phases with slow geometric decay
+   (claim E3's trajectory, measured in wall-clock), which is where
+   cross-phase reuse shows its full effect.
+
+   Every engine pair is asserted bit-identical (multicoloring and phase
+   records) before its timing is reported — benchmarking a divergent
+   answer would be meaningless. *)
+
+module Rng = Ps_util.Rng
+module Hgen = Ps_hypergraph.Hgen
+module Red = Ps_core.Reduction
+module Approx = Ps_maxis.Approx
+
+let seed = 7
+
+(* Same instance family as the micro-bench build-scaling points. *)
+let instance m =
+  let n = 4 * m / 3 in
+  Hgen.uniform_random (Rng.create seed) ~n ~m ~k:4
+
+let solvers () =
+  [ ("greedy-min-degree", Approx.greedy_min_degree);
+    ("caro-wei", Approx.caro_wei);
+    ("caro-wei@0.05", Approx.degrade ~keep:0.05 Approx.caro_wei) ]
+
+let time_ms f =
+  let t0 = Ps_util.Telemetry.now_ns () in
+  let r = f () in
+  let t1 = Ps_util.Telemetry.now_ns () in
+  (r, Int64.to_float (Int64.sub t1 t0) /. 1e6)
+
+(* Best-of-N wall clock: the minimum is the standard noise-robust
+   estimate for a deterministic computation. *)
+let best_of reps f =
+  let result = ref None and best = ref infinity in
+  for _ = 1 to reps do
+    let r, ms = time_ms f in
+    if ms < !best then best := ms;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let run ?(quick = false) () =
+  (* As in the micro run: timings track the production path, so force
+     the telemetry recorder off for the measurement window. *)
+  let telemetry_was = Ps_util.Telemetry.enabled () in
+  Ps_util.Telemetry.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Ps_util.Telemetry.set_enabled telemetry_was)
+  @@ fun () ->
+  let sizes = if quick then [ 96; 384 ] else [ 96; 384; 768; 1536 ] in
+  let reps = if quick then 1 else 3 in
+  let rows = ref [] in
+  let push name v = rows := (name, v) :: !rows in
+  let table =
+    Ps_util.Table.create
+      ~aligns:
+        Ps_util.Table.[ Left; Left; Right; Right; Right; Right ]
+      [ "instance"; "solver"; "phases"; "rebuild ms"; "incremental ms";
+        "speedup" ]
+  in
+  List.iter
+    (fun m ->
+      let h = instance m in
+      List.iter
+        (fun (sname, solver) ->
+          let reb, t_reb =
+            best_of reps (fun () ->
+                Red.run ~seed:0 ~engine:`Rebuild ~solver ~k:3 h)
+          in
+          let inc, t_inc =
+            best_of reps (fun () ->
+                Red.run ~seed:0 ~engine:`Incremental ~solver ~k:3 h)
+          in
+          if
+            reb.Red.multicoloring <> inc.Red.multicoloring
+            || reb.Red.phases <> inc.Red.phases
+          then
+            failwith
+              (Printf.sprintf
+                 "reduce bench: engines disagree at m=%d solver=%s" m sname);
+          let speedup = t_reb /. t_inc in
+          let tag = Printf.sprintf "reduce (m=%d,k=3,%s)" m sname in
+          push (tag ^ " rebuild ms") t_reb;
+          push (tag ^ " incremental ms") t_inc;
+          push (tag ^ " speedup") speedup;
+          Ps_util.Table.add_row table
+            [ Printf.sprintf "m=%d,k=3" m;
+              sname;
+              string_of_int reb.Red.total_phases;
+              Ps_util.Table.cell_float ~decimals:2 t_reb;
+              Ps_util.Table.cell_float ~decimals:2 t_inc;
+              Ps_util.Table.cell_float ~decimals:2 speedup ])
+        (solvers ()))
+    sizes;
+  Ps_util.Table.print
+    ~title:"End-to-end reduction: rebuild vs incremental engine (best-of-N)"
+    table;
+  List.rev !rows
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n";
+      let last = List.length rows - 1 in
+      List.iteri
+        (fun i (name, v) ->
+          Printf.fprintf oc "  \"%s\": %.3f%s\n" (json_escape name)
+            (if Float.is_nan v then 0.0 else v)
+            (if i = last then "" else ","))
+        rows;
+      output_string oc "}\n");
+  Printf.printf "wrote %s (%d entries)\n" path (List.length rows)

@@ -208,7 +208,7 @@ let solver_of_name name =
   | Some s -> s
   | None -> failwith (Printf.sprintf "unknown solver %S" name)
 
-let reduce input solver k seed verbose trace json output =
+let reduce input solver k engine seed verbose trace json output =
   if verbose then
     Logs.Src.set_level Ps_core.Reduction.log_src (Some Logs.Debug);
   let h = Ps_hypergraph.Hio.read_file input in
@@ -219,7 +219,7 @@ let reduce input solver k seed verbose trace json output =
   in
   let result =
     with_trace trace (fun () ->
-        Ps_core.Pipeline.solve ~seed ~k:k_choice
+        Ps_core.Pipeline.solve ~seed ~k:k_choice ~engine
           ~solver:(solver_of_name solver) h)
   in
   if json then begin
@@ -282,6 +282,21 @@ let reduce_cmd =
       & opt (some int) None
       & info [ "k" ] ~doc:"Palette size per phase (default: derived).")
   in
+  let engine =
+    let doc =
+      "Phase engine: $(b,incremental) compacts one conflict graph across \
+       phases, $(b,rebuild) reconstructs it each phase (the differential \
+       oracle).  Both produce bit-identical results."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("incremental", (`Incremental : Ps_core.Reduction.engine));
+               ("rebuild", `Rebuild) ])
+          `Incremental
+      & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-phase debug log.")
   in
@@ -291,8 +306,8 @@ let reduce_cmd =
          "Conflict-free multicoloring via the Theorem 1.1 reduction \
           (iterated MaxIS approximation).")
     Term.(
-      const reduce $ input $ solver $ k $ seed_arg $ verbose $ trace_arg
-      $ json_arg $ output_arg)
+      const reduce $ input $ solver $ k $ engine $ seed_arg $ verbose
+      $ trace_arg $ json_arg $ output_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify *)

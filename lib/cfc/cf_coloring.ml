@@ -29,6 +29,26 @@ let unique_color_witness h f e =
 
 let happy h f e = Option.is_some (unique_color_witness h f e)
 
+(* Allocation-free happiness test for the phase loop's inner scan.  The
+   Hashtbl-per-edge cost of [unique_color_witness] is fine for audits but
+   dominates when every phase re-checks every surviving edge; this
+   variant counts colors in a caller-owned scratch array instead (three
+   O(|e|) walks, the last restoring the scratch to all-zero). *)
+let happy_scratch ~k = Array.make (max k 1) 0
+
+let happy_fast cnt h f e =
+  let witness = ref false in
+  H.iter_edge h e (fun v ->
+      let c = f.(v) in
+      if c <> uncolored then cnt.(c) <- cnt.(c) + 1);
+  H.iter_edge h e (fun v ->
+      let c = f.(v) in
+      if c <> uncolored && cnt.(c) = 1 then witness := true);
+  H.iter_edge h e (fun v ->
+      let c = f.(v) in
+      if c <> uncolored then cnt.(c) <- 0);
+  !witness
+
 let happy_edges h f =
   List.filter (happy h f) (List.init (H.n_edges h) (fun i -> i))
 

@@ -23,6 +23,18 @@ val unique_color_witness :
 
 val happy : Ps_hypergraph.Hypergraph.t -> int array -> int -> bool
 
+val happy_scratch : k:int -> int array
+(** Zeroed color-count scratch for {!happy_fast}, sized for colorings
+    that only use colors [0 .. k-1]. *)
+
+val happy_fast :
+  int array -> Ps_hypergraph.Hypergraph.t -> int array -> int -> bool
+(** [happy_fast scratch h f e] — same verdict as {!happy}, but
+    allocation-free: colors are counted in [scratch] (restored to
+    all-zero before returning) instead of a per-call hash table.  Every
+    color of [f] appearing in [e] must be below the [k] the scratch was
+    created with.  This is the phase loop's inner edge scan. *)
+
 val happy_edges : Ps_hypergraph.Hypergraph.t -> int array -> int list
 val count_happy : Ps_hypergraph.Hypergraph.t -> int array -> int
 

@@ -278,73 +278,145 @@ let slot_degree sc ~k s =
   done;
   !d
 
+(* Count the k rows of slot [s]: write their shared degree into [deg]. *)
+let count_slot tb sc ~k deg s =
+  collect_slots tb sc s;
+  let ds = slot_degree sc ~k s in
+  clear_slots sc;
+  for c = 0 to k - 1 do
+    deg.((s * k) + c) <- ds
+  done
+
+(* Fill pass for one slot: sort its neighbor slots once, then write its
+   k rows in place with a linear walk — ascending slots × ascending
+   colors keep every row strictly increasing. *)
+let fill_slot tb sc ~k offsets adj s =
+  collect_slots tb sc s;
+  sort_range sc.slots.data 0 sc.slots.len;
+  for c = 0 to k - 1 do
+    let w = ref offsets.((s * k) + c) in
+    for i = 0 to sc.slots.len - 1 do
+      let x = sc.slots.data.(i) in
+      let m = Char.code (Bytes.get sc.mask x) in
+      let base = x * k in
+      if x = s || m land edge_bit = 0 && m land samev_bit <> 0 then
+        for c' = 0 to k - 1 do
+          if c' <> c then begin
+            adj.(!w) <- base + c';
+            incr w
+          end
+        done
+      else if m land edge_bit <> 0 then
+        for c' = 0 to k - 1 do
+          adj.(!w) <- base + c';
+          incr w
+        done
+      else begin
+        adj.(!w) <- base + c;
+        incr w
+      end
+    done
+  done;
+  clear_slots sc
+
+(* Parallel-build sizing, measured on the micro-bench box (see
+   BENCH_micro.json and DESIGN.md): a Domain.spawn/join round trip costs
+   a few hundred microseconds while a triple costs on the order of a
+   microsecond to build, so an extra domain only pays for itself once it
+   gets several thousand triples of work.  [domains = 0] asks for the
+   auto heuristic: one domain below the threshold, then one more per
+   [auto_triples_per_domain] triples up to [Parallel.available ()].
+   Explicit requests are honored but clamped to the slot count so no
+   spawned domain can end up with an empty slice. *)
+let auto_triples_per_domain = 8192
+
+let effective_domains ~requested ~nslots ~k =
+  let clamp d = max 1 (min d (max nslots 1)) in
+  if requested = 0 then
+    clamp
+      (min
+         (Ps_util.Parallel.available ())
+         (max 1 (nslots * k / auto_triples_per_domain)))
+  else clamp requested
+
+(* Compute the CSR arrays of G_k, exactly sized.  [domains] must already
+   be effective (>= 1, <= nslots).  Parallel runs use a single staged
+   fork-join — one spawn set for both passes — and a chunked dynamic
+   schedule (an atomic cursor) rather than one static slice per domain:
+   slot neighborhoods vary wildly in size, and static slices leave the
+   domains that drew cheap slots idle.  Every slot's rows are written to
+   a disjoint region whichever domain claims it, so the arrays are
+   bit-identical for any domain count and any schedule. *)
+let csr_arrays ~k ~domains tb =
+  let total = tb.nslots * k in
+  let deg = Array.make (max total 1) 0 in
+  let offsets = Array.make (total + 1) 0 in
+  let prefix_sum () =
+    for i = 0 to total - 1 do
+      offsets.(i + 1) <- offsets.(i) + deg.(i)
+    done
+  in
+  let adj = ref [||] in
+  if domains <= 1 then begin
+    let sc = scratch_create tb.nslots in
+    Tm.with_span "count_pass" (fun () ->
+        for s = 0 to tb.nslots - 1 do
+          count_slot tb sc ~k deg s
+        done);
+    prefix_sum ();
+    adj := Array.make (max offsets.(total) 1) 0;
+    Tm.with_span "fill_pass" (fun () ->
+        for s = 0 to tb.nslots - 1 do
+          fill_slot tb sc ~k offsets !adj s
+        done)
+  end
+  else begin
+    let chunk = max 32 (tb.nslots / (domains * 8)) in
+    let cursor1 = Atomic.make 0 and cursor2 = Atomic.make 0 in
+    let scratches =
+      Array.init domains (fun _ -> scratch_create tb.nslots)
+    in
+    let drain cursor work =
+      let continue = ref true in
+      while !continue do
+        let lo = Atomic.fetch_and_add cursor chunk in
+        if lo >= tb.nslots then continue := false
+        else
+          for s = lo to min tb.nslots (lo + chunk) - 1 do
+            work s
+          done
+      done
+    in
+    let t0 = Tm.now_ns () in
+    let t1 = ref t0 and t2 = ref t0 in
+    Ps_util.Parallel.fork_join_staged ~domains
+      ~stage1:(fun d ->
+        let sc = scratches.(d) in
+        drain cursor1 (count_slot tb sc ~k deg))
+      ~mid:(fun () ->
+        t1 := Tm.now_ns ();
+        prefix_sum ();
+        adj := Array.make (max offsets.(total) 1) 0;
+        t2 := Tm.now_ns ())
+      ~stage2:(fun d ->
+        let sc = scratches.(d) in
+        drain cursor2 (fill_slot tb sc ~k offsets !adj));
+    if Tm.enabled () then begin
+      let t3 = Tm.now_ns () in
+      Tm.add_completed_span ~name:"count_pass" ~start_ns:t0 ~stop_ns:!t1 [];
+      Tm.add_completed_span ~name:"fill_pass" ~start_ns:!t2 ~stop_ns:t3 []
+    end
+  end;
+  (* [adj] was sized [max _ 1] so an edgeless graph still gets a live
+     array; hand back the exact logical size alongside. *)
+  (offsets, !adj)
+
 let csr_graph ~k ~domains tb =
   let total = tb.nslots * k in
-  let domains = max 1 (min domains (max tb.nslots 1)) in
-  let deg = Array.make (max total 1) 0 in
-  (* Counting pass: size every row (no sort needed to count).  The
-     telemetry spans bracket the fork_join calls — the recorder is not
-     domain-safe, so nothing inside a worker touches it. *)
-  Tm.with_span "count_pass" (fun () ->
-      Ps_util.Parallel.fork_join ~domains (fun d ->
-          let lo, hi =
-            Ps_util.Parallel.range ~pieces:domains ~lo:0 ~hi:tb.nslots d
-          in
-          let sc = scratch_create tb.nslots in
-          for s = lo to hi - 1 do
-            collect_slots tb sc s;
-            let ds = slot_degree sc ~k s in
-            clear_slots sc;
-            for c = 0 to k - 1 do
-              deg.((s * k) + c) <- ds
-            done
-          done));
-  let offsets = Array.make (total + 1) 0 in
-  for i = 0 to total - 1 do
-    offsets.(i + 1) <- offsets.(i) + deg.(i)
-  done;
-  let adj = Array.make offsets.(total) 0 in
-  (* Fill pass: sort each slot's neighbor slots once, then write its k
-     rows in place with a linear walk — ascending slots × ascending
-     colors keep every row strictly increasing. *)
-  Tm.with_span "fill_pass" (fun () ->
-      Ps_util.Parallel.fork_join ~domains (fun d ->
-          let lo, hi =
-            Ps_util.Parallel.range ~pieces:domains ~lo:0 ~hi:tb.nslots d
-          in
-          let sc = scratch_create tb.nslots in
-          for s = lo to hi - 1 do
-            collect_slots tb sc s;
-            sort_range sc.slots.data 0 sc.slots.len;
-            for c = 0 to k - 1 do
-              let w = ref offsets.((s * k) + c) in
-              for i = 0 to sc.slots.len - 1 do
-                let x = sc.slots.data.(i) in
-                let m = Char.code (Bytes.get sc.mask x) in
-                let base = x * k in
-                if x = s || m land edge_bit = 0 && m land samev_bit <> 0 then
-                  for c' = 0 to k - 1 do
-                    if c' <> c then begin
-                      adj.(!w) <- base + c';
-                      incr w
-                    end
-                  done
-                else if m land edge_bit <> 0 then
-                  for c' = 0 to k - 1 do
-                    adj.(!w) <- base + c';
-                    incr w
-                  done
-                else begin
-                  adj.(!w) <- base + c;
-                  incr w
-                end
-              done
-            done;
-            clear_slots sc
-          done));
+  let offsets, adj = csr_arrays ~k ~domains tb in
   Tm.set_int "csr_rows" total;
   Tm.set_int "csr_edges" (offsets.(total) / 2);
-  G.of_csr total ~offsets ~adj
+  G.of_csr_prefix total ~offsets ~adj
 
 let build ?(domains = 1) h ~k =
   Tm.with_span "conflict_graph.build" @@ fun () ->
@@ -354,6 +426,8 @@ let build ?(domains = 1) h ~k =
   let ix = Ix.make h ~k in
   let tb = Tm.with_span "tables" (fun () -> tables_of h) in
   Tm.set_int "slots" tb.nslots;
+  let domains = effective_domains ~requested:domains ~nslots:tb.nslots ~k in
+  Tm.set_int "domains_effective" domains;
   let graph = csr_graph ~k ~domains tb in
   if Tm.enabled () then begin
     Tm.incr "conflict_graph.builds";
@@ -361,6 +435,182 @@ let build ?(domains = 1) h ~k =
     Tm.count "conflict_graph.csr_edges" (G.n_edges graph)
   end;
   { graph; indexer = ix; k }
+
+(* ------------------------------------------------------------------ *)
+(* Incremental engine.
+
+   The reduction loop only ever *shrinks* its hypergraph — each phase
+   retires the edges that became happy and keeps the rest untouched.
+   All three adjacency families are predicates on the two triples and
+   their own edges' membership, so the conflict graph of the restricted
+   hypergraph is exactly the induced subgraph of G_k on the triples of
+   surviving edges.  Rather than rebuilding (tables, indexer, CSR) from
+   scratch every phase, the incremental engine builds G_k once and then
+   compacts it in place after every retirement.
+
+   Numbering identity (what makes the result bit-identical to a
+   rebuild): [Hypergraph.restrict_edges] keeps surviving edges in
+   increasing original order with identical member arrays, so the fresh
+   indexer of the restricted hypergraph assigns slots — and hence triple
+   ids s·k + c — in exactly the order that surviving slots appear in the
+   current numbering.  Compaction therefore renumbers alive slots
+   monotonically (old order preserved), which also keeps every filtered
+   adjacency row sorted with no re-sort.
+
+   Buffers are double-buffered: compaction reads the current offsets/adj
+   pair and writes the spare pair (allocated once, at the first compact,
+   sized like the originals — rows only ever shrink), then swaps.  The
+   graph handed out is an arena view ([Graph.of_csr_prefix]) over the
+   current pair, valid until the *next* compact clobbers that buffer. *)
+
+module Incremental = struct
+  type state = {
+    k : int;
+    tb : tables;                    (* tables of the ORIGINAL hypergraph *)
+    edge_alive : Bytes.t;           (* per original hyperedge *)
+    mutable n_alive : int;          (* alive hyperedges *)
+    mutable nslots_cur : int;       (* slots surviving in current numbering *)
+    slot_orig : int array;          (* current slot -> original slot *)
+    slot_map : int array;           (* compaction scratch: old cur slot -> new *)
+    triple_map : int array;         (* compaction scratch: old cur triple -> new *)
+    mutable cur_offsets : int array;
+    mutable cur_adj : int array;
+    mutable spare_offsets : int array; (* [||] until the first compact *)
+    mutable spare_adj : int array;
+    mutable graph : G.t;
+    mutable dirty : bool;           (* retirements since the last compact *)
+  }
+
+  let create ?(domains = 0) h ~k =
+    Tm.with_span "conflict_graph.incremental.create" @@ fun () ->
+    let m = H.n_edges h in
+    let tb = tables_of h in
+    let domains = effective_domains ~requested:domains ~nslots:tb.nslots ~k in
+    Tm.set_int "domains_effective" domains;
+    let offsets, adj = csr_arrays ~k ~domains tb in
+    { k;
+      tb;
+      edge_alive = Bytes.make (max m 1) '\001';
+      n_alive = m;
+      nslots_cur = tb.nslots;
+      slot_orig = Array.init (max tb.nslots 1) (fun s -> s);
+      slot_map = Array.make (max tb.nslots 1) (-1);
+      triple_map = Array.make (max (tb.nslots * k) 1) (-1);
+      cur_offsets = offsets;
+      cur_adj = adj;
+      spare_offsets = [||];
+      spare_adj = [||];
+      graph = G.of_csr_prefix (tb.nslots * k) ~offsets ~adj;
+      dirty = false }
+
+  let graph st = st.graph
+  let k st = st.k
+  let n_alive_edges st = st.n_alive
+
+  (* Current conflict-graph vertex id -> triple over the ORIGINAL
+     hypergraph (global edge ids, not restricted-local ones).  Edge
+     membership is unchanged by restriction, so every consumer of the
+     triple — coloring extraction, happiness checks, audits — sees the
+     same answers it would get from the rebuild path's local triple. *)
+  let decode st id =
+    let os = st.slot_orig.(id / st.k) in
+    { Triple.edge = st.tb.slot_edge.(os);
+      vertex = st.tb.slot_vertex.(os);
+      color = id mod st.k }
+
+  let retire_edges st dead =
+    List.iter
+      (fun e ->
+        if e < 0 || e >= Bytes.length st.edge_alive then
+          invalid_arg "Conflict_graph.Incremental.retire_edges: bad edge";
+        if Bytes.get st.edge_alive e <> '\000' then begin
+          Bytes.set st.edge_alive e '\000';
+          st.n_alive <- st.n_alive - 1;
+          st.dirty <- true
+        end)
+      dead
+
+  let slot_alive st s =
+    Bytes.get st.edge_alive st.tb.slot_edge.(st.slot_orig.(s)) <> '\000'
+
+  let compact st =
+    if st.dirty then begin
+      Tm.with_span "conflict_graph.compact" @@ fun () ->
+      if Array.length st.spare_offsets = 0 then begin
+        (* First compact: allocate the write buffers once, sized like
+           the phase-0 arrays — the graph only ever shrinks. *)
+        st.spare_offsets <- Array.make (Array.length st.cur_offsets) 0;
+        st.spare_adj <- Array.make (Array.length st.cur_adj) 0
+      end
+      else if Tm.enabled () then
+        Tm.count "conflict_graph.reused_bytes"
+          (8 * (Array.length st.spare_offsets + Array.length st.spare_adj));
+      let k = st.k in
+      (* Monotone renumbering of surviving slots, expanded to triple ids
+         in [triple_map] so the copy loop below remaps with one array
+         read per adjacency entry — no division by [k] on the hot path
+         (the adj scan touches every entry; the expansion is only
+         O(nslots·k)). *)
+      let nslots' = ref 0 in
+      let tmap = st.triple_map in
+      for s = 0 to st.nslots_cur - 1 do
+        if slot_alive st s then begin
+          let s' = !nslots' in
+          st.slot_map.(s) <- s';
+          for c = 0 to k - 1 do
+            tmap.((s * k) + c) <- (s' * k) + c
+          done;
+          incr nslots'
+        end
+        else begin
+          st.slot_map.(s) <- -1;
+          for c = 0 to k - 1 do
+            tmap.((s * k) + c) <- -1
+          done
+        end
+      done;
+      (* Filter + remap every surviving row into the spare buffers.
+         Increasing old slots map to increasing new slots, so rows stay
+         sorted without re-sorting. *)
+      let woff = st.spare_offsets and wadj = st.spare_adj in
+      let roff = st.cur_offsets and radj = st.cur_adj in
+      let w = ref 0 in
+      woff.(0) <- 0;
+      for s = 0 to st.nslots_cur - 1 do
+        let s' = st.slot_map.(s) in
+        if s' >= 0 then
+          for c = 0 to k - 1 do
+            let row = (s * k) + c in
+            for i = roff.(row) to roff.(row + 1) - 1 do
+              let x' = tmap.(radj.(i)) in
+              if x' >= 0 then begin
+                wadj.(!w) <- x';
+                incr w
+              end
+            done;
+            woff.((s' * k) + c + 1) <- !w
+          done
+      done;
+      (* Compact [slot_orig] in place: new ids never exceed old ids, so
+         the increasing walk cannot clobber unread entries. *)
+      for s = 0 to st.nslots_cur - 1 do
+        let s' = st.slot_map.(s) in
+        if s' >= 0 then st.slot_orig.(s') <- st.slot_orig.(s)
+      done;
+      st.nslots_cur <- !nslots';
+      let o = st.cur_offsets and a = st.cur_adj in
+      st.cur_offsets <- st.spare_offsets;
+      st.cur_adj <- st.spare_adj;
+      st.spare_offsets <- o;
+      st.spare_adj <- a;
+      st.dirty <- false;
+      let total = !nslots' * k in
+      Tm.set_int "csr_rows" total;
+      Tm.set_int "csr_edges" (st.cur_offsets.(total) / 2);
+      st.graph <-
+        G.of_csr_prefix total ~offsets:st.cur_offsets ~adj:st.cur_adj
+    end
+end
 
 let iter_neighbors_implicit h ix (t : Triple.t) f =
   let k = Ix.k ix in

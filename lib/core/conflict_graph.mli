@@ -41,11 +41,86 @@ val build : ?domains:int -> Ps_hypergraph.Hypergraph.t -> k:int -> t
     adjacency row by enumerating each triple's neighborhood (as encoded
     ids, deduplicated by sort + adjacent-skip in a reusable buffer) and
     a fill pass writes the rows in place — no intermediate edge list, no
-    hashing, cost linear in the output size.  [domains > 1] splits both
-    passes across that many OCaml domains ({!Ps_util.Parallel}); rows
-    are computed independently into disjoint regions, so the result is
-    bit-identical ({!Ps_graph.Graph.equal}) for every domain count.
-    Default [domains = 1] (sequential). *)
+    hashing, cost linear in the output size.
+
+    {b Domain semantics.}  [domains] requests parallel construction:
+
+    {ul
+    {- [domains = 1] (the default): sequential, no spawning.}
+    {- [domains > 1]: both passes run on a {e single} staged fork-join
+       ({!Ps_util.Parallel.fork_join_staged} — one spawn set, not one
+       per pass) with dynamically chunked slot scheduling.  The request
+       is clamped to the slot count [Σ|e|], so no spawned domain can be
+       left without a slice of work — asking for 8 domains on a
+       3-slot instance spawns 2, not 7 idle ones.}
+    {- [domains = 0]: automatic.  Resolves to 1 domain unless the
+       triple count [k·Σ|e|] clears a measured threshold (several
+       thousand triples per extra domain — below that, spawn/join
+       overhead exceeds the work), then scales one domain per
+       threshold-multiple up to {!Ps_util.Parallel.available}.}}
+
+    Rows are computed independently into disjoint regions whichever
+    domain claims them, so the result is bit-identical
+    ({!Ps_graph.Graph.equal}) for every domain count and schedule. *)
+
+(** Incremental cross-phase engine.
+
+    The reduction loop only shrinks its hypergraph (happy edges retire;
+    nothing is ever added), and every adjacency family of [G_k] is a
+    predicate on the two triples and their own edges' membership — so
+    the conflict graph of the restricted hypergraph is exactly the
+    induced subgraph of the current [G_k] on surviving triples.  This
+    engine builds [G_k] once, then after each phase {!retire_edges} +
+    {!compact} renumber the surviving slots monotonically and filter
+    the CSR rows in place, writing into a double-buffered scratch arena
+    (two offsets/adj pairs allocated at the first compact and swapped
+    thereafter — no per-phase allocation; reuse is reported on the
+    [conflict_graph.reused_bytes] telemetry counter).
+
+    Because [Hypergraph.restrict_edges] preserves the relative order
+    and member arrays of surviving edges, the monotone renumbering
+    assigns exactly the triple ids a fresh rebuild would — the
+    compacted graph is bit-identical to [build (restrict_edges h alive)
+    ~k], which is what lets {!Reduction.run}'s [`Incremental] engine
+    promise bit-identical multicolorings to its [`Rebuild] baseline.
+
+    The graph returned by {!graph} is an arena view over the current
+    buffer pair: it stays valid until the {e next-but-one} {!compact}
+    call clobbers that buffer.  The reduction loop consumes each phase's
+    graph before compacting again, so this is invisible there; external
+    callers wanting a stable snapshot should copy via
+    {!Ps_graph.Graph.to_csr}. *)
+module Incremental : sig
+  type state
+
+  val create : ?domains:int -> Ps_hypergraph.Hypergraph.t -> k:int -> state
+  (** Build phase-0 [G_k] and the arena bookkeeping.  [domains] as in
+      {!build}, but defaulting to [0] (automatic). *)
+
+  val graph : state -> Ps_graph.Graph.t
+  (** The current conflict graph (see validity caveat above). *)
+
+  val k : state -> int
+
+  val n_alive_edges : state -> int
+  (** Hyperedges not yet retired. *)
+
+  val decode : state -> int -> Triple.t
+  (** Triple of a {e current} conflict-graph vertex id, with its edge
+      field holding the {e original} hyperedge id (not a
+      restricted-local one).  Edge membership is unchanged by
+      restriction, so coloring extraction and audits see the same
+      answers as the rebuild path. *)
+
+  val retire_edges : state -> int list -> unit
+  (** Mark original hyperedge ids dead (idempotent).  The graph is
+      unchanged until {!compact}.  Raises [Invalid_argument] on an
+      out-of-range id. *)
+
+  val compact : state -> unit
+  (** Drop every triple of a retired edge and renumber; no-op if
+      nothing was retired since the last compact. *)
+end
 
 val build_reference : Ps_hypergraph.Hypergraph.t -> k:int -> t
 (** The straightforward list-based builder the CSR path replaced:

@@ -19,11 +19,11 @@ let is_of_coloring h ix f =
   List.iter (Ps_util.Bitset.add set) !chosen;
   set
 
-let coloring_of_is h ix i =
-  let f = Cf.blank h in
+let coloring_of_is_with ~n_vertices ~decode i =
+  let f = Array.make n_vertices Cf.uncolored in
   Ps_util.Bitset.iter
     (fun idx ->
-      let t = Ix.decode ix idx in
+      let t : Triple.t = decode idx in
       if f.(t.vertex) <> Cf.uncolored && f.(t.vertex) <> t.color then
         invalid_arg
           (Printf.sprintf
@@ -33,6 +33,9 @@ let coloring_of_is h ix i =
       f.(t.vertex) <- t.color)
     i;
   f
+
+let coloring_of_is h ix i =
+  coloring_of_is_with ~n_vertices:(H.n_vertices h) ~decode:(Ix.decode ix) i
 
 let max_is_size h = H.n_edges h
 

@@ -35,6 +35,17 @@ val coloring_of_is :
     independent [i] (Lemma 2.1(b) well-definedness); callers feed solver
     output through {!Ps_maxis.Independent_set.verify_exn} first. *)
 
+val coloring_of_is_with :
+  n_vertices:int -> decode:(int -> Triple.t) ->
+  Ps_maxis.Independent_set.t -> int array
+(** [coloring_of_is] generalized over the id-to-triple decoding, for
+    callers whose conflict graph is not backed by a
+    {!Triple.Indexer.indexer} — the incremental phase engine decodes
+    through its compaction tables
+    ({!Conflict_graph.Incremental.decode}).  [f_I] only reads each
+    triple's vertex and color, so any decode agreeing with the
+    indexer's on those fields yields the identical coloring. *)
+
 val max_is_size : Ps_hypergraph.Hypergraph.t -> int
 (** The independence number of [G_k] for any [H] admitting a CF
     k-coloring: exactly [m = |E(H)|] (Lemma 2.1(a)). *)

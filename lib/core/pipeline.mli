@@ -26,18 +26,24 @@ type result = {
 val solve :
   ?cancel:(unit -> bool) ->
   ?seed:int ->
+  ?engine:Reduction.engine ->
+  ?domains:int ->
   ?k:k_choice ->
   solver:Ps_maxis.Approx.solver ->
   Ps_hypergraph.Hypergraph.t ->
   result
 (** Run end to end ([k] defaults to [From_conservative]).  Raises
     [Failure] when the certificate fails — by Theorem 1.1 that can only
-    mean a bug, so it is loud.  [cancel] is forwarded to
-    {!Reduction.run}'s per-phase cooperative-cancellation poll. *)
+    mean a bug, so it is loud.  [cancel], [engine] and [domains] are
+    forwarded to {!Reduction.run} (defaults there: per-phase
+    cooperative-cancellation poll off, [`Incremental], automatic domain
+    count). *)
 
 val solve_unchecked :
   ?cancel:(unit -> bool) ->
   ?seed:int ->
+  ?engine:Reduction.engine ->
+  ?domains:int ->
   ?k:k_choice ->
   solver:Ps_maxis.Approx.solver ->
   Ps_hypergraph.Hypergraph.t ->

@@ -3,6 +3,7 @@ module G = Ps_graph.Graph
 module Is = Ps_maxis.Independent_set
 module Mc = Ps_cfc.Multicolor
 module Cf = Ps_cfc.Cf_coloring
+module Bs = Ps_util.Bitset
 module Tm = Ps_util.Telemetry
 
 type phase_record = {
@@ -25,6 +26,8 @@ type run = {
   colors_used : int;
 }
 
+type engine = [ `Rebuild | `Incremental ]
+
 exception Stalled of int
 exception Canceled
 
@@ -37,13 +40,16 @@ module Log = (val Logs.src_log log_src)
    its components; on, every conflict graph is audited for CSR
    well-formedness and every solver answer for independence before the
    phase commits.  A violation aborts loudly with the first positioned
-   diagnostic — these invariants failing means a bug, not bad input. *)
+   diagnostic — these invariants failing means a bug, not bad input.
+   Both engines run the same audits: the incremental path certifies its
+   compacted arena graph exactly as the rebuild path certifies its
+   fresh one. *)
 let debug_checks =
   match Sys.getenv_opt "PSLOCAL_DEBUG" with
   | None | Some "" | Some "0" | Some "false" -> false
   | Some _ -> true
 
-let phase_boundary_checks ~phase (cg : Conflict_graph.t) is =
+let phase_boundary_checks ~phase graph is =
   let fail what = function
     | [] -> ()
     | d :: _ ->
@@ -51,88 +57,153 @@ let phase_boundary_checks ~phase (cg : Conflict_graph.t) is =
           (Printf.sprintf "Reduction.run: phase %d %s: %s" phase what
              (Ps_check.Diagnostic.to_string d))
   in
-  fail "conflict graph" (Ps_check.Check_graph.csr cg.Conflict_graph.graph);
-  fail "solver output"
-    (Ps_check.Check_set.independent cg.Conflict_graph.graph is)
+  fail "conflict graph" (Ps_check.Check_graph.csr graph);
+  fail "solver output" (Ps_check.Check_set.independent graph is)
 
-let run ?max_phases ?(cancel = fun () -> false) ?(seed = 0) ~solver ~k h =
+let run ?max_phases ?(cancel = fun () -> false) ?(seed = 0)
+    ?(engine = (`Incremental : engine)) ?(domains = 0) ~solver ~k h =
   Tm.with_span "reduction.run" @@ fun () ->
   let m = H.n_edges h in
   Tm.set_int "m" m;
   Tm.set_int "k" k;
   Tm.set_str "solver" solver.Ps_maxis.Approx.name;
+  let engine_name =
+    match engine with `Rebuild -> "rebuild" | `Incremental -> "incremental"
+  in
+  Tm.set_str "engine" engine_name;
   let max_phases =
     match max_phases with Some p -> p | None -> (4 * m) + 16
   in
   let rng = Ps_util.Rng.create seed in
   let multicoloring = Mc.blank h in
   let phases = ref [] in
-  let remaining = ref (List.init m (fun e -> e)) in
-  (* Scratch reused every phase: global edge id -> retired by some phase.
-     Turns the remaining-edge prune into O(|remaining|) array lookups
-     instead of an O(|remaining|·|happy|) List.mem scan. *)
-  let retired = Array.make (max m 1) false in
+  (* Surviving-edge bookkeeping: a bitset plus an explicit count replaces
+     the seed implementation's int list + O(|remaining|) List.filter per
+     phase — removal is O(1) per retired edge and the loop guard is a
+     counter read. *)
+  let remaining = Bs.create (max m 1) in
+  for e = 0 to m - 1 do
+    Bs.add remaining e
+  done;
+  let n_remaining = ref m in
   let phase = ref 0 in
-  while (match !remaining with [] -> false | _ :: _ -> true) do
+  let phase_prologue () =
     if !phase >= max_phases then raise (Stalled !phase);
-    if cancel () then raise Canceled;
-    Tm.with_span "phase" @@ fun () ->
-    Tm.set_int "phase" !phase;
-    let hi, back = H.restrict_edges h !remaining in
-    let cg = Conflict_graph.build hi ~k in
-    let is =
-      Tm.with_span "solve" (fun () ->
-          Ps_maxis.Approx.solve_verified solver rng cg.graph)
-    in
-    if debug_checks then phase_boundary_checks ~phase:!phase cg is;
-    let f_i = Correspondence.coloring_of_is hi cg.indexer is in
-    (* Publish phase colors on the global palette [phase·k ..]. *)
+    if cancel () then raise Canceled
+  in
+  (* Everything downstream of the solved phase — publishing the phase's
+     colors on the global palette, recording the phase, retiring the
+     newly happy edges — is engine-independent given the phase coloring
+     and the happy list. *)
+  let commit_phase ~graph ~f_i ~is_size happy_global =
     Array.iteri
       (fun v c ->
         if c <> Cf.uncolored then
           Mc.add_color multicoloring v ((!phase * k) + c))
       f_i;
-    (* Remove the edges the phase coloring made happy. *)
-    let happy_local = Cf.happy_edges hi f_i in
-    let happy_global =
-      List.map (fun e_local -> back.(e_local)) happy_local
-    in
     let newly_happy = List.length happy_global in
     if newly_happy = 0 then raise (Stalled !phase);
-    let is_size = Is.size is in
+    let edges_before = !n_remaining in
     Log.debug (fun m ->
-        m "phase %d: |E|=%d |V(Gk)|=%d |I|=%d happy=%d" !phase (H.n_edges hi)
-          (G.n_vertices cg.graph) is_size newly_happy);
+        m "phase %d: |E|=%d |V(Gk)|=%d |I|=%d happy=%d" !phase edges_before
+          (G.n_vertices graph) is_size newly_happy);
     let lambda_effective =
       if is_size = 0 then infinity
-      else float_of_int (H.n_edges hi) /. float_of_int is_size
+      else float_of_int edges_before /. float_of_int is_size
     in
     if Tm.enabled () then begin
-      Tm.set_int "edges_before" (H.n_edges hi);
-      Tm.set_int "conflict_vertices" (G.n_vertices cg.graph);
-      Tm.set_int "conflict_edges" (G.n_edges cg.graph);
+      Tm.set_int "edges_before" edges_before;
+      Tm.set_int "conflict_vertices" (G.n_vertices graph);
+      Tm.set_int "conflict_edges" (G.n_edges graph);
       Tm.set_int "is_size" is_size;
       Tm.set_int "newly_happy" newly_happy;
       Tm.set_float "lambda_effective" lambda_effective;
       Tm.set_float "decay_factor"
-        (1.0 -. (float_of_int newly_happy /. float_of_int (H.n_edges hi)));
+        (1.0 -. (float_of_int newly_happy /. float_of_int edges_before));
       Tm.incr "reduction.phases";
       Tm.count "reduction.edges_retired" newly_happy;
       Tm.gauge_max "reduction.lambda_max" lambda_effective
     end;
     phases :=
       { phase = !phase;
-        edges_before = H.n_edges hi;
-        conflict_vertices = G.n_vertices cg.graph;
-        conflict_edges = G.n_edges cg.graph;
+        edges_before;
+        conflict_vertices = G.n_vertices graph;
+        conflict_edges = G.n_edges graph;
         is_size;
         newly_happy;
         lambda_effective }
       :: !phases;
-    List.iter (fun e -> retired.(e) <- true) happy_global;
-    remaining := List.filter (fun e -> not retired.(e)) !remaining;
+    List.iter (fun e -> Bs.remove remaining e) happy_global;
+    n_remaining := !n_remaining - newly_happy;
     incr phase
-  done;
+  in
+  (match engine with
+  | `Rebuild ->
+      (* Seed path, kept verbatim in structure: restrict the hypergraph,
+         rebuild tables/indexer/CSR from scratch each phase.  This is the
+         oracle the incremental engine is differential-tested against. *)
+      while !n_remaining > 0 do
+        phase_prologue ();
+        Tm.with_span "phase" @@ fun () ->
+        Tm.set_int "phase" !phase;
+        Tm.set_str "build_mode" engine_name;
+        let hi, back = H.restrict_edges h (Bs.to_list remaining) in
+        let cg = Conflict_graph.build ~domains hi ~k in
+        let is =
+          Tm.with_span "solve" (fun () ->
+              Ps_maxis.Approx.solve_verified solver rng cg.graph)
+        in
+        if debug_checks then
+          phase_boundary_checks ~phase:!phase cg.Conflict_graph.graph is;
+        let f_i = Correspondence.coloring_of_is hi cg.indexer is in
+        let happy_local = Cf.happy_edges hi f_i in
+        let happy_global =
+          List.map (fun e_local -> back.(e_local)) happy_local
+        in
+        commit_phase ~graph:cg.Conflict_graph.graph ~f_i ~is_size:(Is.size is)
+          happy_global
+      done
+  | `Incremental ->
+      (* Build G_k once; every later phase reuses the compacted arena.
+         Per-phase this skips the hypergraph restriction, the indexer
+         rebuild and both CSR passes — compaction is one filtered copy
+         of the surviving rows.  Bit-identity with the rebuild path
+         holds because compaction reproduces the exact numbering a
+         rebuild would assign (see [Conflict_graph.Incremental]), so
+         the solver sees equal graphs and draws the same randomness. *)
+      let st = Conflict_graph.Incremental.create ~domains h ~k in
+      let n_vertices = H.n_vertices h in
+      let happy_cnt = Cf.happy_scratch ~k in
+      while !n_remaining > 0 do
+        phase_prologue ();
+        Tm.with_span "phase" @@ fun () ->
+        Tm.set_int "phase" !phase;
+        Tm.set_str "build_mode" engine_name;
+        let graph = Conflict_graph.Incremental.graph st in
+        let is =
+          Tm.with_span "solve" (fun () ->
+              Ps_maxis.Approx.solve_verified solver rng graph)
+        in
+        if debug_checks then phase_boundary_checks ~phase:!phase graph is;
+        let f_i =
+          Correspondence.coloring_of_is_with ~n_vertices
+            ~decode:(Conflict_graph.Incremental.decode st)
+            is
+        in
+        (* Happy scan over surviving edges only, against the original
+           hypergraph: global ids directly, no [back] translation. *)
+        let happy_global =
+          List.rev
+            (Bs.fold
+               (fun e acc ->
+                 if Cf.happy_fast happy_cnt h f_i e then e :: acc else acc)
+               remaining [])
+        in
+        commit_phase ~graph ~f_i ~is_size:(Is.size is) happy_global;
+        Conflict_graph.Incremental.retire_edges st happy_global;
+        Conflict_graph.Incremental.compact st;
+        if Tm.enabled () then Tm.incr "reduction.compactions"
+      done);
   let colors_used = Mc.total_colors multicoloring in
   Tm.set_int "total_phases" !phase;
   Tm.set_int "colors_used" colors_used;

@@ -40,6 +40,25 @@ type run = {
   colors_used : int;          (** distinct colors actually appearing *)
 }
 
+type engine = [ `Rebuild | `Incremental ]
+(** How each phase obtains its conflict graph:
+
+    {ul
+    {- [`Rebuild] — the seed implementation: restrict the hypergraph to
+       the surviving edges and rebuild tables, indexer and CSR from
+       scratch every phase.  Kept as the differential-testing oracle.}
+    {- [`Incremental] (default) — build [G_k] once and compact it in
+       place after each phase ({!Conflict_graph.Incremental}): retired
+       edges' triples are dropped and survivors renumbered through a
+       reusable double-buffered arena, skipping the per-phase
+       restriction, indexer rebuild and CSR passes entirely.}}
+
+    The two engines are {e bit-identical}: compaction reassigns exactly
+    the triple ids a fresh rebuild would, so the solver sees equal
+    graphs, consumes the same randomness, and both engines produce the
+    same multicoloring, the same phase records and the same audit
+    verdicts (the property suite asserts all three). *)
+
 val log_src : Logs.src
 (** Per-phase progress is logged here at debug level — enable with
     [Logs.Src.set_level Reduction.log_src (Some Logs.Debug)] (the CLI's
@@ -57,6 +76,8 @@ val run :
   ?max_phases:int ->
   ?cancel:(unit -> bool) ->
   ?seed:int ->
+  ?engine:engine ->
+  ?domains:int ->
   solver:Ps_maxis.Approx.solver ->
   k:int ->
   Ps_hypergraph.Hypergraph.t ->
@@ -66,6 +87,11 @@ val run :
     1-edge-per-phase solver finishes in [m] phases.  The result's
     multicoloring is conflict-free by construction; {!Certify} re-checks
     everything independently.
+
+    [engine] selects the phase-graph strategy (default [`Incremental],
+    see {!type-engine}); [domains] is forwarded to the conflict-graph
+    builder (default [0] — automatic, see {!Conflict_graph.build}) and
+    affects only construction speed, never the result.
 
     [cancel] (default: never) is polled once per phase, before any phase
     work; a [true] answer raises {!Canceled}.  This is the cooperative

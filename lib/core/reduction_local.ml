@@ -2,6 +2,7 @@ module H = Ps_hypergraph.Hypergraph
 module Is = Ps_maxis.Independent_set
 module Mc = Ps_cfc.Multicolor
 module Cf = Ps_cfc.Cf_coloring
+module Bs = Ps_util.Bitset
 module Ix = Triple.Indexer
 module Tm = Ps_util.Telemetry
 
@@ -22,7 +23,8 @@ type run = {
    1-hop exchanges in H). *)
 let coordination_rounds_per_phase = 2
 
-let run ?max_phases ?(cancel = fun () -> false) ?(seed = 0) ~k h =
+let run ?max_phases ?(cancel = fun () -> false) ?(seed = 0)
+    ?(engine = (`Incremental : Reduction.engine)) ~k h =
   Tm.with_span "reduction_local.run" @@ fun () ->
   let m = H.n_edges h in
   Tm.set_int "m" m;
@@ -32,17 +34,28 @@ let run ?max_phases ?(cancel = fun () -> false) ?(seed = 0) ~k h =
   in
   let multicoloring = Mc.blank h in
   let phases = ref [] in
-  let remaining = ref (List.init m (fun e -> e)) in
-  (* Same bool-array prune as [Reduction.run] — see the comment there. *)
-  let retired = Array.make (max m 1) false in
+  (* Bitset + count bookkeeping, as in [Reduction.run].  Unlike there,
+     the conflict graph itself cannot be carried across phases: Luby
+     runs on the {e implicit} G_k of the restricted hypergraph and its
+     randomness is drawn per restricted-local id, so the per-phase
+     [restrict_edges] must stay for bit-identical answers.  The engines
+     therefore differ only in bookkeeping — [`Incremental] swaps the
+     List.filter prune and the Hashtbl-per-edge happiness scan for O(1)
+     bitset removal and the allocation-free [Cf.happy_fast]. *)
+  let remaining = Bs.create (max m 1) in
+  for e = 0 to m - 1 do
+    Bs.add remaining e
+  done;
+  let n_remaining = ref m in
+  let happy_cnt = Cf.happy_scratch ~k in
   let phase = ref 0 in
   let virtual_rounds = ref 0 and messages = ref 0 in
-  while (match !remaining with [] -> false | _ :: _ -> true) do
+  while !n_remaining > 0 do
     if !phase >= max_phases then raise (Reduction.Stalled !phase);
     if cancel () then raise Reduction.Canceled;
     Tm.with_span "phase" @@ fun () ->
     Tm.set_int "phase" !phase;
-    let hi, back = H.restrict_edges h !remaining in
+    let hi, back = H.restrict_edges h (Bs.to_list remaining) in
     let ix = Ix.make hi ~k in
     (* Luby over the implicit conflict graph: no materialization. *)
     let sim = Simulate.luby_mis ~seed:(seed + !phase) hi ~k in
@@ -55,8 +68,19 @@ let run ?max_phases ?(cancel = fun () -> false) ?(seed = 0) ~k h =
         if c <> Cf.uncolored then
           Mc.add_color multicoloring v ((!phase * k) + c))
       f_i;
-    let happy_local = Cf.happy_edges hi f_i in
-    let happy_global = List.map (fun e -> back.(e)) happy_local in
+    let happy_global =
+      match engine with
+      | `Rebuild ->
+          List.map (fun e -> back.(e)) (Cf.happy_edges hi f_i)
+      | `Incremental ->
+          (* Same verdicts, no per-edge Hashtbl: walk the restricted
+             edges with the scratch counter and translate as we go. *)
+          let acc = ref [] in
+          for e = H.n_edges hi - 1 downto 0 do
+            if Cf.happy_fast happy_cnt hi f_i e then acc := back.(e) :: !acc
+          done;
+          !acc
+    in
     let newly_happy = List.length happy_global in
     if newly_happy = 0 then raise (Reduction.Stalled !phase);
     let is_size = Is.size is in
@@ -86,8 +110,8 @@ let run ?max_phases ?(cancel = fun () -> false) ?(seed = 0) ~k h =
         newly_happy;
         lambda_effective }
       :: !phases;
-    List.iter (fun e -> retired.(e) <- true) happy_global;
-    remaining := List.filter (fun e -> not retired.(e)) !remaining;
+    List.iter (fun e -> Bs.remove remaining e) happy_global;
+    n_remaining := !n_remaining - newly_happy;
     incr phase
   done;
   let reduction =

@@ -33,6 +33,7 @@ val run :
   ?max_phases:int ->
   ?cancel:(unit -> bool) ->
   ?seed:int ->
+  ?engine:Reduction.engine ->
   k:int ->
   Ps_hypergraph.Hypergraph.t ->
   run
@@ -40,4 +41,12 @@ val run :
     conflict-free (certify with {!Certify.certify} on [reduction]); raises
     {!Reduction.Stalled} under the same conditions as the centralized
     driver, and {!Reduction.Canceled} when [cancel] (polled once per
-    phase, as in {!Reduction.run}) answers [true]. *)
+    phase, as in {!Reduction.run}) answers [true].
+
+    [engine] (default [`Incremental]) switches {e bookkeeping only}:
+    Luby draws its randomness per restricted-local triple id, so the
+    conflict graph cannot be carried across phases here and both
+    engines still restrict the hypergraph each phase — [`Incremental]
+    merely replaces the list-based edge prune and Hashtbl-backed
+    happiness scan with the bitset + scratch-counter fast path.  The
+    engines are bit-identical, as in {!Reduction.run}. *)

@@ -1,12 +1,15 @@
 type t = {
   n : int;
-  offsets : int array; (* length n+1; row u is adj.(offsets.(u) .. offsets.(u+1)-1) *)
-  adj : int array;     (* concatenated sorted adjacency rows, length 2m *)
+  offsets : int array; (* length >= n+1; row u is adj.(offsets.(u) .. offsets.(u+1)-1) *)
+  adj : int array;     (* concatenated sorted adjacency rows; the logical
+                          content is the prefix of length offsets.(n) = 2m —
+                          arena-backed graphs ([of_csr_prefix]) may carry
+                          spare capacity beyond it *)
 }
 
 let n_vertices g = g.n
 
-let n_edges g = Array.length g.adj / 2
+let n_edges g = g.offsets.(g.n) / 2
 
 let check_vertex g v =
   if v < 0 || v >= g.n then invalid_arg "Graph: vertex out of range"
@@ -65,7 +68,8 @@ let of_edges n edges =
   if n < 0 then invalid_arg "Graph.of_edges: negative vertex count";
   of_normalized_edges n (normalize n edges)
 
-let to_csr g = (Array.copy g.offsets, Array.copy g.adj)
+let to_csr g =
+  (Array.sub g.offsets 0 (g.n + 1), Array.sub g.adj 0 g.offsets.(g.n))
 
 let of_edge_array n edges = of_edges n (Array.to_list edges)
 
@@ -79,16 +83,19 @@ let debug_validation =
   | None | Some "" | Some "0" | Some "false" -> false
   | Some _ -> true
 
-let validate_csr g =
+let validate_csr ?(exact = true) g =
   let len = Array.length g.offsets in
-  if len <> g.n + 1 then invalid_arg "Graph.of_csr: offsets length <> n+1";
+  if (if exact then len <> g.n + 1 else len < g.n + 1) then
+    invalid_arg "Graph.of_csr: offsets length <> n+1";
   if g.offsets.(0) <> 0 then invalid_arg "Graph.of_csr: offsets.(0) <> 0";
   for v = 0 to g.n - 1 do
     if g.offsets.(v + 1) < g.offsets.(v) then
       invalid_arg "Graph.of_csr: offsets not monotone"
   done;
-  if g.offsets.(g.n) <> Array.length g.adj then
-    invalid_arg "Graph.of_csr: offsets.(n) <> |adj|";
+  if
+    if exact then g.offsets.(g.n) <> Array.length g.adj
+    else g.offsets.(g.n) > Array.length g.adj
+  then invalid_arg "Graph.of_csr: offsets.(n) <> |adj|";
   for v = 0 to g.n - 1 do
     for i = g.offsets.(v) to g.offsets.(v + 1) - 1 do
       let u = g.adj.(i) in
@@ -119,6 +126,13 @@ let of_csr ?validate n ~offsets ~adj =
   let g = { n; offsets; adj } in
   let validate = match validate with Some v -> v | None -> debug_validation in
   if validate then validate_csr g;
+  g
+
+let of_csr_prefix ?validate n ~offsets ~adj =
+  if n < 0 then invalid_arg "Graph.of_csr_prefix: negative vertex count";
+  let g = { n; offsets; adj } in
+  let validate = match validate with Some v -> v | None -> debug_validation in
+  if validate then validate_csr ~exact:false g;
   g
 
 let of_sorted_edge_array ?validate n edges =
@@ -273,7 +287,20 @@ let is_subgraph g h =
   iter_edges g (fun u v -> if not (has_edge h u v) then ok := false);
   !ok
 
-let equal g h = g.n = h.n && g.offsets = h.offsets && g.adj = h.adj
+(* Compare logical content only: arena-backed graphs may carry spare
+   array capacity past offsets.(n), which must not affect equality. *)
+let equal g h =
+  g.n = h.n
+  &&
+  let ok = ref true in
+  for v = 0 to g.n do
+    if g.offsets.(v) <> h.offsets.(v) then ok := false
+  done;
+  if !ok then
+    for i = 0 to g.offsets.(g.n) - 1 do
+      if g.adj.(i) <> h.adj.(i) then ok := false
+    done;
+  !ok
 
 let pp ppf g =
   let lo =

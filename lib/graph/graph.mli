@@ -29,6 +29,21 @@ val of_csr : ?validate:bool -> int -> offsets:int array -> adj:int array -> t
     environment variable), in which case every precondition is checked
     and [Invalid_argument] raised; otherwise construction is O(1). *)
 
+val of_csr_prefix :
+  ?validate:bool -> int -> offsets:int array -> adj:int array -> t
+(** Arena variant of {!of_csr}: the arrays may be {e longer} than their
+    logical content — only [offsets.(0 .. n)] and
+    [adj.(0 .. offsets.(n) - 1)] are meaningful, and the spare capacity
+    beyond them is ignored by every operation (including {!to_csr},
+    which returns exact-size copies, and {!equal}, which compares
+    logical content only).  This lets a caller that repeatedly shrinks a
+    graph — the incremental conflict-graph engine — reuse one
+    preallocated buffer pair across compactions instead of reallocating
+    per phase.  The caller must not mutate the logical prefixes while
+    the graph is in use; the spare tails stay owned by the caller.
+    Validation as in {!of_csr} (default: the [PSLOCAL_DEBUG] environment
+    variable), with the length checks relaxed to [>=]. *)
+
 val of_sorted_edge_array : ?validate:bool -> int -> (int * int) array -> t
 (** [of_sorted_edge_array n edges] builds CSR directly from an edge array
     that is already normalized: each edge once as [(u, v)] with [u < v],

@@ -14,19 +14,34 @@ let by_degree ~invert g =
   let alive = B.create n in
   B.fill alive;
   let chosen = B.create n in
+  (* Scratch for the per-pop neighborhood sweep (at most max-degree
+     entries used at a time). *)
+  let removed = Array.make (max n 1) 0 in
   while not (Pq.is_empty queue) do
     let v, _ = Pq.pop_min queue in
     B.add chosen v;
     B.remove alive v;
-    (* Delete N(v): each deleted neighbor decrements its own neighbors. *)
+    (* Delete N(v) in two passes: first drop every alive neighbor from
+       the queue and the alive set, then propagate degree decrements
+       from each.  Decrementing only after the whole neighborhood is
+       dead skips the [Pq.update] sift chase for vertices this same
+       sweep deletes anyway — their priorities are discarded on
+       removal, so updating them first was pure overhead (dominant on
+       dense rows).  Pops are ordered by (priority, key), a pure
+       function of the priority map, so the chosen set is unchanged. *)
+    let nr = ref 0 in
     G.iter_neighbors g v (fun u ->
         if B.mem alive u then begin
           B.remove alive u;
           Pq.remove queue u;
-          G.iter_neighbors g u (fun w ->
-              if B.mem alive w && w <> v then
-                Pq.update queue w (Pq.priority queue w - sign))
-        end)
+          removed.(!nr) <- u;
+          incr nr
+        end);
+    for i = 0 to !nr - 1 do
+      G.iter_neighbors g removed.(i) (fun w ->
+          if B.mem alive w then
+            Pq.update queue w (Pq.priority queue w - sign))
+    done
   done;
   chosen
 

@@ -34,6 +34,82 @@ let fork_join ~domains f =
       failures
   end
 
+(* Reusable cyclic barrier: generation counting makes consecutive waits
+   on the same barrier safe (a fast domain re-entering the barrier
+   cannot race a slow one still leaving the previous generation). *)
+type barrier = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  parties : int;
+  mutable arrived : int;
+  mutable generation : int;
+}
+
+let barrier_create parties =
+  { mutex = Mutex.create ();
+    cond = Condition.create ();
+    parties;
+    arrived = 0;
+    generation = 0 }
+
+let barrier_wait b =
+  Mutex.lock b.mutex;
+  let gen = b.generation in
+  b.arrived <- b.arrived + 1;
+  if b.arrived = b.parties then begin
+    b.arrived <- 0;
+    b.generation <- gen + 1;
+    Condition.broadcast b.cond
+  end
+  else
+    while b.generation = gen do
+      Condition.wait b.cond b.mutex
+    done;
+  Mutex.unlock b.mutex
+
+let fork_join_staged ~domains ~stage1 ~mid ~stage2 =
+  if domains <= 1 then begin
+    stage1 0;
+    mid ();
+    stage2 0
+  end
+  else begin
+    let b = barrier_create domains in
+    (* Any failure flips [abort]; later stages are skipped everywhere but
+       every domain still arrives at both barriers, so a raising stage can
+       never strand a sibling in [barrier_wait]. *)
+    let abort = Atomic.make false in
+    let run d () =
+      let failure = ref None in
+      let guard f =
+        if not (Atomic.get abort) then
+          match f () with
+          | () -> ()
+          | exception e ->
+              Atomic.set abort true;
+              if Option.is_none !failure then
+                failure := Some (e, Printexc.get_raw_backtrace ())
+      in
+      guard (fun () -> stage1 d);
+      barrier_wait b;
+      if d = 0 then guard mid;
+      barrier_wait b;
+      guard (fun () -> stage2 d);
+      !failure
+    in
+    let workers =
+      Array.init (domains - 1) (fun i -> Domain.spawn (run (i + 1)))
+    in
+    let failures = Array.make domains None in
+    failures.(0) <- run 0 ();
+    Array.iteri (fun i d -> failures.(i + 1) <- Domain.join d) workers;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      failures
+  end
+
 let range ~pieces ~lo ~hi i =
   if pieces <= 0 then invalid_arg "Parallel.range: pieces must be positive";
   if i < 0 || i >= pieces then invalid_arg "Parallel.range: piece out of range";

@@ -24,6 +24,30 @@ val fork_join : domains:int -> (int -> unit) -> unit
     re-raised with its original backtrace after all domains have been
     joined; the remaining exceptions are dropped. *)
 
+val fork_join_staged :
+  domains:int ->
+  stage1:(int -> unit) ->
+  mid:(unit -> unit) ->
+  stage2:(int -> unit) ->
+  unit
+(** Two data-parallel stages separated by a sequential step, on a {e
+    single} set of spawned domains: every domain runs [stage1 d], all
+    meet at a barrier, domain 0 alone runs [mid ()], and after a second
+    barrier every domain runs [stage2 d].  Functionally equivalent to
+    two consecutive {!fork_join} calls with [mid] between them, but pays
+    the domain spawn/join cost once instead of twice — this is what
+    makes parallel two-pass CSR construction worthwhile at moderate
+    sizes, where a second round of spawns used to eat the entire win.
+    [domains <= 1] degrades to [stage1 0; mid (); stage2 0] with no
+    spawning and no synchronization.
+
+    {b Failure semantics.}  As {!fork_join}: every domain is joined
+    before the call returns and the lowest-indexed failure is re-raised
+    with its backtrace.  A raising stage never strands a sibling at a
+    barrier — the first failure aborts the remaining stages (including
+    [mid]) on every domain, while all domains still arrive at both
+    barriers. *)
+
 val range : pieces:int -> lo:int -> hi:int -> int -> int * int
 (** [range ~pieces ~lo ~hi i] is the [i]-th of [pieces] balanced
     contiguous subranges of [\[lo, hi)], as a [(start, stop)] pair with

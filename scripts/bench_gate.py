@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a freshly generated bench JSON against
+the committed baseline within a relative tolerance (default +/-25%).
+
+Both BENCH_micro.json and BENCH_reduce.json are flat {name: number}
+objects.  Two kinds of entries are compared differently:
+
+- Ratio entries (name containing "speedup"): machine-independent, so
+  they are compared directly.  A regression here means the incremental
+  engine lost ground against the rebuild oracle.
+
+- Timing entries (ns/run, ms): absolute values depend on the machine
+  the baseline was generated on, so each file is first normalized by
+  its own median timing entry.  The normalized profile is the *shape*
+  of the benchmark suite — one row regressing relative to the others
+  is exactly the signal a perf PR must not hide — and it cancels the
+  overall speed difference between the baseline box and the CI runner.
+
+Entries present in only one file (e.g. a --quick run covering a subset
+of the baseline's sizes) are ignored; a gate run reports how many rows
+it actually compared.  Rows whose baseline value is below --min-value
+are skipped: sub-microsecond ns/run benches are dominated by timer
+noise.  The same floor means BENCH_reduce.json (whose timings are in
+milliseconds, well below 1e3) is gated on its speedup ratios alone —
+deliberate, as single-rep quick timings are too noisy to gate while
+the rebuild/incremental ratio is stable and machine-independent.
+
+Exit code 0 when every compared row is within tolerance, 1 otherwise.
+
+usage: bench_gate.py BASELINE CURRENT [--tolerance 0.25] [--min-value 1e3]
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        obj = json.load(f)
+    if not isinstance(obj, dict) or not all(
+        isinstance(v, (int, float)) for v in obj.values()
+    ):
+        raise SystemExit(f"{path}: expected a flat {{name: number}} object")
+    return obj
+
+
+def is_ratio(name):
+    return "speedup" in name
+
+
+def normalized_timings(rows, min_value):
+    timings = {
+        k: v for k, v in rows.items() if not is_ratio(k) and v >= min_value
+    }
+    if not timings:
+        return {}
+    med = statistics.median(timings.values())
+    if med <= 0:
+        return {}
+    return {k: v / med for k, v in timings.items()}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.25)
+    ap.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="SUBSTR",
+        help="drop rows whose name contains SUBSTR (repeatable); for "
+        "non-production rows too allocation-noisy to gate",
+    )
+    ap.add_argument(
+        "--min-value",
+        type=float,
+        default=1e3,
+        help="skip timing rows whose baseline value is below this "
+        "(default 1e3: sub-microsecond ns/run rows are timer noise)",
+    )
+    args = ap.parse_args()
+
+    def keep(name):
+        return not any(sub in name for sub in args.exclude)
+
+    base = {k: v for k, v in load(args.baseline).items() if keep(k)}
+    cur = {k: v for k, v in load(args.current).items() if keep(k)}
+
+    checks = []  # (name, baseline, current) in comparable units
+    for name in sorted(set(base) & set(cur)):
+        if is_ratio(name):
+            checks.append((name + " [ratio]", base[name], cur[name]))
+    nb = normalized_timings(base, args.min_value)
+    nc = normalized_timings(cur, args.min_value)
+    for name in sorted(set(nb) & set(nc)):
+        checks.append((name + " [normalized]", nb[name], nc[name]))
+
+    if not checks:
+        raise SystemExit("no comparable rows between baseline and current")
+
+    failures = []
+    for name, b, c in checks:
+        if b <= 0:
+            continue
+        rel = (c - b) / b
+        # Only slower-than-baseline breaches fail the gate: a row getting
+        # faster shifts the normalized profile of every other row, and
+        # punishing improvements would make any perf win un-mergeable.
+        breach = rel > args.tolerance
+        mark = "FAIL" if breach else "ok"
+        print(f"  {mark:4s} {name}: baseline={b:.3f} current={c:.3f} "
+              f"({rel:+.1%})")
+        if breach:
+            failures.append(name)
+
+    print(f"bench gate: {len(checks)} rows compared, "
+          f"{len(failures)} over the +{args.tolerance:.0%} budget")
+    if failures:
+        for name in failures:
+            print(f"  regression: {name}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -518,7 +518,11 @@ let test_reduction_seed_behavior_sunflower () =
     "phase records (greedy)"
     [ [ 0; 12; 144; 4356; 12; 12 ] ]
     (phase_rows r);
-  (* Degraded solver: the multi-phase trajectory, pinned number by number. *)
+  (* Degraded solver: the multi-phase trajectory, pinned number by number.
+     [r] runs on the default [`Incremental] engine, so these rows double
+     as the engine's regression pin: any drift in compaction renumbering
+     or the fast happiness scan shows up against numbers captured from
+     the original rebuild-every-phase implementation. *)
   let solver = Approx.degrade ~keep:0.3 Approx.greedy_min_degree in
   let r = Red.run ~seed:0 ~solver ~k:2 h in
   check "phases (degraded)" 4 r.Red.total_phases;
@@ -529,7 +533,65 @@ let test_reduction_seed_behavior_sunflower () =
       [ 1; 8; 96; 2040; 1; 1 ];
       [ 2; 7; 84; 1596; 1; 1 ];
       [ 3; 6; 72; 1206; 3; 6 ] ]
-    (phase_rows r)
+    (phase_rows r);
+  (* The explicit rebuild engine must agree bit for bit. *)
+  let r_rebuild = Red.run ~seed:0 ~engine:`Rebuild ~solver ~k:2 h in
+  check_bool "engines agree (multicoloring)" true
+    (r.Red.multicoloring = r_rebuild.Red.multicoloring);
+  check_bool "engines agree (phase records)" true
+    (r.Red.phases = r_rebuild.Red.phases)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental engine: compaction must reproduce a fresh rebuild of the
+   restricted hypergraph, graph and numbering included. *)
+
+let test_incremental_compact_matches_rebuild () =
+  let rng = Rng.create 33 in
+  let h = Hgen.uniform_random rng ~n:18 ~m:14 ~k:3 in
+  let k = 2 in
+  let st = Cg.Incremental.create h ~k in
+  check_bool "phase-0 graph = build" true
+    (G.equal (Cg.Incremental.graph st) (Cg.build h ~k).Cg.graph);
+  check "all alive" 14 (Cg.Incremental.n_alive_edges st);
+  let alive = ref (List.init 14 (fun e -> e)) in
+  List.iter
+    (fun dead ->
+      alive := List.filter (fun e -> not (List.mem e dead)) !alive;
+      Cg.Incremental.retire_edges st dead;
+      Cg.Incremental.compact st;
+      check "alive count" (List.length !alive)
+        (Cg.Incremental.n_alive_edges st);
+      let hi, back = H.restrict_edges h !alive in
+      let fresh = Cg.build hi ~k in
+      check_bool "compacted graph = rebuilt graph" true
+        (G.equal (Cg.Incremental.graph st) fresh.Cg.graph);
+      (* Decode agrees with the fresh indexer modulo the local->global
+         edge translation. *)
+      for id = 0 to G.n_vertices fresh.Cg.graph - 1 do
+        let t = Ix.decode fresh.Cg.indexer id in
+        let t' = Cg.Incremental.decode st id in
+        check "decode edge" back.(t.Triple.edge) t'.Triple.edge;
+        check "decode vertex" t.Triple.vertex t'.Triple.vertex;
+        check "decode color" t.Triple.color t'.Triple.color
+      done)
+    (* Second batch retires edge 7 twice: retirement is idempotent. *)
+    [ [ 3 ]; [ 0; 7; 7 ]; [ 1; 2; 4 ]; [ 5; 13 ] ]
+
+let test_incremental_retire_rejects_bad_edge () =
+  let st = Cg.Incremental.create (sample ()) ~k:2 in
+  check_bool "raises" true
+    (try
+       Cg.Incremental.retire_edges st [ 3 ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_incremental_compact_to_empty () =
+  let h = sample () in
+  let st = Cg.Incremental.create h ~k:2 in
+  Cg.Incremental.retire_edges st [ 0; 1; 2 ];
+  Cg.Incremental.compact st;
+  check "no alive edges" 0 (Cg.Incremental.n_alive_edges st);
+  check "empty graph" 0 (G.n_vertices (Cg.Incremental.graph st))
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: reusing the same palette across phases must break CF. *)
@@ -665,6 +727,17 @@ let test_reduction_local_empty () =
   check "zero phases" 0 result.RL.cost.RL.phases;
   check "zero rounds" 0 result.RL.cost.RL.host_rounds
 
+let test_reduction_local_engines_agree () =
+  let rng = Rng.create 23 in
+  let h = Hgen.uniform_random rng ~n:14 ~m:10 ~k:3 in
+  let a = RL.run ~seed:3 ~engine:`Rebuild ~k:2 h in
+  let b = RL.run ~seed:3 ~engine:`Incremental ~k:2 h in
+  check_bool "same multicoloring" true
+    (a.RL.reduction.Red.multicoloring = b.RL.reduction.Red.multicoloring);
+  check_bool "same phase records" true
+    (a.RL.reduction.Red.phases = b.RL.reduction.Red.phases);
+  check "same rounds" a.RL.cost.RL.virtual_rounds b.RL.cost.RL.virtual_rounds
+
 (* ------------------------------------------------------------------ *)
 (* Pipeline k choices *)
 
@@ -758,10 +831,34 @@ let prop_csr_build_matches_reference =
       G.equal (Cg.build h ~k).Cg.graph oracle
       && G.equal (Cg.build ~domains:2 h ~k).Cg.graph oracle)
 
+let prop_engines_bit_identical =
+  QCheck.Test.make ~count:40
+    ~name:
+      "engine `Incremental = `Rebuild: multicoloring, phases, audit \
+       (domains 1 and 2)"
+    arbitrary_hg
+    (fun params ->
+      let h = hg_of params in
+      let k = 2 in
+      (* A degraded solver forces a multi-phase trajectory, so several
+         compactions actually happen and stay comparable. *)
+      let solver = Approx.degrade ~keep:0.4 Approx.greedy_min_degree in
+      let base = Red.run ~seed:7 ~engine:`Rebuild ~domains:1 ~solver ~k h in
+      let base_diag = Ps_core.Certify.diagnostics base in
+      List.for_all
+        (fun r ->
+          r.Red.multicoloring = base.Red.multicoloring
+          && r.Red.phases = base.Red.phases
+          && r.Red.colors_used = base.Red.colors_used
+          && Ps_core.Certify.diagnostics r = base_diag)
+        [ Red.run ~seed:7 ~engine:`Incremental ~domains:1 ~solver ~k h;
+          Red.run ~seed:7 ~engine:`Incremental ~domains:2 ~solver ~k h;
+          Red.run ~seed:7 ~engine:`Rebuild ~domains:2 ~solver ~k h ])
+
 let props =
   List.map QCheck_alcotest.to_alcotest
     [ prop_lemma_a; prop_lemma_b; prop_theorem_11; prop_implicit_oracle_sound;
-      prop_csr_build_matches_reference ]
+      prop_csr_build_matches_reference; prop_engines_bit_identical ]
 
 let suites =
   [ ( "core.triple",
@@ -830,6 +927,13 @@ let suites =
           test_reduction_seed_behavior_sunflower;
         Alcotest.test_case "palette reuse ablation" `Quick
           test_palette_reuse_ablation ] );
+    ( "core.incremental",
+      [ Alcotest.test_case "compact = rebuild" `Quick
+          test_incremental_compact_matches_rebuild;
+        Alcotest.test_case "retire rejects bad edge" `Quick
+          test_incremental_retire_rejects_bad_edge;
+        Alcotest.test_case "compact to empty" `Quick
+          test_incremental_compact_to_empty ] );
     ( "core.simulate",
       [ Alcotest.test_case "matches materialized" `Quick
           test_simulate_matches_materialized;
@@ -847,7 +951,9 @@ let suites =
           test_reduction_local_cost_accounting;
         Alcotest.test_case "deterministic" `Quick
           test_reduction_local_deterministic;
-        Alcotest.test_case "empty" `Quick test_reduction_local_empty ] );
+        Alcotest.test_case "empty" `Quick test_reduction_local_empty;
+        Alcotest.test_case "engines agree" `Quick
+          test_reduction_local_engines_agree ] );
     ( "core.pipeline",
       [ Alcotest.test_case "choose_k" `Quick test_choose_k;
         Alcotest.test_case "ruler rejects non-interval" `Quick

@@ -615,6 +615,25 @@ let test_of_csr_rejects_invalid () =
        false
      with Invalid_argument _ -> true)
 
+let test_of_csr_prefix () =
+  (* Arena-backed view: arrays longer than their logical content; the
+     spare tails (99 / 77 sentinels) must be invisible everywhere. *)
+  let offsets = [| 0; 1; 3; 4; 99; 99 |] in
+  let adj = [| 1; 0; 2; 1; 77; 77 |] in
+  let g = G.of_csr_prefix ~validate:true 3 ~offsets ~adj in
+  check "n" 3 (G.n_vertices g);
+  check "m" 2 (G.n_edges g);
+  check_bool "equal to exact-size graph" true
+    (G.equal g (G.of_edges 3 [ (0, 1); (1, 2) ]));
+  let o, a = G.to_csr g in
+  check_bool "to_csr trims to logical content" true
+    (o = [| 0; 1; 3; 4 |] && a = [| 1; 0; 2; 1 |]);
+  check_bool "prefix shorter than n+1 rejected" true
+    (try
+       ignore (G.of_csr_prefix ~validate:true 3 ~offsets:[| 0; 1 |] ~adj);
+       false
+     with Invalid_argument _ -> true)
+
 (* ------------------------------------------------------------------ *)
 (* qcheck properties *)
 
@@ -772,7 +791,8 @@ let suites =
           test_of_sorted_edge_array_rejects_unsorted;
         Alcotest.test_case "of_csr" `Quick test_of_csr;
         Alcotest.test_case "of_csr rejects" `Quick
-          test_of_csr_rejects_invalid ] );
+          test_of_csr_rejects_invalid;
+        Alcotest.test_case "of_csr_prefix" `Quick test_of_csr_prefix ] );
     ( "graph.gen",
       [ Alcotest.test_case "ring" `Quick test_gen_ring;
         Alcotest.test_case "path" `Quick test_gen_path;

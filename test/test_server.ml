@@ -463,6 +463,92 @@ let test_fork_join_first_failure_wins () =
   | exception e ->
       Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
 
+let test_fork_join_staged_stage_ordering () =
+  let stage1_done = Atomic.make 0 in
+  let mid_runs = Atomic.make 0 in
+  let mid_saw = Atomic.make 0 in
+  let stage2_after_mid = Atomic.make true in
+  Ps_util.Parallel.fork_join_staged ~domains:4
+    ~stage1:(fun _ -> Atomic.incr stage1_done)
+    ~mid:(fun () ->
+      Atomic.incr mid_runs;
+      Atomic.set mid_saw (Atomic.get stage1_done))
+    ~stage2:(fun _ ->
+      if Atomic.get mid_runs <> 1 then Atomic.set stage2_after_mid false);
+  check_int "stage1 ran on every domain" 4 (Atomic.get stage1_done);
+  check_int "mid ran exactly once" 1 (Atomic.get mid_runs);
+  check_int "mid saw all of stage1" 4 (Atomic.get mid_saw);
+  check_bool "stage2 saw mid" true (Atomic.get stage2_after_mid)
+
+let test_fork_join_staged_matches_two_fork_joins () =
+  (* The count/prefix-sum/fill shape of the CSR builder, staged vs. two
+     separate fork_joins — identical output. *)
+  let n = 57 and domains = 3 in
+  let run_staged () =
+    let a = Array.make n 0 and b = Array.make n 0 in
+    let total = ref 0 in
+    Ps_util.Parallel.fork_join_staged ~domains
+      ~stage1:(fun d ->
+        let lo, hi = Ps_util.Parallel.range ~pieces:domains ~lo:0 ~hi:n d in
+        for i = lo to hi - 1 do
+          a.(i) <- i * i
+        done)
+      ~mid:(fun () -> total := Array.fold_left ( + ) 0 a)
+      ~stage2:(fun d ->
+        let lo, hi = Ps_util.Parallel.range ~pieces:domains ~lo:0 ~hi:n d in
+        for i = lo to hi - 1 do
+          b.(i) <- a.(i) + !total
+        done);
+    b
+  in
+  let run_split () =
+    let a = Array.make n 0 and b = Array.make n 0 in
+    Ps_util.Parallel.fork_join ~domains (fun d ->
+        let lo, hi = Ps_util.Parallel.range ~pieces:domains ~lo:0 ~hi:n d in
+        for i = lo to hi - 1 do
+          a.(i) <- i * i
+        done);
+    let total = Array.fold_left ( + ) 0 a in
+    Ps_util.Parallel.fork_join ~domains (fun d ->
+        let lo, hi = Ps_util.Parallel.range ~pieces:domains ~lo:0 ~hi:n d in
+        for i = lo to hi - 1 do
+          b.(i) <- a.(i) + total
+        done);
+    b
+  in
+  check_bool "staged = two fork_joins" true (run_staged () = run_split ());
+  (* Degenerate single-domain path takes the no-spawn shortcut. *)
+  let c = Array.make 4 0 in
+  Ps_util.Parallel.fork_join_staged ~domains:1
+    ~stage1:(fun d -> c.(0) <- d + 1)
+    ~mid:(fun () -> c.(1) <- c.(0) + 1)
+    ~stage2:(fun d -> c.(2) <- c.(1) + d + 1);
+  check_bool "domains=1 sequential" true (c.(0) = 1 && c.(1) = 2 && c.(2) = 3)
+
+let test_fork_join_staged_abort_on_failure () =
+  (* A stage1 failure must propagate without deadlocking the barriers,
+     and must abort mid and stage2 everywhere. *)
+  let mid_runs = Atomic.make 0 and stage2_runs = Atomic.make 0 in
+  (match
+     Ps_util.Parallel.fork_join_staged ~domains:4
+       ~stage1:(fun i -> if i = 3 then raise (Chunk_failed i))
+       ~mid:(fun () -> Atomic.incr mid_runs)
+       ~stage2:(fun _ -> Atomic.incr stage2_runs)
+   with
+  | () -> Alcotest.fail "expected Chunk_failed"
+  | exception Chunk_failed 3 -> ()
+  | exception e ->
+      Alcotest.failf "wrong exception: %s" (Printexc.to_string e));
+  check_int "mid aborted" 0 (Atomic.get mid_runs);
+  check_int "stage2 aborted" 0 (Atomic.get stage2_runs);
+  (* Barriers are per-call state: a subsequent staged call still works. *)
+  let ok = Atomic.make 0 in
+  Ps_util.Parallel.fork_join_staged ~domains:4
+    ~stage1:(fun _ -> Atomic.incr ok)
+    ~mid:(fun () -> Atomic.incr ok)
+    ~stage2:(fun _ -> Atomic.incr ok);
+  check_int "subsequent staged call fine" 9 (Atomic.get ok)
+
 (* ------------------------------------------------------------------ *)
 (* Satellite: Rng.streams *)
 
@@ -697,7 +783,13 @@ let suites =
       [ Alcotest.test_case "fork_join propagates exception" `Quick
           test_fork_join_propagates_exception;
         Alcotest.test_case "fork_join first failure wins" `Quick
-          test_fork_join_first_failure_wins ] );
+          test_fork_join_first_failure_wins;
+        Alcotest.test_case "staged stage ordering" `Quick
+          test_fork_join_staged_stage_ordering;
+        Alcotest.test_case "staged = two fork_joins" `Quick
+          test_fork_join_staged_matches_two_fork_joins;
+        Alcotest.test_case "staged abort on failure" `Quick
+          test_fork_join_staged_abort_on_failure ] );
     ( "server.service",
       [ Alcotest.test_case "ping and stats" `Quick test_service_ping_stats;
         Alcotest.test_case "mis all algorithms" `Quick
