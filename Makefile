@@ -1,4 +1,4 @@
-.PHONY: all build test lint tsan bench examples data clean
+.PHONY: all build test lint tsan bench bench-huge bench-huge-full examples data clean
 
 all: build
 
@@ -21,6 +21,18 @@ tsan:
 
 bench:
 	dune exec bench/main.exe
+
+# Scale benchmark (bench/huge.ml -> BENCH_huge.json).  `bench-huge` is
+# the quick per-PR lane (~10^6-edge instances, a few seconds) that CI
+# regenerates and gates against the committed baseline; the gate only
+# compares the rows both files share.  `bench-huge-full` is the
+# nightly-sized run that regenerates the committed file including the
+# >=10^7-edge certified row (~20 s build+solve, ~700 MB peak RSS).
+bench-huge:
+	dune exec bench/huge.exe -- --quick --out BENCH_huge.quick.json
+
+bench-huge-full:
+	dune exec bench/huge.exe -- --out BENCH_huge.json
 
 examples:
 	dune exec examples/quickstart.exe

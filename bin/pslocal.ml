@@ -113,46 +113,97 @@ let multicoloring_of_file n path =
 (* ------------------------------------------------------------------ *)
 (* gen-graph *)
 
-let gen_graph family n p rows cols degree seed output =
+let gen_graph family n p rows cols degree scale edges seed output =
   let rng = Ps_util.Rng.create seed in
-  let g =
-    match family with
-    | "ring" -> Ps_graph.Gen.ring n
-    | "path" -> Ps_graph.Gen.path n
-    | "complete" -> Ps_graph.Gen.complete n
-    | "star" -> Ps_graph.Gen.star n
-    | "grid" -> Ps_graph.Gen.grid rows cols
-    | "gnp" -> Ps_graph.Gen.gnp rng n p
-    | "tree" -> Ps_graph.Gen.random_tree rng n
-    | "regular" -> Ps_graph.Gen.random_regular_ish rng n degree
-    | "interval" -> Ps_graph.Gen.unit_interval rng n (float_of_int n /. 4.0)
-    | other -> failwith (Printf.sprintf "unknown graph family %S" other)
-  in
-  write_out output (Ps_graph.Gio.to_edge_list g);
-  Logs.app (fun m -> m "generated %a" G.pp g)
+  match family with
+  | "rmat" | "huge-gnp" ->
+      (* Streaming families: edges flow straight from the generator
+         through Gio.write_edges_file's buffered sink — the graph is
+         never materialized, so instance size is bounded by disk, not
+         the heap.  That rules out stdout's write_out path (which takes
+         one big string), hence the mandatory -o. *)
+      let path =
+        match output with
+        | Some path -> path
+        | None ->
+            failwith
+              (Printf.sprintf "%s streams to a file; pass -o FILE" family)
+      in
+      let nv, m, iter =
+        match family with
+        | "rmat" ->
+            ( 1 lsl scale,
+              edges,
+              fun f -> Ps_graph.Gen.iter_rmat rng ~scale ~edges f )
+        | _ ->
+            (* The header promises an exact edge count, so run the
+               deterministic G(n,p) stream twice from the same seed:
+               first to count, then to emit.  Memory stays O(1). *)
+            let count = ref 0 in
+            Ps_graph.Gen.iter_gnp (Ps_util.Rng.create seed) n p (fun _ _ ->
+                incr count);
+            (n, !count, fun f -> Ps_graph.Gen.iter_gnp rng n p f)
+      in
+      Ps_graph.Gio.write_edges_file path ~n:nv ~m (fun add ->
+          iter (fun u v -> add u v));
+      Logs.app (fun k -> k "streamed %d vertices, %d edge lines to %s" nv m path)
+  | _ ->
+      let g =
+        match family with
+        | "ring" -> Ps_graph.Gen.ring n
+        | "path" -> Ps_graph.Gen.path n
+        | "complete" -> Ps_graph.Gen.complete n
+        | "star" -> Ps_graph.Gen.star n
+        | "grid" -> Ps_graph.Gen.grid rows cols
+        | "gnp" -> Ps_graph.Gen.gnp rng n p
+        | "tree" -> Ps_graph.Gen.random_tree rng n
+        | "regular" -> Ps_graph.Gen.random_regular_ish rng n degree
+        | "interval" ->
+            Ps_graph.Gen.unit_interval rng n (float_of_int n /. 4.0)
+        | other -> failwith (Printf.sprintf "unknown graph family %S" other)
+      in
+      write_out output (Ps_graph.Gio.to_edge_list g);
+      Logs.app (fun m -> m "generated %a" G.pp g)
 
 let gen_graph_cmd =
   let family =
     let doc =
       "Family: ring, path, complete, star, grid, gnp, tree, regular, \
-       interval."
+       interval; streaming (require -o): rmat, huge-gnp."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FAMILY" ~doc)
   in
-  let n = Arg.(value & opt int 32 & info [ "n" ] ~doc:"Vertex count.") in
+  let n =
+    Arg.(value & opt int 32 & info [ "n" ] ~doc:"Vertex count (gnp, huge-gnp).")
+  in
   let p =
-    Arg.(value & opt float 0.1 & info [ "p" ] ~doc:"Edge probability (gnp).")
+    Arg.(
+      value & opt float 0.1
+      & info [ "p" ] ~doc:"Edge probability (gnp, huge-gnp).")
   in
   let rows = Arg.(value & opt int 8 & info [ "rows" ] ~doc:"Grid rows.") in
   let cols = Arg.(value & opt int 8 & info [ "cols" ] ~doc:"Grid columns.") in
   let degree =
     Arg.(value & opt int 3 & info [ "d" ] ~doc:"Degree (regular).")
   in
+  let scale =
+    Arg.(
+      value & opt int 16
+      & info [ "scale" ] ~doc:"R-MAT scale: $(b,2^scale) vertices (rmat).")
+  in
+  let edges =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "edges" ]
+          ~doc:
+            "Edge lines to emit (rmat); duplicates collapse when the file \
+             is read back.")
+  in
   Cmd.v
     (Cmd.info "gen-graph" ~doc:"Generate a graph in edge-list format.")
     Term.(
-      const gen_graph $ family $ n $ p $ rows $ cols $ degree $ seed_arg
-      $ output_arg)
+      const gen_graph $ family $ n $ p $ rows $ cols $ degree $ scale $ edges
+      $ seed_arg $ output_arg)
 
 (* ------------------------------------------------------------------ *)
 (* gen-hypergraph *)

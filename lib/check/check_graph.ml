@@ -3,95 +3,115 @@ module D = Diagnostic
 
 let rule = "csr"
 
-(* The checker re-derives every structural invariant from the raw arrays
-   rather than trusting the accessors: [Graph.of_csr ~validate:false]
-   (the production fast path) adopts caller arrays unchecked, so this is
-   the independent referee for that trust. *)
+(* The checker re-derives every structural invariant from the raw
+   representation rather than trusting the accessors: [Graph.of_csr
+   ~validate:false] (the production fast path) adopts caller arrays
+   unchecked, so this is the independent referee for that trust.
+
+   It audits through [Graph.csr_view] — a zero-copy window onto the
+   internal offsets array and adjacency store — instead of the copying
+   [Graph.to_csr]: on a 10^8-edge instance the copy would double peak
+   memory and cost more than the audit itself, and a copy can only ever
+   show what the copier chose to materialize.  The view's [v_exact] flag
+   distinguishes exact graphs (physical lengths equal logical ones) from
+   arena-backed prefixes ([Graph.of_csr_prefix]), whose spare capacity
+   is legal and ignored. *)
 let csr g =
   let a = D.acc () in
-  let offsets, adj = G.to_csr g in
-  let n = G.n_vertices g in
-  let len_adj = Array.length adj in
-  if Array.length offsets <> n + 1 then begin
+  let v = G.csr_view g in
+  let n = v.G.v_n in
+  let offsets = v.G.v_offsets in
+  let get = v.G.v_get in
+  let store_len = v.G.v_store_len in
+  let off_len = Array.length offsets in
+  if (if v.G.v_exact then off_len <> n + 1 else off_len < n + 1) then begin
     D.push a
-      (D.v rule D.Global "offsets has length %d, expected n+1 = %d"
-         (Array.length offsets) (n + 1));
+      (D.v rule D.Global "offsets has length %d, expected %s n+1 = %d" off_len
+         (if v.G.v_exact then "" else "at least")
+         (n + 1));
     D.close a
   end
   else begin
     if offsets.(0) <> 0 then
       D.push a (D.v rule (D.Offset 0) "offsets.(0) = %d, expected 0" offsets.(0));
-    for v = 0 to n - 1 do
-      if offsets.(v + 1) < offsets.(v) then
+    for x = 0 to n - 1 do
+      if offsets.(x + 1) < offsets.(x) then
         D.push a
-          (D.v rule (D.Offset (v + 1)) "offsets decrease: %d after %d"
-             offsets.(v + 1) offsets.(v))
+          (D.v rule (D.Offset (x + 1)) "offsets decrease: %d after %d"
+             offsets.(x + 1) offsets.(x))
     done;
-    if offsets.(n) <> len_adj then
+    if
+      if v.G.v_exact then offsets.(n) <> store_len
+      else offsets.(n) > store_len
+    then
       D.push a
-        (D.v rule (D.Offset n) "offsets.(n) = %d but |adj| = %d" offsets.(n)
-           len_adj);
-    if len_adj mod 2 <> 0 then
+        (D.v rule (D.Offset n) "offsets.(n) = %d but store holds %d entries"
+           offsets.(n) store_len);
+    let arcs = offsets.(n) in
+    if arcs >= 0 && arcs mod 2 <> 0 then
       D.push a
-        (D.v rule D.Global "|adj| = %d is odd — rows cannot be symmetric"
-           len_adj);
+        (D.v rule D.Global "%d arcs — odd, rows cannot be symmetric" arcs);
     (* Per-row invariants; guard the bounds so a corrupted offsets array
-       yields diagnostics, not an array access exception. *)
-    let row_ok v = offsets.(v) >= 0 && offsets.(v) <= offsets.(v + 1)
-                   && offsets.(v + 1) <= len_adj in
-    for v = 0 to n - 1 do
-      if not (row_ok v) then
+       yields diagnostics, not an array access exception.  The physical
+       store length is the hard bound — arena spare capacity past
+       [offsets.(n)] is legal but no row may reach into it, which the
+       monotonicity + offsets.(n) checks above already police. *)
+    let row_ok x = offsets.(x) >= 0 && offsets.(x) <= offsets.(x + 1)
+                   && offsets.(x + 1) <= store_len in
+    for x = 0 to n - 1 do
+      if not (row_ok x) then
         D.push a
-          (D.v rule (D.Row v) "row bounds [%d, %d) fall outside adj (length %d)"
-             offsets.(v) offsets.(v + 1) len_adj)
+          (D.v rule (D.Row x)
+             "row bounds [%d, %d) fall outside the store (length %d)"
+             offsets.(x) offsets.(x + 1) store_len)
       else begin
-        let lo = offsets.(v) and hi = offsets.(v + 1) in
+        let lo = offsets.(x) and hi = offsets.(x + 1) in
         for i = lo to hi - 1 do
-          let u = adj.(i) in
+          let u = get i in
           if u < 0 || u >= n then
             D.push a
-              (D.v rule (D.Row v) "entry %d out of range [0, %d)" u n)
-          else if u = v then
-            D.push a (D.v rule (D.Row v) "self-loop: %d adjacent to itself" v)
-          else if i > lo && adj.(i - 1) >= u then
+              (D.v rule (D.Row x) "entry %d out of range [0, %d)" u n)
+          else if u = x then
+            D.push a (D.v rule (D.Row x) "self-loop: %d adjacent to itself" x)
+          else if i > lo && get (i - 1) >= u then
             D.push a
-              (D.v rule (D.Row v)
+              (D.v rule (D.Row x)
                  "row not strictly increasing: %d then %d (slots %d, %d)"
-                 adj.(i - 1) u (i - 1) i)
+                 (get (i - 1)) u (i - 1) i)
         done
       end
     done;
-    (* Symmetry: every arc (v, u) needs its mate (u, v).  Linear row scan
+    (* Symmetry: every arc (x, u) needs its mate (u, x).  Linear row scan
        on purpose — binary search would assume the sortedness we may just
        have found violated. *)
-    for v = 0 to n - 1 do
-      if row_ok v then
-        for i = offsets.(v) to offsets.(v + 1) - 1 do
-          let u = adj.(i) in
-          if u >= 0 && u < n && u <> v && row_ok u then begin
+    for x = 0 to n - 1 do
+      if row_ok x then
+        for i = offsets.(x) to offsets.(x + 1) - 1 do
+          let u = get i in
+          if u >= 0 && u < n && u <> x && row_ok u then begin
             let present = ref false in
             for j = offsets.(u) to offsets.(u + 1) - 1 do
-              if adj.(j) = v then present := true
+              if get j = x then present := true
             done;
             if not !present then
               D.push a
-                (D.v rule (D.Graph_edge (v, u))
-                   "asymmetric: %d lists %d but %d does not list %d" v u u v)
+                (D.v rule (D.Graph_edge (x, u))
+                   "asymmetric: %d lists %d but %d does not list %d" x u u x)
           end
         done
     done;
     (* Accessor consistency: the sizes the rest of the repository reads
-       must match what the arrays actually hold. *)
+       must match what the store actually holds. *)
     if D.count a = 0 then begin
-      if G.n_edges g * 2 <> len_adj then
+      if G.n_edges g * 2 <> arcs then
         D.push a
-          (D.v rule D.Global "n_edges = %d but adj holds %d arcs" (G.n_edges g)
-             len_adj);
-      for v = 0 to n - 1 do
-        if G.degree g v <> offsets.(v + 1) - offsets.(v) then
+          (D.v rule D.Global "n_edges = %d but the store holds %d arcs"
+             (G.n_edges g) arcs);
+      for x = 0 to n - 1 do
+        if G.degree g x <> offsets.(x + 1) - offsets.(x) then
           D.push a
-            (D.v rule (D.Row v) "degree %d but row length %d" (G.degree g v)
-               (offsets.(v + 1) - offsets.(v)))
+            (D.v rule (D.Row x) "degree %d but row length %d" (G.degree g x)
+               (offsets.(x + 1) - offsets.(x)))
       done
     end;
     D.close a

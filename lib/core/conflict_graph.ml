@@ -147,45 +147,6 @@ let tables_of h =
   done;
   { nslots; start; slot_vertex; slot_edge; voff; vslot }
 
-(* In-place quicksort on an int-array range [lo, hi) — no closure compare,
-   no Array.sub.  Median-of-three pivot, insertion sort below 16. *)
-let rec sort_range a lo hi =
-  let len = hi - lo in
-  if len <= 16 then
-    for i = lo + 1 to hi - 1 do
-      let x = a.(i) in
-      let j = ref (i - 1) in
-      while !j >= lo && a.(!j) > x do
-        a.(!j + 1) <- a.(!j);
-        decr j
-      done;
-      a.(!j + 1) <- x
-    done
-  else begin
-    let p1 = a.(lo) and p2 = a.(lo + (len / 2)) and p3 = a.(hi - 1) in
-    let pivot =
-      if p1 < p2 then
-        if p2 < p3 then p2 else if p1 < p3 then p3 else p1
-      else if p1 < p3 then p1
-      else if p2 < p3 then p3
-      else p2
-    in
-    let i = ref lo and j = ref (hi - 1) in
-    while !i <= !j do
-      while a.(!i) < pivot do incr i done;
-      while a.(!j) > pivot do decr j done;
-      if !i <= !j then begin
-        let tmp = a.(!i) in
-        a.(!i) <- a.(!j);
-        a.(!j) <- tmp;
-        incr i;
-        decr j
-      end
-    done;
-    sort_range a lo (!j + 1);
-    sort_range a !i hi
-  end
-
 (* Reusable per-worker growable int buffer. *)
 type buf = { mutable data : int array; mutable len : int }
 
@@ -292,7 +253,7 @@ let count_slot tb sc ~k deg s =
    colors keep every row strictly increasing. *)
 let fill_slot tb sc ~k offsets adj s =
   collect_slots tb sc s;
-  sort_range sc.slots.data 0 sc.slots.len;
+  Ps_util.Intsort.sort_range sc.slots.data 0 sc.slots.len;
   for c = 0 to k - 1 do
     let w = ref offsets.((s * k) + c) in
     for i = 0 to sc.slots.len - 1 do
@@ -319,36 +280,77 @@ let fill_slot tb sc ~k offsets adj s =
   done;
   clear_slots sc
 
-(* Parallel-build sizing, measured on the micro-bench box (see
-   BENCH_micro.json and DESIGN.md): a Domain.spawn/join round trip costs
-   a few hundred microseconds while a triple costs on the order of a
-   microsecond to build, so an extra domain only pays for itself once it
-   gets several thousand triples of work.  [domains = 0] asks for the
-   auto heuristic: one domain below the threshold, then one more per
-   [auto_triples_per_domain] triples up to [Parallel.available ()].
-   Explicit requests are honored but clamped to the slot count so no
-   spawned domain can end up with an empty slice. *)
-let auto_triples_per_domain = 8192
+(* Same fill pass writing an int32 Bigarray store.  Kept as a literal
+   sibling of [fill_slot] rather than abstracted over a [set] closure:
+   this loop touches every adjacency entry of G_k and a per-entry
+   closure call would cost more than the duplication saves. *)
+let fill_slot_i32 tb sc ~k offsets (adj : G.i32) s =
+  collect_slots tb sc s;
+  Ps_util.Intsort.sort_range sc.slots.data 0 sc.slots.len;
+  for c = 0 to k - 1 do
+    let w = ref offsets.((s * k) + c) in
+    for i = 0 to sc.slots.len - 1 do
+      let x = sc.slots.data.(i) in
+      let m = Char.code (Bytes.get sc.mask x) in
+      let base = x * k in
+      if x = s || m land edge_bit = 0 && m land samev_bit <> 0 then
+        for c' = 0 to k - 1 do
+          if c' <> c then begin
+            Bigarray.Array1.unsafe_set adj !w (Int32.of_int (base + c'));
+            incr w
+          end
+        done
+      else if m land edge_bit <> 0 then
+        for c' = 0 to k - 1 do
+          Bigarray.Array1.unsafe_set adj !w (Int32.of_int (base + c'));
+          incr w
+        done
+      else begin
+        Bigarray.Array1.unsafe_set adj !w (Int32.of_int (base + c));
+        incr w
+      end
+    done
+  done;
+  clear_slots sc
 
+(* One unit of bulk work is one triple; one schedulable slice is one
+   slot (a slot's k rows are built together).  The calibration constant
+   and the clamping rule live in {!Ps_util.Parallel.effective_domains}
+   so every ?domains:0 heuristic in the repository resolves the same
+   way. *)
 let effective_domains ~requested ~nslots ~k =
-  let clamp d = max 1 (min d (max nslots 1)) in
-  if requested = 0 then
-    clamp
-      (min
-         (Ps_util.Parallel.available ())
-         (max 1 (nslots * k / auto_triples_per_domain)))
-  else clamp requested
+  Ps_util.Parallel.effective_domains ~requested ~units:(nslots * k)
+    ~slices:nslots
+
+(* Physical width of the G_k adjacency store.  Triple ids go up to
+   nslots·k, so the narrow store is valid exactly when that fits int32;
+   [`Auto] picks it whenever it does (which is every realistic instance
+   — 2^31 triples would not fit in memory at any width). *)
+type width = [ `Auto | `Int | `Int32 ]
+
+type adj_store = A_int of int array | A_i32 of G.i32
+
+let resolve_width (w : width) ~total : [ `Int | `Int32 ] =
+  match w with
+  | (`Int | `Int32) as w -> w
+  | `Auto -> if total <= 0x7FFF_FFFF then `Int32 else `Int
+
+let i32_create len =
+  Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout (max len 1)
 
 (* Compute the CSR arrays of G_k, exactly sized.  [domains] must already
    be effective (>= 1, <= nslots).  Parallel runs use a single staged
-   fork-join — one spawn set for both passes — and a chunked dynamic
-   schedule (an atomic cursor) rather than one static slice per domain:
-   slot neighborhoods vary wildly in size, and static slices leave the
-   domains that drew cheap slots idle.  Every slot's rows are written to
-   a disjoint region whichever domain claims it, so the arrays are
-   bit-identical for any domain count and any schedule. *)
-let csr_arrays ~k ~domains tb =
+   fork-join — one spawn set for both passes — and per-domain sharded
+   cursors with work stealing ({!Ps_util.Parallel.Sharded_cursor})
+   rather than one static slice per domain: slot neighborhoods vary
+   wildly in size, and static slices leave the domains that drew cheap
+   slots idle, while the single shared cursor this replaces made every
+   chunk claim a cross-core cache-line bounce.  Every slot's rows are
+   written to a disjoint region whichever domain claims it, so the
+   arrays are bit-identical for any domain count and any schedule. *)
+let csr_arrays ~k ~domains ~width tb =
   let total = tb.nslots * k in
+  let pick = resolve_width width ~total in
   let deg = Array.make (max total 1) 0 in
   let offsets = Array.make (total + 1) 0 in
   let prefix_sum () =
@@ -356,7 +358,13 @@ let csr_arrays ~k ~domains tb =
       offsets.(i + 1) <- offsets.(i) + deg.(i)
     done
   in
-  let adj = ref [||] in
+  let adj = ref (A_int [||]) in
+  let alloc_adj () =
+    adj :=
+      (match pick with
+      | `Int -> A_int (Array.make (max offsets.(total) 1) 0)
+      | `Int32 -> A_i32 (i32_create offsets.(total)))
+  in
   if domains <= 1 then begin
     let sc = scratch_create tb.nslots in
     Tm.with_span "count_pass" (fun () ->
@@ -364,61 +372,64 @@ let csr_arrays ~k ~domains tb =
           count_slot tb sc ~k deg s
         done);
     prefix_sum ();
-    adj := Array.make (max offsets.(total) 1) 0;
+    alloc_adj ();
     Tm.with_span "fill_pass" (fun () ->
-        for s = 0 to tb.nslots - 1 do
-          fill_slot tb sc ~k offsets !adj s
-        done)
+        match !adj with
+        | A_int a ->
+            for s = 0 to tb.nslots - 1 do
+              fill_slot tb sc ~k offsets a s
+            done
+        | A_i32 a ->
+            for s = 0 to tb.nslots - 1 do
+              fill_slot_i32 tb sc ~k offsets a s
+            done)
   end
   else begin
-    let chunk = max 32 (tb.nslots / (domains * 8)) in
-    let cursor1 = Atomic.make 0 and cursor2 = Atomic.make 0 in
+    let module Cur = Ps_util.Parallel.Sharded_cursor in
+    let cursor1 = Cur.create ~domains ~lo:0 ~hi:tb.nslots () in
+    let cursor2 = Cur.create ~domains ~lo:0 ~hi:tb.nslots () in
     let scratches =
       Array.init domains (fun _ -> scratch_create tb.nslots)
-    in
-    let drain cursor work =
-      let continue = ref true in
-      while !continue do
-        let lo = Atomic.fetch_and_add cursor chunk in
-        if lo >= tb.nslots then continue := false
-        else
-          for s = lo to min tb.nslots (lo + chunk) - 1 do
-            work s
-          done
-      done
     in
     let t0 = Tm.now_ns () in
     let t1 = ref t0 and t2 = ref t0 in
     Ps_util.Parallel.fork_join_staged ~domains
       ~stage1:(fun d ->
         let sc = scratches.(d) in
-        drain cursor1 (count_slot tb sc ~k deg))
+        Cur.drain cursor1 d (count_slot tb sc ~k deg))
       ~mid:(fun () ->
         t1 := Tm.now_ns ();
         prefix_sum ();
-        adj := Array.make (max offsets.(total) 1) 0;
+        alloc_adj ();
         t2 := Tm.now_ns ())
       ~stage2:(fun d ->
         let sc = scratches.(d) in
-        drain cursor2 (fill_slot tb sc ~k offsets !adj));
+        match !adj with
+        | A_int a -> Cur.drain cursor2 d (fill_slot tb sc ~k offsets a)
+        | A_i32 a -> Cur.drain cursor2 d (fill_slot_i32 tb sc ~k offsets a));
     if Tm.enabled () then begin
       let t3 = Tm.now_ns () in
       Tm.add_completed_span ~name:"count_pass" ~start_ns:t0 ~stop_ns:!t1 [];
       Tm.add_completed_span ~name:"fill_pass" ~start_ns:!t2 ~stop_ns:t3 []
     end
   end;
-  (* [adj] was sized [max _ 1] so an edgeless graph still gets a live
-     array; hand back the exact logical size alongside. *)
+  (* The store was sized [max _ 1] so an edgeless graph still gets a live
+     array; [offsets.(total)] is the logical size. *)
   (offsets, !adj)
 
-let csr_graph ~k ~domains tb =
+let prefix_graph total ~offsets store =
+  match store with
+  | A_int adj -> G.of_csr_prefix total ~offsets ~adj
+  | A_i32 adj -> G.of_csr_prefix_i32 total ~offsets ~adj
+
+let csr_graph ~k ~domains ~width tb =
   let total = tb.nslots * k in
-  let offsets, adj = csr_arrays ~k ~domains tb in
+  let offsets, adj = csr_arrays ~k ~domains ~width tb in
   Tm.set_int "csr_rows" total;
   Tm.set_int "csr_edges" (offsets.(total) / 2);
-  G.of_csr_prefix total ~offsets ~adj
+  prefix_graph total ~offsets adj
 
-let build ?(domains = 1) h ~k =
+let build ?(domains = 1) ?(width = `Auto) h ~k =
   Tm.with_span "conflict_graph.build" @@ fun () ->
   Tm.set_int "k" k;
   Tm.set_int "domains" domains;
@@ -428,7 +439,7 @@ let build ?(domains = 1) h ~k =
   Tm.set_int "slots" tb.nslots;
   let domains = effective_domains ~requested:domains ~nslots:tb.nslots ~k in
   Tm.set_int "domains_effective" domains;
-  let graph = csr_graph ~k ~domains tb in
+  let graph = csr_graph ~k ~domains ~width tb in
   if Tm.enabled () then begin
     Tm.incr "conflict_graph.builds";
     Tm.count "conflict_graph.csr_rows" (G.n_vertices graph);
@@ -474,20 +485,20 @@ module Incremental = struct
     slot_map : int array;           (* compaction scratch: old cur slot -> new *)
     triple_map : int array;         (* compaction scratch: old cur triple -> new *)
     mutable cur_offsets : int array;
-    mutable cur_adj : int array;
+    mutable cur_adj : adj_store;
     mutable spare_offsets : int array; (* [||] until the first compact *)
-    mutable spare_adj : int array;
+    mutable spare_adj : adj_store;     (* same width as cur_adj *)
     mutable graph : G.t;
     mutable dirty : bool;           (* retirements since the last compact *)
   }
 
-  let create ?(domains = 0) h ~k =
+  let create ?(domains = 0) ?(width = `Auto) h ~k =
     Tm.with_span "conflict_graph.incremental.create" @@ fun () ->
     let m = H.n_edges h in
     let tb = tables_of h in
     let domains = effective_domains ~requested:domains ~nslots:tb.nslots ~k in
     Tm.set_int "domains_effective" domains;
-    let offsets, adj = csr_arrays ~k ~domains tb in
+    let offsets, adj = csr_arrays ~k ~domains ~width tb in
     { k;
       tb;
       edge_alive = Bytes.make (max m 1) '\001';
@@ -499,8 +510,8 @@ module Incremental = struct
       cur_offsets = offsets;
       cur_adj = adj;
       spare_offsets = [||];
-      spare_adj = [||];
-      graph = G.of_csr_prefix (tb.nslots * k) ~offsets ~adj;
+      spare_adj = A_int [||];
+      graph = prefix_graph (tb.nslots * k) ~offsets adj;
       dirty = false }
 
   let graph st = st.graph
@@ -540,11 +551,18 @@ module Incremental = struct
         (* First compact: allocate the write buffers once, sized like
            the phase-0 arrays — the graph only ever shrinks. *)
         st.spare_offsets <- Array.make (Array.length st.cur_offsets) 0;
-        st.spare_adj <- Array.make (Array.length st.cur_adj) 0
+        st.spare_adj <-
+          (match st.cur_adj with
+          | A_int a -> A_int (Array.make (Array.length a) 0)
+          | A_i32 a -> A_i32 (i32_create (Bigarray.Array1.dim a)))
       end
       else if Tm.enabled () then
         Tm.count "conflict_graph.reused_bytes"
-          (8 * (Array.length st.spare_offsets + Array.length st.spare_adj));
+          ((8 * Array.length st.spare_offsets)
+          +
+          match st.spare_adj with
+          | A_int a -> 8 * Array.length a
+          | A_i32 a -> 4 * Bigarray.Array1.dim a);
       let k = st.k in
       (* Monotone renumbering of surviving slots, expanded to triple ids
          in [triple_map] so the copy loop below remaps with one array
@@ -571,26 +589,53 @@ module Incremental = struct
       done;
       (* Filter + remap every surviving row into the spare buffers.
          Increasing old slots map to increasing new slots, so rows stay
-         sorted without re-sorting. *)
-      let woff = st.spare_offsets and wadj = st.spare_adj in
-      let roff = st.cur_offsets and radj = st.cur_adj in
+         sorted without re-sorting.  The copy loop is duplicated per
+         store width (both buffers share one width by construction):
+         it touches every surviving adjacency entry, so no per-entry
+         dispatch or closure belongs here. *)
+      let woff = st.spare_offsets in
+      let roff = st.cur_offsets in
       let w = ref 0 in
       woff.(0) <- 0;
-      for s = 0 to st.nslots_cur - 1 do
-        let s' = st.slot_map.(s) in
-        if s' >= 0 then
-          for c = 0 to k - 1 do
-            let row = (s * k) + c in
-            for i = roff.(row) to roff.(row + 1) - 1 do
-              let x' = tmap.(radj.(i)) in
-              if x' >= 0 then begin
-                wadj.(!w) <- x';
-                incr w
-              end
-            done;
-            woff.((s' * k) + c + 1) <- !w
+      (match (st.cur_adj, st.spare_adj) with
+      | A_int radj, A_int wadj ->
+          for s = 0 to st.nslots_cur - 1 do
+            let s' = st.slot_map.(s) in
+            if s' >= 0 then
+              for c = 0 to k - 1 do
+                let row = (s * k) + c in
+                for i = roff.(row) to roff.(row + 1) - 1 do
+                  let x' = tmap.(radj.(i)) in
+                  if x' >= 0 then begin
+                    wadj.(!w) <- x';
+                    incr w
+                  end
+                done;
+                woff.((s' * k) + c + 1) <- !w
+              done
           done
-      done;
+      | A_i32 radj, A_i32 wadj ->
+          for s = 0 to st.nslots_cur - 1 do
+            let s' = st.slot_map.(s) in
+            if s' >= 0 then
+              for c = 0 to k - 1 do
+                let row = (s * k) + c in
+                for i = roff.(row) to roff.(row + 1) - 1 do
+                  let x =
+                    Int32.to_int (Bigarray.Array1.unsafe_get radj i)
+                  in
+                  let x' = tmap.(x) in
+                  if x' >= 0 then begin
+                    Bigarray.Array1.unsafe_set wadj !w (Int32.of_int x');
+                    incr w
+                  end
+                done;
+                woff.((s' * k) + c + 1) <- !w
+              done
+          done
+      | (A_int _ | A_i32 _), _ ->
+          (* Buffers are allocated pairwise at the first compact. *)
+          assert false);
       (* Compact [slot_orig] in place: new ids never exceed old ids, so
          the increasing walk cannot clobber unread entries. *)
       for s = 0 to st.nslots_cur - 1 do
@@ -607,8 +652,7 @@ module Incremental = struct
       let total = !nslots' * k in
       Tm.set_int "csr_rows" total;
       Tm.set_int "csr_edges" (st.cur_offsets.(total) / 2);
-      st.graph <-
-        G.of_csr_prefix total ~offsets:st.cur_offsets ~adj:st.cur_adj
+      st.graph <- prefix_graph total ~offsets:st.cur_offsets st.cur_adj
     end
 end
 

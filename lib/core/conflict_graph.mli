@@ -33,7 +33,18 @@ type t = {
   k : int;
 }
 
-val build : ?domains:int -> Ps_hypergraph.Hypergraph.t -> k:int -> t
+type width = [ `Auto | `Int | `Int32 ]
+(** Physical width of the materialized adjacency store (see
+    {!Ps_graph.Graph.width}).  [`Auto] — the default everywhere — picks
+    the int32 Bigarray store whenever the triple count [k·Σ|e|] fits in
+    int32 (halving the memory traffic of every solver scan over [G_k]),
+    and the plain int store otherwise.  [`Int] forces the int store;
+    it is the differential oracle the property suite compares the
+    narrow store against — the resulting graphs are bit-identical
+    ({!Ps_graph.Graph.equal}) by construction and by test. *)
+
+val build :
+  ?domains:int -> ?width:width -> Ps_hypergraph.Hypergraph.t -> k:int -> t
 (** Materialize [G_k].  Size is polynomial:
     [|V| = k·Σ|e|] and [|E| = O(k² · Σ_e |e|² · max-degree)].
 
@@ -49,15 +60,18 @@ val build : ?domains:int -> Ps_hypergraph.Hypergraph.t -> k:int -> t
     {- [domains = 1] (the default): sequential, no spawning.}
     {- [domains > 1]: both passes run on a {e single} staged fork-join
        ({!Ps_util.Parallel.fork_join_staged} — one spawn set, not one
-       per pass) with dynamically chunked slot scheduling.  The request
-       is clamped to the slot count [Σ|e|], so no spawned domain can be
+       per pass), scheduled by per-domain sharded cursors with work
+       stealing ({!Ps_util.Parallel.Sharded_cursor}: chunk claims stay
+       uncontended until the tail of the slot range).  The request is
+       clamped to the slot count [Σ|e|], so no spawned domain can be
        left without a slice of work — asking for 8 domains on a
        3-slot instance spawns 2, not 7 idle ones.}
-    {- [domains = 0]: automatic.  Resolves to 1 domain unless the
-       triple count [k·Σ|e|] clears a measured threshold (several
-       thousand triples per extra domain — below that, spawn/join
-       overhead exceeds the work), then scales one domain per
-       threshold-multiple up to {!Ps_util.Parallel.available}.}}
+    {- [domains = 0]: automatic, via
+       {!Ps_util.Parallel.effective_domains} with the triple count
+       [k·Σ|e|] as the unit count — the calibration constant
+       ({!Ps_util.Parallel.auto_units_per_domain}) and the clamping
+       rule are shared with every other [?domains:0] heuristic in the
+       repository.}}
 
     Rows are computed independently into disjoint regions whichever
     domain claims them, so the result is bit-identical
@@ -93,9 +107,13 @@ val build : ?domains:int -> Ps_hypergraph.Hypergraph.t -> k:int -> t
 module Incremental : sig
   type state
 
-  val create : ?domains:int -> Ps_hypergraph.Hypergraph.t -> k:int -> state
+  val create :
+    ?domains:int -> ?width:width -> Ps_hypergraph.Hypergraph.t -> k:int ->
+    state
   (** Build phase-0 [G_k] and the arena bookkeeping.  [domains] as in
-      {!build}, but defaulting to [0] (automatic). *)
+      {!build}, but defaulting to [0] (automatic); [width] as in
+      {!build} — both arena buffer pairs share the chosen width, and
+      compaction is bit-identical across widths. *)
 
   val graph : state -> Ps_graph.Graph.t
   (** The current conflict graph (see validity caveat above). *)

@@ -55,14 +55,14 @@ let balanced_tree arity depth =
   done;
   Graph.of_edges n !acc
 
-let gnp rng n p =
+(* Geometric skipping over the lexicographic edge stream (Batagelj &
+   Brandes): expected O(n + m) instead of O(n^2), emitting each edge to
+   [f] without materializing anything — the generator for 10^7–10^8-edge
+   instances.  [gnp] below consumes the same stream (identical RNG draw
+   sequence), so a seed reproduces the same graph on either path. *)
+let iter_gnp rng n p f =
   if p < 0.0 || p > 1.0 then invalid_arg "Gen.gnp: p out of range";
-  if p = 0.0 then Graph.empty n
-  else if p = 1.0 then complete n
-  else begin
-    (* Geometric skipping over the lexicographic edge stream (Batagelj &
-       Brandes): expected O(n + m) instead of O(n^2). *)
-    let acc = ref [] in
+  if p > 0.0 && p < 1.0 then begin
     let u = ref 1 and v = ref (-1) in
     while !u < n do
       let skip = Rng.geometric rng p in
@@ -71,10 +71,83 @@ let gnp rng n p =
         v := !v - !u;
         incr u
       done;
-      if !u < n then acc := (!v, !u) :: !acc
-    done;
+      if !u < n then f !v !u
+    done
+  end
+  else if p = 1.0 then
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        f u v
+      done
+    done
+
+let gnp rng n p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Gen.gnp: p out of range";
+  if p = 0.0 then Graph.empty n
+  else if p = 1.0 then complete n
+  else begin
+    let acc = ref [] in
+    iter_gnp rng n p (fun v u -> acc := (v, u) :: !acc);
     Graph.of_edges n !acc
   end
+
+(* Growable endpoint pair collector feeding the direct-to-CSR
+   constructor — the only intermediates between an edge stream and the
+   finished (int32-backed, by default) graph. *)
+let collect_pairs n iter =
+  let us = ref (Array.make 1024 0) and vs = ref (Array.make 1024 0) in
+  let len = ref 0 in
+  iter (fun u v ->
+      if !len = Array.length !us then begin
+        let grow a =
+          let b = Array.make (2 * Array.length a) 0 in
+          Array.blit a 0 b 0 (Array.length a);
+          b
+        in
+        us := grow !us;
+        vs := grow !vs
+      end;
+      !us.(!len) <- u;
+      !vs.(!len) <- v;
+      incr len);
+  Graph.of_unnormalized_pairs n ~u:!us ~v:!vs ~len:!len
+
+let huge_gnp rng n p = collect_pairs n (iter_gnp rng n p)
+
+(* R-MAT (Chakrabarti–Zhan–Faloutsos): each edge picks one of the four
+   adjacency-matrix quadrants per bit level with skewed probabilities,
+   yielding a power-law degree profile.  Self-loops are resampled (the
+   repository is simple-graph-only); duplicates are left in the stream —
+   every consumer (CSR constructor, edge-list file reader) collapses
+   them — so exactly [edges] pairs are emitted. *)
+let iter_rmat rng ~scale ~edges f =
+  if scale < 1 || scale > 30 then invalid_arg "Gen.iter_rmat: scale";
+  if edges < 0 then invalid_arg "Gen.iter_rmat: edges";
+  let a = 0.57 and b = 0.19 and c = 0.19 in
+  for _ = 1 to edges do
+    let u = ref 0 and v = ref 0 in
+    let again = ref true in
+    while !again do
+      u := 0;
+      v := 0;
+      for _ = 1 to scale do
+        let r = Rng.float rng 1.0 in
+        let ubit, vbit =
+          if r < a then (0, 0)
+          else if r < a +. b then (0, 1)
+          else if r < a +. b +. c then (1, 0)
+          else (1, 1)
+        in
+        u := (!u lsl 1) lor ubit;
+        v := (!v lsl 1) lor vbit
+      done;
+      if !u <> !v then again := false
+    done;
+    f !u !v
+  done
+
+let rmat rng ~scale ~edges =
+  collect_pairs (1 lsl scale) (fun f -> iter_rmat rng ~scale ~edges f)
 
 let gnm rng n m =
   let possible =

@@ -31,6 +31,32 @@ val balanced_tree : int -> int -> Graph.t
 val gnp : Ps_util.Rng.t -> int -> float -> Graph.t
 (** Erdős–Rényi [G(n,p)] via geometric skipping, O(n + m) expected. *)
 
+val iter_gnp : Ps_util.Rng.t -> int -> float -> (int -> int -> unit) -> unit
+(** The edge stream behind {!gnp}, delivered to a callback instead of a
+    list — each distinct edge exactly once, nothing materialized, for
+    piping 10^7–10^8-edge instances straight into
+    {!Gio.write_edges_file} or a CSR builder.  Draws the same RNG
+    sequence as {!gnp}, so a seed reproduces the same graph on either
+    path. *)
+
+val huge_gnp : Ps_util.Rng.t -> int -> float -> Graph.t
+(** {!iter_gnp} collected through {!Graph.of_unnormalized_pairs}: no
+    edge list, no hashing — peak memory is two endpoint arrays plus the
+    CSR (int32-backed by default).  Same distribution as {!gnp}; vertex
+    ids and edge set coincide for the same seed. *)
+
+val iter_rmat :
+  Ps_util.Rng.t -> scale:int -> edges:int -> (int -> int -> unit) -> unit
+(** R-MAT recursive-quadrant sampler (a=0.57, b=c=0.19, d=0.05) on
+    [2^scale] vertices: the skewed power-law workload at bench scale.
+    Emits exactly [edges] pairs (self-loops are resampled); duplicates
+    are {e not} removed — every consumer collapses them. *)
+
+val rmat : Ps_util.Rng.t -> scale:int -> edges:int -> Graph.t
+(** {!iter_rmat} collected through {!Graph.of_unnormalized_pairs}
+    (duplicates collapse there, so the result can have fewer than
+    [edges] edges). *)
+
 val gnm : Ps_util.Rng.t -> int -> int -> Graph.t
 (** Uniform graph with exactly [m] distinct edges; [m] must not exceed
     [n(n-1)/2]. *)

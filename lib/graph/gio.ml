@@ -32,43 +32,146 @@ let check_vertex lineno ~n v =
       (Printf.sprintf "vertex id %d out of range [0, %d)" v n);
   v
 
-let of_edge_list text =
-  let lines = String.split_on_char '\n' text in
-  let parsed =
-    List.mapi (fun i line -> (i + 1, String.trim line)) lines
-    |> List.filter (fun (_, line) -> String.length line > 0 && line.[0] <> '#')
+(* First non-space position of [line], or -1 when blank. *)
+let content_start line =
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && is_space line.[!i] do incr i done;
+  if !i = n then -1 else !i
+
+(* Allocation-free parse of a plain "u v" data line (decimal, optional
+   leading minus).  Returns false on anything it does not recognize —
+   exotic-but-valid forms ([0x1f], [1_000]) and genuinely malformed
+   lines alike fall back to [edge_slow], which settles both. *)
+let edge_fast line start out =
+  let n = String.length line in
+  let i = ref start in
+  let ok = ref true in
+  let int_tok () =
+    while !i < n && is_space line.[!i] do incr i done;
+    let neg = !i < n && line.[!i] = '-' in
+    if neg then incr i;
+    let v = ref 0 and digits = ref 0 in
+    while
+      !i < n
+      &&
+      let c = line.[!i] in
+      c >= '0' && c <= '9'
+    do
+      v := (!v * 10) + (Char.code line.[!i] - Char.code '0');
+      incr digits;
+      incr i
+    done;
+    if !digits = 0 || (!i < n && not (is_space line.[!i])) then ok := false;
+    if neg then - !v else !v
   in
-  match parsed with
-  | [] -> failwith "Gio.of_edge_list: empty input"
-  | (lineno, header) :: rest ->
-      let n, m =
-        match tokens header with
-        | [ a; b ] -> (
-            try (int_of_string a, int_of_string b)
-            with Failure _ -> fail_line lineno "bad header")
-        | _ -> fail_line lineno "header must be \"n m\""
+  let a = int_tok () in
+  let b = int_tok () in
+  while !i < n && is_space line.[!i] do incr i done;
+  if !i < n then ok := false;
+  if !ok then begin
+    out.(0) <- a;
+    out.(1) <- b;
+    true
+  end
+  else false
+
+let edge_slow lineno line =
+  match tokens line with
+  | [ a; b ] -> (
+      try (int_of_string a, int_of_string b)
+      with Failure _ -> fail_line lineno "bad edge")
+  | _ -> fail_line lineno "edge must be \"u v\""
+
+(* Streaming parser core: pulls numbered raw lines from [next_line]
+   (None at EOF), accumulates endpoints into growable scratch arrays,
+   and finishes through [Graph.of_unnormalized_pairs] — no intermediate
+   line list, token lists, or edge list, so peak memory is the two
+   endpoint arrays plus the CSR being built.  Used by both the string
+   front-end ({!of_edge_list}) and the channel front-end
+   ({!read_file}). *)
+let parse next_line =
+  let rec header () =
+    match next_line () with
+    | None -> failwith "Gio.of_edge_list: empty input"
+    | Some (lineno, line) -> (
+        match content_start line with
+        | -1 -> header ()
+        | s when line.[s] = '#' -> header ()
+        | _ -> (lineno, line))
+  in
+  let lineno, hline = header () in
+  let n, m =
+    match tokens hline with
+    | [ a; b ] -> (
+        try (int_of_string a, int_of_string b)
+        with Failure _ -> fail_line lineno "bad header")
+    | _ -> fail_line lineno "header must be \"n m\""
+  in
+  if n < 0 then fail_line lineno "vertex count must be nonnegative";
+  if m < 0 then fail_line lineno "edge count must be nonnegative";
+  let us = ref (Array.make (max m 16) 0) in
+  let vs = ref (Array.make (max m 16) 0) in
+  let len = ref 0 in
+  let push u v =
+    if !len = Array.length !us then begin
+      let grow a =
+        let b = Array.make (2 * Array.length a) 0 in
+        Array.blit a 0 b 0 (Array.length a);
+        b
       in
-      if n < 0 then fail_line lineno "vertex count must be nonnegative";
-      if m < 0 then fail_line lineno "edge count must be nonnegative";
-      let edges =
-        List.map
-          (fun (lineno, line) ->
-            match tokens line with
-            | [ a; b ] ->
-                let u, v =
-                  try (int_of_string a, int_of_string b)
-                  with Failure _ -> fail_line lineno "bad edge"
-                in
-                (check_vertex lineno ~n u, check_vertex lineno ~n v)
-            | _ -> fail_line lineno "edge must be \"u v\"")
-          rest
+      us := grow !us;
+      vs := grow !vs
+    end;
+    !us.(!len) <- u;
+    !vs.(!len) <- v;
+    incr len
+  in
+  let pair = [| 0; 0 |] in
+  let rec edges () =
+    match next_line () with
+    | None -> ()
+    | Some (lineno, line) ->
+        (match content_start line with
+        | -1 -> ()
+        | s when line.[s] = '#' -> ()
+        | s ->
+            let u, v =
+              if edge_fast line s pair then (pair.(0), pair.(1))
+              else edge_slow lineno line
+            in
+            push (check_vertex lineno ~n u) (check_vertex lineno ~n v));
+        edges ()
+  in
+  edges ();
+  if !len <> m then
+    failwith
+      (Printf.sprintf "Gio.of_edge_list: header promises %d edges, found %d" m
+         !len);
+  Graph.of_unnormalized_pairs n ~u:!us ~v:!vs ~len:!len
+
+let of_edge_list text =
+  let pos = ref 0 and lineno = ref 0 in
+  let total = String.length text in
+  let next_line () =
+    if !pos > total then None
+    else begin
+      let stop =
+        match String.index_from_opt text !pos '\n' with
+        | Some j -> j
+        | None -> total
       in
-      if List.length edges <> m then
-        failwith
-          (Printf.sprintf
-             "Gio.of_edge_list: header promises %d edges, found %d" m
-             (List.length edges));
-      Graph.of_edges n edges
+      let line = String.sub text !pos (stop - !pos) in
+      pos := stop + 1;
+      incr lineno;
+      (* A trailing newline yields one final empty segment; treat it as
+         EOF rather than a blank line so line accounting matches
+         [String.split_on_char]. *)
+      if stop = total && String.length line = 0 then None
+      else Some (!lineno, line)
+    end
+  in
+  parse next_line
 
 let to_dot ?(name = "g") ?labels g =
   let buf = Buffer.create 1024 in
@@ -86,14 +189,50 @@ let to_dot ?(name = "g") ?labels g =
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 
-let write_file filename g =
+(* Buffered edge sink: formats into a Buffer and flushes it to the
+   channel whenever it passes 64 KiB, so writers stream in O(1) memory
+   instead of materializing the whole file ([to_edge_list] on a
+   10^8-edge graph would be a multi-gigabyte string). *)
+let with_edge_sink oc ~n ~m emit =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf (string_of_int n);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (string_of_int m);
+  Buffer.add_char buf '\n';
+  let add u v =
+    Buffer.add_string buf (string_of_int u);
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (string_of_int v);
+    Buffer.add_char buf '\n';
+    if Buffer.length buf >= 65536 then begin
+      Buffer.output_buffer oc buf;
+      Buffer.clear buf
+    end
+  in
+  emit add;
+  Buffer.output_buffer oc buf
+
+let write_edges_file filename ~n ~m emit =
   let oc = open_out filename in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_edge_list g))
+    (fun () -> with_edge_sink oc ~n ~m emit)
+
+let write_file filename g =
+  write_edges_file filename ~n:(Graph.n_vertices g) ~m:(Graph.n_edges g)
+    (fun add -> Graph.iter_edges g add)
 
 let read_file filename =
   let ic = open_in filename in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> of_edge_list (In_channel.input_all ic))
+    (fun () ->
+      let lineno = ref 0 in
+      let next_line () =
+        match In_channel.input_line ic with
+        | None -> None
+        | Some line ->
+            incr lineno;
+            Some (!lineno, line)
+      in
+      parse next_line)

@@ -2,7 +2,16 @@
 
     The edge-list format is one header line ["n m"] followed by [m] lines
     ["u v"]; comments start with ['#'].  DOT export exists for eyeballing
-    small instances. *)
+    small instances.
+
+    Both directions stream.  {!read_file} parses the channel line by
+    line straight into endpoint scratch arrays and finishes through
+    {!Graph.of_unnormalized_pairs} — no line list, no token lists, no
+    edge list — so peak memory is the endpoint arrays plus the CSR being
+    built (and the resulting graph takes the int32 adjacency store when
+    the vertex ids fit).  {!write_file} and {!write_edges_file} format
+    through a fixed-size buffer flushed to the channel, never
+    materializing the file as one string. *)
 
 val to_edge_list : Graph.t -> string
 val of_edge_list : string -> Graph.t
@@ -13,3 +22,12 @@ val to_dot : ?name:string -> ?labels:(int -> string) -> Graph.t -> string
 
 val write_file : string -> Graph.t -> unit
 val read_file : string -> Graph.t
+
+val write_edges_file :
+  string -> n:int -> m:int -> ((int -> int -> unit) -> unit) -> unit
+(** [write_edges_file path ~n ~m emit] writes the ["n m"] header, then
+    calls [emit add]; every [add u v] appends one edge line through the
+    streaming sink.  This is how generators write 10^7–10^8-edge
+    instances without ever materializing a graph or a string: the caller
+    promises [emit] produces exactly [m] edges (the header is not
+    back-patched). *)

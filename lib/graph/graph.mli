@@ -4,9 +4,33 @@
     edges are rejected/collapsed at construction, so every graph value in
     the repository is a simple graph — the setting of both the LOCAL model
     and the conflict-graph construction.  Adjacency rows are sorted, which
-    makes [has_edge] logarithmic and neighbor iteration cache-friendly. *)
+    makes [has_edge] logarithmic and neighbor iteration cache-friendly.
+
+    {b Width-aware adjacency store.}  The offsets array is always [int],
+    but the adjacency store — the 2m-entry array every solver scan
+    walks — exists in two physical widths: plain [int array] (8 bytes
+    per entry) and an int32 Bigarray (4 bytes per entry, halving memory
+    traffic at the 10^7–10^8-edge scale, valid whenever n < 2^31).
+    Every observable behavior is identical across widths; [`Auto]
+    selection picks int32 exactly when the vertex ids fit.  The
+    list-based constructors below build int-backed graphs (they are the
+    differential oracle); the streaming constructors take a [?width]
+    argument. *)
 
 type t
+
+type i32 = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The narrow adjacency store: an unboxed int32 Bigarray. *)
+
+type width = [ `Int | `Int32 ]
+
+val width : t -> width
+(** Physical width of the adjacency store. *)
+
+val with_width : t -> width -> t
+(** [with_width g w] is [g] re-encoded at width [w] (returned physically
+    unchanged when already there).  Raises [Invalid_argument] when
+    narrowing a graph whose vertex ids exceed int32 range. *)
 
 (** {1 Construction} *)
 
@@ -44,6 +68,34 @@ val of_csr_prefix :
     Validation as in {!of_csr} (default: the [PSLOCAL_DEBUG] environment
     variable), with the length checks relaxed to [>=]. *)
 
+val of_csr_i32 : ?validate:bool -> int -> offsets:int array -> adj:i32 -> t
+(** {!of_csr} over an int32 adjacency store.  Same contract: the arrays
+    are adopted, preconditions are the caller's responsibility unless
+    [validate] is set. *)
+
+val of_csr_prefix_i32 :
+  ?validate:bool -> int -> offsets:int array -> adj:i32 -> t
+(** {!of_csr_prefix} (arena variant, spare capacity allowed past the
+    logical prefix) over an int32 adjacency store. *)
+
+val of_unnormalized_pairs :
+  ?width:[ `Auto | `Int | `Int32 ] ->
+  int ->
+  u:int array ->
+  v:int array ->
+  len:int ->
+  t
+(** [of_unnormalized_pairs n ~u ~v ~len] builds CSR directly from the
+    first [len] endpoint pairs [(u.(i), v.(i))] — any orientation, any
+    order, duplicates collapsed — without materializing lists or hash
+    tables: count, fill, per-row sort, in-place dedup.  This is the
+    streaming constructor behind {!Gio.read_file} and the huge random
+    generators.  Self-loops and out-of-range endpoints raise
+    [Invalid_argument] (always — this path replaces normalization, so it
+    cannot defer validation).  [u] and [v] are scratch owned by the
+    caller and remain untouched.  [width] defaults to [`Auto]: int32
+    when [n] < 2^31, int otherwise. *)
+
 val of_sorted_edge_array : ?validate:bool -> int -> (int * int) array -> t
 (** [of_sorted_edge_array n edges] builds CSR directly from an edge array
     that is already normalized: each edge once as [(u, v)] with [u < v],
@@ -56,11 +108,31 @@ val empty : int -> t
 (** [empty n] has [n] vertices and no edges. *)
 
 val to_csr : t -> int array * int array
-(** [(offsets, adj)] — copies of the internal CSR arrays, so external
-    auditors ({!Ps_check.Check_graph}) can certify the representation
-    itself rather than a view reconstructed through the accessors.
-    [offsets] has length [n+1]; row [v] is
-    [adj.(offsets.(v) .. offsets.(v+1)-1)]. *)
+(** [(offsets, adj)] — {e copies} of the internal CSR content, never
+    aliases: mutating the returned arrays cannot corrupt the graph, and
+    the caller always receives exact-length [int] arrays regardless of
+    the adjacency width or of arena spare capacity ([offsets] has length
+    [n+1], [adj] length [offsets.(n)]; an int32 store is widened
+    entry-by-entry).  This contract is pinned by a unit test.  For
+    allocation-free auditing use {!csr_view}. *)
+
+type view = {
+  v_n : int;
+  v_offsets : int array;
+      (** Aliased, {e not} a copy — read-only; may be longer than
+          [v_n + 1] for arena-backed graphs. *)
+  v_store_len : int;  (** Physical store length (>= [v_offsets.(v_n)]). *)
+  v_exact : bool;
+      (** Whether the physical lengths equal the logical ones —
+          [false] for graphs built by {!of_csr_prefix} /
+          {!of_csr_prefix_i32} carrying spare arena capacity. *)
+  v_get : int -> int;  (** Bounds-checked read of store index [i]. *)
+}
+(** Zero-copy window onto the internal representation, for auditors that
+    must certify what is actually stored (not a reconstruction) without
+    paying the O(n + m) copy of {!to_csr} on 10^8-edge instances. *)
+
+val csr_view : t -> view
 
 (** {1 Size} *)
 
@@ -90,6 +162,15 @@ val vertices : t -> int list
 
 (** {1 Derived graphs} *)
 
+val degree_sorted : t -> t * int array
+(** [degree_sorted g] relabels vertices by decreasing degree (stable
+    within ties) and rebuilds the CSR in that order, preserving the
+    adjacency width.  The hot high-degree rows land in one compact cache
+    block at the front of the store, and row lengths decay monotonically
+    along any scan.  Returns [(g', perm)] where [perm.(i)] is the
+    original id of new vertex [i]; a result on [g'] maps back through
+    [perm]. *)
+
 val induced_subgraph : t -> int list -> t * int array
 (** [induced_subgraph g vs] is the subgraph induced by the distinct
     vertices [vs], together with the map from new indices to original
@@ -114,6 +195,10 @@ val is_subgraph : t -> t -> bool
 (** [is_subgraph g h]: same vertex count and every edge of [g] in [h]. *)
 
 val equal : t -> t -> bool
+(** Logical-content equality: compares the offsets prefix and the
+    adjacency entries, ignoring arena spare capacity {e and} physical
+    width — an int-backed and an int32-backed graph holding the same
+    rows are equal. *)
 
 val pp : Format.formatter -> t -> unit
 (** Summary line: vertex/edge counts and degree range. *)

@@ -1,16 +1,3 @@
-let to_text h =
-  let buf = Buffer.create 1024 in
-  Buffer.add_string buf
-    (Printf.sprintf "%d %d\n" (Hypergraph.n_vertices h)
-       (Hypergraph.n_edges h));
-  for i = 0 to Hypergraph.n_edges h - 1 do
-    let e = Hypergraph.edge h i in
-    Buffer.add_string buf (string_of_int (Array.length e));
-    Array.iter (fun v -> Buffer.add_string buf (" " ^ string_of_int v)) e;
-    Buffer.add_char buf '\n'
-  done;
-  Buffer.contents buf
-
 let fail_line lineno msg =
   failwith (Printf.sprintf "Hio.of_text: line %d: %s" lineno msg)
 
@@ -36,55 +23,198 @@ let ints_of_line lineno line =
   |> List.map (fun s ->
          try int_of_string s with Failure _ -> fail_line lineno "not a number")
 
-let of_text text =
-  let lines =
-    String.split_on_char '\n' text
-    |> List.mapi (fun i line -> (i + 1, String.trim line))
-    |> List.filter (fun (_, line) ->
-           line <> "" && not (String.length line > 0 && line.[0] = '#'))
-  in
-  match lines with
-  | [] -> failwith "Hio.of_text: empty input"
-  | (lineno, header) :: rest ->
-      let n, m =
-        match ints_of_line lineno header with
-        | [ n; m ] -> (n, m)
-        | _ -> fail_line lineno "header must be \"n m\""
-      in
-      if n < 0 then fail_line lineno "vertex count must be nonnegative";
-      if m < 0 then fail_line lineno "edge count must be nonnegative";
-      let edges =
-        List.map
-          (fun (lineno, line) ->
-            match ints_of_line lineno line with
-            | size :: members ->
-                if List.length members <> size then
-                  fail_line lineno "edge size mismatch";
-                List.iter
-                  (fun v ->
-                    if v < 0 || v >= n then
-                      fail_line lineno
-                        (Printf.sprintf "vertex id %d out of range [0, %d)" v
-                           n))
-                  members;
-                members
-            | [] -> fail_line lineno "empty line")
-          rest
-      in
-      if List.length edges <> m then
-        failwith
-          (Printf.sprintf "Hio.of_text: header promises %d edges, found %d" m
-             (List.length edges));
-      Hypergraph.of_edges n edges
+(* First non-space position of [line], or -1 when blank. *)
+let content_start line =
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && is_space line.[!i] do incr i done;
+  if !i = n then -1 else !i
 
+(* Reusable growable int buffer for the per-line fast path. *)
+type ibuf = { mutable data : int array; mutable len : int }
+
+let ibuf_push b x =
+  if b.len = Array.length b.data then begin
+    let d = Array.make (2 * b.len) 0 in
+    Array.blit b.data 0 d 0 b.len;
+    b.data <- d
+  end;
+  b.data.(b.len) <- x;
+  b.len <- b.len + 1
+
+(* Parse every plain decimal int on the line into [b]; false on any
+   token the fast scanner does not recognize (the caller falls back to
+   the list-based slow path, which classifies the error or accepts
+   exotic-but-valid forms like [0x1f]). *)
+let ints_fast line start b =
+  b.len <- 0;
+  let n = String.length line in
+  let i = ref start in
+  let ok = ref true in
+  while !ok && !i < n do
+    while !i < n && is_space line.[!i] do incr i done;
+    if !i < n then begin
+      let neg = line.[!i] = '-' in
+      if neg then incr i;
+      let v = ref 0 and digits = ref 0 in
+      while
+        !i < n
+        &&
+        let c = line.[!i] in
+        c >= '0' && c <= '9'
+      do
+        v := (!v * 10) + (Char.code line.[!i] - Char.code '0');
+        incr digits;
+        incr i
+      done;
+      if !digits = 0 || (!i < n && not (is_space line.[!i])) then ok := false
+      else ibuf_push b (if neg then - !v else !v)
+    end
+  done;
+  !ok
+
+(* Streaming parser core, as in [Gio.parse]: numbered raw lines in,
+   hypergraph out, with the member arrays built directly (no line list,
+   no per-line int lists on the fast path). *)
+let parse next_line =
+  let rec header () =
+    match next_line () with
+    | None -> failwith "Hio.of_text: empty input"
+    | Some (lineno, line) -> (
+        match content_start line with
+        | -1 -> header ()
+        | s when line.[s] = '#' -> header ()
+        | _ -> (lineno, line))
+  in
+  let lineno, hline = header () in
+  let n, m =
+    match ints_of_line lineno hline with
+    | [ n; m ] -> (n, m)
+    | _ -> fail_line lineno "header must be \"n m\""
+  in
+  if n < 0 then fail_line lineno "vertex count must be nonnegative";
+  if m < 0 then fail_line lineno "edge count must be nonnegative";
+  let edges = ref (Array.make (max m 16) [||]) in
+  let nedges = ref 0 in
+  let push e =
+    if !nedges = Array.length !edges then begin
+      let d = Array.make (2 * !nedges) [||] in
+      Array.blit !edges 0 d 0 !nedges;
+      edges := d
+    end;
+    !edges.(!nedges) <- e;
+    incr nedges
+  in
+  let b = { data = Array.make 64 0; len = 0 } in
+  let edge_of_ints lineno size members_len members_get =
+    if members_len <> size then fail_line lineno "edge size mismatch";
+    let e = Array.init size members_get in
+    Array.iter
+      (fun v ->
+        if v < 0 || v >= n then
+          fail_line lineno
+            (Printf.sprintf "vertex id %d out of range [0, %d)" v n))
+      e;
+    e
+  in
+  let rec edges_loop () =
+    match next_line () with
+    | None -> ()
+    | Some (lineno, line) ->
+        (match content_start line with
+        | -1 -> ()
+        | s when line.[s] = '#' -> ()
+        | s ->
+            if ints_fast line s b && b.len > 0 then
+              push
+                (edge_of_ints lineno b.data.(0) (b.len - 1) (fun i ->
+                     b.data.(i + 1)))
+            else begin
+              match ints_of_line lineno line with
+              | size :: members ->
+                  let members = Array.of_list members in
+                  push
+                    (edge_of_ints lineno size (Array.length members) (fun i ->
+                         members.(i)))
+              | [] -> fail_line lineno "empty line"
+            end);
+        edges_loop ()
+  in
+  edges_loop ();
+  if !nedges <> m then
+    failwith
+      (Printf.sprintf "Hio.of_text: header promises %d edges, found %d" m
+         !nedges);
+  Hypergraph.of_member_arrays n (Array.sub !edges 0 !nedges)
+
+let of_text text =
+  let pos = ref 0 and lineno = ref 0 in
+  let total = String.length text in
+  let next_line () =
+    if !pos > total then None
+    else begin
+      let stop =
+        match String.index_from_opt text !pos '\n' with
+        | Some j -> j
+        | None -> total
+      in
+      let line = String.sub text !pos (stop - !pos) in
+      pos := stop + 1;
+      incr lineno;
+      if stop = total && String.length line = 0 then None
+      else Some (!lineno, line)
+    end
+  in
+  parse next_line
+
+let to_text h =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d\n" (Hypergraph.n_vertices h)
+       (Hypergraph.n_edges h));
+  for i = 0 to Hypergraph.n_edges h - 1 do
+    let e = Hypergraph.edge h i in
+    Buffer.add_string buf (string_of_int (Array.length e));
+    Array.iter (fun v -> Buffer.add_string buf (" " ^ string_of_int v)) e;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+(* Buffered streaming writer (64 KiB flushes), mirroring
+   [Gio.write_file]: the file is never materialized as one string. *)
 let write_file filename h =
   let oc = open_out filename in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_text h))
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d\n" (Hypergraph.n_vertices h)
+           (Hypergraph.n_edges h));
+      for i = 0 to Hypergraph.n_edges h - 1 do
+        Buffer.add_string buf (string_of_int (Hypergraph.edge_size h i));
+        Hypergraph.iter_edge h i (fun v ->
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf (string_of_int v));
+        Buffer.add_char buf '\n';
+        if Buffer.length buf >= 65536 then begin
+          Buffer.output_buffer oc buf;
+          Buffer.clear buf
+        end
+      done;
+      Buffer.output_buffer oc buf)
 
 let read_file filename =
   let ic = open_in filename in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> of_text (In_channel.input_all ic))
+    (fun () ->
+      let lineno = ref 0 in
+      let next_line () =
+        match In_channel.input_line ic with
+        | None -> None
+        | Some line ->
+            incr lineno;
+            Some (!lineno, line)
+      in
+      parse next_line)

@@ -1,7 +1,13 @@
 (** Plain-text hypergraph I/O.
 
     Format: header line ["n m"], then [m] lines each ["s v1 ... vs"] where
-    [s] is the edge size. Comment lines start with ['#']. *)
+    [s] is the edge size. Comment lines start with ['#'].
+
+    {!read_file} and {!write_file} stream: reading parses line by line
+    straight into member arrays ({!Hypergraph.of_member_arrays}) with no
+    intermediate line or token lists, writing flushes through a
+    fixed-size buffer — neither direction materializes the file as one
+    string. *)
 
 val to_text : Hypergraph.t -> string
 val of_text : string -> Hypergraph.t

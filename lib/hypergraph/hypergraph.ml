@@ -30,6 +30,28 @@ let of_edges n edges =
 let of_edge_arrays n edges =
   of_edges n (Array.to_list (Array.map Array.to_list edges))
 
+(* Streaming-parser entry point: normalizes member arrays in place
+   (monomorphic sort + adjacent dedup) instead of round-tripping every
+   edge through lists and polymorphic [List.sort_uniq].  Takes ownership
+   of [edges] and its rows. *)
+let of_member_arrays n edges =
+  if n < 0 then invalid_arg "Hypergraph.of_member_arrays: negative vertex count";
+  let edges =
+    Array.map
+      (fun e ->
+        if Array.length e = 0 then invalid_arg "Hypergraph: empty edge";
+        Array.iter
+          (fun v ->
+            if v < 0 || v >= n then
+              invalid_arg "Hypergraph: vertex out of range")
+          e;
+        Ps_util.Intsort.sort e;
+        let len = Ps_util.Intsort.dedup_sorted_range e 0 (Array.length e) in
+        if len = Array.length e then e else Array.sub e 0 len)
+      edges
+  in
+  build n edges
+
 let n_vertices h = h.n
 let n_edges h = Array.length h.edges
 

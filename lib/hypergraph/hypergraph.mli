@@ -22,6 +22,12 @@ val of_edges : int -> int list list -> t
 
 val of_edge_arrays : int -> int array array -> t
 
+val of_member_arrays : int -> int array array -> t
+(** Like {!of_edge_arrays} but {e takes ownership} of the arrays and
+    normalizes them in place (monomorphic sort + adjacent dedup, no list
+    round-trip) — the allocation-lean entry point used by the streaming
+    {!Hio} reader.  Same validation and semantics as {!of_edges}. *)
+
 (** {1 Size and access} *)
 
 val n_vertices : t -> int

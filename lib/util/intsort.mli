@@ -1,0 +1,19 @@
+(** Monomorphic in-place sorting of int-array ranges.
+
+    The CSR builders ({!Ps_graph.Graph} streaming constructors, the
+    conflict-graph fill pass) sort millions of short adjacency rows; a
+    closure-free quicksort over an explicit range avoids both the
+    comparator calls and the [Array.sub] copies that [Array.sort] would
+    cost per row. *)
+
+val sort_range : int array -> int -> int -> unit
+(** [sort_range a lo hi] sorts [a.(lo .. hi-1)] ascending, in place.
+    Empty and single-element ranges are no-ops. *)
+
+val sort : int array -> unit
+(** Whole-array convenience wrapper over {!sort_range}. *)
+
+val dedup_sorted_range : int array -> int -> int -> int
+(** [dedup_sorted_range a lo hi] collapses equal adjacent elements of the
+    {e sorted} range [a.(lo .. hi-1)] towards [lo] and returns the new
+    exclusive end; entries at and beyond it are unspecified. *)

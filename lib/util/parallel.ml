@@ -8,6 +8,106 @@
 
 let available () = Domain.recommended_domain_count ()
 
+(* One knob for every ?domains:0 auto heuristic in the repository: a
+   Domain.spawn/join round trip costs a few hundred microseconds while a
+   unit of bulk work (one conflict-graph triple, one CSR row) costs on
+   the order of a microsecond, so an extra domain only pays for itself
+   once it gets several thousand units.  With the sharded-cursor
+   scheduler below the per-chunk cost is a single uncontended
+   fetch-and-add (the old single shared cursor made every chunk claim a
+   cross-core cache-line bounce), so the break-even moved down from the
+   8192 units the PR-5 build was calibrated at; 6144 keeps spawn/join
+   under ~10% of a marginal domain's work on the micro-bench box. *)
+let auto_units_per_domain = 6144
+
+let effective_domains ~requested ~units ~slices =
+  let clamp d = max 1 (min d (max slices 1)) in
+  if requested = 0 then
+    clamp (min (available ()) (max 1 (units / auto_units_per_domain)))
+  else clamp requested
+
+(* Per-domain sharded cursors with work stealing.
+
+   The staged CSR builds used to drain one global atomic cursor: every
+   chunk claim by every domain was a fetch-and-add on the same cache
+   line, which serializes at high domain counts.  Here the index range
+   is split into [domains] contiguous shards, each with its own atomic
+   cursor; a domain drains its own shard privately and only touches
+   other shards once its own is empty, stealing chunks from the victims'
+   cursors with the same fetch-and-add it would use locally.  Claims are
+   therefore uncontended until the tail of the range, and the total
+   overshoot is bounded by one chunk per (domain, shard) pair.
+
+   The atomics are allocated with padding blocks between them so
+   same-generation minor-heap neighbors do not share a cache line (best
+   effort: the GC may re-pack them later, by which point the hot phase
+   is over). *)
+module Sharded_cursor = struct
+  type t = {
+    cursors : int Atomic.t array; (* shard d claims from cursors.(d) *)
+    his : int array;              (* shard d owns [lo_d, his.(d)) *)
+    chunk : int;
+    domains : int;
+  }
+
+  let create ~domains ?chunk ~lo ~hi () =
+    if domains < 1 then invalid_arg "Sharded_cursor.create: domains < 1";
+    if hi < lo then invalid_arg "Sharded_cursor.create: hi < lo";
+    let chunk =
+      match chunk with
+      | Some c ->
+          if c < 1 then invalid_arg "Sharded_cursor.create: chunk < 1";
+          c
+      | None -> max 32 ((hi - lo) / (domains * 16))
+    in
+    let his = Array.make domains lo in
+    let cursors =
+      Array.init domains (fun d ->
+          let len = hi - lo in
+          let base = len / domains and extra = len mod domains in
+          let s = lo + (d * base) + min d extra in
+          let e = s + base + if d < extra then 1 else 0 in
+          his.(d) <- e;
+          let c = Atomic.make s in
+          (* Cache-line padding between consecutively allocated atomics. *)
+          ignore (Sys.opaque_identity (Array.make 8 0));
+          c)
+    in
+    { cursors; his; chunk; domains }
+
+  let pop t shard =
+    let pos = Atomic.fetch_and_add t.cursors.(shard) t.chunk in
+    let hi = t.his.(shard) in
+    if pos >= hi then None else Some (pos, min hi (pos + t.chunk))
+
+  let next t d =
+    if d < 0 || d >= t.domains then invalid_arg "Sharded_cursor.next: domain";
+    match pop t d with
+    | Some _ as r -> r
+    | None ->
+        (* Own shard drained: steal, scanning victims round-robin from
+           the right neighbor so thieves spread out. *)
+        let rec steal i =
+          if i = t.domains then None
+          else
+            match pop t ((d + i) mod t.domains) with
+            | Some _ as r -> r
+            | None -> steal (i + 1)
+        in
+        steal 1
+
+  let drain t d work =
+    let continue = ref true in
+    while !continue do
+      match next t d with
+      | None -> continue := false
+      | Some (lo, hi) ->
+          for i = lo to hi - 1 do
+            work i
+          done
+    done
+end
+
 (* Each body runs under its own exception trap so a raising worker can
    never leave a sibling unjoined: the spawn closures cannot throw out of
    [Domain.spawn]'s thunk, every domain is joined unconditionally, and

@@ -11,6 +11,53 @@ val available : unit -> int
 (** [Domain.recommended_domain_count ()] — a sensible upper bound for
     the [domains] arguments below. *)
 
+val auto_units_per_domain : int
+(** The calibration constant behind every [?domains:0] auto heuristic in
+    the repository: one extra domain is justified per this many units of
+    bulk work (a conflict-graph triple, a CSR row).  Measured against
+    the sharded-cursor scheduler: a Domain.spawn/join round trip costs a
+    few hundred microseconds, a unit costs on the order of a
+    microsecond, and the constant keeps spawn/join under ~10% of a
+    marginal domain's work. *)
+
+val effective_domains : requested:int -> units:int -> slices:int -> int
+(** Resolve a caller's [?domains] request into the count actually used,
+    with one clamping rule for the whole repository: [requested = 0]
+    picks [units / auto_units_per_domain] domains (at least 1, at most
+    {!available}); any explicit request is honored as given.  Either way
+    the result is clamped to [\[1, max slices 1\]] — [slices] is the
+    number of schedulable work items, so no spawned domain can be left
+    without a slice. *)
+
+(** Per-domain sharded cursors with work stealing — the dynamic
+    scheduler for data-parallel loops whose iterations vary wildly in
+    cost (CSR rows, conflict-graph slots).  The index range is split
+    into one contiguous shard per domain, each drained through its own
+    atomic cursor; a domain whose shard is exhausted steals chunks from
+    the other shards' cursors.  Unlike the single shared cursor this
+    replaces, chunk claims are uncontended (no cross-core cache-line
+    bouncing) until the tail of the range.  Any (domain, chunk)
+    assignment yields the same results for disjoint-write loops, so
+    schedules remain bit-reproducibility-safe. *)
+module Sharded_cursor : sig
+  type t
+
+  val create : domains:int -> ?chunk:int -> lo:int -> hi:int -> unit -> t
+  (** Split [\[lo, hi)] into [domains] balanced shards.  [chunk] is the
+      claim granularity (default: [max 32 ((hi-lo)/(domains*16))]).
+      Raises [Invalid_argument] if [domains < 1], [chunk < 1] or
+      [hi < lo]. *)
+
+  val next : t -> int -> (int * int) option
+  (** [next t d] claims the next chunk for domain [d] as a [(lo, hi)]
+      half-open range — from [d]'s own shard while it lasts, then by
+      stealing — or [None] when every shard is drained. *)
+
+  val drain : t -> int -> (int -> unit) -> unit
+  (** [drain t d work] runs [work i] for every index of every chunk
+      domain [d] claims, until {!next} returns [None]. *)
+end
+
 val fork_join : domains:int -> (int -> unit) -> unit
 (** [fork_join ~domains f] runs [f 0 .. f (domains-1)], with [f 0] on the
     calling domain and the rest on freshly spawned domains, and returns

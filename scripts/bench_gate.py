@@ -2,28 +2,47 @@
 """Bench-regression gate: compare a freshly generated bench JSON against
 the committed baseline within a relative tolerance (default +/-25%).
 
-Both BENCH_micro.json and BENCH_reduce.json are flat {name: number}
-objects.  Two kinds of entries are compared differently:
+BENCH_micro.json, BENCH_reduce.json and BENCH_huge.json are flat
+{name: number} objects.  Row names select how a row is compared:
 
-- Ratio entries (name containing "speedup"): machine-independent, so
-  they are compared directly.  A regression here means the incremental
-  engine lost ground against the rebuild oracle.
+- Ratio rows (name containing "speedup"): machine-independent and
+  higher-is-better, so they are compared directly — the gate fails when
+  the current ratio *drops* more than the tolerance below the baseline
+  (the incremental engine losing ground against the rebuild oracle).
+  Improvements never fail.
 
-- Timing entries (ns/run, ms): absolute values depend on the machine
-  the baseline was generated on, so each file is first normalized by
-  its own median timing entry.  The normalized profile is the *shape*
-  of the benchmark suite — one row regressing relative to the others
-  is exactly the signal a perf PR must not hide — and it cancels the
-  overall speed difference between the baseline box and the CI runner.
+- Peak-RSS rows (name containing "peak_rss"): lower-is-better and
+  mostly machine-independent for a fixed instance, compared directly —
+  the gate fails when current RSS exceeds baseline by more than the
+  tolerance.  This is what catches a "faster but secretly copies the
+  graph twice" change at the 10^7-edge scale.
 
-Entries present in only one file (e.g. a --quick run covering a subset
-of the baseline's sizes) are ignored; a gate run reports how many rows
-it actually compared.  Rows whose baseline value is below --min-value
-are skipped: sub-microsecond ns/run benches are dominated by timer
-noise.  The same floor means BENCH_reduce.json (whose timings are in
-milliseconds, well below 1e3) is gated on its speedup ratios alone —
-deliberate, as single-rep quick timings are too noisy to gate while
-the rebuild/incremental ratio is stable and machine-independent.
+- Throughput rows (name containing "edges_per_sec"): machine-dependent
+  absolutes; printed for information, never gated (the timing rows of
+  the same file carry the gating signal in normalized form).
+
+- Meta rows (name containing "meta_"): instance facts (edge counts,
+  certification flags); skipped entirely.
+
+- Everything else is a timing (ns/run, ns, ms).  Absolute values depend
+  on the machine the baseline was generated on, so each file is first
+  normalized by the median over the timing rows *common to both files*.
+  The normalized profile is the *shape* of the benchmark suite — one
+  row regressing relative to the others is exactly the signal a perf PR
+  must not hide — and it cancels the overall speed difference between
+  the baseline box and the CI runner.  Normalizing over the
+  intersection (not each file's full row set) keeps a --quick lane
+  comparable against a baseline that also carries full-size rows.
+
+Rows present in only one file (e.g. a --quick run covering a subset of
+the baseline's sizes) are ignored; a gate run reports how many rows it
+actually compared.  Timing rows whose baseline or current value is
+below --min-value are skipped: sub-microsecond ns/run benches are
+dominated by timer noise.  The same floor means BENCH_reduce.json
+(whose timings are in milliseconds, well below 1e3) is gated on its
+speedup ratios alone — deliberate, as single-rep quick timings are too
+noisy to gate while the rebuild/incremental ratio is stable and
+machine-independent.
 
 Exit code 0 when every compared row is within tolerance, 1 otherwise.
 
@@ -50,16 +69,21 @@ def is_ratio(name):
     return "speedup" in name
 
 
-def normalized_timings(rows, min_value):
-    timings = {
-        k: v for k, v in rows.items() if not is_ratio(k) and v >= min_value
-    }
-    if not timings:
-        return {}
-    med = statistics.median(timings.values())
-    if med <= 0:
-        return {}
-    return {k: v / med for k, v in timings.items()}
+def is_rss(name):
+    return "peak_rss" in name
+
+
+def is_throughput(name):
+    return "edges_per_sec" in name
+
+
+def is_meta(name):
+    return "meta_" in name
+
+
+def is_timing(name):
+    return not (is_ratio(name) or is_rss(name) or is_throughput(name)
+                or is_meta(name))
 
 
 def main():
@@ -89,28 +113,51 @@ def main():
 
     base = {k: v for k, v in load(args.baseline).items() if keep(k)}
     cur = {k: v for k, v in load(args.current).items() if keep(k)}
+    common = sorted(set(base) & set(cur))
 
-    checks = []  # (name, baseline, current) in comparable units
-    for name in sorted(set(base) & set(cur)):
+    # (name, baseline, current, better) in comparable units; `better` is
+    # "lower" or "higher" and decides which direction breaches.
+    checks = []
+    for name in common:
         if is_ratio(name):
-            checks.append((name + " [ratio]", base[name], cur[name]))
-    nb = normalized_timings(base, args.min_value)
-    nc = normalized_timings(cur, args.min_value)
-    for name in sorted(set(nb) & set(nc)):
-        checks.append((name + " [normalized]", nb[name], nc[name]))
+            checks.append((name + " [ratio]", base[name], cur[name],
+                           "higher"))
+        elif is_rss(name):
+            checks.append((name + " [rss]", base[name], cur[name], "lower"))
+        elif is_throughput(name) and base[name] > 0:
+            rel = (cur[name] - base[name]) / base[name]
+            print(f"  info {name}: baseline={base[name]:.3g} "
+                  f"current={cur[name]:.3g} ({rel:+.1%}, not gated)")
+
+    # Timings: normalize over the intersection of usable timing keys so a
+    # quick-lane subset and the full committed baseline share a median.
+    timing_keys = [
+        k for k in common
+        if is_timing(k) and base[k] >= args.min_value
+        and cur[k] >= args.min_value
+    ]
+    if timing_keys:
+        med_b = statistics.median(base[k] for k in timing_keys)
+        med_c = statistics.median(cur[k] for k in timing_keys)
+        if med_b > 0 and med_c > 0:
+            for k in timing_keys:
+                checks.append((k + " [normalized]", base[k] / med_b,
+                               cur[k] / med_c, "lower"))
 
     if not checks:
         raise SystemExit("no comparable rows between baseline and current")
 
     failures = []
-    for name, b, c in checks:
+    for name, b, c, better in checks:
         if b <= 0:
             continue
         rel = (c - b) / b
-        # Only slower-than-baseline breaches fail the gate: a row getting
-        # faster shifts the normalized profile of every other row, and
-        # punishing improvements would make any perf win un-mergeable.
-        breach = rel > args.tolerance
+        # Only the harmful direction breaches: slower timings, higher
+        # RSS, *lower* speedups.  A row improving shifts the normalized
+        # profile of every other row, and punishing improvements would
+        # make any perf win un-mergeable.
+        breach = (rel > args.tolerance) if better == "lower" \
+            else (rel < -args.tolerance)
         mark = "FAIL" if breach else "ok"
         print(f"  {mark:4s} {name}: baseline={b:.3f} current={c:.3f} "
               f"({rel:+.1%})")
@@ -118,7 +165,7 @@ def main():
             failures.append(name)
 
     print(f"bench gate: {len(checks)} rows compared, "
-          f"{len(failures)} over the +{args.tolerance:.0%} budget")
+          f"{len(failures)} outside the {args.tolerance:.0%} budget")
     if failures:
         for name in failures:
             print(f"  regression: {name}", file=sys.stderr)
