@@ -5,7 +5,8 @@
    Rules (ids are what suppression comments name):
 
      poly-compare   (hot modules: lib/graph, lib/core, lib/cfc,
-                    lib/slocal)  No polymorphic structural comparison on
+                    lib/slocal, lib/server)  No polymorphic structural
+                    comparison on
                     the hot paths PR 1 monomorphised: unqualified or
                     Stdlib-qualified [compare] (unless a binding in
                     scope shadows it), [Hashtbl.hash], the
@@ -370,7 +371,8 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let hot_dirs = [ "lib/graph"; "lib/core"; "lib/cfc"; "lib/slocal" ]
+let hot_dirs =
+  [ "lib/graph"; "lib/core"; "lib/cfc"; "lib/slocal"; "lib/server" ]
 
 let normalize_path p =
   String.concat "/" (String.split_on_char '\\' p)

@@ -7,7 +7,8 @@
      verify          check a multicoloring file against a hypergraph
      mis             run the MIS algorithm zoo on a graph
      decompose       ball-carving network decomposition of a graph
-     serve           long-running solve service (JSON line protocol) *)
+     serve           long-running solve service (JSON line protocol)
+     cache           inspect / clear a persistent solved-instance cache *)
 
 open Cmdliner
 
@@ -58,6 +59,52 @@ let json_arg =
      schema (see $(b,pslocal serve)) instead of human-readable tables."
   in
   Arg.(value & flag & info [ "json" ] ~doc)
+
+(* --cache[=DIR] / --no-cache, shared by the solve commands and serve.
+   [--cache] alone enables the in-memory tiers; [--cache=DIR] adds the
+   persistent tier (which is what makes one-shot invocations warm). *)
+let cache_arg =
+  let doc =
+    "Enable the solved-instance cache.  With $(docv), entries also \
+     persist under that directory (created on first store), so repeated \
+     invocations over the same instance are served from disk.  One-shot \
+     commands default to no cache unless $(b,PSLOCAL_CACHE_DIR) is set; \
+     $(b,serve) caches in memory by default."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "cache" ] ~docv:"DIR" ~doc)
+
+let no_cache_arg =
+  let doc =
+    "Disable the solved-instance cache (overrides $(b,--cache) and \
+     $(b,PSLOCAL_CACHE_DIR))."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let cache_env_dir () =
+  match Sys.getenv_opt "PSLOCAL_CACHE_DIR" with
+  | Some d when d <> "" -> Some d
+  | _ -> None
+
+let make_cache dir =
+  Ps_cache.Cache.create
+    ~config:{ Ps_cache.Cache.default_config with dir }
+    ()
+
+(* One-shot commands: cache off unless --cache[=DIR] is given or
+   PSLOCAL_CACHE_DIR is set; --no-cache always wins. *)
+let oneshot_cache ~cache ~no_cache =
+  if no_cache then None
+  else
+    match cache with
+    | Some "" -> Some (make_cache None)
+    | Some d -> Some (make_cache (Some d))
+    | None -> (
+        match cache_env_dir () with
+        | Some d -> Some (make_cache (Some d))
+        | None -> None)
 
 (* One-shot commands share the server's encoders, so `pslocal X --json`
    and the served method X produce byte-identical result objects. *)
@@ -259,7 +306,8 @@ let solver_of_name name =
   | Some s -> s
   | None -> failwith (Printf.sprintf "unknown solver %S" name)
 
-let reduce input solver k engine seed verbose trace json output =
+let reduce input solver k engine seed verbose trace json output cache
+    no_cache =
   if verbose then
     Logs.Src.set_level Ps_core.Reduction.log_src (Some Logs.Debug);
   let h = Ps_hypergraph.Hio.read_file input in
@@ -268,10 +316,33 @@ let reduce input solver k engine seed verbose trace json output =
     | None -> Ps_core.Pipeline.From_conservative
     | Some k -> Ps_core.Pipeline.Fixed k
   in
+  (* The cache's warm tier assumes the incremental engine; with the
+     rebuild oracle selected we solve uncached rather than key entries
+     by engine. *)
+  let cache =
+    match engine with
+    | `Incremental -> oneshot_cache ~cache ~no_cache
+    | `Rebuild -> None
+  in
   let result =
     with_trace trace (fun () ->
-        Ps_core.Pipeline.solve ~seed ~k:k_choice ~engine
-          ~solver:(solver_of_name solver) h)
+        match cache with
+        | None ->
+            Ps_core.Pipeline.solve ~seed ~k:k_choice ~engine
+              ~solver:(solver_of_name solver) h
+        | Some c ->
+            let result =
+              Ps_cache.Cache.solve c ~k ~solver:(solver_of_name solver)
+                ~solver_name:solver ~seed h
+            in
+            (* Same contract as Pipeline.solve: a failed certificate is
+               an error, not a result. *)
+            if not result.Ps_core.Pipeline.certificate.Ps_core.Certify.all_ok
+            then
+              failwith
+                (Format.asprintf "reduce: certificate failed: %a"
+                   Ps_core.Certify.pp result.Ps_core.Pipeline.certificate);
+            result)
   in
   if json then begin
     print_json_result
@@ -358,7 +429,7 @@ let reduce_cmd =
           (iterated MaxIS approximation).")
     Term.(
       const reduce $ input $ solver $ k $ engine $ seed_arg $ verbose
-      $ trace_arg $ json_arg $ output_arg)
+      $ trace_arg $ json_arg $ output_arg $ cache_arg $ no_cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify *)
@@ -398,13 +469,42 @@ let verify_cmd =
 (* ------------------------------------------------------------------ *)
 (* mis *)
 
-let mis input seed trace json =
+(* One-shot graph requests go through the cache's opaque tier in --json
+   mode only: the stored payload is the rendered result object, so a hit
+   prints byte-identically to a fresh render.  The human-readable table
+   paths need the live structures and stay uncached. *)
+let cached_graph_json cache ~kind ~solver_name ~seed g render =
+  match cache with
+  | None -> render ()
+  | Some c -> (
+      match
+        Ps_cache.Cache.find_graph_result c ~kind ~solver_name ~seed g
+      with
+      | Some payload -> (
+          match Ps_server.Json.parse payload with
+          | Ok j -> j
+          | Error _ -> render ())
+      | None ->
+          let j = render () in
+          Ps_cache.Cache.store_graph_result c ~kind ~solver_name ~seed g
+            (Ps_server.Json.to_string j);
+          j)
+
+let mis input seed trace json cache no_cache =
   with_trace trace @@ fun () ->
   let g = Ps_graph.Gio.read_file input in
   if json then
     print_json_result
-      (Ps_server.Protocol.mis_result
-         (Ps_server.Service.mis_entries ~seed Ps_server.Protocol.Mis_all g))
+      (cached_graph_json
+         (oneshot_cache ~cache ~no_cache)
+         ~kind:Ps_cache.Cache.Mis
+         ~solver_name:
+           (Ps_server.Protocol.mis_algo_name Ps_server.Protocol.Mis_all)
+         ~seed g
+         (fun () ->
+           Ps_server.Protocol.mis_result
+             (Ps_server.Service.mis_entries ~seed Ps_server.Protocol.Mis_all
+                g)))
   else
   let t =
     Ps_util.Table.create
@@ -442,29 +542,48 @@ let mis_cmd =
   in
   Cmd.v
     (Cmd.info "mis" ~doc:"Run the MIS algorithm zoo on a graph.")
-    Term.(const mis $ input $ seed_arg $ trace_arg $ json_arg)
+    Term.(
+      const mis $ input $ seed_arg $ trace_arg $ json_arg $ cache_arg
+      $ no_cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* decompose *)
 
-let decompose input trace json =
+let decompose input trace json cache no_cache =
   let code =
     with_trace trace (fun () ->
         let g = Ps_graph.Gio.read_file input in
-        let d = Ps_slocal.Decomposition.ball_carving g in
-        let check = Ps_slocal.Decomposition.verify g d in
-        let ok = Ps_slocal.Decomposition.check_all check in
-        if json then
-          print_json_result
-            (Ps_server.Protocol.decompose_result d ~verified:ok)
-        else
+        if json then begin
+          let result =
+            cached_graph_json
+              (oneshot_cache ~cache ~no_cache)
+              ~kind:Ps_cache.Cache.Decompose ~solver_name:"ball-carving"
+              ~seed:0 g
+              (fun () ->
+                let d = Ps_slocal.Decomposition.ball_carving g in
+                let check = Ps_slocal.Decomposition.verify g d in
+                let ok = Ps_slocal.Decomposition.check_all check in
+                Ps_server.Protocol.decompose_result d ~verified:ok)
+          in
+          print_json_result result;
+          (* The exit code mirrors the payload so a cache hit agrees
+             with the fresh render it replayed. *)
+          match Ps_server.Json.member "verified" result with
+          | Some (Ps_server.Json.Bool true) -> 0
+          | _ -> 1
+        end
+        else begin
+          let d = Ps_slocal.Decomposition.ball_carving g in
+          let check = Ps_slocal.Decomposition.verify g d in
+          let ok = Ps_slocal.Decomposition.check_all check in
           Format.printf
             "%a@.clusters=%d colors=%d max_radius=%d@.verified: %a@." G.pp g
             d.Ps_slocal.Decomposition.n_clusters
             d.Ps_slocal.Decomposition.n_colors
             d.Ps_slocal.Decomposition.max_radius
             Ps_slocal.Decomposition.pp_check check;
-        if ok then 0 else 1)
+          if ok then 0 else 1
+        end)
   in
   exit code
 
@@ -478,7 +597,9 @@ let decompose_cmd =
   Cmd.v
     (Cmd.info "decompose"
        ~doc:"Ball-carving (log n, log n) network decomposition.")
-    Term.(const decompose $ input $ trace_arg $ json_arg)
+    Term.(
+      const decompose $ input $ trace_arg $ json_arg $ cache_arg
+      $ no_cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* matching *)
@@ -777,15 +898,29 @@ let audit_cmd =
 (* ------------------------------------------------------------------ *)
 (* serve *)
 
-let serve socket domains queue timeout_ms trace =
+let serve socket domains queue timeout_ms trace cache no_cache =
   with_trace trace @@ fun () ->
+  (* Unlike the one-shots, the server caches by default: the in-memory
+     tiers pay off across the requests of one long-running process. *)
+  let cache =
+    if no_cache then None
+    else
+      let dir =
+        match cache with
+        | Some "" -> None
+        | Some d -> Some d
+        | None -> cache_env_dir ()
+      in
+      Some (make_cache dir)
+  in
   let engine =
     { Ps_server.Engine.domains =
         (match domains with
         | Some d -> d
         | None -> Ps_server.Engine.default_config.Ps_server.Engine.domains);
       queue_capacity = queue;
-      default_timeout_ms = timeout_ms }
+      default_timeout_ms = timeout_ms;
+      cache }
   in
   let config = { Ps_server.Server.default_config with engine } in
   match socket with
@@ -835,11 +970,103 @@ let serve_cmd =
   let doc =
     "Long-running solve service speaking newline-delimited JSON (requests \
      in, responses out, correlated by $(b,id)).  Methods: reduce, mis, \
-     decompose, certify, ping, stats.  Drains in-flight jobs on SIGTERM, \
-     SIGINT or EOF before exiting."
+     decompose, certify, ping, stats.  Solved instances are cached \
+     (content-addressed, certificate-audited; see $(b,--cache)).  Drains \
+     in-flight jobs on SIGTERM, SIGINT or EOF before exiting."
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const serve $ socket $ domains $ queue $ timeout_ms $ trace_arg)
+    Term.(
+      const serve $ socket $ domains $ queue $ timeout_ms $ trace_arg
+      $ cache_arg $ no_cache_arg)
+
+(* ------------------------------------------------------------------ *)
+(* cache *)
+
+let cache_admin action dir json =
+  let dir =
+    match (dir, cache_env_dir ()) with
+    | Some d, _ -> d
+    | None, Some d -> d
+    | None, None ->
+        failwith "cache: no directory (give --dir or set PSLOCAL_CACHE_DIR)"
+  in
+  match action with
+  | `Stats ->
+      let entries, bytes = Ps_cache.Cache.dir_stats dir in
+      if json then
+        print_endline
+          (Ps_server.Json.to_string
+             (Ps_server.Json.Obj
+                [ ("dir", Ps_server.Json.Str dir);
+                  ("entries", Ps_server.Json.Int entries);
+                  ("bytes", Ps_server.Json.Int bytes);
+                  ( "engine_version",
+                    Ps_server.Json.Str Ps_cache.Cache.engine_version ) ]))
+      else
+        Format.printf "%s: %d entries, %d bytes (engine version %s)@." dir
+          entries bytes Ps_cache.Cache.engine_version
+  | `List ->
+      let entries = Ps_cache.Cache.dir_list dir in
+      if json then
+        print_endline
+          (Ps_server.Json.to_string
+             (Ps_server.Json.List
+                (List.map
+                   (fun (key, bytes) ->
+                     Ps_server.Json.Obj
+                       [ ("key", Ps_server.Json.Str key);
+                         ("bytes", Ps_server.Json.Int bytes) ])
+                   entries)))
+      else begin
+        let t =
+          Ps_util.Table.create
+            ~aligns:[ Ps_util.Table.Left; Ps_util.Table.Right ]
+            [ "key"; "bytes" ]
+        in
+        List.iter
+          (fun (key, bytes) ->
+            Ps_util.Table.add_row t [ key; string_of_int bytes ])
+          entries;
+        Ps_util.Table.print ~title:(Printf.sprintf "cache %s" dir) t
+      end
+  | `Clear ->
+      let removed = Ps_cache.Cache.dir_clear dir in
+      if json then
+        print_endline
+          (Ps_server.Json.to_string
+             (Ps_server.Json.Obj
+                [ ("dir", Ps_server.Json.Str dir);
+                  ("removed", Ps_server.Json.Int removed) ]))
+      else Format.printf "%s: removed %d entries@." dir removed
+
+let cache_cmd =
+  let action =
+    let doc =
+      "$(b,stats) (entry count and byte size), $(b,list) (one row per \
+       entry with its key), or $(b,clear) (delete every entry file)."
+    in
+    Arg.(
+      value
+      & pos 0 (enum [ ("stats", `Stats); ("list", `List); ("clear", `Clear) ])
+          `Stats
+      & info [] ~docv:"ACTION" ~doc)
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Cache directory to inspect (defaults to \
+             $(b,PSLOCAL_CACHE_DIR)).  This is the persistent tier \
+             written by $(b,--cache=DIR); a running server's in-memory \
+             tiers are inspected via its $(b,stats) method instead.")
+  in
+  let doc =
+    "Inspect or clear a persistent solved-instance cache directory."
+  in
+  Cmd.v (Cmd.info "cache" ~doc)
+    Term.(const cache_admin $ action $ dir $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -852,7 +1079,7 @@ let main_cmd =
     (Cmd.info "pslocal" ~version:"1.0.0" ~doc)
     [ gen_graph_cmd; gen_hypergraph_cmd; reduce_cmd; verify_cmd; mis_cmd;
       decompose_cmd; matching_cmd; cf_color_cmd; set_cover_cmd; bfs_cmd;
-      audit_cmd; serve_cmd ]
+      audit_cmd; serve_cmd; cache_cmd ]
 
 let () =
   Logs.set_reporter (Logs.format_reporter ());

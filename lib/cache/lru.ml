@@ -1,0 +1,121 @@
+(* Byte-budget LRU: hash table for O(1) key lookup, intrusive doubly
+   linked list for recency order.  Costs are caller-supplied (the cache
+   layer charges the marshalled size of each entry), and [put] evicts
+   from the least-recent end until the running total fits the budget —
+   including, degenerately, the entry just inserted when it alone
+   exceeds the budget.  Not thread-safe: the owning cache serializes
+   access under its own mutex. *)
+
+type 'v node = {
+  nkey : string;
+  mutable nvalue : 'v;
+  mutable ncost : int;
+  mutable prev : 'v node option; (* toward most-recent *)
+  mutable next : 'v node option; (* toward least-recent *)
+}
+
+type 'v t = {
+  tbl : (string, 'v node) Hashtbl.t;
+  mutable front : 'v node option; (* most recently used *)
+  mutable back : 'v node option;  (* least recently used *)
+  mutable budget : int;
+  mutable bytes : int;
+  mutable evictions : int;
+}
+
+let create ~budget =
+  if budget < 0 then invalid_arg "Lru.create: negative budget";
+  { tbl = Hashtbl.create 64;
+    front = None;
+    back = None;
+    budget;
+    bytes = 0;
+    evictions = 0 }
+
+let length t = Hashtbl.length t.tbl
+let bytes t = t.bytes
+let budget t = t.budget
+let evictions t = t.evictions
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.front <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.back <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.front;
+  (match t.front with Some f -> f.prev <- Some n | None -> t.back <- Some n);
+  t.front <- Some n
+
+let evict_lru t =
+  match t.back with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl n.nkey;
+      t.bytes <- t.bytes - n.ncost;
+      t.evictions <- t.evictions + 1
+
+let enforce_budget t =
+  while t.bytes > t.budget && Option.is_some t.back do
+    evict_lru t
+  done
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some n ->
+      unlink t n;
+      push_front t n;
+      Some n.nvalue
+
+let peek t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some n -> Some n.nvalue
+
+let put t key value ~cost =
+  if cost < 0 then invalid_arg "Lru.put: negative cost";
+  (match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      t.bytes <- t.bytes - n.ncost + cost;
+      n.nvalue <- value;
+      n.ncost <- cost;
+      unlink t n;
+      push_front t n
+  | None ->
+      let n =
+        { nkey = key; nvalue = value; ncost = cost; prev = None; next = None }
+      in
+      Hashtbl.add t.tbl key n;
+      t.bytes <- t.bytes + cost;
+      push_front t n);
+  enforce_budget t
+
+let remove t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> false
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl key;
+      t.bytes <- t.bytes - n.ncost;
+      true
+
+let set_budget t budget =
+  if budget < 0 then invalid_arg "Lru.set_budget: negative budget";
+  t.budget <- budget;
+  enforce_budget t
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.front <- None;
+  t.back <- None;
+  t.bytes <- 0
+
+let to_list t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some n -> walk ((n.nkey, n.ncost) :: acc) n.next
+  in
+  walk [] t.front

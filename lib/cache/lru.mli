@@ -1,0 +1,50 @@
+(** String-keyed LRU with a byte budget.
+
+    Every entry carries a caller-supplied non-negative cost; the sum of
+    costs never exceeds the budget after a {!put} or {!set_budget}
+    returns — entries are evicted least-recently-used first until it
+    fits (an entry whose own cost exceeds the whole budget is evicted
+    immediately, leaving the map without it).  {!find} counts as a use
+    and promotes; {!peek} does not.
+
+    Not thread-safe — the owning cache serializes access. *)
+
+type 'v t
+
+val create : budget:int -> 'v t
+(** Fresh empty map.  [Invalid_argument] on a negative budget. *)
+
+val find : 'v t -> string -> 'v option
+(** Lookup and promote to most-recently-used. *)
+
+val peek : 'v t -> string -> 'v option
+(** Lookup without touching recency order. *)
+
+val put : 'v t -> string -> 'v -> cost:int -> unit
+(** Insert or replace (replacement also promotes and re-charges the new
+    cost), then evict until within budget.  [Invalid_argument] on a
+    negative cost. *)
+
+val remove : 'v t -> string -> bool
+(** Drop an entry; [true] if it was present.  Not counted as an
+    eviction. *)
+
+val length : 'v t -> int
+val bytes : 'v t -> int
+(** Sum of live entry costs. *)
+
+val budget : 'v t -> int
+
+val evictions : 'v t -> int
+(** Budget-pressure evictions since creation ({!remove} and {!clear}
+    excluded). *)
+
+val set_budget : 'v t -> int -> unit
+(** Change the budget, evicting down if shrunk. *)
+
+val clear : 'v t -> unit
+(** Drop everything (counters keep their values; not evictions). *)
+
+val to_list : 'v t -> (string * int) list
+(** [(key, cost)] pairs, most-recently-used first — for inspection and
+    the model-based tests. *)

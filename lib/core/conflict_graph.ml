@@ -518,6 +518,80 @@ module Incremental = struct
   let k st = st.k
   let n_alive_edges st = st.n_alive
 
+  (* ---- Phase-0 snapshots (warm start) ----
+
+     A snapshot captures the expensive product of [create] — the fully
+     enumerated phase-0 CSR — as an immutable value that outlives the
+     state (whose buffers are clobbered by later compacts).  A later
+     solve over the *same* hypergraph with the same k can then rebuild
+     its state from the snapshot with two array copies plus the cheap
+     O(sum |e|) [tables_of] pass, skipping the neighborhood enumeration
+     entirely.  Identity of the resulting state (and hence of the whole
+     solve) with a cold [create] is immediate: every field is
+     recomputed from [h] except the CSR pair, which is a value-equal
+     copy of what [csr_arrays] produced. *)
+
+  type snapshot = {
+    snap_k : int;
+    snap_nslots : int;
+    snap_offsets : int array;
+    snap_adj : adj_store;
+  }
+
+  let copy_store = function
+    | A_int a -> A_int (Array.copy a)
+    | A_i32 a ->
+        let b = i32_create (Bigarray.Array1.dim a) in
+        Bigarray.Array1.blit a b;
+        A_i32 b
+
+  let snapshot st =
+    if st.dirty || st.nslots_cur <> st.tb.nslots then
+      invalid_arg "Conflict_graph.Incremental.snapshot: not at phase 0";
+    { snap_k = st.k;
+      snap_nslots = st.tb.nslots;
+      snap_offsets = Array.copy st.cur_offsets;
+      snap_adj = copy_store st.cur_adj }
+
+  let snapshot_k s = s.snap_k
+
+  let snapshot_bytes s =
+    (8 * Array.length s.snap_offsets)
+    +
+    match s.snap_adj with
+    | A_int a -> 8 * Array.length a
+    | A_i32 a -> 4 * Bigarray.Array1.dim a
+
+  let create_from_snapshot h snap =
+    Tm.with_span "conflict_graph.incremental.warm_create" @@ fun () ->
+    let m = H.n_edges h in
+    let tb = tables_of h in
+    if tb.nslots <> snap.snap_nslots then
+      invalid_arg
+        "Conflict_graph.Incremental.create_from_snapshot: hypergraph does \
+         not match the snapshot";
+    let k = snap.snap_k in
+    let offsets = Array.copy snap.snap_offsets in
+    let adj = copy_store snap.snap_adj in
+    if Tm.enabled () then begin
+      Tm.incr "conflict_graph.warm_starts";
+      Tm.count "conflict_graph.warm_bytes" (snapshot_bytes snap)
+    end;
+    { k;
+      tb;
+      edge_alive = Bytes.make (max m 1) '\001';
+      n_alive = m;
+      nslots_cur = tb.nslots;
+      slot_orig = Array.init (max tb.nslots 1) (fun s -> s);
+      slot_map = Array.make (max tb.nslots 1) (-1);
+      triple_map = Array.make (max (tb.nslots * k) 1) (-1);
+      cur_offsets = offsets;
+      cur_adj = adj;
+      spare_offsets = [||];
+      spare_adj = A_int [||];
+      graph = prefix_graph (tb.nslots * k) ~offsets adj;
+      dirty = false }
+
   (* Current conflict-graph vertex id -> triple over the ORIGINAL
      hypergraph (global edge ids, not restricted-local ones).  Edge
      membership is unchanged by restriction, so every consumer of the

@@ -138,6 +138,34 @@ module Incremental : sig
   val compact : state -> unit
   (** Drop every triple of a retired edge and renumber; no-op if
       nothing was retired since the last compact. *)
+
+  type snapshot
+  (** An immutable copy of a state's phase-0 CSR, safe to keep after
+      the state itself is discarded or compacted (warm-start tier of
+      the solved-instance cache). *)
+
+  val snapshot : state -> snapshot
+  (** Capture the phase-0 CSR.  Only valid before any retirement:
+      raises [Invalid_argument] once edges have been retired, because
+      the compacted CSR no longer describes the full hypergraph. *)
+
+  val snapshot_k : snapshot -> int
+  (** The [k] the snapshot was built for. *)
+
+  val snapshot_bytes : snapshot -> int
+  (** Approximate heap footprint of the copied arrays, for cache byte
+      budgets. *)
+
+  val create_from_snapshot :
+    Ps_hypergraph.Hypergraph.t -> snapshot -> state
+  (** Rebuild a fresh phase-0 state for [h] from a snapshot taken over
+      the {e same} hypergraph, replacing the neighborhood-enumeration
+      CSR build with two array copies (plus the cheap slot-table
+      pass).  The resulting state — and therefore the whole solve — is
+      bit-identical to [create h ~k].  The caller must guarantee [h]
+      equals the snapshot's hypergraph ({!Ps_hypergraph.Hypergraph.equal});
+      only the slot-count is re-checked here ([Invalid_argument] on
+      mismatch). *)
 end
 
 val build_reference : Ps_hypergraph.Hypergraph.t -> k:int -> t

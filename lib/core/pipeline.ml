@@ -27,14 +27,19 @@ type result = {
   k : int;
 }
 
-let solve_unchecked ?cancel ?seed ?engine ?domains ?(k = From_conservative)
-    ~solver h =
+let solve_unchecked ?cancel ?seed ?engine ?domains ?warm ?on_phase0
+    ?(k = From_conservative) ~solver h =
   let k = choose_k k h in
-  let reduction = Reduction.run ?cancel ?seed ?engine ?domains ~solver ~k h in
+  let reduction =
+    Reduction.run ?cancel ?seed ?engine ?domains ?warm ?on_phase0 ~solver ~k h
+  in
   { reduction; certificate = Certify.certify reduction; k }
 
-let solve ?cancel ?seed ?engine ?domains ?k ~solver h =
-  let result = solve_unchecked ?cancel ?seed ?engine ?domains ?k ~solver h in
+let solve ?cancel ?seed ?engine ?domains ?warm ?on_phase0 ?k ~solver h =
+  let result =
+    solve_unchecked ?cancel ?seed ?engine ?domains ?warm ?on_phase0 ?k ~solver
+      h
+  in
   if not result.certificate.Certify.all_ok then
     failwith
       (Format.asprintf "Pipeline.solve: certificate failed: %a" Certify.pp

@@ -61,7 +61,8 @@ let phase_boundary_checks ~phase graph is =
   fail "solver output" (Ps_check.Check_set.independent graph is)
 
 let run ?max_phases ?(cancel = fun () -> false) ?(seed = 0)
-    ?(engine = (`Incremental : engine)) ?(domains = 0) ~solver ~k h =
+    ?(engine = (`Incremental : engine)) ?(domains = 0) ?warm ?on_phase0
+    ~solver ~k h =
   Tm.with_span "reduction.run" @@ fun () ->
   let m = H.n_edges h in
   Tm.set_int "m" m;
@@ -171,7 +172,21 @@ let run ?max_phases ?(cancel = fun () -> false) ?(seed = 0)
          holds because compaction reproduces the exact numbering a
          rebuild would assign (see [Conflict_graph.Incremental]), so
          the solver sees equal graphs and draws the same randomness. *)
-      let st = Conflict_graph.Incremental.create ~domains h ~k in
+      let st =
+        (* Warm start: skip the phase-0 CSR enumeration when the cache
+           supplies a snapshot taken over an equal hypergraph at the
+           same k; bit-identity with the cold path is the snapshot's
+           contract. *)
+        match warm with
+        | Some snap ->
+            if Conflict_graph.Incremental.snapshot_k snap <> k then
+              invalid_arg "Reduction.run: warm snapshot built for another k";
+            Conflict_graph.Incremental.create_from_snapshot h snap
+        | None -> Conflict_graph.Incremental.create ~domains h ~k
+      in
+      (match on_phase0 with
+      | Some f -> f (Conflict_graph.Incremental.snapshot st)
+      | None -> ());
       let n_vertices = H.n_vertices h in
       let happy_cnt = Cf.happy_scratch ~k in
       while !n_remaining > 0 do

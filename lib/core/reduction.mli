@@ -78,6 +78,8 @@ val run :
   ?seed:int ->
   ?engine:engine ->
   ?domains:int ->
+  ?warm:Conflict_graph.Incremental.snapshot ->
+  ?on_phase0:(Conflict_graph.Incremental.snapshot -> unit) ->
   solver:Ps_maxis.Approx.solver ->
   k:int ->
   Ps_hypergraph.Hypergraph.t ->
@@ -92,6 +94,16 @@ val run :
     see {!type-engine}); [domains] is forwarded to the conflict-graph
     builder (default [0] — automatic, see {!Conflict_graph.build}) and
     affects only construction speed, never the result.
+
+    [warm] hands the [`Incremental] engine a phase-0 CSR snapshot taken
+    over an {e equal} hypergraph at the same [k]
+    ({!Conflict_graph.Incremental.create_from_snapshot}; equality is the
+    caller's contract, [k] is checked — [Invalid_argument] on mismatch),
+    replacing the phase-0 build with array copies; the run is
+    bit-identical either way.  [on_phase0] is called once with a
+    snapshot of the freshly built (or warm-started) phase-0 CSR, which
+    is how the solved-instance cache populates its warm tier.  Both are
+    ignored by the [`Rebuild] oracle, which has no cross-phase state.
 
     [cancel] (default: never) is polled once per phase, before any phase
     work; a [true] answer raises {!Canceled}.  This is the cooperative

@@ -588,6 +588,29 @@ let equal g h =
          done);
   !ok
 
+(* Content-addressed digest over the same logical content [equal]
+   compares: n, the offsets prefix, and the adjacency entries below
+   offsets.(n), each hashed as a logical int value.  Both physical
+   widths (and arena views with spare capacity) of the same graph
+   therefore produce the same digest; distinct CSRs differ up to
+   64-bit collisions (qcheck'd against [equal]). *)
+let content_hash g =
+  let h = ref (Ps_util.Fnv.int Ps_util.Fnv.init g.n) in
+  for v = 0 to g.n do
+    h := Ps_util.Fnv.int !h g.offsets.(v)
+  done;
+  let total = g.offsets.(g.n) in
+  (match g.adj with
+  | S_int a ->
+      for i = 0 to total - 1 do
+        h := Ps_util.Fnv.int !h a.(i)
+      done
+  | S_i32 a ->
+      for i = 0 to total - 1 do
+        h := Ps_util.Fnv.int !h (Int32.to_int (Bigarray.Array1.get a i))
+      done);
+  Ps_util.Fnv.finish !h
+
 let pp ppf g =
   let lo =
     if g.n = 0 then 0

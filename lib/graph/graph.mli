@@ -200,5 +200,14 @@ val equal : t -> t -> bool
     width — an int-backed and an int32-backed graph holding the same
     rows are equal. *)
 
+val content_hash : t -> int64
+(** Content-addressed 64-bit digest of the logical CSR (FNV-1a over
+    [n], the offsets prefix and the adjacency entries, avalanched).
+    Hashes the {e logical} int values, so the digest is independent of
+    the physical store width and of arena spare capacity:
+    [equal g h] implies [content_hash g = content_hash h], and the
+    converse holds up to 64-bit collisions.  Stable across processes —
+    safe to use as a persistent cache key. *)
+
 val pp : Format.formatter -> t -> unit
 (** Summary line: vertex/edge counts and degree range. *)

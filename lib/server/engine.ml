@@ -5,12 +5,14 @@ type config = {
   domains : int;
   queue_capacity : int;
   default_timeout_ms : int option;
+  cache : Ps_cache.Cache.t option;
 }
 
 let default_config =
   { domains = max 1 (min 4 (Ps_util.Parallel.available ()));
     queue_capacity = 64;
-    default_timeout_ms = None }
+    default_timeout_ms = None;
+    cache = None }
 
 type handler =
   stats:(unit -> Json.t) ->
@@ -49,7 +51,9 @@ type t = {
   mutable rejected : int;
   mutable invalid : int;
   mutable completed : int;
-  mutable failed : int;   (* completed with ok=false, timeouts included *)
+  mutable failed : int;   (* completed with ok=false for a non-timeout
+                             reason; disjoint from [timeouts], so
+                             completed = ok + failed + timeouts *)
   mutable timeouts : int;
   mutable inflight : int;
   mutable reply_failures : int;
@@ -78,11 +82,6 @@ let ms_of_ns ns = Int64.to_float ns /. 1e6
 
 (* ------------------------------------------------------------------ *)
 (* Stats *)
-
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else sorted.(max 0 (int_of_float (ceil (q *. float_of_int n)) - 1))
 
 let stats_json t =
   let snapshot =
@@ -115,10 +114,10 @@ let stats_json t =
         lat ) =
     snapshot
   in
-  Array.sort compare lat;
-  let p50 = percentile lat 0.50
-  and p95 = percentile lat 0.95
-  and p99 = percentile lat 0.99 in
+  Array.sort Float.compare lat;
+  let p50 = Ps_util.Stats.percentile_nearest lat 0.50
+  and p95 = Ps_util.Stats.percentile_nearest lat 0.95
+  and p99 = Ps_util.Stats.percentile_nearest lat 0.99 in
   let mean =
     if Array.length lat = 0 then 0.0
     else Array.fold_left ( +. ) 0.0 lat /. float_of_int (Array.length lat)
@@ -128,8 +127,29 @@ let stats_json t =
   Tm.gauge "server.latency_p95_ms" p95;
   Tm.gauge "server.latency_p99_ms" p99;
   let uptime_s = ms_of_ns (Int64.sub (Tm.now_ns ()) t.started_ns) /. 1e3 in
+  let cache_fields =
+    match t.cfg.cache with
+    | None -> []
+    | Some c ->
+        let s = Ps_cache.Cache.stats c in
+        [ ( "cache",
+            Json.Obj
+              [ ("hits", Json.Int s.Ps_cache.Cache.hits);
+                ("misses", Json.Int s.misses);
+                ("stores", Json.Int s.stores);
+                ("evictions", Json.Int s.evictions);
+                ("entries", Json.Int s.entries);
+                ("bytes", Json.Int s.bytes);
+                ("budget", Json.Int s.budget);
+                ("audits", Json.Int s.audits);
+                ("poisoned", Json.Int s.poisoned);
+                ("warm_hits", Json.Int s.warm_hits);
+                ("warm_entries", Json.Int s.warm_entries);
+                ("warm_bytes", Json.Int s.warm_bytes);
+                ("disk_hits", Json.Int s.disk_hits) ] ) ]
+  in
   Json.Obj
-    [ ("domains", Json.Int t.cfg.domains);
+    ([ ("domains", Json.Int t.cfg.domains);
       ("queue_capacity", Json.Int t.cfg.queue_capacity);
       ("uptime_s", Json.Float uptime_s);
       ("queue_depth", Json.Int depth);
@@ -153,6 +173,7 @@ let stats_json t =
             ("p99", Json.Float p99);
             ("max", Json.Float lat_max);
             ("mean", Json.Float mean) ] ) ]
+    @ cache_fields)
 
 (* ------------------------------------------------------------------ *)
 (* Workers *)
@@ -210,9 +231,7 @@ let run_job t job =
       t.completed <- t.completed + 1;
       (match result with
       | Ok _ -> ()
-      | Error { code = Timeout; _ } ->
-          t.failed <- t.failed + 1;
-          t.timeouts <- t.timeouts + 1
+      | Error { code = Timeout; _ } -> t.timeouts <- t.timeouts + 1
       | Error _ -> t.failed <- t.failed + 1);
       record_latency t total_ms);
   if Tm.enabled () then begin
@@ -252,7 +271,17 @@ let worker_loop t () =
 
 (* ------------------------------------------------------------------ *)
 
-let create ?(handler = Service.handle) cfg =
+let create ?handler cfg =
+  let handler =
+    match handler with
+    | Some h -> h
+    | None -> (
+        (* With a cache configured, the default dispatch becomes the
+           cache-aware one (misses store, solves warm-start). *)
+        match cfg.cache with
+        | Some cache -> Service.handle_cached ~cache
+        | None -> Service.handle)
+  in
   if cfg.domains < 1 then invalid_arg "Engine.create: domains must be >= 1";
   if cfg.queue_capacity < 1 then
     invalid_arg "Engine.create: queue_capacity must be >= 1";
@@ -292,6 +321,49 @@ let submit t req ~reply =
       (fun ms -> Int64.add enqueued_ns (Int64.of_int (ms * 1_000_000)))
       timeout_ms
   in
+  (* Cache consult before enqueueing: a verified hit is answered
+     synchronously on the submitting thread and never consumes a queue
+     slot or a worker.  The sampled re-audit (when drawn) runs here —
+     it is bounded by the instance size, far below a solve, and shed
+     pressure on the queue is exactly what the cache exists to relieve. *)
+  let cached =
+    match t.cfg.cache with
+    | None -> None
+    | Some c -> Service.cached_lookup c req.P.call
+  in
+  match cached with
+  | Some payload ->
+      let served =
+        locked t (fun () ->
+            if t.closed then false
+            else begin
+              t.accepted <- t.accepted + 1;
+              t.completed <- t.completed + 1;
+              record_latency t
+                (ms_of_ns (Int64.sub (Tm.now_ns ()) enqueued_ns));
+              true
+            end)
+      in
+      if served then begin
+        Tm.incr "server.accepted";
+        Tm.incr "server.completed";
+        Tm.incr "server.cache_served";
+        (try reply (P.response_to_line (P.ok_response ~id:req.P.id payload))
+         with _ ->
+           locked t (fun () -> t.reply_failures <- t.reply_failures + 1));
+        Accepted
+      end
+      else begin
+        Tm.incr "server.rejected";
+        let e =
+          P.{ code = Shutting_down; message = "server is shutting down" }
+        in
+        (try reply (P.response_to_line (P.error_response ~id:req.P.id e))
+         with _ ->
+           locked t (fun () -> t.reply_failures <- t.reply_failures + 1));
+        Rejected_shutting_down
+      end
+  | None ->
   let outcome =
     locked t (fun () ->
         if t.closed then Rejected_shutting_down

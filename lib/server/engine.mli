@@ -33,10 +33,17 @@ type config = {
   queue_capacity : int;           (** pending-job bound (≥ 1) *)
   default_timeout_ms : int option;
       (** deadline for requests that carry none; [None] = unbounded *)
+  cache : Ps_cache.Cache.t option;
+      (** solved-instance cache.  When set, {!submit} consults it
+          before enqueueing (a verified hit replies synchronously,
+          consuming no queue slot or worker), the default handler
+          becomes {!Service.handle_cached}, and {!stats_json} reports a
+          ["cache"] counter block.  [None] = uncached (the default). *)
 }
 
 val default_config : config
-(** 4 workers (clamped to the machine), capacity 64, no default deadline. *)
+(** 4 workers (clamped to the machine), capacity 64, no default
+    deadline, no cache. *)
 
 type handler =
   stats:(unit -> Json.t) ->
@@ -51,7 +58,8 @@ type handler =
 type t
 
 val create : ?handler:handler -> config -> t
-(** Spawn the worker domains.  [handler] defaults to {!Service.handle}. *)
+(** Spawn the worker domains.  [handler] defaults to {!Service.handle},
+    or to {!Service.handle_cached} when [config.cache] is set. *)
 
 type submit_outcome = Accepted | Rejected_overloaded | Rejected_shutting_down
 
@@ -71,8 +79,14 @@ val record_invalid : t -> unit
 val stats_json : t -> Json.t
 (** Snapshot: configuration, uptime, queue depth, in-flight count,
     accepted/rejected/completed/failed/timeout totals, throughput, and
-    p50/p95/p99/max/mean latency (ms) over the last 4096 jobs.  Also
-    refreshes the [server.latency_p*_ms] telemetry gauges. *)
+    p50/p95/p99/max/mean latency (ms) over the last 4096 jobs.  The
+    completion counters are disjoint: [completed] splits exactly into
+    ok responses, [failed] (non-timeout errors) and [timeouts] — this
+    is the wire contract of the protocol's [stats] method, pinned by
+    test.  With a cache configured, a ["cache"] object carries the
+    {!Ps_cache.Cache.stats} counters (hits/misses/stores/evictions/
+    bytes/audits/poisoned/warm_hits/disk_hits…).  Also refreshes the
+    [server.latency_p*_ms] telemetry gauges. *)
 
 val queue_depth : t -> int
 val inflight : t -> int

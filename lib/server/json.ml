@@ -21,6 +21,9 @@ type state = { s : string; mutable pos : int; max_depth : int }
 
 let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
 
+let peek_is st c =
+  match peek st with Some c' -> Char.equal c' c | None -> false
+
 let skip_ws st =
   let n = String.length st.s in
   while
@@ -201,7 +204,7 @@ let rec parse_value st depth =
 and parse_obj st depth =
   expect st '{';
   skip_ws st;
-  if peek st = Some '}' then begin
+  if peek_is st '}' then begin
     st.pos <- st.pos + 1;
     Obj []
   end
@@ -228,7 +231,7 @@ and parse_obj st depth =
 and parse_list st depth =
   expect st '[';
   skip_ws st;
-  if peek st = Some ']' then begin
+  if peek_is st ']' then begin
     st.pos <- st.pos + 1;
     List []
   end
@@ -320,7 +323,12 @@ let to_string v =
 (* ------------------------------------------------------------------ *)
 (* Accessors *)
 
-let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+let member key = function
+  | Obj kvs ->
+      List.find_map
+        (fun (k, v) -> if String.equal k key then Some v else None)
+        kvs
+  | _ -> None
 let to_int_opt = function Int i -> Some i | _ -> None
 
 let to_float_opt = function

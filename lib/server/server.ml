@@ -9,7 +9,7 @@ let default_config =
   { engine = Engine.default_config; max_line_bytes = P.default_max_bytes }
 
 let handle_line ~engine ~max_line_bytes ~reply line =
-  if String.trim line <> "" then
+  if not (String.equal (String.trim line) "") then
     match P.parse_request ~max_bytes:max_line_bytes line with
     | Ok req -> ignore (Engine.submit engine req ~reply : Engine.submit_outcome)
     | Error (id, err) ->
@@ -97,6 +97,24 @@ let serve_stdio ?(config = default_config) () =
 (* ------------------------------------------------------------------ *)
 (* Unix socket *)
 
+(* Retry [accept_fn] through the transient accept failures: EINTR (a
+   signal landed mid-accept — routine for a process that fields SIGTERM
+   and friends) and ECONNABORTED (the peer gave up while queued — says
+   nothing about the listener).  Without this, one such failure inside
+   the ready branch of the accept loop killed the acceptor thread and
+   the server silently stopped accepting while looking healthy.  [None]
+   when [should_stop] answers [true] between retries or the socket is
+   gone (EBADF); every other exception propagates.  Parameterized over
+   the accept function so the retry contract is testable without a
+   kernel that cooperates on signal timing. *)
+let rec accept_retrying ~should_stop accept_fn =
+  match accept_fn () with
+  | conn -> Some conn
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+      if should_stop () then None
+      else accept_retrying ~should_stop accept_fn
+  | exception Unix.Unix_error (Unix.EBADF, _, _) -> None
+
 let serve_unix_socket ?(config = default_config) ~path () =
   with_termination_latch @@ fun latch ->
   let engine = Engine.create config.engine in
@@ -142,8 +160,15 @@ let serve_unix_socket ?(config = default_config) ~path () =
       match Unix.select [ listen_fd ] [] [] 0.25 with
       | [], _, _ -> if tripped latch then () else loop ()
       | _ :: _, _, _ ->
-          let fd, _ = Unix.accept listen_fd in
-          let _t : Thread.t = Thread.create (connection fd) () in
+          (match
+             accept_retrying
+               ~should_stop:(fun () -> tripped latch)
+               (fun () -> Unix.accept listen_fd)
+           with
+          | Some (fd, _) ->
+              let _t : Thread.t = Thread.create (connection fd) () in
+              ()
+          | None -> ());
           if tripped latch then () else loop ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) ->
           if tripped latch then () else loop ()

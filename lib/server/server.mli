@@ -37,3 +37,11 @@ val handle_line :
   string -> unit
 (** One line through validate-or-reject + submit; exposed for tests and
     the load generator.  Blank lines are ignored. *)
+
+val accept_retrying :
+  should_stop:(unit -> bool) -> (unit -> 'a) -> 'a option
+(** The accept loop's retry wrapper: re-run the accept function on
+    [EINTR] / [ECONNABORTED] (polling [should_stop] between attempts),
+    [None] on stop or [EBADF] (listener closed), propagate anything
+    else.  Exposed so the retry contract is pinned by a deterministic
+    test alongside the live signal-storm regression test. *)

@@ -56,6 +56,11 @@ let check_target = function
         ~checks:(("csr" :: is_checks) @ ds_checks)
         (csr @ is_diags @ ds_diags)
 
+let decompose graph =
+  let d = Ps_slocal.Decomposition.ball_carving graph in
+  let check = Ps_slocal.Decomposition.verify graph d in
+  P.decompose_result d ~verified:(Ps_slocal.Decomposition.check_all check)
+
 let handle ~stats ~cancel (req : P.request) =
   match req.call with
   | P.Ping -> Ok (Json.Obj [ ("pong", Json.Bool true) ])
@@ -66,9 +71,80 @@ let handle ~stats ~cancel (req : P.request) =
       Ok (P.certificate_json (solve ~cancel p).Ps_core.Pipeline.certificate)
   | P.Mis { graph; algo; seed } ->
       Ok (P.mis_result (mis_entries ~seed algo graph))
+  | P.Decompose { graph } -> Ok (decompose graph)
+
+(* ------------------------------------------------------------------ *)
+(* Cache-aware paths.  Responses are built from the same encoders as
+   the fresh paths over stored values that a fresh solve would produce
+   bit-for-bit, so hits and misses are indistinguishable on the wire
+   (hit-ness shows up only in the stats counters). *)
+
+module Cache = Ps_cache.Cache
+
+let solve_cached ~cache ~cancel (p : P.solve_params) =
+  Cache.solve cache ~cancel ~k:p.k ~solver:p.solver ~solver_name:p.solver_name
+    ~seed:p.seed p.hypergraph
+
+(* Deterministic given the graph; no seed or solver choice in the key. *)
+let decompose_key_seed = 0
+
+let cached_lookup cache (call : P.call) =
+  let parsed payload =
+    match Json.parse payload with Ok j -> Some j | Error _ -> None
+  in
+  match call with
+  | P.Reduce p ->
+      Option.map
+        (P.reduce_result ~detail:p.detail)
+        (Cache.find_solve cache ~k:p.k ~solver_name:p.solver_name ~seed:p.seed
+           p.hypergraph)
+  | P.Certify p ->
+      Option.map
+        (fun r -> P.certificate_json r.Ps_core.Pipeline.certificate)
+        (Cache.find_solve cache ~k:p.k ~solver_name:p.solver_name ~seed:p.seed
+           p.hypergraph)
+  | P.Mis { graph; algo; seed } ->
+      Option.bind
+        (Cache.find_graph_result cache ~kind:Cache.Mis
+           ~solver_name:(P.mis_algo_name algo) ~seed graph)
+        parsed
   | P.Decompose { graph } ->
-      let d = Ps_slocal.Decomposition.ball_carving graph in
-      let check = Ps_slocal.Decomposition.verify graph d in
+      Option.bind
+        (Cache.find_graph_result cache ~kind:Cache.Decompose
+           ~solver_name:"ball-carving" ~seed:decompose_key_seed graph)
+        parsed
+  | P.Ping | P.Stats | P.Check _ -> None
+
+let graph_result_cached cache ~kind ~solver_name ~seed graph render =
+  match
+    Option.bind
+      (Cache.find_graph_result cache ~kind ~solver_name ~seed graph)
+      (fun payload ->
+        match Json.parse payload with Ok j -> Some j | Error _ -> None)
+  with
+  | Some j -> j
+  | None ->
+      let j = render () in
+      Cache.store_graph_result cache ~kind ~solver_name ~seed graph
+        (Json.to_string j);
+      j
+
+let handle_cached ~cache ~stats ~cancel (req : P.request) =
+  match req.call with
+  | P.Ping | P.Stats | P.Check _ -> handle ~stats ~cancel req
+  | P.Reduce p ->
+      Ok (P.reduce_result ~detail:p.detail (solve_cached ~cache ~cancel p))
+  | P.Certify p ->
       Ok
-        (P.decompose_result d
-           ~verified:(Ps_slocal.Decomposition.check_all check))
+        (P.certificate_json
+           (solve_cached ~cache ~cancel p).Ps_core.Pipeline.certificate)
+  | P.Mis { graph; algo; seed } ->
+      Ok
+        (graph_result_cached cache ~kind:Cache.Mis
+           ~solver_name:(P.mis_algo_name algo) ~seed graph (fun () ->
+             P.mis_result (mis_entries ~seed algo graph)))
+  | P.Decompose { graph } ->
+      Ok
+        (graph_result_cached cache ~kind:Cache.Decompose
+           ~solver_name:"ball-carving" ~seed:decompose_key_seed graph
+           (fun () -> decompose graph))

@@ -18,6 +18,24 @@ val handle :
     on a valid instance — a failed certificate is reported inside the
     result ([certified: false]), not as a protocol error. *)
 
+val handle_cached :
+  cache:Ps_cache.Cache.t ->
+  stats:(unit -> Json.t) ->
+  cancel:(unit -> bool) ->
+  Protocol.request ->
+  (Json.t, Protocol.error) result
+(** {!handle} with the solved-instance cache in the loop: [reduce] /
+    [certify] go through {!Ps_cache.Cache.solve} (result reuse +
+    phase-0 warm start), [mis] / [decompose] through the opaque
+    graph-result tier.  Responses are bit-identical to {!handle} — a
+    hit is observable only in the cache counters. *)
+
+val cached_lookup : Ps_cache.Cache.t -> Protocol.call -> Json.t option
+(** Lookup-only fast path (no solving, no storing): the rendered
+    response payload when the call is cacheable and present (equality
+    verified, sampled audit passed).  The engine calls this before
+    enqueueing so hits never consume a queue slot or a worker. *)
+
 val mis_entries :
   seed:int -> Protocol.mis_algo -> Ps_graph.Graph.t -> Json.t list
 (** Per-algorithm result rows ([Mis_all] = the whole zoo, in the CLI's

@@ -1,0 +1,36 @@
+(** FNV-1a 64-bit streaming hash with an avalanche finalizer.
+
+    Feed data into a [state] with the combinators below, then call
+    [finish] to obtain the final 64-bit digest.  All inputs are hashed
+    byte-by-byte in a fixed little-endian order, so digests are stable
+    across architectures and OCaml versions — safe to persist in cache
+    files and compare across processes. *)
+
+type state = int64
+(** Intermediate hash state.  Not a digest: always pass through
+    [finish] before storing or comparing. *)
+
+val init : state
+(** The FNV-1a 64-bit offset basis. *)
+
+val int : state -> int -> state
+(** Hash a native [int] as the 8 little-endian bytes of its two's
+    complement representation. *)
+
+val int64 : state -> int64 -> state
+(** Hash an [int64] as 8 little-endian bytes. *)
+
+val string : state -> string -> state
+(** Hash every byte of the string (no length prefix — append a
+    terminator or hash the length separately when concatenation
+    ambiguity matters). *)
+
+val finish : state -> int64
+(** SplitMix64-style avalanche of the raw FNV state; improves low-bit
+    diffusion so the digest can be truncated or bucketed safely. *)
+
+val to_hex : int64 -> string
+(** 16-digit lowercase hex rendering of a digest (zero padded). *)
+
+val string_hash : string -> int64
+(** [string_hash s] = [finish (string init s)]. *)

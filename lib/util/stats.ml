@@ -47,6 +47,12 @@ let percentile a q =
 
 let median a = percentile a 50.0
 
+let percentile_nearest sorted q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile_nearest";
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(max 0 (int_of_float (ceil (q *. float_of_int n)) - 1))
+
 let summarize a =
   let lo, hi = min_max a in
   { count = Array.length a;

@@ -21,6 +21,18 @@ val percentile : float array -> float -> float
     statistics. Does not mutate its argument. *)
 
 val median : float array -> float
+
+val percentile_nearest : float array -> float -> float
+(** [percentile_nearest sorted q] for [q] in [0,1]: nearest-rank
+    percentile of an array *already sorted ascending* (e.g. with
+    [Array.sort Float.compare]).  Unlike [percentile] it does not
+    interpolate and it returns [0.0] on an empty array — the behaviour
+    latency reporters want for "no samples yet".  NaN entries sort
+    below every number under [Float.compare], so they can only surface
+    at low quantiles; callers feeding measured durations never produce
+    them.  Does not mutate or copy its argument; [q] outside [0,1]
+    raises [Invalid_argument]. *)
+
 val summarize : float array -> summary
 val of_ints : int array -> float array
 

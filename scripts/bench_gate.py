@@ -3,7 +3,9 @@
 the committed baseline within a relative tolerance (default +/-25%).
 
 BENCH_micro.json, BENCH_reduce.json and BENCH_huge.json are flat
-{name: number} objects.  Row names select how a row is compared:
+{name: number} objects; BENCH_serve.json is nested and carries its
+comparable rows in a flat "gate" sub-object.  Row names select how a
+row is compared:
 
 - Ratio rows (name containing "speedup"): machine-independent and
   higher-is-better, so they are compared directly — the gate fails when
@@ -23,6 +25,10 @@ BENCH_micro.json, BENCH_reduce.json and BENCH_huge.json are flat
 
 - Meta rows (name containing "meta_"): instance facts (edge counts,
   certification flags); skipped entirely.
+
+- Cache rows (name containing "hit_rate" or "hit_gain"): workload- and
+  machine-mix-dependent; printed for information, never gated (the
+  cache's gating signal is the warm-start speedup ratio).
 
 - Everything else is a timing (ns/run, ns, ms).  Absolute values depend
   on the machine the baseline was generated on, so each file is first
@@ -58,6 +64,10 @@ import sys
 def load(path):
     with open(path) as f:
         obj = json.load(f)
+    # Nested bench files (BENCH_serve.json) carry their comparable rows
+    # in a flat "gate" sub-object; the rest of the document is detail.
+    if isinstance(obj, dict) and isinstance(obj.get("gate"), dict):
+        obj = obj["gate"]
     if not isinstance(obj, dict) or not all(
         isinstance(v, (int, float)) for v in obj.values()
     ):
@@ -81,9 +91,16 @@ def is_meta(name):
     return "meta_" in name
 
 
+def is_hit(name):
+    # Cache hit-rate / hit-gain rows: the hit rate depends on the
+    # workload's popularity draw and the hit gain on the machine's
+    # solve-to-protocol-overhead mix, so both are informational.
+    return "hit_rate" in name or "hit_gain" in name
+
+
 def is_timing(name):
     return not (is_ratio(name) or is_rss(name) or is_throughput(name)
-                or is_meta(name))
+                or is_meta(name) or is_hit(name))
 
 
 def main():
@@ -124,7 +141,7 @@ def main():
                            "higher"))
         elif is_rss(name):
             checks.append((name + " [rss]", base[name], cur[name], "lower"))
-        elif is_throughput(name) and base[name] > 0:
+        elif (is_throughput(name) or is_hit(name)) and base[name] > 0:
             rel = (cur[name] - base[name]) / base[name]
             print(f"  info {name}: baseline={base[name]:.3g} "
                   f"current={cur[name]:.3g} ({rel:+.1%}, not gated)")

@@ -58,7 +58,7 @@ let engine_storm ~clients ~per_client ~drain =
   let engine =
     Engine.create ~handler:stress_handler
       { Engine.domains = !domains; queue_capacity = 8;
-        default_timeout_ms = Some 20 }
+        default_timeout_ms = Some 20; cache = None }
   in
   let replies = Atomic.make 0 in
   let submitted = Atomic.make 0 in

@@ -207,7 +207,7 @@ let test_engine_overload_shed () =
   in
   let engine =
     Engine.create ~handler
-      { Engine.domains = 1; queue_capacity = 1; default_timeout_ms = None }
+      { Engine.domains = 1; queue_capacity = 1; default_timeout_ms = None; cache = None }
   in
   let r = new_replies () in
   (* First job occupies the single worker; wait until it is actually
@@ -245,7 +245,7 @@ let test_engine_timeout_cancels () =
   in
   let engine =
     Engine.create ~handler
-      { Engine.domains = 1; queue_capacity = 4; default_timeout_ms = None }
+      { Engine.domains = 1; queue_capacity = 4; default_timeout_ms = None; cache = None }
   in
   let r = new_replies () in
   let req = { P.id = Json.Int 1; timeout_ms = Some 20; call = P.Ping } in
@@ -267,7 +267,7 @@ let test_engine_queue_expired_job_skips_handler () =
   in
   let engine =
     Engine.create ~handler
-      { Engine.domains = 1; queue_capacity = 4; default_timeout_ms = None }
+      { Engine.domains = 1; queue_capacity = 4; default_timeout_ms = None; cache = None }
   in
   let r = new_replies () in
   ignore (Engine.submit engine (ping_req 1) ~reply:(push r)
@@ -292,7 +292,7 @@ let test_engine_drain_answers_everything () =
   in
   let engine =
     Engine.create ~handler
-      { Engine.domains = 2; queue_capacity = 64; default_timeout_ms = None }
+      { Engine.domains = 2; queue_capacity = 64; default_timeout_ms = None; cache = None }
   in
   let r = new_replies () in
   let n = 20 in
@@ -322,7 +322,7 @@ let test_engine_abort_cancels_in_flight () =
   in
   let engine =
     Engine.create ~handler
-      { Engine.domains = 1; queue_capacity = 4; default_timeout_ms = None }
+      { Engine.domains = 1; queue_capacity = 4; default_timeout_ms = None; cache = None }
   in
   let r = new_replies () in
   ignore (Engine.submit engine (ping_req 1) ~reply:(push r)
@@ -341,7 +341,7 @@ let test_engine_handler_exception_is_internal () =
   in
   let engine =
     Engine.create ~handler
-      { Engine.domains = 1; queue_capacity = 4; default_timeout_ms = None }
+      { Engine.domains = 1; queue_capacity = 4; default_timeout_ms = None; cache = None }
   in
   let r = new_replies () in
   ignore (Engine.submit engine (ping_req 1) ~reply:(push r)
@@ -362,7 +362,7 @@ let test_engine_handler_exception_is_internal () =
 let with_real_engine f =
   let engine =
     Engine.create
-      { Engine.domains = 2; queue_capacity = 16; default_timeout_ms = None }
+      { Engine.domains = 2; queue_capacity = 16; default_timeout_ms = None; cache = None }
   in
   Fun.protect ~finally:(fun () -> Engine.shutdown ~drain:true engine)
     (fun () -> f engine)
@@ -742,6 +742,199 @@ let test_service_check_wire_parse () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Accept-loop resilience: the retry contract, pinned deterministically,
+   plus a live signal-storm regression over a real Unix socket. *)
+
+let unix_error e = Unix.Unix_error (e, "accept", "")
+
+let test_accept_retrying_eintr () =
+  (* N transient failures, then success: the wrapper must absorb all of
+     them and hand back the connection. *)
+  let attempts = ref 0 in
+  let accept_fn () =
+    incr attempts;
+    if !attempts <= 5 then
+      raise (unix_error (if !attempts mod 2 = 0 then Unix.ECONNABORTED
+                         else Unix.EINTR))
+    else "conn"
+  in
+  (match Server.accept_retrying ~should_stop:(fun () -> false) accept_fn with
+  | Some c -> check_string "connection delivered" "conn" c
+  | None -> Alcotest.fail "retry gave up on transient errors");
+  check_int "retried through every failure" 6 !attempts
+
+let test_accept_retrying_stop_between_retries () =
+  (* A tripped stop latch is honored between retries, not ignored until
+     the next successful accept. *)
+  let stopped = ref false in
+  let accept_fn () =
+    stopped := true;
+    raise (unix_error Unix.EINTR)
+  in
+  check_bool "stop wins over retry" true
+    (Server.accept_retrying ~should_stop:(fun () -> !stopped) accept_fn
+    = None)
+
+let test_accept_retrying_ebadf_and_fatal () =
+  check_bool "EBADF means the listener is gone" true
+    (Server.accept_retrying ~should_stop:(fun () -> false) (fun () ->
+         raise (unix_error Unix.EBADF))
+    = None);
+  (* Anything else must propagate — swallowing EMFILE would spin. *)
+  match
+    Server.accept_retrying ~should_stop:(fun () -> false) (fun () ->
+        raise (unix_error Unix.EMFILE))
+  with
+  | exception Unix.Unix_error (Unix.EMFILE, _, _) -> ()
+  | _ -> Alcotest.fail "EMFILE was swallowed"
+
+let read_reply_retrying fd =
+  (* Client-side reads race the storm too; retry EINTR by hand. *)
+  let buf = Buffer.create 256 in
+  let b = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd b 0 1 with
+    | 0 -> Buffer.contents buf
+    | _ ->
+        if Char.equal (Bytes.get b 0) '\n' then Buffer.contents buf
+        else (Buffer.add_char buf (Bytes.get b 0); go ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let rec write_retrying fd s pos len =
+  match Unix.write_substring fd s pos len with
+  | n -> if n < len then write_retrying fd s (pos + n) (len - n)
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      write_retrying fd s pos len
+
+let rec connect_retrying fd addr =
+  match Unix.connect fd addr with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> connect_retrying fd addr
+
+let test_accept_loop_survives_signal_storm () =
+  (* Regression for the accept-loop bug: before [accept_retrying], one
+     EINTR inside the ready branch killed the acceptor thread and the
+     server stopped accepting while looking healthy.  Hammer the process
+     with SIGUSR1 while clients keep connecting; every ping must still
+     be answered. *)
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pslocal_storm_%d.sock" (Unix.getpid ()))
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  let prev_usr1 = Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> ())) in
+  let config =
+    { Server.default_config with
+      engine =
+        { Engine.domains = 2; queue_capacity = 16; default_timeout_ms = None;
+          cache = None } }
+  in
+  let server = Thread.create (fun () -> Server.serve_unix_socket ~config ~path ()) () in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while not (Sys.file_exists path) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  check_bool "server socket appeared" true (Sys.file_exists path);
+  let self = Unix.getpid () in
+  let storming = Atomic.make true in
+  let stormer =
+    Thread.create
+      (fun () ->
+        while Atomic.get storming do
+          Unix.kill self Sys.sigusr1;
+          Thread.delay 0.0003
+        done)
+      ()
+  in
+  let answered = ref 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set storming false;
+      Thread.join stormer;
+      Unix.kill self Sys.sigterm;
+      Thread.join server;
+      Sys.set_signal Sys.sigusr1 prev_usr1;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      for i = 1 to 40 do
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            connect_retrying fd (Unix.ADDR_UNIX path);
+            let req =
+              Printf.sprintf "{\"id\":%d,\"method\":\"ping\"}\n" i
+            in
+            write_retrying fd req 0 (String.length req);
+            let line = read_reply_retrying fd in
+            check_string
+              (Printf.sprintf "ping %d answered ok" i)
+              "ok" (error_code_of_line line);
+            incr answered)
+      done);
+  check_int "every connection under the storm was served" 40 !answered
+
+(* ------------------------------------------------------------------ *)
+(* Stats discipline: failed and timeouts are disjoint counters *)
+
+let stats_counters engine =
+  let j = Engine.stats_json engine in
+  let get name =
+    match Option.bind (Json.member name j) Json.to_int_opt with
+    | Some v -> v
+    | None -> Alcotest.failf "stats_json missing %s" name
+  in
+  (get "accepted", get "completed", get "failed", get "timeouts")
+
+let test_stats_failed_timeouts_disjoint () =
+  (* One job that times out, one that fails: each lands in exactly one
+     bucket, and completed covers both without double counting. *)
+  let handler ~stats:_ ~cancel req =
+    match req.P.id with
+    | Json.Int 1 ->
+        while not (cancel ()) do
+          Thread.delay 0.002
+        done;
+        raise Ps_core.Reduction.Canceled
+    | _ -> failwith "boom"
+  in
+  let engine =
+    Engine.create ~handler
+      { Engine.domains = 1; queue_capacity = 4; default_timeout_ms = None;
+        cache = None }
+  in
+  let r = new_replies () in
+  ignore
+    (Engine.submit engine
+       { P.id = Json.Int 1; timeout_ms = Some 20; call = P.Ping }
+       ~reply:(push r)
+      : Engine.submit_outcome);
+  wait_for_replies r 1;
+  let accepted, completed, failed, timeouts = stats_counters engine in
+  check_int "accepted" 1 accepted;
+  check_int "completed covers the timeout" 1 completed;
+  check_int "timeout counted once" 1 timeouts;
+  check_int "timeout is not a failure" 0 failed;
+  ignore
+    (Engine.submit engine (ping_req 2) ~reply:(push r)
+      : Engine.submit_outcome);
+  wait_for_replies r 2;
+  let accepted, completed, failed, timeouts = stats_counters engine in
+  check_int "accepted both" 2 accepted;
+  check_int "completed both" 2 completed;
+  check_int "failure counted once" 1 failed;
+  check_int "failure is not a timeout" 1 timeouts;
+  check_bool "buckets never overcount completed" true
+    (failed + timeouts <= completed);
+  Engine.shutdown ~drain:true engine;
+  check_bool "ok + failed + timeouts = completed" true
+    (let _, completed, failed, timeouts = stats_counters engine in
+     codes r = [ "internal"; "timeout" ]
+     && completed = 2 && failed = 1 && timeouts = 1)
+
 let suites =
   [ ( "server.json",
       [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
@@ -771,7 +964,18 @@ let suites =
         Alcotest.test_case "abort cancels in flight" `Quick
           test_engine_abort_cancels_in_flight;
         Alcotest.test_case "handler exception -> internal" `Quick
-          test_engine_handler_exception_is_internal ] );
+          test_engine_handler_exception_is_internal;
+        Alcotest.test_case "failed/timeouts disjoint" `Quick
+          test_stats_failed_timeouts_disjoint ] );
+    ( "server.accept",
+      [ Alcotest.test_case "retries transient errors" `Quick
+          test_accept_retrying_eintr;
+        Alcotest.test_case "stop between retries" `Quick
+          test_accept_retrying_stop_between_retries;
+        Alcotest.test_case "ebadf and fatal errors" `Quick
+          test_accept_retrying_ebadf_and_fatal;
+        Alcotest.test_case "survives signal storm" `Quick
+          test_accept_loop_survives_signal_storm ] );
     ( "server.transport",
       [ Alcotest.test_case "survives malformed batch" `Quick
           test_server_survives_malformed_batch;
