@@ -23,6 +23,10 @@
 module Json = Ps_server.Json
 module Server = Ps_server.Server
 module Engine = Ps_server.Engine
+module Frame = Ps_shard.Frame
+module Supervisor = Ps_shard.Supervisor
+module Metrics = Ps_shard.Metrics
+module B = Ps_server.Protocol.Binary
 
 let now_ns = Ps_util.Telemetry.now_ns
 
@@ -356,6 +360,404 @@ let repeated_lane ~domains ~draws =
     warm_start_speedup }
 
 (* ------------------------------------------------------------------ *)
+(* Serve-tier sweep: real processes, real sockets.
+
+   Everything above drives an in-process engine; this lane spawns
+   `pslocal serve` the way production runs it and measures the whole
+   tier over Unix sockets, on a protocol-dominated workload (ping
+   through the engine) so the numbers isolate the serving stack itself:
+   codec, batching, reply coalescing, per-request engine overhead.
+
+   The matrix is shards × codec.  Shard-tier configs are driven at
+   their per-shard sockets (one pipelined connection per shard; the
+   relay adds a constant per-byte tax better measured separately), the
+   single-process configs get the same number of connections to the one
+   socket, so the comparison changes the serving stack and nothing
+   else.  Open loop: a rate ladder with deficit pacing; past
+   saturation the ladder flattens at the tier's capacity, and the best
+   point's aggregate rps is the capacity estimate the gate rows use.
+
+   Requires bin/pslocal.exe — run under `dune build` (CI does) or
+   `dune exec` after one. *)
+
+let pslocal_exe () =
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/pslocal.exe"
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1))
+  in
+  go 0
+
+type tier_config = {
+  tc_label : string;
+  tc_args : string list;    (* `pslocal serve` argv tail *)
+  tc_drive : string list;   (* sockets the clients connect to *)
+  tc_sockets : string list; (* every socket the config creates (cleanup) *)
+  tc_framing : Frame.framing;
+}
+
+let tier_configs ~quick =
+  let sock label =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "psb-%d-%s.sock" (Unix.getpid ()) label)
+  in
+  let single label extra framing =
+    let s = sock label in
+    { tc_label = label;
+      tc_args = [ "--socket"; s; "--domains"; "1" ] @ extra;
+      tc_drive = [ s ];
+      tc_sockets = [ s ];
+      tc_framing = framing }
+  in
+  let tier label extra framing =
+    let s = sock label in
+    let shards = List.init 4 (Supervisor.shard_socket_path ~front:s) in
+    { tc_label = label;
+      tc_args = [ "--socket"; s; "--shards"; "4"; "--domains"; "1" ] @ extra;
+      tc_drive = shards;
+      tc_sockets = s :: shards;
+      tc_framing = framing }
+  in
+  let json = Frame.Json_lines and binary = Frame.Binary in
+  if quick then
+    [ single "single-json" [] json; tier "shard4-binary" [ "--binary" ] binary ]
+  else
+    [ single "single-json" [] json;
+      single "single-binary" [ "--binary" ] binary;
+      tier "shard4-json" [] json;
+      tier "shard4-binary" [ "--binary" ] binary ]
+
+let unlink_quietly p = try Unix.unlink p with Unix.Unix_error _ -> ()
+
+let wait_ready ~timeout_s paths =
+  let deadline = Int64.add (now_ns ()) (Int64.of_float (timeout_s *. 1e9)) in
+  let rec wait () =
+    if List.for_all Supervisor.socket_ready paths then true
+    else if Int64.compare (now_ns ()) deadline > 0 then false
+    else begin
+      Thread.delay 0.02;
+      wait ()
+    end
+  in
+  wait ()
+
+type tier_conn = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  conn_sink : sink;
+}
+
+let connect_conn path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  { fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    conn_sink = new_sink () }
+
+(* Binary ping requests are a fixed frame with the id as an int64 at a
+   constant offset — located once by probing for a sentinel pattern, so
+   the flood sender patches 8 bytes per request instead of re-encoding
+   a frame.  (The JSON sender's sprintf is the analogous floor for the
+   text codec; the asymmetry is the codec's, not the harness's.) *)
+let binary_ping_template =
+  let probe = 0x0102030405060708L in
+  let f =
+    B.frame
+      (Json.Obj
+         [ ("id", Json.Int (Int64.to_int probe));
+           ("method", Json.Str "ping") ])
+  in
+  let pat = Bytes.create 8 in
+  Bytes.set_int64_be pat 0 probe;
+  let pat = Bytes.to_string pat in
+  let off =
+    let rec find i =
+      if i + 8 > String.length f then
+        failwith "loadgen: binary ping template has no id window"
+      else if String.equal (String.sub f i 8) pat then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  (Bytes.of_string f, off)
+
+let send_ping oc framing id =
+  match framing with
+  | Frame.Json_lines ->
+      output_string oc (Printf.sprintf "{\"id\":%d,\"method\":\"ping\"}\n" id)
+  | Frame.Binary ->
+      let tmpl, off = binary_ping_template in
+      Bytes.set_int64_be tmpl off (Int64.of_int id);
+      output_bytes oc tmpl
+
+(* Reply classification without a full JSON parse on the hot path: the
+   client shares the server's core, so reading replies must stay
+   cheaper than producing them. *)
+let json_reply_id line =
+  let prefix = "{\"id\":" in
+  if String.length line > String.length prefix
+     && String.equal (String.sub line 0 (String.length prefix)) prefix
+  then begin
+    let i = ref (String.length prefix) in
+    let v = ref 0 and any = ref false in
+    while
+      !i < String.length line && line.[!i] >= '0' && line.[!i] <= '9'
+    do
+      v := (10 * !v) + Char.code line.[!i] - Char.code '0';
+      any := true;
+      incr i
+    done;
+    if !any then Some !v else None
+  end
+  else None
+
+(* Binary replies, client side.  [Frame.read_message] would fully
+   decode every frame, and at flood rates the client shares the
+   server's core — so the common case, an ok ping reply whose payload
+   leads with the same two fields at fixed offsets
+   ('o' count "id" 'i' <int64> "ok" 't' ...), is scanned in place and
+   only unusual frames pay for the full decoder. *)
+let scan_binary_reply payload =
+  if String.length payload >= 27
+     && payload.[0] = 'o'
+     && Int32.to_int (String.get_int32_be payload 5) = 2
+     && String.equal (String.sub payload 9 2) "id"
+     && payload.[11] = 'i'
+     && Int32.to_int (String.get_int32_be payload 20) = 2
+     && String.equal (String.sub payload 24 2) "ok"
+     && payload.[26] = 't'
+  then (Some (Int64.to_int (String.get_int64_be payload 12)), true, false)
+  else
+    match B.of_bytes payload with
+    | Ok resp ->
+        let id =
+          match Json.member "id" resp with
+          | Some (Json.Int i) -> Some i
+          | _ -> None
+        in
+        let ok =
+          match Json.member "ok" resp with
+          | Some (Json.Bool b) -> b
+          | _ -> false
+        in
+        let shed =
+          match
+            Option.bind (Json.member "error" resp) (Json.member "code")
+          with
+          | Some (Json.Str "overloaded") -> true
+          | _ -> false
+        in
+        (id, ok, shed)
+    | Error _ -> (None, false, false)
+
+let read_binary_reply ic =
+  match really_input_string ic B.header_bytes with
+  | exception End_of_file -> None
+  | header -> (
+      match B.frame_length header with
+      | Error _ -> Some (None, false, false)
+      | Ok n -> (
+          match really_input_string ic n with
+          | exception End_of_file -> None
+          | payload -> Some (scan_binary_reply payload)))
+
+(* One open-loop point against a running tier: pipelined pings at a
+   fixed aggregate arrival rate, spread round-robin over one connection
+   per driven socket.  Latency is sampled (every [stride]-th id) from a
+   send-timestamp array indexed by id, so reply reordering across
+   connections cannot mispair timestamps. *)
+let tier_open_point ~label ~framing ~paths ~rate_rps ~duration_s =
+  let conns = Array.of_list (List.map connect_conn paths) in
+  let k = Array.length conns in
+  let target = max k (int_of_float (float_of_int rate_rps *. duration_s)) in
+  let stride = max 1 (target / 2000) in
+  let t0s = Array.make target 0L in
+  (* Requests go round-robin by id, so each connection's reply count is
+     known upfront — the reader reads exactly that many and exits.  (A
+     done-flag handshake instead is racy: the reader can consume the
+     final reply before the flag flips, then block forever on a socket
+     that will never carry another byte.) *)
+  let expected i = (target / k) + (if i < target mod k then 1 else 0) in
+  let reader c ~expected () =
+    let read_reply () =
+      match framing with
+      | Frame.Json_lines -> (
+          match input_line c.ic with
+          | line -> Some (json_reply_id line, contains line "\"ok\":true",
+                          contains line "overloaded")
+          | exception End_of_file -> None)
+      | Frame.Binary -> read_binary_reply c.ic
+    in
+    let received = ref 0 in
+    let rec loop () =
+      if !received >= expected then ()
+      else
+        match read_reply () with
+        | None ->
+            (* Premature EOF: the server dropped replies it owed us.
+               Surface it as errors rather than hanging. *)
+            c.conn_sink.errors <- c.conn_sink.errors + (expected - !received);
+            received := expected
+        | Some (id, ok, shed) ->
+            incr received;
+            let s = c.conn_sink in
+            if ok then begin
+              s.ok <- s.ok + 1;
+              match id with
+              | Some id when id mod stride = 0 && id < target
+                             && t0s.(id) <> 0L ->
+                  s.lat <-
+                    (Int64.to_float (Int64.sub (now_ns ()) t0s.(id)) /. 1e6)
+                    :: s.lat
+              | _ -> ()
+            end
+            else if shed then s.shed <- s.shed + 1
+            else s.errors <- s.errors + 1;
+            loop ()
+    in
+    loop ()
+  in
+  let readers =
+    Array.mapi
+      (fun i c -> Thread.create (reader c ~expected:(expected i)) ())
+      conns
+  in
+  let t_start = now_ns () in
+  let sent_total = ref 0 in
+  while !sent_total < target do
+    let elapsed_s =
+      Int64.to_float (Int64.sub (now_ns ()) t_start) /. 1e9
+    in
+    let due =
+      min target (int_of_float (float_of_int rate_rps *. elapsed_s))
+    in
+    while !sent_total < due do
+      let id = !sent_total in
+      let c = conns.(id mod k) in
+      if id mod stride = 0 then t0s.(id) <- now_ns ();
+      send_ping c.oc framing id;
+      incr sent_total
+    done;
+    Array.iter (fun c -> flush c.oc) conns;
+    Thread.delay 0.001
+  done;
+  Array.iter (fun c -> flush c.oc) conns;
+  Array.iter Thread.join readers;
+  let duration_s =
+    Int64.to_float (Int64.sub (now_ns ()) t_start) /. 1e9
+  in
+  Array.iter
+    (fun c ->
+      (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      try close_in c.ic with Sys_error _ -> ())
+    conns;
+  finish ~label ~offered:target ~duration_s
+    (Array.to_list (Array.map (fun c -> c.conn_sink) conns))
+
+(* Server-side per-shard truth, straight from each shard's [stats]
+   method after the ladder: completion counts and the engine's own
+   latency quantiles, independent of client-side sampling. *)
+let shard_stats_json ~framing paths =
+  Json.List
+    (List.mapi
+       (fun i path ->
+         match Metrics.fetch_stats ~framing ~path with
+         | Ok stats ->
+             let member_or name default =
+               Option.value (Json.member name stats) ~default
+             in
+             let latency name =
+               match
+                 Option.bind (Json.member "latency_ms" stats)
+                   (Json.member name)
+               with
+               | Some v -> v
+               | None -> Json.Null
+             in
+             Json.Obj
+               [ ("shard", Json.Int i);
+                 ("completed", member_or "completed" Json.Null);
+                 ("throughput_rps", member_or "throughput_rps" Json.Null);
+                 ("p50_ms", latency "p50");
+                 ("p99_ms", latency "p99") ]
+         | Error e ->
+             Json.Obj [ ("shard", Json.Int i); ("scrape_error", Json.Str e) ])
+       paths)
+
+type tier_result = {
+  tr_label : string;
+  tr_points : point list;
+  tr_shards : Json.t;
+  tr_best_rps : float;
+}
+
+let run_tier_config ~rates ~duration_s cfg =
+  List.iter unlink_quietly cfg.tc_sockets;
+  let exe = pslocal_exe () in
+  if not (Sys.file_exists exe) then
+    failwith
+      (Printf.sprintf "loadgen: %s not built — run `dune build` first" exe);
+  let pid =
+    Unix.create_process exe
+      (Array.of_list (exe :: "serve" :: cfg.tc_args))
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid : int * Unix.process_status)
+       with Unix.Unix_error _ -> ());
+      List.iter unlink_quietly cfg.tc_sockets)
+    (fun () ->
+      if not (wait_ready ~timeout_s:15.0 cfg.tc_drive) then
+        failwith
+          (Printf.sprintf "loadgen: %s never became ready" cfg.tc_label);
+      let points =
+        List.map
+          (fun r ->
+            tier_open_point
+              ~label:(Printf.sprintf "%s/r%d" cfg.tc_label r)
+              ~framing:cfg.tc_framing ~paths:cfg.tc_drive ~rate_rps:r
+              ~duration_s)
+          rates
+      in
+      let shards = shard_stats_json ~framing:cfg.tc_framing cfg.tc_drive in
+      (* Graceful stop: the drain path is part of what this lane
+         exercises every run. *)
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ ->
+          Printf.eprintf "loadgen: warning: %s did not exit cleanly\n"
+            cfg.tc_label);
+      let best =
+        List.fold_left (fun a p -> Float.max a (throughput p)) 0.0 points
+      in
+      { tr_label = cfg.tc_label;
+        tr_points = points;
+        tr_shards = shards;
+        tr_best_rps = best })
+
+let tier_sweep ~quick =
+  (* The gated ratio only means something at saturation, so even the
+     quick lane floods (the top rung is past every config's capacity);
+     quick just skips the ladder and the two middle configs. *)
+  let rates =
+    if quick then [ 384000 ] else [ 24000; 96000; 192000; 384000 ]
+  in
+  let duration_s = if quick then 1.0 else 2.0 in
+  List.map (run_tier_config ~rates ~duration_s) (tier_configs ~quick)
+
+let tier_best results label =
+  List.find_map
+    (fun r -> if String.equal r.tr_label label then Some r.tr_best_rps else None)
+    results
+
+(* ------------------------------------------------------------------ *)
 (* Reporting *)
 
 let point_json p =
@@ -395,14 +797,46 @@ let repeated_json r =
    is stable.  The raw hit gain (full solve vs protocol overhead) and
    the hit rate are machine-mix-dependent and informational ("hit_"
    names). *)
-let gate_json r =
+(* Shard-tier ratios: capacity of a configuration divided by the
+   single-process JSON baseline measured in the same run — the machine
+   cancels out, so the rows are gateable like the warm-start ratio.
+   `serve_shard_binary_speedup` is the tier's headline SLO (4 binary
+   shards must serve ≥ 3x the legacy baseline). *)
+let tier_gate_rows tier =
   let ratio num den = if den > 0.0 then num /. den else 0.0 in
+  match tier_best tier "single-json" with
+  | None -> []
+  | Some base ->
+      List.filter_map
+        (fun (label, row) ->
+          Option.map
+            (fun v -> (row, Json.Float (ratio v base)))
+            (tier_best tier label))
+        [ ("shard4-binary", "serve_shard_binary_speedup");
+          ("shard4-json", "serve_shard_json_speedup");
+          ("single-binary", "serve_codec_speedup") ]
+
+let gate_json r ~tier =
+  let ratio num den = if den > 0.0 then num /. den else 0.0 in
+  let tier_rows = tier_gate_rows tier in
   Json.Obj
-    [ ( "serve_cache_hit_gain",
-        Json.Float
-          (ratio (percentile r.cold_ms 0.50) (percentile r.warm_ms 0.50)) );
-      ("serve_warm_start_speedup", Json.Float r.warm_start_speedup);
-      ("serve_repeat_hit_rate", Json.Float r.hit_rate) ]
+    ([ ( "serve_cache_hit_gain",
+         Json.Float
+           (ratio (percentile r.cold_ms 0.50) (percentile r.warm_ms 0.50)) );
+       ("serve_warm_start_speedup", Json.Float r.warm_start_speedup);
+       ("serve_repeat_hit_rate", Json.Float r.hit_rate) ]
+    @ tier_rows)
+
+let tier_json results =
+  Json.Obj
+    (List.map
+       (fun tr ->
+         ( tr.tr_label,
+           Json.Obj
+             [ ("points", Json.List (List.map point_json tr.tr_points));
+               ("shards", tr.tr_shards);
+               ("best_rps", Json.Float tr.tr_best_rps) ] ))
+       results)
 
 let print_repeated r =
   let t =
@@ -455,11 +889,12 @@ let print_table ~title points =
 
 let usage () =
   print_endline
-    "usage: loadgen.exe [--quick] [--domains=N] [--out=FILE]";
+    "usage: loadgen.exe [--quick] [--tier-only] [--domains=N] [--out=FILE]";
   exit 1
 
 let () =
   let quick = ref false and domains = ref 4 and out = ref "BENCH_serve.json" in
+  let tier_only = ref false in
   List.iter
     (fun a ->
       let prefixed p = String.length a > String.length p
@@ -467,6 +902,7 @@ let () =
       let value p = String.sub a (String.length p)
                       (String.length a - String.length p) in
       if a = "--quick" then quick := true
+      else if a = "--tier-only" then tier_only := true
       else if prefixed "--domains=" then
         domains := int_of_string (value "--domains=")
       else if prefixed "--out=" then out := value "--out="
@@ -479,30 +915,63 @@ let () =
   Printf.printf
     "loadgen: sunflower_12 reduce, %d worker domain(s), %gs per point\n\n"
     domains duration_s;
+  (* --tier-only: just the serve-tier sweep, for iterating on the
+     serving stack and for the CI smoke job — the solve lanes cost
+     minutes and don't change when the transport does. *)
+  let solve_lanes = not !tier_only in
   let closed =
-    List.map
-      (fun c -> closed_point ~domains ~concurrency:c ~duration_s)
-      concurrencies
+    if not solve_lanes then []
+    else
+      List.map
+        (fun c -> closed_point ~domains ~concurrency:c ~duration_s)
+        concurrencies
   in
-  print_table ~title:"Closed loop (one request in flight per client)" closed;
-  print_newline ();
+  if solve_lanes then begin
+    print_table ~title:"Closed loop (one request in flight per client)" closed;
+    print_newline ()
+  end;
   let open_ =
-    List.map (fun r -> open_point ~domains ~rate_rps:r ~duration_s) rates
+    if not solve_lanes then []
+    else List.map (fun r -> open_point ~domains ~rate_rps:r ~duration_s) rates
   in
-  print_table ~title:"Open loop (fixed arrival rate)" open_;
-  print_newline ();
-  let repeated = repeated_lane ~domains ~draws:(if !quick then 60 else 240) in
-  print_repeated repeated;
-  print_newline ();
+  if solve_lanes then begin
+    print_table ~title:"Open loop (fixed arrival rate)" open_;
+    print_newline ()
+  end;
+  let repeated =
+    if not solve_lanes then None
+    else Some (repeated_lane ~domains ~draws:(if !quick then 60 else 240))
+  in
+  Option.iter
+    (fun r ->
+      print_repeated r;
+      print_newline ())
+    repeated;
+  let tier = tier_sweep ~quick:!quick in
+  List.iter
+    (fun tr ->
+      print_table
+        ~title:
+          (Printf.sprintf "Serve tier: %s (ping, open loop, best %.0f rps)"
+             tr.tr_label tr.tr_best_rps)
+        tr.tr_points;
+      print_newline ())
+    tier;
   let doc =
     Json.Obj
-      [ ("workload", Json.Str "sunflower_12/reduce/greedy");
-        ("domains", Json.Int domains);
-        ("duration_s", Json.Float duration_s);
-        ("closed_loop", Json.List (List.map point_json closed));
-        ("open_loop", Json.List (List.map point_json open_));
-        ("repeated", repeated_json repeated);
-        ("gate", gate_json repeated) ]
+      ([ ("workload", Json.Str "sunflower_12/reduce/greedy");
+         ("domains", Json.Int domains);
+         ("duration_s", Json.Float duration_s);
+         ("closed_loop", Json.List (List.map point_json closed));
+         ("open_loop", Json.List (List.map point_json open_)) ]
+      @ (match repeated with
+        | Some r -> [ ("repeated", repeated_json r) ]
+        | None -> [])
+      @ [ ("serve_tier", tier_json tier);
+          ( "gate",
+            match repeated with
+            | Some r -> gate_json r ~tier
+            | None -> Json.Obj (tier_gate_rows tier) ) ])
   in
   let oc = open_out !out in
   Fun.protect
@@ -514,8 +983,28 @@ let () =
   (* The service-level objective the server is sized for: a 4-domain
      pool must sustain at least 200 solved reduce requests per second. *)
   let best = List.fold_left (fun a p -> Float.max a (throughput p)) 0.0 closed in
-  if domains >= 4 && best < 200.0 then begin
+  if solve_lanes && domains >= 4 && best < 200.0 then begin
     Printf.eprintf "FAIL: peak closed-loop throughput %.1f rps < 200 rps\n"
       best;
     exit 1
-  end
+  end;
+  (* The shard tier's own SLO: four binary shards must serve at least
+     3x the single-process JSON baseline.  Enforced on full runs only
+     (quick points are too short to be a stable ratio; the CI quick
+     lane still carries the ratio into bench_gate.py, which compares
+     it against the committed baseline within its tolerance). *)
+  (match
+     (tier_best tier "shard4-binary", tier_best tier "single-json")
+   with
+  | Some shard4, Some base when base > 0.0 ->
+      let speedup = shard4 /. base in
+      Printf.printf "serve tier: shard4-binary %.0f rps vs single-json %.0f \
+                     rps — %.2fx\n"
+        shard4 base speedup;
+      if (not !quick) && speedup < 3.0 then begin
+        Printf.eprintf
+          "FAIL: shard4-binary speedup %.2fx < 3.0x over single-json\n"
+          speedup;
+        exit 1
+      end
+  | _ -> ())

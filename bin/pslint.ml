@@ -5,7 +5,8 @@
    Rules (ids are what suppression comments name):
 
      poly-compare   (hot modules: lib/graph, lib/core, lib/cfc,
-                    lib/slocal, lib/server)  No polymorphic structural
+                    lib/slocal, lib/server, lib/cache, lib/shard)
+                    No polymorphic structural
                     comparison on
                     the hot paths PR 1 monomorphised: unqualified or
                     Stdlib-qualified [compare] (unless a binding in
@@ -372,7 +373,8 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let hot_dirs =
-  [ "lib/graph"; "lib/core"; "lib/cfc"; "lib/slocal"; "lib/server" ]
+  [ "lib/graph"; "lib/core"; "lib/cfc"; "lib/slocal"; "lib/server";
+    "lib/cache"; "lib/shard" ]
 
 let normalize_path p =
   String.concat "/" (String.split_on_char '\\' p)

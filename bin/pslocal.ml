@@ -898,22 +898,88 @@ let audit_cmd =
 (* ------------------------------------------------------------------ *)
 (* serve *)
 
-let serve socket domains queue timeout_ms trace cache no_cache =
-  with_trace trace @@ fun () ->
-  (* Unlike the one-shots, the server caches by default: the in-memory
-     tiers pay off across the requests of one long-running process. *)
-  let cache =
-    if no_cache then None
-    else
-      let dir =
-        match cache with
-        | Some "" -> None
-        | Some d -> Some d
-        | None -> cache_env_dir ()
-      in
-      Some (make_cache dir)
+let serve socket domains queue timeout_ms shards binary metrics_socket
+    quota_rps quota_burst shard_child trace cache no_cache =
+  let ( let* ) = Result.bind in
+  let fail fmt = Printf.ksprintf (fun m -> Error (`Msg m)) fmt in
+  (* Flag validation first: misconfiguration is a clean one-line error,
+     never a raised exception (pinned by the CLI contract tests). *)
+  let* () =
+    match domains with
+    | Some d when d < 1 -> fail "serve: --domains must be positive (got %d)" d
+    | _ -> Ok ()
   in
-  let engine =
+  let* () =
+    match queue with
+    | Some q when q < 1 -> fail "serve: --queue must be positive (got %d)" q
+    | _ -> Ok ()
+  in
+  (* The two serve paths ship different queue depths: the shard tier's
+     batched dispatch amortises a deep queue (see
+     {!Ps_shard.Shard.default_queue_capacity}); the legacy per-request
+     signalling path keeps the engine's conservative 64. *)
+  let tier_serve =
+    shards > 1 || binary
+    || Option.is_some quota_rps
+    || Option.is_some shard_child
+    || Option.is_some metrics_socket
+  in
+  let queue =
+    match queue with
+    | Some q -> q
+    | None ->
+        if tier_serve then Ps_shard.Shard.default_queue_capacity
+        else Ps_server.Engine.default_config.Ps_server.Engine.queue_capacity
+  in
+  let* () =
+    if shards < 1 then fail "serve: --shards must be positive (got %d)" shards
+    else Ok ()
+  in
+  let* () =
+    match quota_rps with
+    | Some r when r <= 0.0 ->
+        fail "serve: --quota-rps must be positive (got %g)" r
+    | _ -> Ok ()
+  in
+  let* () =
+    match quota_burst with
+    | Some b when b < 1.0 ->
+        fail "serve: --quota-burst must be at least 1 (got %g)" b
+    | Some _ when Option.is_none quota_rps ->
+        fail "serve: --quota-burst needs --quota-rps"
+    | _ -> Ok ()
+  in
+  let needs_socket what =
+    match socket with
+    | Some path -> Ok path
+    | None -> fail "serve: %s requires --socket PATH" what
+  in
+  let framing =
+    if binary then Ps_shard.Frame.Binary else Ps_shard.Frame.Json_lines
+  in
+  let quota =
+    Option.map
+      (fun rate ->
+        { Ps_shard.Shard.rate;
+          burst = Option.value quota_burst ~default:(Float.max 1.0 rate) })
+      quota_rps
+  in
+  (* Unlike the one-shots, the server caches by default: the in-memory
+     tiers pay off across the requests of one long-running process.
+     Built only in the processes that run an engine (the router-only
+     front process never solves). *)
+  let engine_config () =
+    let cache =
+      if no_cache then None
+      else
+        let dir =
+          match cache with
+          | Some "" -> None
+          | Some d -> Some d
+          | None -> cache_env_dir ()
+        in
+        Some (make_cache dir)
+    in
     { Ps_server.Engine.domains =
         (match domains with
         | Some d -> d
@@ -922,10 +988,86 @@ let serve socket domains queue timeout_ms trace cache no_cache =
       default_timeout_ms = timeout_ms;
       cache }
   in
-  let config = { Ps_server.Server.default_config with engine } in
-  match socket with
-  | None -> Ps_server.Server.serve_stdio ~config ()
-  | Some path -> Ps_server.Server.serve_unix_socket ~config ~path ()
+  let shard_config index =
+    { Ps_shard.Shard.engine = engine_config ();
+      framing;
+      max_message_bytes = Ps_server.Protocol.default_max_bytes;
+      quota;
+      index }
+  in
+  (* Children are fork+exec re-invocations of this binary (never a bare
+     fork: the parent runs threads).  Flags that shape the engine and
+     the protocol are forwarded; --trace is not (N children dumping to
+     a shared stdout would interleave). *)
+  let spawn_shard index shard_socket =
+    let tail =
+      [ "serve"; "--socket"; shard_socket;
+        "--shard-child"; string_of_int index;
+        "--queue"; string_of_int queue ]
+      @ (match domains with
+        | Some d -> [ "--domains"; string_of_int d ]
+        | None -> [])
+      @ (match timeout_ms with
+        | Some t -> [ "--timeout-ms"; string_of_int t ]
+        | None -> [])
+      @ (if binary then [ "--binary" ] else [])
+      @ (match quota_rps with
+        | Some r -> [ "--quota-rps"; Printf.sprintf "%g" r ]
+        | None -> [])
+      @ (match quota_burst with
+        | Some b -> [ "--quota-burst"; Printf.sprintf "%g" b ]
+        | None -> [])
+      @
+      if no_cache then [ "--no-cache" ]
+      else
+        match cache with
+        | Some "" -> [ "--cache" ]
+        | Some d -> [ "--cache=" ^ d ]
+        | None -> []
+    in
+    Unix.create_process Sys.executable_name
+      (Array.of_list (Sys.executable_name :: tail))
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let wrap f =
+    match with_trace trace f with
+    | () -> Ok ()
+    | exception Failure msg -> Error (`Msg msg)
+  in
+  match shard_child with
+  | Some index ->
+      (* Hidden child mode: one shard process behind its own socket. *)
+      let* path = needs_socket "--shard-child" in
+      wrap (fun () ->
+          Ps_shard.Shard.serve ~config:(shard_config index) ~path ())
+  | None ->
+      if shards > 1 || Option.is_some metrics_socket then
+        let* front =
+          needs_socket
+            (if shards > 1 then "--shards" else "--metrics-socket")
+        in
+        wrap (fun () ->
+            Ps_shard.Tier.run ~spawn:spawn_shard ~front
+              { Ps_shard.Tier.shards;
+                framing;
+                metrics_socket;
+                ready_timeout_s = 10.0 })
+      else if binary || Option.is_some quota then
+        (* Single process, but the request path needs the shard layers
+           (framing / quota), so serve through Ps_shard without a
+           supervisor or router. *)
+        let* path =
+          needs_socket (if binary then "--binary" else "--quota-rps")
+        in
+        wrap (fun () -> Ps_shard.Shard.serve ~config:(shard_config 0) ~path ())
+      else
+        wrap (fun () ->
+            let config =
+              { Ps_server.Server.default_config with engine = engine_config () }
+            in
+            match socket with
+            | None -> Ps_server.Server.serve_stdio ~config ()
+            | Some path -> Ps_server.Server.serve_unix_socket ~config ~path ())
 
 let serve_cmd =
   let socket =
@@ -950,12 +1092,14 @@ let serve_cmd =
   let queue =
     Arg.(
       value
-      & opt int
-          Ps_server.Engine.default_config.Ps_server.Engine.queue_capacity
+      & opt (some int) None
       & info [ "queue" ] ~docv:"N"
           ~doc:
             "Bounded request-queue capacity.  When full, new requests are \
-             shed immediately with an $(b,overloaded) error response.")
+             shed immediately with an $(b,overloaded) error response.  \
+             Defaults to 64 on the legacy path and 4096 on the shard tier \
+             ($(b,--shards)/$(b,--binary)/$(b,--quota-rps)), whose batched \
+             dispatch absorbs deep queues.")
   in
   let timeout_ms =
     Arg.(
@@ -967,17 +1111,85 @@ let serve_cmd =
              wait counts).  Requests may override it with a $(b,timeout_ms) \
              field.  No deadline if omitted.")
   in
+  let shards =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Serve through $(docv) solver processes behind one front \
+             socket: a supervisor spawns and restarts them, connections \
+             are sharded round-robin with failover.  Requires \
+             $(b,--socket).")
+  in
+  let binary =
+    Arg.(
+      value
+      & flag
+      & info [ "binary" ]
+          ~doc:
+            "Speak length-prefixed binary frames instead of JSON lines \
+             (same requests and responses, no text parsing on the hot \
+             path).  Requires $(b,--socket); JSON remains the default \
+             compatibility protocol.")
+  in
+  let metrics_socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-socket" ] ~docv:"PATH"
+          ~doc:
+            "Expose Prometheus text metrics over HTTP at $(docv) (scrape \
+             with $(b,curl --unix-socket)): per-shard and aggregate \
+             engine counters, latency quantiles, batching/quota/router \
+             counters, shard liveness and restarts.")
+  in
+  let quota_rps =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "quota-rps" ] ~docv:"R"
+          ~doc:
+            "Per-tenant token-bucket admission: each tenant \
+             ($(b,params.tenant); absent shares the anonymous bucket) \
+             refills at $(docv) requests/second.  Over-quota requests \
+             are answered $(b,overloaded) before touching the queue.")
+  in
+  let quota_burst =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "quota-burst" ] ~docv:"B"
+          ~doc:
+            "Token-bucket capacity per tenant (defaults to the \
+             $(b,--quota-rps) rate, at least 1).")
+  in
+  let shard_child =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shard-child" ] ~docv:"INDEX"
+          ~doc:
+            "Internal: run as shard child $(docv) of a $(b,--shards) \
+             supervisor (spawned automatically; not for direct use).")
+  in
   let doc =
     "Long-running solve service speaking newline-delimited JSON (requests \
-     in, responses out, correlated by $(b,id)).  Methods: reduce, mis, \
-     decompose, certify, ping, stats.  Solved instances are cached \
-     (content-addressed, certificate-audited; see $(b,--cache)).  Drains \
-     in-flight jobs on SIGTERM, SIGINT or EOF before exiting."
+     in, responses out, correlated by $(b,id)) or length-prefixed binary \
+     frames ($(b,--binary)).  Methods: reduce, mis, decompose, certify, \
+     check, ping, stats.  Solved instances are cached (content-addressed, \
+     certificate-audited; see $(b,--cache)).  $(b,--shards N) scales to a \
+     supervised multi-process tier behind one socket, with per-tenant \
+     quotas ($(b,--quota-rps)) and a Prometheus endpoint \
+     ($(b,--metrics-socket)).  Drains in-flight jobs on SIGTERM, SIGINT \
+     or EOF before exiting."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const serve $ socket $ domains $ queue $ timeout_ms $ trace_arg
-      $ cache_arg $ no_cache_arg)
+      term_result
+        (const serve $ socket $ domains $ queue $ timeout_ms $ shards
+       $ binary $ metrics_socket $ quota_rps $ quota_burst $ shard_child
+       $ trace_arg $ cache_arg $ no_cache_arg))
 
 (* ------------------------------------------------------------------ *)
 (* cache *)

@@ -38,13 +38,19 @@ type latency_window = {
 type t = {
   cfg : config;
   handler : handler;
+  render : Json.t -> string;  (* response serializer: JSON line (the
+                                 default) or a binary frame *)
   queue : job Queue.t;
   mutex : Mutex.t;
   nonempty : Condition.t;
+  not_full : Condition.t;  (* signalled when a worker frees a slot *)
   mutable closed : bool;     (* no new submissions; guarded by [mutex] *)
   aborting : bool Atomic.t;  (* cancel hook answers true for everyone *)
   mutable joined : bool;
   mutable workers : unit Domain.t array;
+  mutable stats_extra : (unit -> (string * Json.t) list) option;
+      (* transport-level counters appended to stats_json; guarded by
+         [mutex], called outside it *)
   started_ns : int64;
   (* stats, all guarded by [mutex] *)
   mutable accepted : int;
@@ -148,6 +154,14 @@ let stats_json t =
                 ("warm_bytes", Json.Int s.warm_bytes);
                 ("disk_hits", Json.Int s.disk_hits) ] ) ]
   in
+  let extra_fields =
+    (* Snapshot the hook under the lock, run it outside: extras come
+       from the transport layer (batching, quotas), which has locks of
+       its own. *)
+    match locked t (fun () -> t.stats_extra) with
+    | None -> []
+    | Some f -> f ()
+  in
   Json.Obj
     ([ ("domains", Json.Int t.cfg.domains);
       ("queue_capacity", Json.Int t.cfg.queue_capacity);
@@ -173,7 +187,7 @@ let stats_json t =
             ("p99", Json.Float p99);
             ("max", Json.Float lat_max);
             ("mean", Json.Float mean) ] ) ]
-    @ cache_fields)
+    @ cache_fields @ extra_fields)
 
 (* ------------------------------------------------------------------ *)
 (* Workers *)
@@ -222,7 +236,7 @@ let run_job t job =
     | Ok payload -> P.ok_response ~id:job.req.id payload
     | Error e -> P.error_response ~id:job.req.id e
   in
-  let line = P.response_to_line response in
+  let line = t.render response in
   let done_ns = Tm.now_ns () in
   safe_reply t job line;
   let total_ms = ms_of_ns (Int64.sub done_ns job.enqueued_ns) in
@@ -262,6 +276,7 @@ let worker_loop t () =
     else begin
       let job = Queue.pop t.queue in
       t.inflight <- t.inflight + 1;
+      Condition.signal t.not_full;
       Mutex.unlock t.mutex;
       run_job t job;
       next ()
@@ -271,7 +286,7 @@ let worker_loop t () =
 
 (* ------------------------------------------------------------------ *)
 
-let create ?handler cfg =
+let create ?handler ?(render = P.response_to_line) cfg =
   let handler =
     match handler with
     | Some h -> h
@@ -288,9 +303,12 @@ let create ?handler cfg =
   let t =
     { cfg;
       handler;
+      render;
+      stats_extra = None;
       queue = Queue.create ();
       mutex = Mutex.create ();
       nonempty = Condition.create ();
+      not_full = Condition.create ();
       closed = false;
       aborting = Atomic.make false;
       joined = false;
@@ -309,99 +327,134 @@ let create ?handler cfg =
   t.workers <- Array.init cfg.domains (fun _ -> Domain.spawn (worker_loop t));
   t
 
-let submit t req ~reply =
+(* Batched submission: per-item preparation (deadline arithmetic, the
+   cache consult) runs outside the lock, then one locked pass enqueues
+   the whole batch — one mutex acquisition and at most one
+   [Condition.broadcast] per wakeup, however many requests the reader
+   coalesced.  [submit] is the one-element special case, so there is a
+   single admission path to reason about.
+
+   Cache consult before enqueueing: a verified hit is answered
+   synchronously on the submitting thread and never consumes a queue
+   slot or a worker.  The sampled re-audit (when drawn) runs here — it
+   is bounded by the instance size, far below a solve, and shed
+   pressure on the queue is exactly what the cache exists to relieve. *)
+let submit_batch t items =
   let enqueued_ns = Tm.now_ns () in
-  let timeout_ms =
-    match req.P.timeout_ms with
-    | Some _ as s -> s
-    | None -> t.cfg.default_timeout_ms
-  in
-  let deadline_ns =
-    Option.map
-      (fun ms -> Int64.add enqueued_ns (Int64.of_int (ms * 1_000_000)))
-      timeout_ms
-  in
-  (* Cache consult before enqueueing: a verified hit is answered
-     synchronously on the submitting thread and never consumes a queue
-     slot or a worker.  The sampled re-audit (when drawn) runs here —
-     it is bounded by the instance size, far below a solve, and shed
-     pressure on the queue is exactly what the cache exists to relieve. *)
-  let cached =
-    match t.cfg.cache with
-    | None -> None
-    | Some c -> Service.cached_lookup c req.P.call
-  in
-  match cached with
-  | Some payload ->
-      let served =
-        locked t (fun () ->
-            if t.closed then false
-            else begin
-              t.accepted <- t.accepted + 1;
-              t.completed <- t.completed + 1;
-              record_latency t
-                (ms_of_ns (Int64.sub (Tm.now_ns ()) enqueued_ns));
-              true
-            end)
-      in
-      if served then begin
-        Tm.incr "server.accepted";
-        Tm.incr "server.completed";
-        Tm.incr "server.cache_served";
-        (try reply (P.response_to_line (P.ok_response ~id:req.P.id payload))
-         with _ ->
-           locked t (fun () -> t.reply_failures <- t.reply_failures + 1));
-        Accepted
-      end
-      else begin
-        Tm.incr "server.rejected";
-        let e =
-          P.{ code = Shutting_down; message = "server is shutting down" }
+  let prepped =
+    List.map
+      (fun ((req : P.request), reply) ->
+        let timeout_ms =
+          match req.P.timeout_ms with
+          | Some _ as s -> s
+          | None -> t.cfg.default_timeout_ms
         in
-        (try reply (P.response_to_line (P.error_response ~id:req.P.id e))
-         with _ ->
-           locked t (fun () -> t.reply_failures <- t.reply_failures + 1));
-        Rejected_shutting_down
-      end
-  | None ->
-  let outcome =
-    locked t (fun () ->
-        if t.closed then Rejected_shutting_down
-        else if Queue.length t.queue >= t.cfg.queue_capacity then begin
-          t.rejected <- t.rejected + 1;
-          Rejected_overloaded
-        end
-        else begin
-          t.accepted <- t.accepted + 1;
-          Queue.push { req; reply; enqueued_ns; deadline_ns } t.queue;
-          Condition.signal t.nonempty;
-          Accepted
-        end)
+        let deadline_ns =
+          Option.map
+            (fun ms -> Int64.add enqueued_ns (Int64.of_int (ms * 1_000_000)))
+            timeout_ms
+        in
+        let cached =
+          match t.cfg.cache with
+          | None -> None
+          | Some c -> Service.cached_lookup c req.P.call
+        in
+        (req, reply, deadline_ns, cached))
+      items
   in
-  (match outcome with
-  | Accepted -> Tm.incr "server.accepted"
-  | Rejected_overloaded ->
-      Tm.incr "server.rejected";
-      let e =
-        P.
-          { code = Overloaded;
-            message =
-              Printf.sprintf "queue full (%d pending)" t.cfg.queue_capacity }
-      in
-      (try reply (P.response_to_line (P.error_response ~id:req.P.id e))
-       with _ -> locked t (fun () -> t.reply_failures <- t.reply_failures + 1))
-  | Rejected_shutting_down ->
-      Tm.incr "server.rejected";
-      let e =
-        P.{ code = Shutting_down; message = "server is shutting down" }
-      in
-      (try reply (P.response_to_line (P.error_response ~id:req.P.id e))
-       with _ -> locked t (fun () -> t.reply_failures <- t.reply_failures + 1)));
-  outcome
+  let outcomes =
+    locked t (fun () ->
+        let enqueued = ref false in
+        let out =
+          List.map
+            (fun ((req : P.request), reply, deadline_ns, cached) ->
+              if t.closed then Rejected_shutting_down
+              else
+                match cached with
+                | Some _ ->
+                    t.accepted <- t.accepted + 1;
+                    t.completed <- t.completed + 1;
+                    record_latency t
+                      (ms_of_ns (Int64.sub (Tm.now_ns ()) enqueued_ns));
+                    Accepted
+                | None ->
+                    if Queue.length t.queue >= t.cfg.queue_capacity then begin
+                      t.rejected <- t.rejected + 1;
+                      Rejected_overloaded
+                    end
+                    else begin
+                      t.accepted <- t.accepted + 1;
+                      Queue.push { req; reply; enqueued_ns; deadline_ns }
+                        t.queue;
+                      enqueued := true;
+                      Accepted
+                    end)
+            prepped
+        in
+        if !enqueued then Condition.broadcast t.nonempty;
+        out)
+  in
+  (* Replies that happen on the submitting thread: cache hits and the
+     two shed responses.  Enqueued jobs answer from a worker. *)
+  let answer reply response =
+    try reply (t.render response)
+    with _ -> locked t (fun () -> t.reply_failures <- t.reply_failures + 1)
+  in
+  List.iter2
+    (fun ((req : P.request), reply, _deadline_ns, cached) outcome ->
+      match (outcome, cached) with
+      | Accepted, Some payload ->
+          Tm.incr "server.accepted";
+          Tm.incr "server.completed";
+          Tm.incr "server.cache_served";
+          answer reply (P.ok_response ~id:req.P.id payload)
+      | Accepted, None -> Tm.incr "server.accepted"
+      | Rejected_overloaded, _ ->
+          Tm.incr "server.rejected";
+          answer reply
+            (P.error_response ~id:req.P.id
+               P.
+                 { code = Overloaded;
+                   message =
+                     Printf.sprintf "queue full (%d pending)"
+                       t.cfg.queue_capacity })
+      | Rejected_shutting_down, _ ->
+          Tm.incr "server.rejected";
+          answer reply
+            (P.error_response ~id:req.P.id
+               P.{ code = Shutting_down; message = "server is shutting down" }))
+    prepped outcomes;
+  outcomes
+
+let submit t req ~reply =
+  match submit_batch t [ (req, reply) ] with
+  | [ outcome ] -> outcome
+  | _ -> assert false
+
+let set_stats_extra t f = locked t (fun () -> t.stats_extra <- Some f)
 
 let record_invalid t =
   locked t (fun () -> t.invalid <- t.invalid + 1);
   Tm.incr "server.invalid"
+
+(* Blocks until the queue has at least one free slot, so a single
+   submitter (the tier's batch dispatcher) can size its next
+   [submit_batch] to what the engine will actually admit and convert
+   overflow into waiting instead of shed.  The count is only a promise
+   to a *sole* submitter: with concurrent submitters the slots may be
+   gone by the time the batch lands (it then sheds as before).  Once
+   the engine is closed there is nothing to wait for — returns
+   [max_int] so the caller submits everything and the items are
+   answered [shutting_down] individually. *)
+let wait_capacity t =
+  locked t (fun () ->
+      while
+        (not t.closed) && Queue.length t.queue >= t.cfg.queue_capacity
+      do
+        Condition.wait t.not_full t.mutex
+      done;
+      if t.closed then max_int
+      else t.cfg.queue_capacity - Queue.length t.queue)
 
 let queue_depth t = locked t (fun () -> Queue.length t.queue)
 let inflight t = locked t (fun () -> t.inflight)
@@ -414,6 +467,7 @@ let shutdown ?(drain = true) t =
         t.closed <- true;
         if not drain then Atomic.set t.aborting true;
         Condition.broadcast t.nonempty;
+        Condition.broadcast t.not_full;
         first && not t.joined)
   in
   if join_now then begin

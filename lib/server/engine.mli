@@ -57,20 +57,34 @@ type handler =
 
 type t
 
-val create : ?handler:handler -> config -> t
+val create : ?handler:handler -> ?render:(Json.t -> string) -> config -> t
 (** Spawn the worker domains.  [handler] defaults to {!Service.handle},
-    or to {!Service.handle_cached} when [config.cache] is set. *)
+    or to {!Service.handle_cached} when [config.cache] is set.  [render]
+    serializes every response handed to a [reply] callback — the compact
+    JSON line ({!Protocol.response_to_line}, the default) or a binary
+    frame ({!Protocol.Binary.frame}) when the transport speaks frames. *)
 
 type submit_outcome = Accepted | Rejected_overloaded | Rejected_shutting_down
 
 val submit : t -> Protocol.request -> reply:(string -> unit) -> submit_outcome
 (** Hand a validated request to the pool.  [reply] is invoked exactly
-    once per submission with the serialized response line (no newline):
-    from a worker domain for accepted jobs, or synchronously on the
-    calling thread with the [overloaded] / [shutting_down] error when the
-    job is shed.  [reply] must be thread-safe and must not block for long
-    (it holds a worker); exceptions it raises are swallowed and counted
-    as [server.reply_failures]. *)
+    once per submission with the serialized response (rendered by the
+    engine's [render]; no newline appended): from a worker domain for
+    accepted jobs, or synchronously on the calling thread with the
+    [overloaded] / [shutting_down] error when the job is shed.  [reply]
+    must be thread-safe and must not block for long (it holds a worker);
+    exceptions it raises are swallowed and counted as
+    [server.reply_failures]. *)
+
+val submit_batch :
+  t -> (Protocol.request * (string -> unit)) list -> submit_outcome list
+(** [submit] for a whole coalesced batch under one mutex acquisition and
+    at most one worker wakeup (broadcast): the entry point for readers
+    that stage decoded requests and dispatch per wakeup
+    ({!Ps_shard.Batch}) instead of enqueueing one at a time.  Outcomes
+    are in input order, each with exactly [submit]'s per-request
+    semantics — admission is still per request, so one batch can mix
+    accepted, cache-served and shed members. *)
 
 val record_invalid : t -> unit
 (** Count a line the transport rejected before submission (parse or
@@ -87,6 +101,20 @@ val stats_json : t -> Json.t
     {!Ps_cache.Cache.stats} counters (hits/misses/stores/evictions/
     bytes/audits/poisoned/warm_hits/disk_hits…).  Also refreshes the
     [server.latency_p*_ms] telemetry gauges. *)
+
+val set_stats_extra : t -> (unit -> (string * Json.t) list) -> unit
+(** Register transport-level fields appended to every {!stats_json}
+    snapshot (e.g. a shard's batching and quota counters).  The hook
+    runs outside the engine lock; last registration wins. *)
+
+val wait_capacity : t -> int
+(** Block until the request queue has at least one free slot (or the
+    engine is shut down) and return the free-slot count.  The count is
+    a promise only to a {e sole} submitter — the tier's batch
+    dispatcher uses it to size each {!submit_batch} to what the engine
+    will admit, turning queue overflow into backpressure instead of
+    shed.  Returns [max_int] once the engine is closed (submit anyway;
+    every item is answered [shutting_down]). *)
 
 val queue_depth : t -> int
 val inflight : t -> int

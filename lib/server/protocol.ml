@@ -56,7 +56,12 @@ type call =
   | Ping
   | Stats
 
-type request = { id : Json.t; timeout_ms : int option; call : call }
+type request = {
+  id : Json.t;
+  timeout_ms : int option;
+  tenant : string option;
+  call : call;
+}
 
 let default_max_bytes = 4 * 1024 * 1024
 
@@ -272,8 +277,35 @@ let parse_call meth params =
   | "stats" -> Ok Stats
   | other -> Error (err Unknown_method "unknown method %S" other)
 
-let parse_request ?(max_bytes = default_max_bytes) line =
+let validate_request envelope =
   let tag id r = Result.map_error (fun e -> (id, e)) r in
+  match envelope with
+  | Json.Obj _ ->
+      let id = Option.value (Json.member "id" envelope) ~default:Json.Null in
+      tag id
+        (let* meth =
+           match Json.member "method" envelope with
+           | Some (Json.Str m) -> Ok m
+           | Some _ ->
+               Error (err Invalid_request "field \"method\" must be a string")
+           | None ->
+               Error (err Invalid_request "missing required field \"method\"")
+         in
+         let* params =
+           match Json.member "params" envelope with
+           | None | Some Json.Null -> Ok (Json.Obj [])
+           | Some (Json.Obj _ as p) -> Ok p
+           | Some _ ->
+               Error (err Invalid_request "field \"params\" must be an object")
+         in
+         let* timeout_ms = int_field params "timeout_ms" in
+         let* timeout_ms = positive "timeout_ms" timeout_ms in
+         let* tenant = str_field params "tenant" in
+         let* call = parse_call meth params in
+         Ok { id; timeout_ms; tenant; call })
+  | _ -> Error (Json.Null, err Invalid_request "request must be a JSON object")
+
+let parse_request ?(max_bytes = default_max_bytes) line =
   if String.length line > max_bytes then
     Error
       ( Json.Null,
@@ -282,30 +314,7 @@ let parse_request ?(max_bytes = default_max_bytes) line =
   else
     match Json.parse line with
     | Error msg -> Error (Json.Null, err Parse_error "%s" msg)
-    | Ok (Json.Obj _ as envelope) ->
-        let id = Option.value (Json.member "id" envelope) ~default:Json.Null in
-        tag id
-          (let* meth =
-             match Json.member "method" envelope with
-             | Some (Json.Str m) -> Ok m
-             | Some _ ->
-                 Error (err Invalid_request "field \"method\" must be a string")
-             | None ->
-                 Error (err Invalid_request "missing required field \"method\"")
-           in
-           let* params =
-             match Json.member "params" envelope with
-             | None | Some Json.Null -> Ok (Json.Obj [])
-             | Some (Json.Obj _ as p) -> Ok p
-             | Some _ ->
-                 Error (err Invalid_request "field \"params\" must be an object")
-           in
-           let* timeout_ms = int_field params "timeout_ms" in
-           let* timeout_ms = positive "timeout_ms" timeout_ms in
-           let* call = parse_call meth params in
-           Ok { id; timeout_ms; call })
-    | Ok _ ->
-        Error (Json.Null, err Invalid_request "request must be a JSON object")
+    | Ok envelope -> validate_request envelope
 
 (* ------------------------------------------------------------------ *)
 (* Responses *)
@@ -423,3 +432,166 @@ let decompose_result (d : Ps_slocal.Decomposition.t) ~verified =
       ("colors", Json.Int d.Ps_slocal.Decomposition.n_colors);
       ("max_radius", Json.Int d.Ps_slocal.Decomposition.max_radius);
       ("verified", Json.Bool verified) ]
+
+(* ------------------------------------------------------------------ *)
+(* Binary framing *)
+
+module Binary = struct
+  (* One frame per message, either direction:
+
+       0xB5 | u32 big-endian payload length | payload
+
+     The payload is a tagged binary encoding of exactly the {!Json}
+     value the JSON codec would put on the wire, so the two codecs are
+     interchangeable message-for-message (the qcheck suite pins
+     decode∘encode = id and cross-codec equality).  The hot-path win is
+     the decoder: tagged fixed-width scalars and length-prefixed
+     strings replace character-level JSON scanning, and the inline
+     Hio/Gio payload strings are taken verbatim — no escape decoding.
+
+     Tags: n null · t true · f false · i int64 · d float bits ·
+     s string · l list · o object (key = u32 length + bytes).  All
+     integers big-endian.  Decoding is total: every malformed input —
+     truncated value, negative or over-long length, unknown tag,
+     out-of-range integer, trailing garbage, over-deep nesting — is a
+     positioned [Error], never an exception. *)
+
+  let magic = '\xb5'
+  let header_bytes = 5
+
+  let rec encode_value buf v =
+    let add_len n = Buffer.add_int32_be buf (Int32.of_int n) in
+    match v with
+    | Json.Null -> Buffer.add_char buf 'n'
+    | Json.Bool true -> Buffer.add_char buf 't'
+    | Json.Bool false -> Buffer.add_char buf 'f'
+    | Json.Int n ->
+        Buffer.add_char buf 'i';
+        Buffer.add_int64_be buf (Int64.of_int n)
+    | Json.Float f ->
+        Buffer.add_char buf 'd';
+        Buffer.add_int64_be buf (Int64.bits_of_float f)
+    | Json.Str s ->
+        Buffer.add_char buf 's';
+        add_len (String.length s);
+        Buffer.add_string buf s
+    | Json.List items ->
+        Buffer.add_char buf 'l';
+        add_len (List.length items);
+        List.iter (encode_value buf) items
+    | Json.Obj members ->
+        Buffer.add_char buf 'o';
+        add_len (List.length members);
+        List.iter
+          (fun (k, v) ->
+            add_len (String.length k);
+            Buffer.add_string buf k;
+            encode_value buf v)
+          members
+
+  let to_bytes v =
+    let buf = Buffer.create 256 in
+    encode_value buf v;
+    Buffer.contents buf
+
+  exception Bad of int * string
+
+  let bad pos fmt = Printf.ksprintf (fun m -> raise (Bad (pos, m))) fmt
+
+  let of_bytes ?(max_depth = 256) s =
+    let len = String.length s in
+    let pos = ref 0 in
+    let need n what =
+      if !pos + n > len then
+        bad !pos "truncated %s (need %d bytes, have %d)" what n (len - !pos)
+    in
+    let read_len what =
+      need 4 what;
+      let n = Int32.to_int (String.get_int32_be s !pos) in
+      pos := !pos + 4;
+      if n < 0 then bad (!pos - 4) "negative %s length" what;
+      n
+    in
+    let read_bytes n what =
+      need n what;
+      let b = String.sub s !pos n in
+      pos := !pos + n;
+      b
+    in
+    let rec value depth =
+      if depth > max_depth then bad !pos "nesting deeper than %d" max_depth;
+      need 1 "tag";
+      let tag = s.[!pos] in
+      incr pos;
+      match tag with
+      | 'n' -> Json.Null
+      | 't' -> Json.Bool true
+      | 'f' -> Json.Bool false
+      | 'i' ->
+          need 8 "integer";
+          let v = String.get_int64_be s !pos in
+          pos := !pos + 8;
+          let n = Int64.to_int v in
+          if Int64.of_int n <> v then bad (!pos - 8) "integer out of range";
+          Json.Int n
+      | 'd' ->
+          need 8 "float";
+          let v = Int64.float_of_bits (String.get_int64_be s !pos) in
+          pos := !pos + 8;
+          Json.Float v
+      | 's' ->
+          let n = read_len "string" in
+          Json.Str (read_bytes n "string body")
+      | 'l' ->
+          let n = read_len "list" in
+          (* Each element is at least one tag byte: an element count
+             beyond the remaining bytes is hostile, not huge. *)
+          if n > len - !pos then bad (!pos - 4) "list length %d overruns frame" n;
+          Json.List (List.init n (fun _ -> value (depth + 1)))
+      | 'o' ->
+          let n = read_len "object" in
+          if n > len - !pos then
+            bad (!pos - 4) "object length %d overruns frame" n;
+          Json.Obj
+            (List.init n (fun _ ->
+                 let kn = read_len "key" in
+                 let k = read_bytes kn "key body" in
+                 (k, value (depth + 1))))
+      | c -> bad (!pos - 1) "unknown tag 0x%02x" (Char.code c)
+    in
+    match value 0 with
+    | v ->
+        if !pos <> len then
+          Error (Printf.sprintf "byte %d: trailing garbage after value" !pos)
+        else Ok v
+    | exception Bad (p, m) -> Error (Printf.sprintf "byte %d: %s" p m)
+
+  let frame v =
+    let payload = to_bytes v in
+    let buf = Buffer.create (String.length payload + header_bytes) in
+    Buffer.add_char buf magic;
+    Buffer.add_int32_be buf (Int32.of_int (String.length payload));
+    Buffer.add_string buf payload;
+    Buffer.contents buf
+
+  let frame_length header =
+    if String.length header < header_bytes then Error "short frame header"
+    else if header.[0] <> magic then
+      Error
+        (Printf.sprintf "bad frame magic 0x%02x (want 0x%02x)"
+           (Char.code header.[0]) (Char.code magic))
+    else
+      let n = Int32.to_int (String.get_int32_be header 1) in
+      if n < 0 then Error "negative frame length" else Ok n
+
+  let decode_request ?(max_bytes = default_max_bytes) payload =
+    if String.length payload > max_bytes then
+      Error
+        ( Json.Null,
+          err Payload_too_large "binary frame is %d bytes (cap %d)"
+            (String.length payload) max_bytes )
+    else
+      match of_bytes payload with
+      | Error msg -> Error (Json.Null, err Parse_error "binary frame: %s" msg)
+      | Ok envelope -> validate_request envelope
+end

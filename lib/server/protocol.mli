@@ -81,6 +81,10 @@ type call =
 type request = {
   id : Json.t;               (** echoed verbatim; [Null] when absent *)
   timeout_ms : int option;   (** per-job deadline, measured from accept *)
+  tenant : string option;
+      (** quota accounting key ([params.tenant]); requests without one
+          share the anonymous bucket.  Ignored unless the serving tier
+          has per-tenant quotas configured ({!Ps_shard.Quota}). *)
   call : call;
 }
 
@@ -91,6 +95,12 @@ val parse_request : ?max_bytes:int -> string -> (request, Json.t * error) result
 (** Validate one request line.  On error the returned [Json.t] is the
     request id if one could be recovered from the line ([Null] otherwise)
     so the error response still correlates. *)
+
+val validate_request : Json.t -> (request, Json.t * error) result
+(** Envelope validation alone (everything after the line is a
+    {!Json.t}): the shared second half of {!parse_request}, and the whole
+    story for the binary codec, whose frames decode straight to a
+    {!Json.t} without touching the JSON text parser. *)
 
 val method_name : call -> string
 (** Wire name of the method a call came from ("reduce", "ping", ...). *)
@@ -133,3 +143,50 @@ val check_result : checks:string list -> Ps_check.Diagnostic.t list -> Json.t
     [checks] names the certifiers that ran ("csr", "multicoloring",
     "independent_set", "dominating_set").  Shared by the served [check]
     method and [pslocal audit --json]. *)
+
+(** {1 Binary framing}
+
+    The hot-path alternative to JSON lines: one length-prefixed frame
+    per message ([0xB5] · u32 big-endian payload length · payload), the
+    payload a tagged binary encoding of exactly the {!Json} value the
+    JSON codec would emit.  The two codecs carry the same request and
+    response surface — the qcheck suite pins [of_bytes ∘ to_bytes = id]
+    and cross-codec payload equality — but the binary decoder replaces
+    character-level JSON scanning with fixed-width reads, and inline
+    Hio/Gio payload strings arrive verbatim with no escape decoding.
+    JSON stays the compatibility protocol; [pslocal serve --binary]
+    switches a shard tier to frames. *)
+module Binary : sig
+  val magic : char
+  (** First byte of every frame, [0xB5] — distinguishable from any JSON
+      line (which starts with whitespace or a printable ASCII byte), so
+      JSON sent to a binary port is rejected with a typed error, not
+      misparsed. *)
+
+  val header_bytes : int
+  (** Frame header size: magic + u32 length = 5. *)
+
+  val to_bytes : Json.t -> string
+  (** Payload encoding of one value (no frame header). *)
+
+  val of_bytes : ?max_depth:int -> string -> (Json.t, string) result
+  (** Total decoder: truncated values, bad tags, negative or over-long
+      lengths, out-of-range integers, over-deep nesting (default cap
+      256) and trailing garbage are positioned [Error]s — never
+      exceptions.  Inverse of {!to_bytes} on every value. *)
+
+  val frame : Json.t -> string
+  (** Header + payload: the full wire form of one message. *)
+
+  val frame_length : string -> (int, string) result
+  (** Parse a frame header (first {!header_bytes} bytes): the payload
+      length, or why the header is unusable (short, wrong magic,
+      negative length).  Length-cap enforcement is the reader's job —
+      it knows its configured maximum. *)
+
+  val decode_request : ?max_bytes:int -> string -> (request, Json.t * error) result
+  (** One frame payload through decode + {!validate_request}: the
+      binary analogue of {!parse_request}, with the same typed-error
+      contract ([parse_error] for undecodable bytes,
+      [payload_too_large] over the cap). *)
+end

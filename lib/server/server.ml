@@ -115,16 +115,65 @@ let rec accept_retrying ~should_stop accept_fn =
       else accept_retrying ~should_stop accept_fn
   | exception Unix.Unix_error (Unix.EBADF, _, _) -> None
 
+(* A leftover socket file makes a fresh bind fail with EADDRINUSE, but
+   blindly unlinking would silently hijack the address from a server
+   that is still alive.  Disambiguate with a connect probe: a live
+   listener accepts (or at least queues) the probe, while a file whose
+   owner died answers ECONNREFUSED — that one is stale and safe to
+   remove.  Every outcome is a [result]; callers turn the message into
+   their own clean exit. *)
+let prepare_socket_path path =
+  if not (Sys.file_exists path) then Ok ()
+  else
+    match (Unix.stat path).Unix.st_kind with
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Ok ()
+    | Unix.S_SOCK -> (
+        let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let verdict =
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.close probe with Unix.Unix_error _ -> ())
+            (fun () ->
+              match Unix.connect probe (Unix.ADDR_UNIX path) with
+              | () -> `Live
+              | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> `Stale
+              | exception Unix.Unix_error (Unix.ENOENT, _, _) -> `Gone
+              | exception Unix.Unix_error (e, _, _) -> `Err e)
+        in
+        match verdict with
+        | `Live ->
+            Error
+              (Printf.sprintf
+                 "%s is in use by a live server (connect probe succeeded)"
+                 path)
+        | `Gone -> Ok ()
+        | `Stale -> (
+            match Unix.unlink path with
+            | () -> Ok ()
+            | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Ok ()
+            | exception Unix.Unix_error (e, _, _) ->
+                Error
+                  (Printf.sprintf "cannot remove stale socket %s: %s" path
+                     (Unix.error_message e)))
+        | `Err e ->
+            Error
+              (Printf.sprintf "probing %s failed: %s" path
+                 (Unix.error_message e)))
+    | _ -> Error (Printf.sprintf "%s exists and is not a socket" path)
+
+let bind_unix_socket path =
+  match prepare_socket_path path with
+  | Error msg -> failwith (Printf.sprintf "serve: %s" msg)
+  | Ok () ->
+      let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind listen_fd (Unix.ADDR_UNIX path);
+      Unix.listen listen_fd 64;
+      listen_fd
+
 let serve_unix_socket ?(config = default_config) ~path () =
   with_termination_latch @@ fun latch ->
   let engine = Engine.create config.engine in
-  (if Sys.file_exists path then
-     match (Unix.stat path).Unix.st_kind with
-     | Unix.S_SOCK -> Unix.unlink path
-     | _ -> failwith (Printf.sprintf "serve: %s exists and is not a socket" path));
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind listen_fd (Unix.ADDR_UNIX path);
-  Unix.listen listen_fd 64;
+  let listen_fd = bind_unix_socket path in
   let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   let connection fd () =
     let ic = Unix.in_channel_of_descr fd in

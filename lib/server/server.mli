@@ -24,11 +24,20 @@ val serve_stdio : ?config:config -> unit -> unit
     serialized by an internal lock. *)
 
 val serve_unix_socket : ?config:config -> path:string -> unit -> unit
-(** Bind (replacing any stale socket file), accept concurrent
-    connections (one reader thread each), serve until a termination
-    signal, then stop accepting, drain, unlink the socket and return.
-    [SIGPIPE] is ignored for the duration; replies to a hung-up client
-    are dropped and counted as reply failures. *)
+(** Bind (replacing a {e stale} socket file — see
+    {!prepare_socket_path}), accept concurrent connections (one reader
+    thread each), serve until a termination signal, then stop accepting,
+    drain, unlink the socket and return.  [SIGPIPE] is ignored for the
+    duration; replies to a hung-up client are dropped and counted as
+    reply failures. *)
+
+val prepare_socket_path : string -> (unit, string) result
+(** Make [path] bindable: nothing there is fine; a socket file whose
+    owner died (connect probe answers [ECONNREFUSED]) is unlinked; a
+    socket with a {e live} listener, a non-socket file, or an unlinkable
+    stale file is an [Error] explaining why — so a crashed server's
+    leftover never causes [EADDRINUSE], and a running server's address
+    is never hijacked. *)
 
 (**/**)
 
@@ -45,3 +54,27 @@ val accept_retrying :
     [None] on stop or [EBADF] (listener closed), propagate anything
     else.  Exposed so the retry contract is pinned by a deterministic
     test alongside the live signal-storm regression test. *)
+
+val bind_unix_socket : string -> Unix.file_descr
+(** {!prepare_socket_path} (raising [Failure] on its errors), then
+    bind + listen(64).  Shared with the shard tier's per-shard
+    listeners. *)
+
+(** {2 Termination latch}
+
+    The async-signal-safe stop flag the transports block on (see the
+    comment in the implementation for why it is a polled atomic rather
+    than a condvar or [Thread.wait_signal]).  Exposed for {!Ps_shard},
+    whose shard children and supervisor share exactly this lifecycle. *)
+
+type latch
+
+val with_termination_latch : (latch -> 'a) -> 'a
+(** Run with [SIGTERM]/[SIGINT] tripping the latch; previous signal
+    dispositions are restored on exit. *)
+
+val trip : latch -> unit
+val tripped : latch -> bool
+
+val await : latch -> unit
+(** Block (50 ms poll) until the latch trips. *)

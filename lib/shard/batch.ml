@@ -1,0 +1,139 @@
+module Engine = Ps_server.Engine
+module P = Ps_server.Protocol
+
+type stats = { batches : int; requests : int; max_batch : int }
+
+type t = {
+  engine : Engine.t;
+  max_staged : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  not_full : Condition.t;
+  mutable staged : (P.request * (string -> unit)) list; (* newest first *)
+  mutable staged_len : int;
+  mutable stopping : bool;
+  mutable batches : int;
+  mutable requests : int;
+  mutable max_batch : int;
+  mutable dispatcher : Thread.t option;
+}
+
+let is_empty = function [] -> true | _ :: _ -> false
+
+(* First [n] items of [batch] (all of them when [n] exceeds the
+   length), plus the rest — the dispatcher feeds the engine in
+   capacity-sized slices. *)
+let split_at n batch =
+  let rec go acc n = function
+    | rest when n <= 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (x :: acc) (n - 1) rest
+  in
+  go [] n batch
+
+(* The dispatcher drains the whole staging list per wakeup: while it is
+   inside [Engine.submit_batch] (one engine-mutex acquisition, one
+   worker broadcast for the lot), the reader threads keep staging, so
+   under load batches grow naturally — coalescing is an emergent
+   property of the engine being busy, not a timer.
+
+   Feeding is capacity-sized: [Engine.wait_capacity] blocks until the
+   queue has room and says how much, and each [submit_batch] carries at
+   most that.  With this dispatcher as the engine's sole submitter,
+   queue overflow therefore never sheds — the batch waits, the staging
+   queue fills to its watermark, [push] blocks the readers, and the
+   kernel socket buffers push back on the clients.  Overload becomes
+   latency; the only load-shedding edges left are per-tenant quota
+   (ahead of staging) and engine shutdown. *)
+let dispatcher_loop t () =
+  let rec feed = function
+    | [] -> ()
+    | batch ->
+        let free = Engine.wait_capacity t.engine in
+        let now, rest = split_at free batch in
+        ignore (Engine.submit_batch t.engine now : Engine.submit_outcome list);
+        feed rest
+  in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while is_empty t.staged && not t.stopping do
+      Condition.wait t.nonempty t.mutex
+    done;
+    let batch = List.rev t.staged in
+    t.staged <- [];
+    t.staged_len <- 0;
+    Condition.broadcast t.not_full;
+    let stop_after = t.stopping in
+    (match batch with
+    | [] -> ()
+    | _ :: _ ->
+        let n = List.length batch in
+        t.batches <- t.batches + 1;
+        t.requests <- t.requests + n;
+        if n > t.max_batch then t.max_batch <- n);
+    Mutex.unlock t.mutex;
+    feed batch;
+    if not (stop_after && is_empty batch) then loop ()
+  in
+  loop ()
+
+let create ?(max_staged = 8192) engine =
+  if max_staged < 1 then invalid_arg "Batch.create: max_staged must be >= 1";
+  let t =
+    {
+      engine;
+      max_staged;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      not_full = Condition.create ();
+      staged = [];
+      staged_len = 0;
+      stopping = false;
+      batches = 0;
+      requests = 0;
+      max_batch = 0;
+      dispatcher = None;
+    }
+  in
+  t.dispatcher <- Some (Thread.create (dispatcher_loop t) ());
+  t
+
+let push t req ~reply =
+  Mutex.lock t.mutex;
+  while t.staged_len >= t.max_staged && not t.stopping do
+    Condition.wait t.not_full t.mutex
+  done;
+  if t.stopping then begin
+    Mutex.unlock t.mutex;
+    (* The dispatcher may already be gone; the engine answers
+       [shutting_down] (or drains the job) itself. *)
+    ignore (Engine.submit t.engine req ~reply : Engine.submit_outcome)
+  end
+  else begin
+    let was_empty = is_empty t.staged in
+    t.staged <- (req, reply) :: t.staged;
+    t.staged_len <- t.staged_len + 1;
+    (* Signal only on the empty->nonempty edge: a busy dispatcher will
+       sweep later stagings up in the same batch anyway. *)
+    if was_empty then Condition.signal t.nonempty;
+    Mutex.unlock t.mutex
+  end
+
+let stop t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.mutex;
+  match t.dispatcher with
+  | None -> ()
+  | Some d ->
+      Thread.join d;
+      t.dispatcher <- None
+
+let stats t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      { batches = t.batches; requests = t.requests; max_batch = t.max_batch })

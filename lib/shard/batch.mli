@@ -1,0 +1,54 @@
+(** Request coalescing: a bounded staging queue between the connection
+    readers and the engine.
+
+    The per-request cost of {!Ps_server.Engine.submit} is one mutex
+    acquisition and one condvar signal — negligible for solve-bound
+    jobs, dominant for protocol-bound traffic (ping floods, cache hits).
+    This stage amortizes it: readers [push] decoded requests into a
+    staging list (one short lock, a signal only on the empty→non-empty
+    edge), and a single dispatcher thread drains {e everything} staged
+    per wakeup, feeding {!Ps_server.Engine.submit_batch} in
+    capacity-sized slices — one engine-lock acquisition and one worker
+    broadcast per slice, however many requests it carries.  Batch size
+    is emergent, not configured: while the engine is busy admitting one
+    batch the readers stage the next, so batches grow exactly when the
+    system is loaded and stay at 1 when it is idle (no added latency
+    from a coalescing timer).
+
+    Overflow is backpressure, not shed.  The dispatcher waits on
+    {!Ps_server.Engine.wait_capacity} before each slice, so the engine
+    queue never overflows from this path; when staging reaches
+    [max_staged], [push] blocks the reader, the kernel socket buffers
+    fill, and the client's writes stall.  A flood therefore costs
+    latency, bounded by the staging watermark plus the queue depth —
+    the only request-dropping edges in a shard are the per-tenant quota
+    (checked before staging) and engine shutdown. *)
+
+type t
+
+type stats = {
+  batches : int;    (** dispatcher wakeups that carried work *)
+  requests : int;   (** total requests dispatched through batches *)
+  max_batch : int;  (** largest single staging drain so far *)
+}
+
+val create : ?max_staged:int -> Ps_server.Engine.t -> t
+(** Spawns the dispatcher thread.  [max_staged] (default 8192) is the
+    staging watermark above which [push] blocks; raising it trades
+    memory for burst absorption. *)
+
+val push :
+  t -> Ps_server.Protocol.request -> reply:(string -> unit) -> unit
+(** Stage one request; blocks while the staging queue is at its
+    watermark.  [reply] has {!Ps_server.Engine.submit}'s contract
+    (invoked exactly once with the rendered response, possibly on the
+    dispatcher thread for shed or cache-served requests).  After
+    {!stop}, falls through to a direct engine submit so the
+    exactly-one-response guarantee survives the race. *)
+
+val stop : t -> unit
+(** Flush whatever is staged in one final batch, then join the
+    dispatcher.  Call before engine shutdown so drained jobs include
+    every pushed request. *)
+
+val stats : t -> stats

@@ -1,0 +1,73 @@
+module Tm = Ps_util.Telemetry
+
+type bucket = { mutable tokens : float; mutable last_ns : int64 }
+
+type t = {
+  rate : float;
+  burst : float;
+  mutex : Mutex.t;
+  buckets : (string, bucket) Hashtbl.t;
+  mutable admitted : int;
+  mutable rejected : int;
+}
+
+type stats = { admitted : int; rejected : int; tenants : int }
+
+let create ~rate ~burst =
+  if rate <= 0.0 then invalid_arg "Quota.create: rate must be positive";
+  if burst < 1.0 then invalid_arg "Quota.create: burst must be at least 1";
+  {
+    rate;
+    burst;
+    mutex = Mutex.create ();
+    buckets = Hashtbl.create 16;
+    admitted = 0;
+    rejected = 0;
+  }
+
+(* Refill is computed lazily at admission time from the bucket's last
+   touch, so idle tenants cost nothing: no timer thread, no periodic
+   sweep.  The clock is the caller's (monotonic [Telemetry.now_ns] by
+   default, injectable for deterministic tests); a clock that stands
+   still simply refills nothing. *)
+let admit ?now_ns t ~tenant =
+  let now = match now_ns with Some n -> n | None -> Tm.now_ns () in
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      let b =
+        match Hashtbl.find_opt t.buckets tenant with
+        | Some b -> b
+        | None ->
+            let b = { tokens = t.burst; last_ns = now } in
+            Hashtbl.add t.buckets tenant b;
+            b
+      in
+      let elapsed_ns = Int64.sub now b.last_ns in
+      if Int64.compare elapsed_ns 0L > 0 then begin
+        let refill = Int64.to_float elapsed_ns *. 1e-9 *. t.rate in
+        b.tokens <- Float.min t.burst (b.tokens +. refill);
+        b.last_ns <- now
+      end;
+      if b.tokens >= 1.0 then begin
+        b.tokens <- b.tokens -. 1.0;
+        t.admitted <- t.admitted + 1;
+        true
+      end
+      else begin
+        t.rejected <- t.rejected + 1;
+        Tm.incr "shard.quota_rejected";
+        false
+      end)
+
+let stats t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      {
+        admitted = t.admitted;
+        rejected = t.rejected;
+        tenants = Hashtbl.length t.buckets;
+      })

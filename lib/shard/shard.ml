@@ -1,0 +1,179 @@
+module Engine = Ps_server.Engine
+module Server = Ps_server.Server
+module P = Ps_server.Protocol
+module Json = Ps_server.Json
+
+type quota_config = { rate : float; burst : float }
+
+type config = {
+  engine : Engine.config;
+  framing : Frame.framing;
+  max_message_bytes : int;
+  quota : quota_config option;
+  index : int;
+}
+
+(* The tier's shipped queue depth.  The legacy server signals a worker
+   per enqueue, so a deep queue under overload thrashes — its 64 is the
+   right ceiling there.  Here the dispatcher drains the staging queue
+   into one [submit_batch] per wakeup, so queue pressure is amortised
+   and a deep queue turns bursts into latency instead of shed. *)
+let default_queue_capacity = 4096
+
+let default_config =
+  {
+    engine =
+      { Engine.default_config with queue_capacity = default_queue_capacity };
+    framing = Frame.Json_lines;
+    max_message_bytes = P.default_max_bytes;
+    quota = None;
+    index = 0;
+  }
+
+let quota_error =
+  {
+    P.code = P.Overloaded;
+    message = "per-tenant quota exhausted — retry after backoff";
+  }
+
+let shard_stats_fields ~config ~batch ~quota () =
+  let bs = Batch.stats batch in
+  let base =
+    [
+      ("index", Json.Int config.index);
+      ("pid", Json.Int (Unix.getpid ()));
+      ("framing", Json.Str (Frame.framing_name config.framing));
+      ("batches", Json.Int bs.Batch.batches);
+      ("batched_requests", Json.Int bs.Batch.requests);
+      ("max_batch", Json.Int bs.Batch.max_batch);
+    ]
+  in
+  let quota_fields =
+    match quota with
+    | None -> []
+    | Some q ->
+        let qs = Quota.stats q in
+        [
+          ("quota_admitted", Json.Int qs.Quota.admitted);
+          ("quota_rejected", Json.Int qs.Quota.rejected);
+          ("quota_tenants", Json.Int qs.Quota.tenants);
+        ]
+  in
+  [ ("shard", Json.Obj (base @ quota_fields)) ]
+
+let serve ?(config = default_config) ~path () =
+  Server.with_termination_latch @@ fun latch ->
+  let render =
+    match config.framing with
+    | Frame.Json_lines -> P.response_to_line
+    | Frame.Binary -> P.Binary.frame
+  in
+  let engine = Engine.create ~render config.engine in
+  (* Staging watermark tracks the queue: overflow beyond queue + 2x
+     queue of staged burst blocks the readers (socket backpressure)
+     rather than growing memory. *)
+  let batch =
+    Batch.create
+      ~max_staged:(max 64 (2 * config.engine.Engine.queue_capacity))
+      engine
+  in
+  let quota =
+    Option.map (fun q -> Quota.create ~rate:q.rate ~burst:q.burst) config.quota
+  in
+  Engine.set_stats_extra engine (shard_stats_fields ~config ~batch ~quota);
+  let listen_fd = Server.bind_unix_socket path in
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  (* Writers outlive their connection threads (a reader at EOF may
+     still have engine replies in flight); the drain closes them all
+     after the engine is empty so every buffered reply reaches the
+     wire before the process exits. *)
+  let writers_mutex = Mutex.create () in
+  let writers = ref [] in
+  let connection fd () =
+    let ic = Unix.in_channel_of_descr fd in
+    let w = Frame.writer fd ~framing:config.framing in
+    Mutex.lock writers_mutex;
+    writers := w :: !writers;
+    Mutex.unlock writers_mutex;
+    let reply line = Frame.send w line in
+    let answer_error ~id err =
+      Engine.record_invalid engine;
+      match Frame.send w (render (P.error_response ~id err)) with
+      | () -> ()
+      | exception Failure _ -> ()
+    in
+    let rec loop () =
+      match
+        Frame.read_event ic ~framing:config.framing
+          ~max_bytes:config.max_message_bytes
+      with
+      | Frame.Eof -> ()
+      | Frame.Poisoned err ->
+          (* Stream desynchronized: one typed answer, then stop
+             reading this connection. *)
+          answer_error ~id:Json.Null err
+      | Frame.Request (Error (id, err)) ->
+          answer_error ~id err;
+          loop ()
+      | Frame.Request (Ok req) -> (
+          match quota with
+          | Some q
+            when not
+                   (Quota.admit q
+                      ~tenant:(Option.value req.P.tenant ~default:"")) ->
+              (match
+                 Frame.send w (render (P.error_response ~id:req.P.id quota_error))
+               with
+              | () -> ()
+              | exception Failure _ -> ());
+              loop ()
+          | _ ->
+              Batch.push batch req ~reply;
+              loop ())
+    in
+    (try loop () with Sys_error _ | Unix.Unix_error _ -> ());
+    (* Like the single-process transport: leave the fd open — replies
+       for this connection may still be in flight in the engine. *)
+    ()
+  in
+  let accept_loop () =
+    let rec loop () =
+      match Unix.select [ listen_fd ] [] [] 0.25 with
+      | [], _, _ -> if Server.tripped latch then () else loop ()
+      | _ :: _, _, _ ->
+          (match
+             Server.accept_retrying
+               ~should_stop:(fun () -> Server.tripped latch)
+               (fun () -> Unix.accept listen_fd)
+           with
+          | Some (fd, _) ->
+              let _t : Thread.t = Thread.create (connection fd) () in
+              ()
+          | None -> ());
+          if Server.tripped latch then () else loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          if Server.tripped latch then () else loop ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+    in
+    loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigpipe prev_pipe;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      let acceptor = Thread.create accept_loop () in
+      Server.await latch;
+      Thread.join acceptor;
+      (* Order matters: flush the staging queue into the engine, drain
+         the engine (every accepted request renders its reply into a
+         writer), then flush and join the writers — zero dropped
+         replies on SIGTERM. *)
+      Batch.stop batch;
+      Engine.shutdown ~drain:true engine;
+      Mutex.lock writers_mutex;
+      let ws = !writers in
+      writers := [];
+      Mutex.unlock writers_mutex;
+      List.iter Frame.close_writer ws)

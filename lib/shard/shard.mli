@@ -1,0 +1,46 @@
+(** One shard: a complete solve server process behind its own Unix
+    socket, built from the existing {!Ps_server.Engine} plus the tier's
+    three per-request layers — {!Frame} (codec), {!Quota} (per-tenant
+    admission), {!Batch} (coalesced dispatch).
+
+    Request path per connection: framed read → typed-error reject or
+    quota check → staging queue → batched engine submit → rendered
+    reply through the coalescing writer.  Lifecycle matches
+    {!Ps_server.Server.serve_unix_socket}: bind (stale socket files
+    replaced, live ones refused), accept until [SIGTERM]/[SIGINT], then
+    stop accepting, flush the staging queue, drain the engine and flush
+    every connection writer — an accepted request never loses its reply
+    to shutdown.
+
+    The supervisor runs one of these per child process; the [shard]
+    stats block (index, pid, framing, batching and quota counters) is
+    injected into the engine's [stats] response so the metrics
+    collector can scrape everything over the ordinary protocol. *)
+
+type quota_config = {
+  rate : float;   (** tokens/second per tenant *)
+  burst : float;  (** bucket capacity *)
+}
+
+type config = {
+  engine : Ps_server.Engine.config;
+  framing : Frame.framing;
+  max_message_bytes : int;  (** line / frame-payload cap *)
+  quota : quota_config option;  (** [None] = no per-tenant limits *)
+  index : int;  (** this shard's position, echoed in stats/metrics *)
+}
+
+val default_queue_capacity : int
+(** The tier's shipped engine queue depth (4096 — deeper than
+    {!Ps_server.Engine.default_config}'s 64).  Batched dispatch drains
+    the staging queue into one engine submit per wakeup, so a deep
+    queue absorbs bursts as latency instead of shedding them; the
+    legacy per-request signalling path cannot sustain that depth. *)
+
+val default_config : config
+(** Engine defaults with [default_queue_capacity], JSON lines,
+    {!Ps_server.Protocol.default_max_bytes}, no quota, index 0. *)
+
+val serve : ?config:config -> path:string -> unit -> unit
+(** Bind [path] and serve until a termination signal; returns after the
+    drain described above. *)

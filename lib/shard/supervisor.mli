@@ -1,0 +1,58 @@
+(** Shard process supervision: spawn N solver children, restart the
+    ones that crash, drain them all on shutdown.
+
+    The supervisor owns no sockets and speaks no protocol — each child
+    is a full {!Shard.serve} process behind its own socket path
+    ({!shard_socket_path}), spawned through a caller-supplied closure
+    (the CLI re-executes its own binary with hidden child flags:
+    fork+exec, never bare fork — the parent runs threads, and a forked
+    child would inherit whatever locks they held).  Crash recovery
+    leans on {!Ps_server.Server.prepare_socket_path}: the dead child's
+    leftover socket file probes as stale, so its replacement binds the
+    same path without help.
+
+    Restart counts are the tier's health signal — exported per shard as
+    [pslocal_shard_restarts_total] by {!Metrics} and pinned by the
+    kill-a-shard integration test. *)
+
+type t
+
+type child_info = {
+  c_index : int;
+  c_pid : int;
+  c_restarts : int;
+  c_up : bool;
+}
+
+val shard_socket_path : front:string -> int -> string
+(** [front ^ ".shard." ^ i] — derived from the front socket path so one
+    [--socket] flag names the whole family. *)
+
+val start : spawn:(int -> string -> int) -> front:string -> shards:int -> t
+(** Pre-check every shard socket path (a live foreign listener is a
+    [Failure] before anything forks), then spawn all children.
+    [spawn index socket] must return the child pid. *)
+
+val wait_ready : ?timeout_s:float -> t -> (unit, string) result
+(** Poll-connect each shard socket until it accepts (children bind
+    asynchronously after exec).  Default timeout 10 s. *)
+
+val supervise : t -> should_stop:(unit -> bool) -> unit
+(** Reap-and-respawn loop (50 ms poll, 200 ms brake before respawning
+    a child that lived under a second).  Returns once [should_stop]
+    answers [true].  Run on a dedicated thread; call {!terminate} only
+    after it returns — one reaper at a time. *)
+
+val terminate : ?grace_s:float -> t -> unit
+(** [SIGTERM] every live child (each drains in-flight work and exits
+    cleanly), reap them, unlink their socket files.  A child still
+    alive after [grace_s] (default 30 s) is [SIGKILL]ed. *)
+
+val children_info : t -> child_info list
+val restarts_total : t -> int
+
+val sockets : t -> string list
+(** Shard socket paths, index order. *)
+
+val socket_ready : string -> bool
+(** One connect probe: is something accepting at this path right now? *)

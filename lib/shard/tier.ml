@@ -1,0 +1,84 @@
+module Server = Ps_server.Server
+
+type config = {
+  shards : int;
+  framing : Frame.framing;
+  metrics_socket : string option;
+  ready_timeout_s : float;
+}
+
+let default_config =
+  {
+    shards = 2;
+    framing = Frame.Json_lines;
+    metrics_socket = None;
+    ready_timeout_s = 10.0;
+  }
+
+let run ~spawn ~front config =
+  if config.shards < 1 then invalid_arg "Tier.run: shards must be >= 1";
+  Server.with_termination_latch @@ fun latch ->
+  (* Fail on a hijacked front path before any child exists. *)
+  (match Server.prepare_socket_path front with
+  | Ok () -> ()
+  | Error msg -> failwith (Printf.sprintf "serve: %s" msg));
+  let sup = Supervisor.start ~spawn ~front ~shards:config.shards in
+  match Supervisor.wait_ready ~timeout_s:config.ready_timeout_s sup with
+  | Error msg ->
+      Supervisor.terminate ~grace_s:2.0 sup;
+      failwith (Printf.sprintf "serve: %s" msg)
+  | Ok () ->
+      let router =
+        Router.create ~shard_sockets:(Array.of_list (Supervisor.sockets sup))
+      in
+      let listen_fd = Server.bind_unix_socket front in
+      let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+      let should_stop () = Server.tripped latch in
+      let metrics_body () =
+        let children = Supervisor.children_info sup in
+        let shard_stats =
+          List.mapi
+            (fun i path ->
+              (i, Metrics.fetch_stats ~framing:config.framing ~path))
+            (Supervisor.sockets sup)
+        in
+        Metrics.render ~children ~shard_stats
+          ~router:(Some (Router.stats router))
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.set_signal Sys.sigpipe prev_pipe;
+          (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          try Unix.unlink front with Unix.Unix_error _ -> ())
+        (fun () ->
+          let acceptor =
+            Thread.create
+              (fun () -> Router.accept_loop router ~listen_fd ~should_stop)
+              ()
+          in
+          let reaper =
+            Thread.create
+              (fun () -> Supervisor.supervise sup ~should_stop)
+              ()
+          in
+          let metrics_thread =
+            Option.map
+              (fun mpath ->
+                Thread.create
+                  (fun () ->
+                    Metrics.serve_http ~path:mpath ~body:metrics_body
+                      ~should_stop)
+                  ())
+              config.metrics_socket
+          in
+          Server.await latch;
+          (* Drain choreography: stop taking connections, let the
+             reaper retire (single-reaper rule), SIGTERM the children —
+             each drains its engine and flushes its writers — then wait
+             for the relay pumps to deliver those final bytes to the
+             clients.  Nothing accepted is dropped. *)
+          Thread.join acceptor;
+          Thread.join reaper;
+          Supervisor.terminate sup;
+          ignore (Router.await_drained router : bool);
+          Option.iter Thread.join metrics_thread)

@@ -1,0 +1,30 @@
+(** The whole serve tier, assembled: supervisor + router + metrics in
+    the front process, one {!Shard.serve} per child.
+
+    [pslocal serve --shards N] lands here.  The front process owns the
+    public socket and splices accepted connections across the children
+    ({!Router}); the children own the protocol and the solving
+    ({!Shard}); a crashed child is respawned ({!Supervisor}) while the
+    router fails new connections over to its siblings; [--metrics-socket]
+    adds the Prometheus endpoint ({!Metrics}).
+
+    [SIGTERM]/[SIGINT] runs the no-drop drain: stop accepting, SIGTERM
+    every child (each drains queued and in-flight jobs and flushes its
+    reply writers), then hold the front process open until the relay
+    pumps have delivered those final bytes to the clients. *)
+
+type config = {
+  shards : int;
+  framing : Frame.framing;  (** what the children speak (router is codec-blind) *)
+  metrics_socket : string option;
+  ready_timeout_s : float;  (** startup budget for all children to bind *)
+}
+
+val default_config : config
+(** 2 shards, JSON lines, no metrics endpoint, 10 s ready timeout. *)
+
+val run : spawn:(int -> string -> int) -> front:string -> config -> unit
+(** Serve until a termination signal.  [spawn index socket] starts one
+    shard child and returns its pid (the CLI re-execs its own binary
+    with hidden flags).  Raises [Failure] with a clean message when the
+    front path is held by a live listener or a child never comes up. *)

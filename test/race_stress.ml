@@ -67,6 +67,7 @@ let engine_storm ~clients ~per_client ~drain =
       let req =
         { P.id = Json.Int ((t * per_client) + i);
           timeout_ms = (if i mod 5 = 0 then Some 5 else None);
+          tenant = None;
           call = P.Ping }
       in
       let (_ : Engine.submit_outcome) =

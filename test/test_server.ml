@@ -179,7 +179,7 @@ let codes r =
   Mutex.unlock r.m;
   List.sort compare cs
 
-let ping_req n = { P.id = Json.Int n; timeout_ms = None; call = P.Ping }
+let ping_req n = { P.id = Json.Int n; timeout_ms = None; tenant = None; call = P.Ping }
 
 (* A latch the handler blocks on until the test releases it. *)
 type gate = { gm : Mutex.t; gc : Condition.t; mutable open_ : bool }
@@ -248,7 +248,7 @@ let test_engine_timeout_cancels () =
       { Engine.domains = 1; queue_capacity = 4; default_timeout_ms = None; cache = None }
   in
   let r = new_replies () in
-  let req = { P.id = Json.Int 1; timeout_ms = Some 20; call = P.Ping } in
+  let req = { P.id = Json.Int 1; timeout_ms = Some 20; tenant = None; call = P.Ping } in
   ignore (Engine.submit engine req ~reply:(push r) : Engine.submit_outcome);
   wait_for_replies r 1;
   check_string "timeout code" "timeout" (error_code_of_line (List.hd r.lines));
@@ -273,7 +273,7 @@ let test_engine_queue_expired_job_skips_handler () =
   ignore (Engine.submit engine (ping_req 1) ~reply:(push r)
           : Engine.submit_outcome);
   let expiring =
-    { P.id = Json.Int 2; timeout_ms = Some 10; call = P.Ping }
+    { P.id = Json.Int 2; timeout_ms = Some 10; tenant = None; call = P.Ping }
   in
   ignore (Engine.submit engine expiring ~reply:(push r)
           : Engine.submit_outcome);
@@ -597,7 +597,7 @@ let run_handle call =
   Ps_server.Service.handle
     ~stats:(fun () -> Json.Obj [ ("stub", Json.Bool true) ])
     ~cancel:(fun () -> false)
-    { P.id = Json.Int 1; timeout_ms = None; call }
+    { P.id = Json.Int 1; timeout_ms = None; tenant = None; call }
 
 let handle_ok call =
   match run_handle call with
@@ -909,7 +909,7 @@ let test_stats_failed_timeouts_disjoint () =
   let r = new_replies () in
   ignore
     (Engine.submit engine
-       { P.id = Json.Int 1; timeout_ms = Some 20; call = P.Ping }
+       { P.id = Json.Int 1; timeout_ms = Some 20; tenant = None; call = P.Ping }
        ~reply:(push r)
       : Engine.submit_outcome);
   wait_for_replies r 1;
