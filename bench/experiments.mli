@@ -1,0 +1,11 @@
+(** The experiment suite behind EXPERIMENTS.md: e1–e15 reproduce the
+    paper's quantitative claims (reduction phase counts, λ
+    preservation, conflict-graph scaling, simulator rounds, hardness
+    families), a1–a4 are the ablations (implicit representation,
+    tie-breaking, palette reuse, decomposition choice).
+
+    Each experiment prints its own table; ids and one-line summaries
+    live in [all], which the bench driver uses for selection and
+    `--help` output. *)
+
+val all : (string * (unit -> unit)) list

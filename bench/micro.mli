@@ -1,0 +1,12 @@
+(** Bechamel micro-benchmarks over the production path: conflict-graph
+    construction (reference, CSR, multi-domain), the MaxIS heuristics,
+    the LOCAL/SLOCAL simulators, ball carving, MPX decomposition, the
+    compiled-MIS pipeline and CONGEST BFS.
+
+    [run] prints the OLS table and returns [(benchmark, ns/run)] rows
+    for BENCH_micro.json, which tracks the perf trajectory across PRs.
+    The telemetry recorder is forced off for the measurement window so
+    a stray [PSLOCAL_TRACE] cannot skew it.  [~quick] shrinks the
+    per-benchmark time quota for CI smoke runs. *)
+
+val run : ?quick:bool -> unit -> (string * float) list

@@ -1,0 +1,11 @@
+(** End-to-end reduction comparison: full rebuild vs the incremental
+    engine, best-of-N wall clock per (size, solver) cell.
+
+    [run] prints the comparison table and returns the labelled timings
+    (milliseconds; speedups as dimensionless ratios).  [~quick] trims
+    the size sweep for CI.  [write_json] dumps rows as a flat JSON
+    object — the BENCH_reduce.json consumed by the perf trajectory. *)
+
+val run : ?quick:bool -> unit -> (string * float) list
+
+val write_json : string -> (string * float) list -> unit

@@ -1,0 +1,37 @@
+(** Shared instance builders for the experiment harness.  Every family
+    is seeded, so the tables in EXPERIMENTS.md reproduce run to run.
+
+    The hypergraph families mirror the paper's landscape: intervals are
+    the [DN18] substrate, almost-uniform instances the Theorem 1.2
+    hardness regime, sunflowers and disjoint blocks the two overlap
+    extremes, closed neighborhoods the graph-derived case. *)
+
+(** One named hypergraph instance plus the k-selection policy the
+    pipeline should apply to it. *)
+type hypergraph_instance = {
+  label : string;
+  h : Ps_hypergraph.Hypergraph.t;
+  k_choice : Ps_core.Pipeline.k_choice;
+}
+
+val lemma_families : seed:int -> hypergraph_instance list
+(** The six structural families exercised by most experiments. *)
+
+val m_sweep : seed:int -> (int * Ps_hypergraph.Hypergraph.t) list
+(** Edge-count sweep (fixed n, growing m) for the ρ = λ ln m + 1
+    phase-bound table. *)
+
+val size_sweep :
+  seed:int -> (int * int * int * Ps_hypergraph.Hypergraph.t) list
+(** (n, m, k, instance) grid for conflict-graph size scaling. *)
+
+val maxis_graphs : seed:int -> (string * Ps_graph.Graph.t) list
+(** Labelled plain-graph zoo for the MaxIS heuristic comparisons. *)
+
+val small_conflict_instances :
+  seed:int -> (string * Ps_hypergraph.Hypergraph.t * int) list
+(** (label, hypergraph, k) triples small enough for the exact solver
+    to crack G_k — used to measure each heuristic's true λ. *)
+
+val local_model_graphs : seed:int -> (string * Ps_graph.Graph.t) list
+(** Ring and grid families for the LOCAL-model simulator rounds. *)

@@ -1,494 +1,105 @@
-(* pslint — repo-specific static analysis over lib/, built on
-   compiler-libs.  `dune build @lint` runs it on every .ml/.mli under
-   lib/ and fails the build on any violation.
+(* pslint — driver for the Ps_analysis linter.
 
-   Rules (ids are what suppression comments name):
+   Two passes share one report stream:
+   - syntactic per-file rules over every .ml/.mli under the given roots
+     (poly-compare, no-obj, no-print, global-state, mli-required);
+   - when --cmt directories are given, the interprocedural effect
+     analyzer over the .cmt typedtrees found there (race, blocking,
+     escape), with full call chains.
 
-     poly-compare   (hot modules: lib/graph, lib/core, lib/cfc,
-                    lib/slocal, lib/server, lib/cache, lib/shard)
-                    No polymorphic structural
-                    comparison on
-                    the hot paths PR 1 monomorphised: unqualified or
-                    Stdlib-qualified [compare] (unless a binding in
-                    scope shadows it), [Hashtbl.hash], the
-                    equality-based [List.mem]/[List.assoc] family, and
-                    [=]/[<>] applied to syntactically structured
-                    operands (tuples, constructors, lists, records,
-                    strings).
-     no-obj         (all of lib/)  No [Obj.*] — unsafe casts have no
-                    place in a proof-artifact codebase.
-     no-print       (all of lib/)  No direct stdout/stderr output
-                    ([print_*], [prerr_*], [Printf.printf]/[eprintf],
-                    [Format.printf]/[eprintf]); library results travel
-                    through Telemetry, Logs or returned values.
-                    [sprintf]/[fprintf]-style formatting is fine.
-     global-state   (all of lib/)  No module-level mutable values
-                    ([ref], [Hashtbl.create], [Buffer.create],
-                    [Array.make], array literals, ...): module-level
-                    mutability is shared across domains and needs an
-                    explicit synchronization story.  [Mutex.create],
-                    [Atomic.make] and [Domain.DLS.new_key] are the
-                    sanctioned primitives and are allowed.
-     mli-required   (all of lib/)  Every .ml has a sibling .mli — the
-                    interface is where invariants get documented.
+   Usage:
+     pslint [--cmt DIR]... [--sarif FILE] [--baseline FILE]
+            [--disable race|blocking|escape]... [--no-effects] [ROOT]...
 
-   Suppressions: a comment containing "pslint: allow <rule> [<rule>...]"
-   suppresses those rules on its own line and the next; "pslint:
-   allow-file <rule>" suppresses for the whole file.  Suppressions are
-   scanned textually so they work in any position a comment can occupy.
+   Exit status: 0 clean (or everything baselined), 1 findings, 2 usage
+   or I/O errors.  Diagnostics go to stderr; the SARIF file, when
+   requested, receives the same unbaselined findings. *)
 
-   Diagnostics are positioned (file:line:col) and written to stderr;
-   exit status is 1 when anything fired, 2 on usage/IO errors. *)
+let usage () =
+  prerr_endline
+    "usage: pslint [--cmt DIR]... [--sarif FILE] [--baseline FILE] \
+     [--disable RULE]... [--no-effects] [ROOT]...";
+  exit 2
 
-module StringSet = Set.Make (String)
-
-(* ------------------------------------------------------------------ *)
-(* Diagnostics *)
-
-type violation = {
-  file : string;
-  line : int;
-  col : int;
-  rule : string;
-  message : string;
+type config = {
+  roots : string list;
+  cmt_dirs : string list;
+  sarif : string option;
+  baseline : string option;
+  disabled : string list;
+  effects : bool;
 }
 
-let violations : violation list ref = ref []
-
-let report file (loc : Location.t) rule message =
-  let p = loc.Location.loc_start in
-  violations :=
-    { file;
-      line = p.Lexing.pos_lnum;
-      col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
-      rule;
-      message }
-    :: !violations
-
-(* ------------------------------------------------------------------ *)
-(* Suppression comments, scanned from the raw source text *)
-
-type suppressions = {
-  file_wide : StringSet.t;
-  by_line : (int, StringSet.t) Hashtbl.t; (* line -> suppressed rules *)
-}
-
-let is_rule_char c =
-  (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'
-
-(* Parse the whitespace-separated rule names following [start]. *)
-let rules_after line start =
-  let n = String.length line in
-  let rec skip_ws i = if i < n && line.[i] = ' ' then skip_ws (i + 1) else i in
-  let rec words acc i =
-    let i = skip_ws i in
-    if i >= n || not (is_rule_char line.[i]) then acc
-    else begin
-      let j = ref i in
-      while !j < n && is_rule_char line.[!j] do incr j done;
-      words (String.sub line i (!j - i) :: acc) !j
-    end
+let parse_args argv =
+  let rec go cfg = function
+    | [] -> cfg
+    | "--cmt" :: d :: rest -> go { cfg with cmt_dirs = cfg.cmt_dirs @ [ d ] } rest
+    | "--sarif" :: f :: rest -> go { cfg with sarif = Some f } rest
+    | "--baseline" :: f :: rest -> go { cfg with baseline = Some f } rest
+    | "--disable" :: r :: rest ->
+        if not (List.mem r [ "race"; "blocking"; "escape" ]) then usage ();
+        go { cfg with disabled = r :: cfg.disabled } rest
+    | "--no-effects" :: rest -> go { cfg with effects = false } rest
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | root :: rest -> go { cfg with roots = cfg.roots @ [ root ] } rest
   in
-  words [] start
-
-let scan_suppressions text =
-  let by_line = Hashtbl.create 8 in
-  let file_wide = ref StringSet.empty in
-  let add_line ln rules =
-    let prev =
-      match Hashtbl.find_opt by_line ln with
-      | Some s -> s
-      | None -> StringSet.empty
-    in
-    Hashtbl.replace by_line ln
-      (List.fold_left (fun s r -> StringSet.add r s) prev rules)
-  in
-  List.iteri
-    (fun i line ->
-      let ln = i + 1 in
-      let probe marker k =
-        match
-          (* no Str in scope: naive substring search is plenty here *)
-          let ml = String.length marker and n = String.length line in
-          let rec find j =
-            if j + ml > n then None
-            else if String.sub line j ml = marker then Some (j + ml)
-            else find (j + 1)
-          in
-          find 0
-        with
-        | Some stop -> k (rules_after line stop)
-        | None -> ()
-      in
-      probe "pslint: allow-file" (fun rules ->
-          file_wide :=
-            List.fold_left (fun s r -> StringSet.add r s) !file_wide rules);
-      (* allow-file lines also match "pslint: allow"; harmless, the rule
-         set added per-line is the same. *)
-      probe "pslint: allow " (fun rules ->
-          add_line ln rules;
-          add_line (ln + 1) rules))
-    (String.split_on_char '\n' text);
-  { file_wide = !file_wide; by_line }
-
-let suppressed sup rule line =
-  StringSet.mem rule sup.file_wide
-  ||
-  match Hashtbl.find_opt sup.by_line line with
-  | Some rules -> StringSet.mem rule rules
-  | None -> false
-
-(* ------------------------------------------------------------------ *)
-(* Rule predicates over identifiers *)
-
-let print_idents =
-  StringSet.of_list
-    [ "print_string"; "print_bytes"; "print_int"; "print_char";
-      "print_float"; "print_endline"; "print_newline"; "prerr_string";
-      "prerr_bytes"; "prerr_int"; "prerr_char"; "prerr_float";
-      "prerr_endline"; "prerr_newline" ]
-
-let mutable_makers =
-  [ ("Hashtbl", "create"); ("Buffer", "create"); ("Queue", "create");
-    ("Stack", "create"); ("Array", "make"); ("Array", "create_float");
-    ("Array", "init"); ("Array", "make_matrix"); ("Bytes", "make");
-    ("Bytes", "create") ]
-
-let longident_tail = function
-  | Longident.Lident s -> Some ([], s)
-  | Longident.Ldot (Longident.Lident m, s) -> Some ([ m ], s)
-  | Longident.Ldot (Longident.Ldot (Longident.Lident m, m'), s) ->
-      Some ([ m; m' ], s)
-  | _ -> None
-
-(* ------------------------------------------------------------------ *)
-(* The per-file AST walk *)
-
-type ctx = {
-  file : string;
-  hot : bool; (* poly-compare applies *)
-  sup : suppressions;
-  mutable scope : StringSet.t; (* value names bound at this point *)
-}
-
-let flag ctx loc rule fmt =
-  Printf.ksprintf
-    (fun message ->
-      let line = loc.Location.loc_start.Lexing.pos_lnum in
-      if not (suppressed ctx.sup rule line) then
-        report ctx.file loc rule message)
-    fmt
-
-let rec pattern_vars acc (p : Parsetree.pattern) =
-  match p.Parsetree.ppat_desc with
-  | Ppat_var { txt; _ } -> StringSet.add txt acc
-  | Ppat_alias (q, { txt; _ }) -> pattern_vars (StringSet.add txt acc) q
-  | Ppat_tuple ps -> List.fold_left pattern_vars acc ps
-  | Ppat_construct (_, Some (_, q)) -> pattern_vars acc q
-  | Ppat_variant (_, Some q) -> pattern_vars acc q
-  | Ppat_record (fields, _) ->
-      List.fold_left (fun acc (_, q) -> pattern_vars acc q) acc fields
-  | Ppat_array ps -> List.fold_left pattern_vars acc ps
-  | Ppat_or (a, b) -> pattern_vars (pattern_vars acc a) b
-  | Ppat_constraint (q, _) | Ppat_lazy q | Ppat_exception q
-  | Ppat_open (_, q) ->
-      pattern_vars acc q
-  | _ -> acc
-
-let ident_check ctx (loc : Location.t) (lid : Longident.t) =
-  match longident_tail lid with
-  | None -> ()
-  | Some (path, name) -> (
-      (match (path, name) with
-      | [], "compare" when ctx.hot && not (StringSet.mem "compare" ctx.scope)
-        ->
-          flag ctx loc "poly-compare"
-            "polymorphic compare — use Int.compare or a monomorphic \
-             comparator"
-      | ([ "Stdlib" ] | [ "Pervasives" ]), "compare" when ctx.hot ->
-          flag ctx loc "poly-compare"
-            "polymorphic compare — use Int.compare or a monomorphic \
-             comparator"
-      | [ "Hashtbl" ], "hash" when ctx.hot ->
-          flag ctx loc "poly-compare"
-            "polymorphic Hashtbl.hash — hash a monomorphic key instead"
-      | [ "List" ], ("mem" | "assoc" | "assoc_opt" | "mem_assoc"
-                    | "remove_assoc")
-        when ctx.hot ->
-          flag ctx loc "poly-compare"
-            "List.%s uses polymorphic equality — use the q-variant on a \
-             monomorphic key or an explicit predicate" name
-      | _ -> ());
-      match (path, name) with
-      | [ "Obj" ], _ ->
-          flag ctx loc "no-obj" "Obj.%s — unsafe casts are banned in lib/"
-            name
-      | [], p when StringSet.mem p print_idents ->
-          flag ctx loc "no-print"
-            "%s writes to a std stream — route through Telemetry, Logs, or \
-             return the value" p
-      | ([ "Printf" ] | [ "Format" ]), ("printf" | "eprintf") ->
-          flag ctx loc "no-print"
-            "%s.%s writes to a std stream — use sprintf/fprintf to a \
-             caller-supplied destination" (List.hd path) name
-      | [ "Format" ], ("print_string" | "print_newline" | "print_int"
-                      | "print_float" | "print_char") ->
-          flag ctx loc "no-print"
-            "Format.%s writes to stdout — use a caller-supplied formatter"
-            name
-      | _ -> ())
-
-(* Is [e] a syntactic shape whose [=]/[<>] comparison is structural
-   (boxed) rather than an immediate scalar?  Conservative: flags only
-   what is certainly structured. *)
-let structured (e : Parsetree.expression) =
-  match e.Parsetree.pexp_desc with
-  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ -> true
-  | Pexp_construct ({ txt = Longident.Lident ("true" | "false" | "()"); _ }, _)
-    ->
-      false
-  | Pexp_construct _ | Pexp_variant _ -> true
-  | Pexp_constant (Parsetree.Pconst_string _) -> true
-  | _ -> false
-
-let with_scope ctx names f =
-  let saved = ctx.scope in
-  ctx.scope <- StringSet.union names saved;
-  f ();
-  ctx.scope <- saved
-
-let iterator ctx =
-  let open Ast_iterator in
-  let case it (c : Parsetree.case) =
-    with_scope ctx
-      (pattern_vars StringSet.empty c.Parsetree.pc_lhs)
-      (fun () ->
-        Option.iter (it.expr it) c.Parsetree.pc_guard;
-        it.expr it c.Parsetree.pc_rhs)
-  in
-  let value_bindings it rec_flag (vbs : Parsetree.value_binding list) body =
-    let bound =
-      List.fold_left
-        (fun acc vb -> pattern_vars acc vb.Parsetree.pvb_pat)
-        StringSet.empty vbs
-    in
-    let rhs () =
-      List.iter (fun vb -> it.expr it vb.Parsetree.pvb_expr) vbs
-    in
-    (match rec_flag with
-    | Asttypes.Recursive -> with_scope ctx bound rhs
-    | Asttypes.Nonrecursive -> rhs ());
-    match body with
-    | Some body -> with_scope ctx bound (fun () -> it.expr it body)
-    | None -> ctx.scope <- StringSet.union bound ctx.scope
-    (* structure-level: names stay bound for the rest of the module *)
-  in
-  let expr it (e : Parsetree.expression) =
-    (match e.Parsetree.pexp_desc with
-    | Pexp_ident { txt; loc } -> ident_check ctx loc txt
-    | Pexp_apply
-        ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); loc };
-            _ },
-          args )
-      when ctx.hot ->
-        if List.exists (fun (_, a) -> structured a) args then
-          flag ctx loc "poly-compare"
-            "( %s ) on a structured operand is a polymorphic comparison — \
-             match on the shape or use a monomorphic equal" op
-    | _ -> ());
-    match e.Parsetree.pexp_desc with
-    | Pexp_fun (_, default, pat, body) ->
-        Option.iter (it.expr it) default;
-        it.pat it pat;
-        with_scope ctx
-          (pattern_vars StringSet.empty pat)
-          (fun () -> it.expr it body)
-    | Pexp_function cases -> List.iter (case it) cases
-    | Pexp_let (rec_flag, vbs, body) ->
-        value_bindings it rec_flag vbs (Some body)
-    | Pexp_match (scrut, cases) ->
-        it.expr it scrut;
-        List.iter (case it) cases
-    | Pexp_try (body, cases) ->
-        it.expr it body;
-        List.iter (case it) cases
-    | Pexp_for (pat, lo, hi, _, body) ->
-        it.expr it lo;
-        it.expr it hi;
-        with_scope ctx
-          (pattern_vars StringSet.empty pat)
-          (fun () -> it.expr it body)
-    | _ -> default_iterator.expr it e
-  in
-  let structure_item it (item : Parsetree.structure_item) =
-    match item.Parsetree.pstr_desc with
-    | Pstr_value (rec_flag, vbs) ->
-        List.iter
-          (fun (vb : Parsetree.value_binding) ->
-            let rec head (e : Parsetree.expression) =
-              match e.Parsetree.pexp_desc with
-              | Pexp_constraint (e, _) -> head e
-              | desc -> desc
-            in
-            match head vb.Parsetree.pvb_expr with
-            | Pexp_apply
-                ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
-                match longident_tail txt with
-                | Some ([], "ref") ->
-                    flag ctx vb.Parsetree.pvb_loc "global-state"
-                      "module-level ref — shared across domains; guard it \
-                       or move it into a handle"
-                | Some ([ m ], f)
-                  when List.exists
-                         (fun (m', f') -> m = m' && f = f')
-                         mutable_makers ->
-                    flag ctx vb.Parsetree.pvb_loc "global-state"
-                      "module-level %s.%s — mutable state shared across \
-                       domains; guard it or move it into a handle" m f
-                | _ -> ())
-            | Pexp_array _ ->
-                flag ctx vb.Parsetree.pvb_loc "global-state"
-                  "module-level array literal — mutable state shared \
-                   across domains; guard it or move it into a handle"
-            | _ -> ())
-          vbs;
-        value_bindings it rec_flag vbs None
-    | _ -> default_iterator.structure_item it item
-  in
-  let structure it (items : Parsetree.structure) =
-    (* A nested module's bindings must not leak past its end. *)
-    let saved = ctx.scope in
-    List.iter (it.structure_item it) items;
-    ctx.scope <- saved
-  in
-  { default_iterator with expr; structure_item; structure }
-
-(* ------------------------------------------------------------------ *)
-(* Driving *)
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let hot_dirs =
-  [ "lib/graph"; "lib/core"; "lib/cfc"; "lib/slocal"; "lib/server";
-    "lib/cache"; "lib/shard" ]
-
-let normalize_path p =
-  String.concat "/" (String.split_on_char '\\' p)
-
-let is_hot path =
-  let p = normalize_path path in
-  List.exists
-    (fun dir ->
-      (* match the directory component anywhere in the path *)
-      let needle = dir ^ "/" in
-      let n = String.length p and m = String.length needle in
-      let rec find i = i + m <= n && (String.sub p i m = needle || find (i + 1)) in
-      find 0)
-    hot_dirs
-
-let lexbuf_of path text =
-  let lexbuf = Lexing.from_string text in
-  Lexing.set_filename lexbuf path;
-  lexbuf
-
-let check_ml path =
-  let text = read_file path in
-  let sup = scan_suppressions text in
-  let ctx = { file = path; hot = is_hot path; sup; scope = StringSet.empty } in
-  match Parse.implementation (lexbuf_of path text) with
-  | ast ->
-      let it = iterator ctx in
-      it.Ast_iterator.structure it ast
-  | exception exn ->
-      let loc =
-        match Location.error_of_exn exn with
-        | Some (`Ok e) -> e.Location.main.Location.loc
-        | _ -> Location.none
-      in
-      report path loc "parse" (Printexc.to_string exn)
-
-let check_mli path =
-  let text = read_file path in
-  match Parse.interface (lexbuf_of path text) with
-  | (_ : Parsetree.signature) -> ()
-  | exception exn ->
-      let loc =
-        match Location.error_of_exn exn with
-        | Some (`Ok e) -> e.Location.main.Location.loc
-        | _ -> Location.none
-      in
-      report path loc "parse" (Printexc.to_string exn)
-
-let top_of_file path =
-  let pos =
-    { Lexing.pos_fname = path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 }
-  in
-  { Location.loc_start = pos; loc_end = pos; loc_ghost = true }
-
-let check_mli_presence ml_path =
-  let mli = ml_path ^ "i" in
-  if not (Sys.file_exists mli) then
-    report ml_path (top_of_file ml_path) "mli-required"
-      (Printf.sprintf "no interface file %s — every lib/ module documents \
-                       its contract in an .mli"
-         (Filename.basename mli))
-
-let rec walk path acc =
-  if Sys.is_directory path then
-    Array.fold_left
-      (fun acc entry ->
-        if String.length entry > 0 && entry.[0] = '.' then acc
-        else walk (Filename.concat path entry) acc)
-      acc (Sys.readdir path)
-  else acc @ [ path ]
+  go
+    {
+      roots = [];
+      cmt_dirs = [];
+      sarif = None;
+      baseline = None;
+      disabled = [];
+      effects = true;
+    }
+    (List.tl (Array.to_list argv))
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let roots = match args with [] -> [ "lib" ] | roots -> roots in
+  let cfg = parse_args Sys.argv in
+  let roots = match cfg.roots with [] -> [ "lib" ] | r -> r in
   let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
   if missing <> [] then begin
     Printf.eprintf "pslint: no such file or directory: %s\n"
       (String.concat ", " missing);
     exit 2
   end;
-  let files = List.concat_map (fun r -> walk r []) roots in
-  let files = List.sort String.compare files in
-  let checked = ref 0 in
-  List.iter
-    (fun f ->
-      if Filename.check_suffix f ".ml" then begin
-        incr checked;
-        check_mli_presence f;
-        check_ml f
-      end
-      else if Filename.check_suffix f ".mli" then begin
-        incr checked;
-        check_mli f
-      end)
-    files;
-  let vs =
-    List.sort
-      (fun (a : violation) (b : violation) ->
-        match String.compare a.file b.file with
-        | 0 -> Int.compare a.line b.line
-        | c -> c)
-      !violations
+  let module R = Ps_analysis.Report in
+  let module E = Ps_analysis.Effects in
+  let syntactic = Ps_analysis.Syntactic.run ~roots in
+  let effect_findings =
+    if cfg.effects && cfg.cmt_dirs <> [] then begin
+      let g = Ps_analysis.Callgraph.build ~cmt_dirs:cfg.cmt_dirs in
+      let enabled rule = not (List.mem (E.rule_id rule) cfg.disabled) in
+      E.run g ~enabled
+      |> R.filter_suppressed ~resolve:(fun f -> Some f)
+    end
+    else []
   in
-  List.iter
-    (fun (v : violation) ->
-      Printf.eprintf "%s:%d:%d: [%s] %s\n" v.file v.line v.col v.rule
-        v.message)
-    vs;
-  if vs = [] then begin
-    Printf.printf "pslint: %d files clean\n" !checked;
+  let all = List.sort R.compare (syntactic @ effect_findings) in
+  let keys =
+    match cfg.baseline with
+    | Some path -> R.load_baseline path
+    | None -> Hashtbl.create 1
+  in
+  let live, baselined = R.split_baselined keys all in
+  (match cfg.sarif with
+  | Some path ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Ps_analysis.Sarif.emit live))
+  | None -> ());
+  List.iter (fun f -> Printf.eprintf "%s\n" (R.render f)) live;
+  let checked = Ps_analysis.Syntactic.files_checked ~roots in
+  if live = [] then begin
+    Printf.printf "pslint: %d files clean%s\n" checked
+      (match baselined with
+      | [] -> ""
+      | bs -> Printf.sprintf " (%d baselined finding(s))" (List.length bs));
     exit 0
   end
   else begin
     Printf.eprintf "pslint: %d violation(s) in %d files checked\n"
-      (List.length vs) !checked;
+      (List.length live) checked;
     exit 1
   end

@@ -1,0 +1,72 @@
+(** Whole-library call graph built from dune's [.cmt] typedtrees.
+
+    Every named binding whose right-hand side is syntactically a
+    function becomes a node, at any nesting depth, with canonical id
+    [Lib.Module.outer.inner]; anonymous lambdas passed as arguments
+    become nodes too (the conservative assumption being that a callee
+    invokes its functional arguments), remembering which call head they
+    were handed to so the race rule can recognise
+    [Telemetry.locked (fun () -> ...)] as guarded.  Top-level
+    non-function effects accrue to a per-module [<init>] pseudo-node.
+
+    Local references resolve exactly via ident stamps; cross-module
+    references via canonical unit names (see {!Contexts.canonical_unit});
+    [module E = Lib.M] aliases are tracked so [E.f] and [Lib.M.f] are
+    one node.  Higher-order calls through parameters and record fields
+    produce no edges — the documented soundness gap (DESIGN.md).
+
+    Exception flow is position-aware: each edge carries the mask of
+    exception constructors caught around the call site ([try]/[match
+    ... with exception]), and locally-raised exceptions that a
+    surrounding handler certainly catches are not recorded at all.  A
+    constructor pattern only counts as catching when all its argument
+    subpatterns are irrefutable — [Unix_error ((EINTR | ECONNABORTED),
+    _, _)] is conservatively treated as not catching. *)
+
+type pos = Report.pos
+
+(** What a call site's surrounding handlers certainly catch. *)
+type mask =
+  | Catch_all
+  | Catch_only of string list  (** exception constructor names *)
+
+val merge_mask : mask -> mask -> mask
+val mask_catches : mask -> string -> bool
+
+type fact =
+  | Write of string  (** resolved target id of an in-place mutation *)
+  | Block of string * string  (** primitive canonical name, description *)
+  | Raise of string  (** exception constructor name *)
+
+type edge = { callee : string; e_pos : pos; e_mask : mask }
+
+type node = {
+  id : string;
+  display : string;
+  n_pos : pos;
+  mutable attrs : string list;  (** pslint.* attribute names present *)
+  mutable edges : edge list;
+  mutable facts : (fact * pos) list;
+  mutable arg_of : string option;
+      (** for lambda nodes: canonical head of the application this
+          lambda was an argument of *)
+}
+
+type root = { r_node : string; r_why : string; r_pos : pos }
+
+type t = {
+  nodes : (string, node) Hashtbl.t;
+  mutable globals : string list;
+      (** canonical ids of module-level mutable bindings *)
+  mutable parallel_roots : root list;
+  mutable nonblocking_roots : root list;
+  mutable escape_roots : root list;
+}
+
+val build : cmt_dirs:string list -> t
+(** Read every [.cmt] under the given directories (recursively,
+    including dune's dot-directories) and fold each implementation's
+    typedtree into one graph.  Unreadable or version-skewed [.cmt]
+    files are skipped. *)
+
+val node : t -> string -> node option

@@ -1,0 +1,161 @@
+let canonical_unit name =
+  let b = Buffer.create (String.length name) in
+  let n = String.length name in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && name.[!i] = '_' && name.[!i + 1] = '_' then begin
+      Buffer.add_char b '.';
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char b name.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let suffix_matches ~pattern name =
+  String.equal name pattern
+  ||
+  let np = String.length pattern and nn = String.length name in
+  nn > np + 1
+  && name.[nn - np - 1] = '.'
+  && String.equal (String.sub name (nn - np) np) pattern
+
+let find_suffix name patterns =
+  List.find_opt (fun pattern -> suffix_matches ~pattern name) patterns
+
+let thread_spawners = [ "Domain.spawn"; "Thread.create" ]
+
+let spawners =
+  [ "Parallel.fork_join"; "Parallel.fork_join_staged"; "Parallel.parallel_for" ]
+  @ thread_spawners
+
+let signal_installers = [ "Sys.signal"; "Sys.set_signal" ]
+let guard_wrappers = [ "Mutex.protect" ]
+let lock_prims = [ "Mutex.lock"; "Mutex.protect" ]
+
+(* [Unix.*] operations that complete in-process: calling these on a hot
+   path is fine.  Everything else under [Unix] is assumed to be able to
+   park the thread (syscall, disk, network). *)
+let unix_nonblocking =
+  [ "getpid"; "getppid"; "gettimeofday"; "time"; "getuid"; "geteuid";
+    "getgid"; "getegid"; "environment"; "socket"; "setsockopt";
+    "getsockopt"; "set_nonblock"; "clear_nonblock"; "set_close_on_exec";
+    "shutdown"; "close"; "dup"; "dup2"; "kill"; "getsockname";
+    "getpeername"; "string_of_inet_addr"; "inet_addr_of_string";
+    "error_message"; "sigprocmask"; "sigpending"; "pipe"; "fork";
+    "setsid"; "WEXITED"; "WSIGNALED" ]
+
+let blocking_table =
+  [ ("Mutex.lock", "acquires a mutex");
+    ("Mutex.protect", "acquires a mutex");
+    ("Condition.wait", "parks on a condition variable");
+    ("Thread.join", "joins a thread");
+    ("Thread.delay", "sleeps");
+    ("Unix.sleep", "sleeps");
+    ("Unix.sleepf", "sleeps");
+    ("input_line", "reads a channel");
+    ("input_char", "reads a channel");
+    ("input_byte", "reads a channel");
+    ("really_input", "reads a channel");
+    ("really_input_string", "reads a channel");
+    ("input_value", "reads a channel");
+    ("read_line", "reads stdin");
+    ("open_in", "opens a file");
+    ("open_in_bin", "opens a file");
+    ("open_out", "opens a file");
+    ("open_out_bin", "opens a file");
+    ("output_string", "writes a channel");
+    ("output_bytes", "writes a channel");
+    ("output_value", "writes a channel");
+    ("flush", "flushes a channel");
+    ("Marshal.from_channel", "reads a channel");
+    ("Marshal.to_channel", "writes a channel") ]
+
+(* Is [name] a [Unix.M] member, i.e. canonically [...Unix.f]? *)
+let unix_member name =
+  let np = String.length name in
+  let rec last_dot i = if i < 0 then None else if name.[i] = '.' then Some i else last_dot (i - 1) in
+  match last_dot (np - 1) with
+  | None -> None
+  | Some d ->
+      let f = String.sub name (d + 1) (np - d - 1) in
+      let prefix = String.sub name 0 d in
+      if suffix_matches ~pattern:"Unix" prefix || String.equal prefix "Unix"
+      then Some f
+      else None
+
+let blocking_prim name =
+  match
+    List.find_opt (fun (p, _) -> suffix_matches ~pattern:p name) blocking_table
+  with
+  | Some (_, why) -> Some why
+  | None -> (
+      match unix_member name with
+      | Some f when not (List.mem f unix_nonblocking) ->
+          Some "is a syscall that may park the thread"
+      | _ -> None)
+
+let raising_table =
+  [ ("Hashtbl.find", [ "Not_found" ]);
+    ("List.find", [ "Not_found" ]);
+    ("List.assoc", [ "Not_found" ]);
+    ("Sys.getenv", [ "Not_found" ]);
+    ("Option.get", [ "Invalid_argument" ]);
+    ("int_of_string", [ "Failure" ]);
+    ("float_of_string", [ "Failure" ]);
+    ("bool_of_string", [ "Invalid_argument" ]);
+    ("failwith", [ "Failure" ]);
+    ("invalid_arg", [ "Invalid_argument" ]);
+    ("input_line", [ "End_of_file"; "Sys_error" ]);
+    ("input_char", [ "End_of_file"; "Sys_error" ]);
+    ("input_byte", [ "End_of_file"; "Sys_error" ]);
+    ("really_input", [ "End_of_file"; "Sys_error" ]);
+    ("really_input_string", [ "End_of_file"; "Sys_error" ]);
+    ("input_value", [ "End_of_file"; "Failure" ]);
+    ("open_in", [ "Sys_error" ]);
+    ("open_in_bin", [ "Sys_error" ]);
+    ("open_out", [ "Sys_error" ]);
+    ("open_out_bin", [ "Sys_error" ]);
+    ("Marshal.from_channel", [ "End_of_file"; "Failure" ]) ]
+
+(* [Unix] members that never raise [Unix_error] in practice. *)
+let unix_nonraising =
+  [ "getpid"; "getppid"; "gettimeofday"; "time"; "getuid"; "geteuid";
+    "getgid"; "getegid"; "environment"; "error_message";
+    "string_of_inet_addr" ]
+
+let raising_prim name =
+  match
+    List.find_opt (fun (p, _) -> suffix_matches ~pattern:p name) raising_table
+  with
+  | Some (_, exns) -> exns
+  | None -> (
+      match unix_member name with
+      | Some f when not (List.mem f unix_nonraising) -> [ "Unix_error" ]
+      | _ -> [])
+
+let write_prims =
+  [ ":="; "incr"; "decr"; "Hashtbl.replace"; "Hashtbl.add"; "Hashtbl.remove";
+    "Hashtbl.clear"; "Hashtbl.reset"; "Hashtbl.filter_map_inplace";
+    "Buffer.add_string"; "Buffer.add_char"; "Buffer.add_bytes";
+    "Buffer.add_buffer"; "Buffer.clear"; "Buffer.reset"; "Queue.push";
+    "Queue.add"; "Queue.pop"; "Queue.take"; "Queue.clear"; "Queue.transfer";
+    "Stack.push"; "Stack.pop"; "Stack.clear"; "Array.set"; "Array.fill";
+    "Bytes.set"; "Bytes.fill" ]
+
+let mutable_makers =
+  [ "ref"; "Hashtbl.create"; "Buffer.create"; "Queue.create"; "Stack.create";
+    "Array.make"; "Array.create_float"; "Array.init"; "Array.make_matrix";
+    "Bytes.make"; "Bytes.create" ]
+
+let attr_blocking_ok = "pslint.blocking_ok"
+let attr_shared_ok = "pslint.shared_ok"
+let attr_nonblocking = "pslint.nonblocking"
+let attr_no_escape = "pslint.no_escape"
+
+let has_attr name (attrs : Typedtree.attributes) =
+  List.exists
+    (fun (a : Parsetree.attribute) -> String.equal a.attr_name.txt name)
+    attrs

@@ -1,0 +1,212 @@
+open Callgraph
+
+type rule = Race | Blocking | Escape
+
+let rule_id = function
+  | Race -> "race"
+  | Blocking -> "blocking"
+  | Escape -> "escape"
+
+(* Shorten a canonical name for messages: drop a [Stdlib.] qualifier. *)
+let short name =
+  match String.index_opt name '.' with
+  | Some 6 when String.sub name 0 6 = "Stdlib" ->
+      String.sub name 7 (String.length name - 7)
+  | _ -> name
+
+let has_attr (n : node) a = List.mem a n.attrs
+
+let node_locks (n : node) =
+  List.exists
+    (fun (f, _) ->
+      match f with
+      | Block (prim, _) -> Contexts.find_suffix prim Contexts.lock_prims <> None
+      | _ -> false)
+    n.facts
+
+(* Does entering [n] put the rest of the path under a lock?  Either the
+   node locks itself, or it is a lambda handed to a guard wrapper or to
+   a function that locks before invoking its argument.  The race
+   traversal propagates this down call edges, so a helper invoked only
+   from inside [Telemetry.locked (fun () -> ...)] counts as guarded
+   too.  (Heuristic: a node that locks, unlocks, and then calls out
+   would wrongly shield its callees — the codebase idiom is wrapper
+   lambdas, where the whole dynamic extent holds the lock.) *)
+let enters_locked g (n : node) =
+  node_locks n
+  ||
+  match n.arg_of with
+  | Some h -> (
+      Contexts.find_suffix h Contexts.guard_wrappers <> None
+      || match node g h with Some hn -> node_locks hn | None -> false)
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Traversals.  Chains are built root-first; [path] is kept in order. *)
+
+let root_step (r : root) (rn : node) : Report.step =
+  { s_name = Printf.sprintf "%s (%s)" rn.display r.r_why; s_pos = r.r_pos }
+
+let dfs g (r : root) ~barrier ~on_node =
+  match node g r.r_node with
+  | None -> ()
+  | Some rn ->
+      let visited = Hashtbl.create 64 in
+      let rec go (n : node) path =
+        if not (Hashtbl.mem visited n.id) then begin
+          Hashtbl.add visited n.id ();
+          if not (barrier n) then begin
+            on_node n path;
+            List.iter
+              (fun e ->
+                match node g e.callee with
+                | Some c when not (String.equal c.id n.id) ->
+                    go c
+                      (path @ [ { Report.s_name = c.display; s_pos = e.e_pos } ])
+                | _ -> ())
+              n.edges
+          end
+        end
+      in
+      go rn [ root_step r rn ]
+
+(* Race is lock-context-aware: once a path passes through a node that
+   takes the lock (or is a guard-wrapper lambda), every node deeper on
+   that same path runs with the lock held.  A node reachable both with
+   and without the lock is visited under both keys. *)
+let dfs_race g (r : root) ~barrier ~on_node =
+  match node g r.r_node with
+  | None -> ()
+  | Some rn ->
+      let visited = Hashtbl.create 64 in
+      let rec go (n : node) path locked =
+        let locked = locked || enters_locked g n in
+        let key = n.id ^ if locked then "|L" else "|U" in
+        if not (Hashtbl.mem visited key) then begin
+          Hashtbl.add visited key ();
+          if not (barrier n) then begin
+            if not locked then on_node n path;
+            List.iter
+              (fun e ->
+                match node g e.callee with
+                | Some c when not (String.equal c.id n.id) ->
+                    go c
+                      (path @ [ { Report.s_name = c.display; s_pos = e.e_pos } ])
+                      locked
+                | _ -> ())
+              n.edges
+          end
+        end
+      in
+      go rn [ root_step r rn ] false
+
+let mask_key = function
+  | Catch_all -> "ALL"
+  | Catch_only l -> String.concat "," (List.sort_uniq String.compare l)
+
+(* Escape is mask-aware: [blocked] accumulates the exception
+   constructors certainly caught somewhere along the path. *)
+let dfs_escape g (r : root) ~on_raise =
+  match node g r.r_node with
+  | None -> ()
+  | Some rn ->
+      let visited = Hashtbl.create 64 in
+      let rec go (n : node) path blocked =
+        let key = n.id ^ "|" ^ mask_key blocked in
+        if blocked <> Catch_all && not (Hashtbl.mem visited key) then begin
+          Hashtbl.add visited key ();
+          List.iter
+            (fun (fact, pos) ->
+              match fact with
+              | Raise exn when not (mask_catches blocked exn) ->
+                  on_raise n path exn pos
+              | _ -> ())
+            n.facts;
+          List.iter
+            (fun e ->
+              match node g e.callee with
+              | Some c when not (String.equal c.id n.id) ->
+                  go c
+                    (path @ [ { Report.s_name = c.display; s_pos = e.e_pos } ])
+                    (merge_mask blocked e.e_mask)
+              | _ -> ())
+            n.edges
+        end
+      in
+      go rn [ root_step r rn ] (Catch_only [])
+
+(* ------------------------------------------------------------------ *)
+
+let run g ~enabled =
+  let module SS = Set.Make (String) in
+  let globals = SS.of_list g.globals in
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let emit ~rule ~(pos : Report.pos) ~payload ~message ~path =
+    let key =
+      String.concat "|" [ rule; pos.file; string_of_int pos.line; payload ]
+    in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      acc :=
+        { Report.f_pos = pos; rule; message; chain = path } :: !acc
+    end
+  in
+  if enabled Race then
+    List.iter
+      (fun r ->
+        dfs_race g r
+          ~barrier:(fun n -> has_attr n Contexts.attr_shared_ok)
+          ~on_node:(fun n path ->
+            List.iter
+              (fun (fact, pos) ->
+                match fact with
+                | Write target when SS.mem target globals ->
+                    emit ~rule:"race" ~pos ~payload:target
+                      ~message:
+                        (Printf.sprintf
+                           "unguarded write to module-level mutable %s \
+                            from a parallel context — hold a lock, make \
+                            it atomic, or mark the function \
+                            [@pslint.shared_ok]"
+                           (short target))
+                      ~path
+                | _ -> ())
+              n.facts))
+      (List.rev g.parallel_roots);
+  if enabled Blocking then
+    List.iter
+      (fun r ->
+        dfs g r
+          ~barrier:(fun n -> has_attr n Contexts.attr_blocking_ok)
+          ~on_node:(fun n path ->
+            let _ = n in
+            List.iter
+              (fun (fact, pos) ->
+                match fact with
+                | Block (prim, why) ->
+                    emit ~rule:"blocking" ~pos ~payload:prim
+                      ~message:
+                        (Printf.sprintf
+                           "%s %s, but this path must not block (root: %s) \
+                            — move the call off the hot path or mark the \
+                            function [@pslint.blocking_ok]"
+                           (short prim) why r.r_node)
+                      ~path
+                | _ -> ())
+              n.facts))
+      (List.rev g.nonblocking_roots);
+  if enabled Escape then
+    List.iter
+      (fun r ->
+        dfs_escape g r ~on_raise:(fun n path exn pos ->
+            let _ = n in
+            emit ~rule:"escape" ~pos ~payload:exn
+              ~message:
+                (Printf.sprintf
+                   "%s can escape the boundary %s uncaught — catch it at \
+                    the entry point or encode a typed error"
+                   exn r.r_node)
+              ~path))
+      (List.rev g.escape_roots);
+  List.sort Report.compare !acc

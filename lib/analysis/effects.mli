@@ -1,0 +1,37 @@
+(** The three effect lattices propagated over the call graph, and the
+    findings they produce.
+
+    {b race} — from each parallel root (a function spawned onto another
+    domain/thread or run under [Parallel.fork_join]), every reachable
+    write to module-level mutable state is a finding unless the write
+    happens with a lock held: the traversal carries lock context, set
+    when a path enters a node that contains
+    [Mutex.lock]/[Mutex.protect], or a lambda handed to [Mutex.protect]
+    or to a function that locks (the [Telemetry.locked (fun () -> ...)]
+    idiom) — so helpers invoked only under the lock are guarded too.
+    [\[@pslint.shared_ok\]] is a traversal barrier.
+
+    {b blocking} — from each [\[@pslint.nonblocking\]] root and signal
+    handler, every reachable blocking primitive is a finding.
+    [\[@pslint.blocking_ok\]] is a traversal barrier (audited blocking,
+    e.g. the engine's sole-submitter backpressure wait).
+
+    {b escape} — from each domain/thread entry point and
+    [\[@pslint.no_escape\]] root, every raise whose constructor is not
+    certainly caught along the path is a finding; edges subtract the
+    exception masks of the handlers surrounding their call site.
+
+    Findings carry the full call chain (root first).  Suppression
+    comments and the baseline are applied by the caller — this module is
+    pure graph traversal. *)
+
+type rule = Race | Blocking | Escape
+
+val rule_id : rule -> string
+(** ["race"], ["blocking"], ["escape"] — the names suppression comments
+    and [--disable] use. *)
+
+val run : Callgraph.t -> enabled:(rule -> bool) -> Report.finding list
+(** All findings of the enabled rules, deduplicated (one finding per
+    violation site and payload; the first discovering root supplies the
+    chain), in {!Report.compare} order. *)

@@ -1,0 +1,87 @@
+type pos = { file : string; line : int; col : int }
+type step = { s_name : string; s_pos : pos }
+
+type finding = {
+  f_pos : pos;
+  rule : string;
+  message : string;
+  chain : step list;
+}
+
+let make ~file ~line ~col ~rule message =
+  { f_pos = { file; line; col }; rule; message; chain = [] }
+
+let compare a b =
+  match String.compare a.f_pos.file b.f_pos.file with
+  | 0 -> (
+      match Int.compare a.f_pos.line b.f_pos.line with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
+  | c -> c
+
+let render f =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "%s:%d:%d: [%s] %s" f.f_pos.file f.f_pos.line f.f_pos.col
+       f.rule f.message);
+  List.iteri
+    (fun i s ->
+      Buffer.add_string b
+        (Printf.sprintf "\n    %s %s (%s:%d)"
+           (if i = 0 then "  " else "\xe2\x86\x92")
+           s.s_name s.s_pos.file s.s_pos.line))
+    f.chain;
+  Buffer.contents b
+
+let baseline_key f =
+  let root = match f.chain with s :: _ -> s.s_name | [] -> "-" in
+  String.concat "|" [ f.rule; f.f_pos.file; root; f.message ]
+
+let load_baseline path =
+  let keys = Hashtbl.create 16 in
+  (if Sys.file_exists path then
+     let ic = open_in_bin path in
+     Fun.protect
+       ~finally:(fun () -> close_in ic)
+       (fun () ->
+         try
+           while true do
+             let line = String.trim (input_line ic) in
+             if String.length line > 0 && line.[0] <> '#' then
+               Hashtbl.replace keys line ()
+           done
+         with End_of_file -> ()));
+  keys
+
+let split_baselined keys findings =
+  List.partition (fun f -> not (Hashtbl.mem keys (baseline_key f))) findings
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let filter_suppressed ~resolve findings =
+  let cache : (string, Suppress.t) Hashtbl.t = Hashtbl.create 16 in
+  let suppressions file =
+    match Hashtbl.find_opt cache file with
+    | Some s -> s
+    | None ->
+        let s =
+          match resolve file with
+          | Some path when Sys.file_exists path -> (
+              match Suppress.scan (read_file path) with
+              | s -> s
+              | exception Sys_error _ -> Suppress.empty)
+          | _ -> Suppress.empty
+        in
+        Hashtbl.replace cache file s;
+        s
+  in
+  List.filter
+    (fun f ->
+      not
+        (Suppress.suppressed (suppressions f.f_pos.file) ~rule:f.rule
+           ~line:f.f_pos.line))
+    findings

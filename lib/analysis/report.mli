@@ -1,0 +1,51 @@
+(** Positioned findings shared by the syntactic rules and the
+    interprocedural analyzer, their text rendering, and the committed
+    baseline.
+
+    Baseline keys are deliberately position-free — rule, file, root and
+    message only — so an accepted finding survives unrelated edits to
+    the file above it and resurfaces the moment the code actually
+    changes shape. *)
+
+type pos = { file : string; line : int; col : int }
+
+type step = { s_name : string; s_pos : pos }
+(** One hop of a call chain: the function entered and the position of
+    the call (for the first step, of the root registration). *)
+
+type finding = {
+  f_pos : pos;  (** the violation site *)
+  rule : string;
+  message : string;
+  chain : step list;  (** root first, violating function last; [] for
+                          single-site syntactic findings *)
+}
+
+val make : file:string -> line:int -> col:int -> rule:string -> string -> finding
+(** A chainless (syntactic) finding. *)
+
+val compare : finding -> finding -> int
+(** Order by file, then line, then rule — stable printing. *)
+
+val render : finding -> string
+(** [file:line:col: [rule] message], followed by one indented line per
+    chain step ([root → f → g → violation]). *)
+
+val baseline_key : finding -> string
+
+val load_baseline : string -> (string, unit) Hashtbl.t
+(** Keys from the baseline file, one per line; ['#'] lines and blanks
+    ignored.  A missing file is an empty baseline. *)
+
+val split_baselined :
+  (string, unit) Hashtbl.t -> finding list -> finding list * finding list
+(** [(live, baselined)] — a baselined key matches any number of
+    findings. *)
+
+val filter_suppressed :
+  resolve:(string -> string option) -> finding list -> finding list
+(** Drop findings whose rule a [pslint: allow] comment suppresses at the
+    violation site.  [resolve] maps a finding's recorded file path to a
+    readable on-disk path ([None] when the source is unavailable, in
+    which case the finding is kept).  Source texts are read and scanned
+    once per file. *)

@@ -1,0 +1,96 @@
+(* Minimal JSON construction: enough structure for SARIF, nothing
+   general-purpose. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let str s = Printf.sprintf "\"%s\"" (escape s)
+let obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+let arr items = "[" ^ String.concat "," items ^ "]"
+
+let location (p : Report.pos) =
+  obj
+    [ ("physicalLocation",
+       obj
+         [ ("artifactLocation", obj [ ("uri", str p.file) ]);
+           ("region",
+            obj
+              [ ("startLine", string_of_int p.line);
+                ("startColumn", string_of_int (p.col + 1)) ]) ]) ]
+
+let thread_flow_location (s : Report.step) =
+  obj
+    [ ("location",
+       obj
+         [ ("physicalLocation",
+            obj
+              [ ("artifactLocation", obj [ ("uri", str s.s_pos.file) ]);
+                ("region", obj [ ("startLine", string_of_int s.s_pos.line) ])
+              ]);
+           ("message", obj [ ("text", str s.s_name) ]) ]) ]
+
+let result (f : Report.finding) =
+  let base =
+    [ ("ruleId", str f.rule);
+      ("level", str "error");
+      ("message", obj [ ("text", str f.message) ]);
+      ("locations", arr [ location f.f_pos ]) ]
+  in
+  let flows =
+    match f.chain with
+    | [] -> []
+    | chain ->
+        [ ("codeFlows",
+           arr
+             [ obj
+                 [ ("threadFlows",
+                    arr
+                      [ obj
+                          [ ("locations",
+                             arr (List.map thread_flow_location chain)) ] ])
+                 ] ]) ]
+  in
+  obj (base @ flows)
+
+let rule_ids findings =
+  List.sort_uniq String.compare
+    (List.map (fun (f : Report.finding) -> f.rule) findings)
+
+let emit findings =
+  let rules =
+    arr
+      (List.map
+         (fun id -> obj [ ("id", str id); ("name", str id) ])
+         (rule_ids findings))
+  in
+  obj
+    [ ("version", str "2.1.0");
+      ("$schema",
+       str
+         "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json");
+      ("runs",
+       arr
+         [ obj
+             [ ("tool",
+                obj
+                  [ ("driver",
+                     obj
+                       [ ("name", str "pslint");
+                         ("informationUri",
+                          str "https://example.invalid/pslint");
+                         ("rules", rules) ]) ]);
+               ("results", arr (List.map result findings)) ] ]) ]

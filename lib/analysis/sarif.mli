@@ -1,0 +1,9 @@
+(** SARIF 2.1.0 rendering of findings, for CI artifact upload and code
+    scanning ingestion.  Self-contained JSON emitter — the analyzer must
+    not depend on the serving tier's codec.
+
+    Call chains are emitted as [codeFlows] so a viewer can replay
+    [root → f → g → violation] hop by hop. *)
+
+val emit : Report.finding list -> string
+(** The complete SARIF document, UTF-8 JSON. *)

@@ -1,0 +1,198 @@
+module StringSet = Set.Make (String)
+
+type t = {
+  file_wide : StringSet.t;
+  by_line : (int, StringSet.t) Hashtbl.t; (* line -> suppressed rules *)
+}
+
+let empty = { file_wide = StringSet.empty; by_line = Hashtbl.create 1 }
+
+let is_rule_char c =
+  (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'
+
+(* Whitespace-separated rule names following position [start] in [s]. *)
+let rules_after s start =
+  let n = String.length s in
+  let rec skip_ws i =
+    if i < n && (s.[i] = ' ' || s.[i] = '\n' || s.[i] = '\t') then
+      skip_ws (i + 1)
+    else i
+  in
+  let rec words acc i =
+    let i = skip_ws i in
+    if i >= n || not (is_rule_char s.[i]) then acc
+    else begin
+      let j = ref i in
+      while !j < n && is_rule_char s.[!j] do incr j done;
+      words (String.sub s i (!j - i) :: acc) !j
+    end
+  in
+  words [] start
+
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go from
+
+(* Every rule list following an occurrence of [marker] in [s]. *)
+let all_markers s marker =
+  let m = String.length marker in
+  let rec go acc from =
+    match find_sub s marker from with
+    | None -> acc
+    | Some i -> go (rules_after s (i + m) :: acc) (i + m)
+  in
+  go [] 0
+
+(* One comment's worth of suppressions.  [lines] is the inclusive line
+   span of the comment in the file; per-line suppressions also cover the
+   line after the comment ends, so an annotation can sit above the code
+   it licenses. *)
+let apply_comment ~file_wide ~by_line ~first_line ~last_line content =
+  let add_line ln rules =
+    let prev =
+      match Hashtbl.find_opt by_line ln with
+      | Some s -> s
+      | None -> StringSet.empty
+    in
+    Hashtbl.replace by_line ln
+      (List.fold_left (fun s r -> StringSet.add r s) prev rules)
+  in
+  List.iter
+    (fun rules ->
+      file_wide :=
+        List.fold_left (fun s r -> StringSet.add r s) !file_wide rules)
+    (all_markers content "pslint: allow-file");
+  (* "pslint: allow " with the trailing space cannot match "allow-file". *)
+  List.iter
+    (fun rules ->
+      for ln = first_line to last_line + 1 do
+        add_line ln rules
+      done)
+    (all_markers content "pslint: allow ")
+
+(* A hand-rolled scanner over OCaml's lexical structure: comments nest,
+   string literals inside comments still delimit (a "*)" inside a quoted
+   string does not close the comment), and quoted-string literals
+   [{id|...|id}] have no escapes.  Char literals get a small heuristic so
+   ['"'] does not open a string. *)
+let scan text =
+  let n = String.length text in
+  let by_line = Hashtbl.create 8 in
+  let file_wide = ref StringSet.empty in
+  let line = ref 1 in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some text.[!i + k] else None in
+  let bump () =
+    if text.[!i] = '\n' then incr line;
+    incr i
+  in
+  (* Skip a string literal starting at the current '"'. *)
+  let skip_string () =
+    bump ();
+    let fin = ref false in
+    while (not !fin) && !i < n do
+      (match text.[!i] with
+      | '\\' -> if !i + 1 < n then bump () (* skip the escaped char *)
+      | '"' -> fin := true
+      | _ -> ());
+      bump ()
+    done
+  in
+  (* At '{': if it opens a quoted string {id|...|id}, skip it and return
+     true; otherwise leave the position unchanged. *)
+  let skip_quoted_string () =
+    let j = ref (!i + 1) in
+    while
+      !j < n && (text.[!j] = '_' || (text.[!j] >= 'a' && text.[!j] <= 'z'))
+    do
+      incr j
+    done;
+    if !j < n && text.[!j] = '|' then begin
+      let id = String.sub text (!i + 1) (!j - !i - 1) in
+      let closer = "|" ^ id ^ "}" in
+      (* step over the opener *)
+      while !i <= !j do bump () done;
+      let rec hunt () =
+        if !i < n then
+          match find_sub text closer !i with
+          | Some _ when String.sub text !i (String.length closer) = closer ->
+              for _ = 1 to String.length closer do bump () done
+          | _ ->
+              bump ();
+              hunt ()
+      in
+      hunt ();
+      true
+    end
+    else false
+  in
+  let in_comment = Buffer.create 64 in
+  while !i < n do
+    match text.[!i] with
+    | '(' when peek 1 = Some '*' ->
+        (* A comment: record its text and line span, honouring nesting
+           and embedded string literals. *)
+        let first_line = !line in
+        Buffer.clear in_comment;
+        bump ();
+        bump ();
+        let depth = ref 1 in
+        while !depth > 0 && !i < n do
+          match text.[!i] with
+          | '(' when peek 1 = Some '*' ->
+              incr depth;
+              Buffer.add_string in_comment "(*";
+              bump ();
+              bump ()
+          | '*' when peek 1 = Some ')' ->
+              decr depth;
+              if !depth > 0 then Buffer.add_string in_comment "*)";
+              bump ();
+              bump ()
+          | '"' ->
+              let start = !i in
+              skip_string ();
+              Buffer.add_string in_comment (String.sub text start (!i - start))
+          | c ->
+              Buffer.add_char in_comment c;
+              bump ()
+        done;
+        apply_comment ~file_wide ~by_line ~first_line ~last_line:!line
+          (Buffer.contents in_comment)
+    | '"' -> skip_string ()
+    | '{' -> if not (skip_quoted_string ()) then bump ()
+    | '\'' -> (
+        (* Char literal or type variable: ['x'] and ['\n'] are literals
+           (skip them whole so an inner '"' stays inert); anything else
+           is a tick. *)
+        match (peek 1, peek 2) with
+        | Some '\\', _ ->
+            bump ();
+            bump ();
+            (* skip to the closing quote of the escape, bounded *)
+            let guard = ref 0 in
+            while !i < n && text.[!i] <> '\'' && !guard < 4 do
+              bump ();
+              incr guard
+            done;
+            if !i < n && text.[!i] = '\'' then bump ()
+        | Some _, Some '\'' ->
+            bump ();
+            bump ();
+            bump ()
+        | _ -> bump ())
+    | _ -> bump ()
+  done;
+  { file_wide = !file_wide; by_line }
+
+let suppressed t ~rule ~line =
+  StringSet.mem rule t.file_wide
+  ||
+  match Hashtbl.find_opt t.by_line line with
+  | Some rules -> StringSet.mem rule rules
+  | None -> false

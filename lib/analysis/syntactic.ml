@@ -1,0 +1,358 @@
+module StringSet = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Rule predicates over identifiers *)
+
+let print_idents =
+  StringSet.of_list
+    [ "print_string"; "print_bytes"; "print_int"; "print_char";
+      "print_float"; "print_endline"; "print_newline"; "prerr_string";
+      "prerr_bytes"; "prerr_int"; "prerr_char"; "prerr_float";
+      "prerr_endline"; "prerr_newline" ]
+
+let mutable_makers =
+  [ ("Hashtbl", "create"); ("Buffer", "create"); ("Queue", "create");
+    ("Stack", "create"); ("Array", "make"); ("Array", "create_float");
+    ("Array", "init"); ("Array", "make_matrix"); ("Bytes", "make");
+    ("Bytes", "create") ]
+
+let longident_tail = function
+  | Longident.Lident s -> Some ([], s)
+  | Longident.Ldot (Longident.Lident m, s) -> Some ([ m ], s)
+  | Longident.Ldot (Longident.Ldot (Longident.Lident m, m'), s) ->
+      Some ([ m; m' ], s)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The per-file AST walk *)
+
+type ctx = {
+  file : string;
+  hot : bool; (* poly-compare applies *)
+  enabled : string -> bool; (* profile: which rules fire at all *)
+  sup : Suppress.t;
+  acc : Report.finding list ref;
+  mutable scope : StringSet.t; (* value names bound at this point *)
+}
+
+let report ctx (loc : Location.t) rule message =
+  let p = loc.Location.loc_start in
+  ctx.acc :=
+    Report.make ~file:ctx.file ~line:p.Lexing.pos_lnum
+      ~col:(p.Lexing.pos_cnum - p.Lexing.pos_bol)
+      ~rule message
+    :: !(ctx.acc)
+
+let flag ctx loc rule fmt =
+  Printf.ksprintf
+    (fun message ->
+      let line = loc.Location.loc_start.Lexing.pos_lnum in
+      if ctx.enabled rule && not (Suppress.suppressed ctx.sup ~rule ~line)
+      then report ctx loc rule message)
+    fmt
+
+let rec pattern_vars acc (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Ppat_var { txt; _ } -> StringSet.add txt acc
+  | Ppat_alias (q, { txt; _ }) -> pattern_vars (StringSet.add txt acc) q
+  | Ppat_tuple ps -> List.fold_left pattern_vars acc ps
+  | Ppat_construct (_, Some (_, q)) -> pattern_vars acc q
+  | Ppat_variant (_, Some q) -> pattern_vars acc q
+  | Ppat_record (fields, _) ->
+      List.fold_left (fun acc (_, q) -> pattern_vars acc q) acc fields
+  | Ppat_array ps -> List.fold_left pattern_vars acc ps
+  | Ppat_or (a, b) -> pattern_vars (pattern_vars acc a) b
+  | Ppat_constraint (q, _) | Ppat_lazy q | Ppat_exception q
+  | Ppat_open (_, q) ->
+      pattern_vars acc q
+  | _ -> acc
+
+let ident_check ctx (loc : Location.t) (lid : Longident.t) =
+  match longident_tail lid with
+  | None -> ()
+  | Some (path, name) -> (
+      (match (path, name) with
+      | [], "compare" when ctx.hot && not (StringSet.mem "compare" ctx.scope)
+        ->
+          flag ctx loc "poly-compare"
+            "polymorphic compare — use Int.compare or a monomorphic \
+             comparator"
+      | ([ "Stdlib" ] | [ "Pervasives" ]), "compare" when ctx.hot ->
+          flag ctx loc "poly-compare"
+            "polymorphic compare — use Int.compare or a monomorphic \
+             comparator"
+      | [ "Hashtbl" ], "hash" when ctx.hot ->
+          flag ctx loc "poly-compare"
+            "polymorphic Hashtbl.hash — hash a monomorphic key instead"
+      | [ "List" ], ("mem" | "assoc" | "assoc_opt" | "mem_assoc"
+                    | "remove_assoc")
+        when ctx.hot ->
+          flag ctx loc "poly-compare"
+            "List.%s uses polymorphic equality — use the q-variant on a \
+             monomorphic key or an explicit predicate" name
+      | _ -> ());
+      match (path, name) with
+      | [ "Obj" ], _ ->
+          flag ctx loc "no-obj" "Obj.%s — unsafe casts are banned" name
+      | [], p when StringSet.mem p print_idents ->
+          flag ctx loc "no-print"
+            "%s writes to a std stream — route through Telemetry, Logs, or \
+             return the value" p
+      | ([ "Printf" ] | [ "Format" ]), ("printf" | "eprintf") ->
+          flag ctx loc "no-print"
+            "%s.%s writes to a std stream — use sprintf/fprintf to a \
+             caller-supplied destination" (List.hd path) name
+      | [ "Format" ], ("print_string" | "print_newline" | "print_int"
+                      | "print_float" | "print_char") ->
+          flag ctx loc "no-print"
+            "Format.%s writes to stdout — use a caller-supplied formatter"
+            name
+      | _ -> ())
+
+(* Is [e] a syntactic shape whose [=]/[<>] comparison is structural
+   (boxed) rather than an immediate scalar?  Conservative: flags only
+   what is certainly structured. *)
+let structured (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ -> true
+  | Pexp_construct ({ txt = Longident.Lident ("true" | "false" | "()"); _ }, _)
+    ->
+      false
+  | Pexp_construct _ | Pexp_variant _ -> true
+  | Pexp_constant (Parsetree.Pconst_string _) -> true
+  | _ -> false
+
+let with_scope ctx names f =
+  let saved = ctx.scope in
+  ctx.scope <- StringSet.union names saved;
+  f ();
+  ctx.scope <- saved
+
+let iterator ctx =
+  let open Ast_iterator in
+  let case it (c : Parsetree.case) =
+    with_scope ctx
+      (pattern_vars StringSet.empty c.Parsetree.pc_lhs)
+      (fun () ->
+        Option.iter (it.expr it) c.Parsetree.pc_guard;
+        it.expr it c.Parsetree.pc_rhs)
+  in
+  let value_bindings it rec_flag (vbs : Parsetree.value_binding list) body =
+    let bound =
+      List.fold_left
+        (fun acc vb -> pattern_vars acc vb.Parsetree.pvb_pat)
+        StringSet.empty vbs
+    in
+    let rhs () =
+      List.iter (fun vb -> it.expr it vb.Parsetree.pvb_expr) vbs
+    in
+    (match rec_flag with
+    | Asttypes.Recursive -> with_scope ctx bound rhs
+    | Asttypes.Nonrecursive -> rhs ());
+    match body with
+    | Some body -> with_scope ctx bound (fun () -> it.expr it body)
+    | None -> ctx.scope <- StringSet.union bound ctx.scope
+    (* structure-level: names stay bound for the rest of the module *)
+  in
+  let expr it (e : Parsetree.expression) =
+    (match e.Parsetree.pexp_desc with
+    | Pexp_ident { txt; loc } -> ident_check ctx loc txt
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); loc };
+            _ },
+          args )
+      when ctx.hot ->
+        if List.exists (fun (_, a) -> structured a) args then
+          flag ctx loc "poly-compare"
+            "( %s ) on a structured operand is a polymorphic comparison — \
+             match on the shape or use a monomorphic equal" op
+    | _ -> ());
+    match e.Parsetree.pexp_desc with
+    | Pexp_fun (_, default, pat, body) ->
+        Option.iter (it.expr it) default;
+        it.pat it pat;
+        with_scope ctx
+          (pattern_vars StringSet.empty pat)
+          (fun () -> it.expr it body)
+    | Pexp_function cases -> List.iter (case it) cases
+    | Pexp_let (rec_flag, vbs, body) ->
+        value_bindings it rec_flag vbs (Some body)
+    | Pexp_match (scrut, cases) ->
+        it.expr it scrut;
+        List.iter (case it) cases
+    | Pexp_try (body, cases) ->
+        it.expr it body;
+        List.iter (case it) cases
+    | Pexp_for (pat, lo, hi, _, body) ->
+        it.expr it lo;
+        it.expr it hi;
+        with_scope ctx
+          (pattern_vars StringSet.empty pat)
+          (fun () -> it.expr it body)
+    | _ -> default_iterator.expr it e
+  in
+  let structure_item it (item : Parsetree.structure_item) =
+    match item.Parsetree.pstr_desc with
+    | Pstr_value (rec_flag, vbs) ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            let rec head (e : Parsetree.expression) =
+              match e.Parsetree.pexp_desc with
+              | Pexp_constraint (e, _) -> head e
+              | desc -> desc
+            in
+            match head vb.Parsetree.pvb_expr with
+            | Pexp_apply
+                ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+                match longident_tail txt with
+                | Some ([], "ref") ->
+                    flag ctx vb.Parsetree.pvb_loc "global-state"
+                      "module-level ref — shared across domains; guard it \
+                       or move it into a handle"
+                | Some ([ m ], f)
+                  when List.exists
+                         (fun (m', f') ->
+                           String.equal m m' && String.equal f f')
+                         mutable_makers ->
+                    flag ctx vb.Parsetree.pvb_loc "global-state"
+                      "module-level %s.%s — mutable state shared across \
+                       domains; guard it or move it into a handle" m f
+                | _ -> ())
+            | Pexp_array _ ->
+                flag ctx vb.Parsetree.pvb_loc "global-state"
+                  "module-level array literal — mutable state shared \
+                   across domains; guard it or move it into a handle"
+            | _ -> ())
+          vbs;
+        value_bindings it rec_flag vbs None
+    | _ -> default_iterator.structure_item it item
+  in
+  let structure it (items : Parsetree.structure) =
+    (* A nested module's bindings must not leak past its end. *)
+    let saved = ctx.scope in
+    List.iter (it.structure_item it) items;
+    ctx.scope <- saved
+  in
+  { default_iterator with expr; structure_item; structure }
+
+(* ------------------------------------------------------------------ *)
+(* Driving *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let hot_dirs =
+  [ "lib/graph"; "lib/core"; "lib/cfc"; "lib/slocal"; "lib/server";
+    "lib/cache"; "lib/shard"; "lib/maxis"; "lib/local"; "lib/hypergraph";
+    "lib/check" ]
+
+let normalize_path p = String.concat "/" (String.split_on_char '\\' p)
+
+let has_component comp path =
+  let p = normalize_path path in
+  List.exists (String.equal comp) (String.split_on_char '/' p)
+
+let is_hot path =
+  let p = normalize_path path in
+  List.exists
+    (fun dir ->
+      (* match the directory component anywhere in the path *)
+      let needle = dir ^ "/" in
+      let n = String.length p and m = String.length needle in
+      let rec find i =
+        i + m <= n && (String.equal (String.sub p i m) needle || find (i + 1))
+      in
+      find 0)
+    hot_dirs
+
+(* Tools print and hold their state locally: only the rules about
+   unsafe casts, interfaces and parseability apply outside lib/. *)
+let tool_rules = [ "no-obj"; "mli-required"; "parse" ]
+
+let profile_of_path path =
+  if has_component "bin" path || has_component "bench" path then
+    fun rule -> List.mem rule tool_rules
+  else fun _ -> true
+
+let lexbuf_of path text =
+  let lexbuf = Lexing.from_string text in
+  Lexing.set_filename lexbuf path;
+  lexbuf
+
+let parse_error_finding path exn =
+  let loc =
+    match Location.error_of_exn exn with
+    | Some (`Ok e) -> e.Location.main.Location.loc
+    | _ -> Location.none
+  in
+  let p = loc.Location.loc_start in
+  Report.make ~file:path ~line:(max 1 p.Lexing.pos_lnum)
+    ~col:(max 0 (p.Lexing.pos_cnum - p.Lexing.pos_bol))
+    ~rule:"parse" (Printexc.to_string exn)
+
+let check_ml ~acc path =
+  let text = read_file path in
+  let sup = Suppress.scan text in
+  let ctx =
+    {
+      file = path;
+      hot = is_hot path;
+      enabled = profile_of_path path;
+      sup;
+      acc;
+      scope = StringSet.empty;
+    }
+  in
+  (if (not (Sys.file_exists (path ^ "i")))
+      && ctx.enabled "mli-required"
+      && not (Suppress.suppressed sup ~rule:"mli-required" ~line:1)
+   then
+     acc :=
+       Report.make ~file:path ~line:1 ~col:0 ~rule:"mli-required"
+         (Printf.sprintf
+            "no interface file %s — every module documents its contract in \
+             an .mli"
+            (Filename.basename path ^ "i"))
+       :: !acc);
+  match Parse.implementation (lexbuf_of path text) with
+  | ast ->
+      let it = iterator ctx in
+      it.Ast_iterator.structure it ast
+  | exception exn -> acc := parse_error_finding path exn :: !acc
+
+let check_mli ~acc path =
+  let text = read_file path in
+  match Parse.interface (lexbuf_of path text) with
+  | (_ : Parsetree.signature) -> ()
+  | exception exn -> acc := parse_error_finding path exn :: !acc
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if String.length entry > 0 && entry.[0] = '.' then acc
+        else walk (Filename.concat path entry) acc)
+      acc (Sys.readdir path)
+  else acc @ [ path ]
+
+let sources ~roots =
+  let files = List.concat_map (fun r -> walk r []) roots in
+  let files = List.sort String.compare files in
+  List.filter
+    (fun f ->
+      Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli")
+    files
+
+let files_checked ~roots = List.length (sources ~roots)
+
+let run ~roots =
+  let acc = ref [] in
+  List.iter
+    (fun f ->
+      if Filename.check_suffix f ".ml" then check_ml ~acc f
+      else check_mli ~acc f)
+    (sources ~roots);
+  List.sort Report.compare !acc

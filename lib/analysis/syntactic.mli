@@ -1,0 +1,35 @@
+(** The per-file syntactic rules (the original pslint), over parsetrees
+    of raw source — no build artifacts needed.
+
+    Rules and their ids:
+    - [poly-compare] (hot directories only): unqualified or
+      [Stdlib]-qualified [compare] (unless shadowed by a binding in
+      scope), [Hashtbl.hash], the equality-based [List.mem]/[List.assoc]
+      family, and [=]/[<>] applied to syntactically structured operands.
+    - [no-obj]: any [Obj.*].
+    - [no-print]: direct stdout/stderr output from library code.
+    - [global-state]: module-level mutable values ([ref],
+      [Hashtbl.create], array literals, ...); [Atomic.make],
+      [Mutex.create] and [Domain.DLS.new_key] are sanctioned.
+    - [mli-required]: every [.ml] has a sibling [.mli].
+    - [parse]: the file failed to parse at all.
+
+    Two profiles: files under [lib/] get every rule; files under [bin/]
+    or [bench/] (tools — prints are their job, handles are local) get
+    only [no-obj], [mli-required] and [parse].
+
+    Suppression comments are honoured via {!Suppress} — including
+    multi-line [(* ... *)] comments, and [mli-required] via
+    [pslint: allow-file mli-required]. *)
+
+val hot_dirs : string list
+(** Directories where [poly-compare] applies. *)
+
+val run : roots:string list -> Report.finding list
+(** Walk every [.ml]/[.mli] under the given files/directories
+    (skipping dot-directories) and return all findings, sorted.  The
+    count of files checked is [checked_count] of the same walk — exposed
+    for the driver's summary line via {!files_checked}. *)
+
+val files_checked : roots:string list -> int
+(** Number of [.ml]/[.mli] files the same walk would check. *)

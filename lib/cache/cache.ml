@@ -132,7 +132,11 @@ let create ?(config = default_config) () =
 
 let config t = t.cfg
 
-let locked t f =
+(* [@pslint.blocking_ok]: the in-memory critical sections under [t.mu]
+   are bounded (LRU bookkeeping, counter updates); the one long
+   operation behind it, the disk read, is kept off the nonblocking
+   submit path by the memory-only [_mem] lookup flavours. *)
+let[@pslint.blocking_ok] locked t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
@@ -256,9 +260,17 @@ let disk_read ~dir ~key =
 
 let encode_entry (e : entry) = Marshal.to_string e []
 
-(* Under [t.mu]. *)
+(* Both under [t.mu].  [find_entry_memory] never leaves the in-memory
+   tier, so the [_mem] lookup flavours built on it are statically free
+   of blocking calls — which is exactly what the effect analyzer checks
+   on the submit path.  [find_entry_locked] falls back to the
+   persistent tier; the disk stall it can take under the cache mutex is
+   why the engine's sole submitter (the shard's batch dispatcher) uses
+   the [_mem] flavours and re-consults disk-and-all from a worker. *)
+let find_entry_memory t key = Lru.find t.lru key
+
 let find_entry_locked t key =
-  match Lru.find t.lru key with
+  match find_entry_memory t key with
   | Some e -> Some e
   | None -> (
       match t.cfg.dir with
@@ -294,19 +306,19 @@ let solve_key ~k ~solver_name ~seed h =
   key_string ~kind:Solve ~hash:(hypergraph_hash h) ~k ~solver:solver_name
     ~seed
 
-let find_solve t ~k ~solver_name ~seed h =
-  let key = solve_key ~k ~solver_name ~seed h in
-  let found =
-    locked t @@ fun () ->
-    match find_entry_locked t key with
-    | Some (Solve_result r) when H.equal r.Pl.reduction.Rd.hypergraph h ->
-        let audit = Rng.bernoulli t.rng t.cfg.audit_rate in
-        if audit then t.audits <- t.audits + 1;
-        Some (r, audit)
-    | Some _ | None ->
-        t.misses <- t.misses + 1;
-        None
-  in
+(* Under [t.mu]: shared hit logic over an already-fetched entry, so the
+   disk-backed and memory-only lookups stay one code path. *)
+let solve_probe_locked t h entry =
+  match entry with
+  | Some (Solve_result r) when H.equal r.Pl.reduction.Rd.hypergraph h ->
+      let audit = Rng.bernoulli t.rng t.cfg.audit_rate in
+      if audit then t.audits <- t.audits + 1;
+      Some (r, audit)
+  | Some _ | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let solve_serve t key found =
   match found with
   | None -> None
   | Some (r, audit) ->
@@ -327,6 +339,20 @@ let find_solve t ~k ~solver_name ~seed h =
         locked t (fun () -> t.hits <- t.hits + 1);
         Some r
       end
+
+let find_solve t ~k ~solver_name ~seed h =
+  let key = solve_key ~k ~solver_name ~seed h in
+  let found =
+    locked t @@ fun () -> solve_probe_locked t h (find_entry_locked t key)
+  in
+  solve_serve t key found
+
+let find_solve_mem t ~k ~solver_name ~seed h =
+  let key = solve_key ~k ~solver_name ~seed h in
+  let found =
+    locked t @@ fun () -> solve_probe_locked t h (find_entry_memory t key)
+  in
+  solve_serve t key found
 
 let store_solve t ~k ~solver_name ~seed (r : Pl.result) =
   if r.Pl.certificate.Cf.all_ok then
@@ -385,16 +411,23 @@ let solve t ?(cancel = fun () -> false) ~k ~solver ~solver_name ~seed h =
 let graph_key ~kind ~solver_name ~seed g =
   key_string ~kind ~hash:(G.content_hash g) ~k:None ~solver:solver_name ~seed
 
-let find_graph_result t ~kind ~solver_name ~seed g =
-  let key = graph_key ~kind ~solver_name ~seed g in
-  locked t @@ fun () ->
-  match find_entry_locked t key with
+(* Under [t.mu]; same sharing shape as {!solve_probe_locked}. *)
+let graph_probe_locked t g entry =
+  match entry with
   | Some (Graph_result { graph; payload }) when G.equal graph g ->
       t.hits <- t.hits + 1;
       Some payload
   | Some _ | None ->
       t.misses <- t.misses + 1;
       None
+
+let find_graph_result t ~kind ~solver_name ~seed g =
+  let key = graph_key ~kind ~solver_name ~seed g in
+  locked t @@ fun () -> graph_probe_locked t g (find_entry_locked t key)
+
+let find_graph_result_mem t ~kind ~solver_name ~seed g =
+  let key = graph_key ~kind ~solver_name ~seed g in
+  locked t @@ fun () -> graph_probe_locked t g (find_entry_memory t key)
 
 let store_graph_result t ~kind ~solver_name ~seed g payload =
   store_entry t

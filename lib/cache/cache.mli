@@ -104,7 +104,20 @@ val find_solve :
   Ps_core.Pipeline.result option
 (** Lookup only (no solving): [Some] iff a stored result exists for
     this exact request, the stored hypergraph equals the argument, and
-    the sampled audit (if drawn) passes. *)
+    the sampled audit (if drawn) passes.  Consults the in-memory tier
+    and then the persistent tier, so it may read the disk. *)
+
+val find_solve_mem :
+  t ->
+  k:int option ->
+  solver_name:string ->
+  seed:int ->
+  Ps_hypergraph.Hypergraph.t ->
+  Ps_core.Pipeline.result option
+(** {!find_solve} restricted to the in-memory tier — a statically
+    non-blocking lookup for callers on paths that must not stall, like
+    the engine's submit prefix; a memory miss there is re-consulted
+    disk-and-all from a worker. *)
 
 val store_solve :
   t ->
@@ -132,7 +145,17 @@ val find_graph_result :
     the argument ({!Ps_graph.Graph.content_hash} keyed,
     {!Ps_graph.Graph.equal} verified).  Opaque payloads carry no
     certificate, so they are never audit-sampled — documented
-    limitation of this tier. *)
+    limitation of this tier.  May read the disk, as {!find_solve}. *)
+
+val find_graph_result_mem :
+  t ->
+  kind:kind ->
+  solver_name:string ->
+  seed:int ->
+  Ps_graph.Graph.t ->
+  string option
+(** {!find_graph_result} restricted to the in-memory tier, as
+    {!find_solve_mem}. *)
 
 val store_graph_result :
   t ->

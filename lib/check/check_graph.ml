@@ -117,4 +117,4 @@ let csr g =
     D.close a
   end
 
-let csr_ok g = csr g = []
+let csr_ok g = match csr g with [] -> true | _ :: _ -> false

@@ -15,13 +15,14 @@ let build n edges =
   { n; edges; incidence }
 
 let normalize_edge n e =
-  let e = List.sort_uniq compare e in
-  if e = [] then invalid_arg "Hypergraph: empty edge";
-  List.iter
-    (fun v ->
-      if v < 0 || v >= n then invalid_arg "Hypergraph: vertex out of range")
-    e;
-  Array.of_list e
+  match List.sort_uniq Int.compare e with
+  | [] -> invalid_arg "Hypergraph: empty edge"
+  | e ->
+      List.iter
+        (fun v ->
+          if v < 0 || v >= n then invalid_arg "Hypergraph: vertex out of range")
+        e;
+      Array.of_list e
 
 let of_edges n edges =
   if n < 0 then invalid_arg "Hypergraph.of_edges: negative vertex count";
@@ -112,10 +113,10 @@ let almost_uniform_witness h eps =
     if rank h <= int_of_float (Float.floor bound) then Some k else None
   end
 
-let is_almost_uniform h eps = almost_uniform_witness h eps <> None
+let is_almost_uniform h eps = Option.is_some (almost_uniform_witness h eps)
 
 let restrict_edges h keep =
-  let keep = List.sort_uniq compare keep in
+  let keep = List.sort_uniq Int.compare keep in
   List.iter (check_edge h) keep;
   let back = Array.of_list keep in
   let edges = Array.map (fun i -> Array.copy h.edges.(i)) back in

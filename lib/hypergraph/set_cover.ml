@@ -83,7 +83,7 @@ let minimum_within ~budget h =
     end
   in
   match branch [] 0 (B.create (Hypergraph.n_vertices h)) with
-  | () -> Option.map (List.sort compare) !best
+  | () -> Option.map (List.sort Int.compare) !best
   | exception Budget_exhausted -> None
 
 let cover_number_within ~budget h =

@@ -8,6 +8,9 @@ type view = {
 
 let norm_edge a b = (min a b, max a b)
 
+let edge_compare (a, b) (c, d) =
+  match Int.compare a c with 0 -> Int.compare b d | o -> o
+
 let default_ids g = Array.init (G.n_vertices g) (fun i -> i)
 
 let direct_views ?ids g r =
@@ -26,15 +29,15 @@ let direct_views ?ids g r =
               (fun acc w ->
                 (* Keep each edge once: from its lower-indexed endpoint,
                    unless only the higher one is inner. *)
-                if u < w || not (List.mem w inner) then
+                if u < w || not (List.memq w inner) then
                   norm_edge ids.(u) ids.(w) :: acc
                 else acc)
               [])
           inner
       in
       { center = ids.(v);
-        vertices = List.sort compare (List.map (fun u -> ids.(u)) ball);
-        edges = List.sort_uniq compare edges })
+        vertices = List.sort Int.compare (List.map (fun u -> ids.(u)) ball);
+        edges = List.sort_uniq edge_compare edges })
 
 module Flood (R : sig
   val radius : int
@@ -52,7 +55,8 @@ struct
 
   let name = Printf.sprintf "flood-%d" R.radius
 
-  let merge known more = List.sort_uniq compare (List.rev_append more known)
+  let merge known more =
+    List.sort_uniq edge_compare (List.rev_append more known)
 
   let to_view state =
     let vertices =
@@ -62,7 +66,7 @@ struct
           List.concat_map (fun (a, b) -> [ a; b ]) state.known ]
     in
     { center = state.my_id;
-      vertices = List.sort_uniq compare vertices;
+      vertices = List.sort_uniq Int.compare vertices;
       edges = state.known }
 
   let init (ctx : Network.node_ctx) =

@@ -34,7 +34,7 @@ module Algo = struct
 
   let mark_dead info inbox =
     Array.iteri
-      (fun p msg -> if msg = None then info.alive.(p) <- false)
+      (fun p msg -> if Option.is_none msg then info.alive.(p) <- false)
       inbox
 
   let choose_role (ctx : Network.node_ctx) info =
@@ -79,9 +79,10 @@ module Algo = struct
             Array.iter
               (fun msg ->
                 match msg with
-                | Some (Propose (target, sender)) when target = ctx.id ->
-                    if !best = None || sender < Option.get !best then
-                      best := Some sender
+                | Some (Propose (target, sender)) when target = ctx.id -> (
+                    match !best with
+                    | Some b when sender >= b -> ()
+                    | Some _ | None -> best := Some sender)
                 | Some (Propose _ | Listening) | None -> ()
                 | Some (Hello _ | Accept _ | Matched | Pass) -> assert false)
               inbox;

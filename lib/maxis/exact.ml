@@ -45,7 +45,8 @@ let rec branch s p chosen n_chosen =
     reduced := false;
     let low = ref None in
     B.iter
-      (fun v -> if !low = None && residual_degree s p v <= 1 then low := Some v)
+      (fun v ->
+        if Option.is_none !low && residual_degree s p v <= 1 then low := Some v)
       p;
     match !low with
     | None -> ()

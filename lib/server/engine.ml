@@ -68,7 +68,10 @@ type t = {
 
 type submit_outcome = Accepted | Rejected_overloaded | Rejected_shutting_down
 
-let locked t f =
+(* [@pslint.blocking_ok]: every critical section under the engine mutex
+   is bounded bookkeeping (queue push/pop, counters); nothing solves,
+   renders, or touches I/O while holding it. *)
+let[@pslint.blocking_ok] locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
@@ -357,7 +360,16 @@ let submit_batch t items =
         let cached =
           match t.cfg.cache with
           | None -> None
-          | Some c -> Service.cached_lookup c req.P.call
+          | Some c -> (
+              (* The consult re-renders results and re-audits
+                 certificates with real solver code; a bug there must
+                 degrade to a cache miss — the job takes the ordinary
+                 worker path — not unwind the submitting thread, which
+                 in the shard tier is the engine's sole submitter. *)
+              try Service.cached_lookup c req.P.call
+              with _ ->
+                Tm.incr "engine.cache_consult_error";
+                None)
         in
         (req, reply, deadline_ns, cached))
       items
@@ -446,7 +458,10 @@ let record_invalid t =
    the engine is closed there is nothing to wait for — returns
    [max_int] so the caller submits everything and the items are
    answered [shutting_down] individually. *)
-let wait_capacity t =
+let[@pslint.blocking_ok] wait_capacity t =
+  (* [@pslint.blocking_ok]: parking here is the design — the sole
+     submitter converts queue overflow into waiting (socket
+     backpressure) instead of shed; see the comment above. *)
   locked t (fun () ->
       while
         (not t.closed) && Queue.length t.queue >= t.cfg.queue_capacity

@@ -277,7 +277,7 @@ let parse_call meth params =
   | "stats" -> Ok Stats
   | other -> Error (err Unknown_method "unknown method %S" other)
 
-let validate_request envelope =
+let validate_request_unsafe envelope =
   let tag id r = Result.map_error (fun e -> (id, e)) r in
   match envelope with
   | Json.Obj _ ->
@@ -304,6 +304,23 @@ let validate_request envelope =
          let* call = parse_call meth params in
          Ok { id; timeout_ms; tenant; call })
   | _ -> Error (Json.Null, err Invalid_request "request must be a JSON object")
+
+(* Total on untrusted structure.  The payload constructors reached from
+   [parse_call] ([Hypergraph.of_member_arrays], the CSR builder, the
+   multicoloring decoder) do their own validation with [invalid_arg]
+   and friends; the wire contract says parsing never raises, so any
+   such escape becomes one [Invalid_request] naming the culprit instead
+   of an exception that kills the transport thread. *)
+let validate_request envelope =
+  try validate_request_unsafe envelope
+  with exn ->
+    let id =
+      match envelope with
+      | Json.Obj _ ->
+          Option.value (Json.member "id" envelope) ~default:Json.Null
+      | _ -> Json.Null
+    in
+    Error (id, err Invalid_request "invalid payload: %s" (Printexc.to_string exn))
 
 let parse_request ?(max_bytes = default_max_bytes) line =
   if String.length line > max_bytes then

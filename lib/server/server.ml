@@ -8,13 +8,29 @@ type config = {
 let default_config =
   { engine = Engine.default_config; max_line_bytes = P.default_max_bytes }
 
+(* The reply-boundary contract: every line produces exactly one
+   response and never kills the reader thread.  Parsing is total on
+   untrusted bytes by design, but a bug in a solver or an encoder
+   reached through [Engine.submit]'s synchronous prefix (cache lookup,
+   validation) would otherwise unwind the whole connection; such a bug
+   surfaces as one [internal] error response instead.  This catch-all
+   is the containment the escape analysis checks for (DESIGN.md). *)
 let handle_line ~engine ~max_line_bytes ~reply line =
   if not (String.equal (String.trim line) "") then
-    match P.parse_request ~max_bytes:max_line_bytes line with
-    | Ok req -> ignore (Engine.submit engine req ~reply : Engine.submit_outcome)
-    | Error (id, err) ->
-        Engine.record_invalid engine;
-        reply (P.response_to_line (P.error_response ~id err))
+    try
+      match P.parse_request ~max_bytes:max_line_bytes line with
+      | Ok req ->
+          ignore (Engine.submit engine req ~reply : Engine.submit_outcome)
+      | Error (id, err) ->
+          Engine.record_invalid engine;
+          reply (P.response_to_line (P.error_response ~id err))
+    with exn ->
+      Engine.record_invalid engine;
+      Ps_util.Telemetry.incr "server.handler_escape";
+      reply
+        (P.response_to_line
+           (P.error_response ~id:Json.Null
+              { P.code = P.Internal; message = Printexc.to_string exn }))
 
 (* Stop latch: the accept/read loops block in their own threads; the
    main thread sleeps in [await] until SIGTERM/SIGINT/EOF trips the
@@ -113,6 +129,20 @@ let rec accept_retrying ~should_stop accept_fn =
   | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
       if should_stop () then None
       else accept_retrying ~should_stop accept_fn
+  | exception
+      Unix.Unix_error
+        ((Unix.EMFILE | Unix.ENFILE | Unix.ENOBUFS | Unix.ENOMEM), _, _) ->
+      (* Resource exhaustion: the listener is fine, the process (or the
+         host) is out of fds or buffer space.  Retrying immediately
+         would spin at 100% CPU; give in-flight connections 50 ms to
+         release resources and try again.  Killing the acceptor here
+         would turn a transient spike into a permanently deaf server. *)
+      if should_stop () then None
+      else begin
+        Ps_util.Telemetry.incr "server.accept_backoff";
+        Thread.delay 0.05;
+        accept_retrying ~should_stop accept_fn
+      end
   | exception Unix.Unix_error (Unix.EBADF, _, _) -> None
 
 (* A leftover socket file makes a fresh bind fail with EADDRINUSE, but
@@ -176,19 +206,21 @@ let serve_unix_socket ?(config = default_config) ~path () =
   let listen_fd = bind_unix_socket path in
   let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   let connection fd () =
-    let ic = Unix.in_channel_of_descr fd in
-    let oc = Unix.out_channel_of_descr fd in
-    let out_mutex = Mutex.create () in
-    let reply line =
-      Mutex.lock out_mutex;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock out_mutex)
-        (fun () ->
-          output_string oc line;
-          output_char oc '\n';
-          flush oc)
-    in
+    (* The channel conversions sit inside the [try] with the read loop:
+       they hit the same fd, so the same hangup errors apply. *)
     (try
+       let ic = Unix.in_channel_of_descr fd in
+       let oc = Unix.out_channel_of_descr fd in
+       let out_mutex = Mutex.create () in
+       let reply line =
+         Mutex.lock out_mutex;
+         Fun.protect
+           ~finally:(fun () -> Mutex.unlock out_mutex)
+           (fun () ->
+             output_string oc line;
+             output_char oc '\n';
+             flush oc)
+       in
        let rec loop () =
          let line = input_line ic in
          handle_line ~engine ~max_line_bytes:config.max_line_bytes ~reply line;
@@ -223,7 +255,23 @@ let serve_unix_socket ?(config = default_config) ~path () =
           if tripped latch then () else loop ()
       | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
     in
-    loop ()
+    (* A dead acceptor is this server's worst failure mode: the process
+       looks healthy while refusing every new client.  Anything the
+       retry ladder above does not classify (ENOMEM out of [select],
+       EPERM from a security module, an accept error outside the
+       transient set) lands here; count it, back off, and keep
+       accepting until told to stop. *)
+    let rec run () =
+      try loop ()
+      with _ ->
+        Ps_util.Telemetry.incr "server.acceptor_restart";
+        if tripped latch then ()
+        else begin
+          Thread.delay 0.05;
+          run ()
+        end
+    in
+    run ()
   in
   Fun.protect
     ~finally:(fun () ->

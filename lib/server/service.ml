@@ -88,6 +88,12 @@ let solve_cached ~cache ~cancel (p : P.solve_params) =
 (* Deterministic given the graph; no seed or solver choice in the key. *)
 let decompose_key_seed = 0
 
+(* Memory-tier only (the [_mem] lookups): this consult runs on the
+   submitting thread — in the shard tier, the engine's sole submitter —
+   where a disk read under the cache mutex would wedge every request
+   behind one stall.  A memory miss falls through to a worker, whose
+   cache-aware handlers ({!solve}, {!graph_result_cached}) consult the
+   disk tier before solving. *)
 let cached_lookup cache (call : P.call) =
   let parsed payload =
     match Json.parse payload with Ok j -> Some j | Error _ -> None
@@ -96,21 +102,21 @@ let cached_lookup cache (call : P.call) =
   | P.Reduce p ->
       Option.map
         (P.reduce_result ~detail:p.detail)
-        (Cache.find_solve cache ~k:p.k ~solver_name:p.solver_name ~seed:p.seed
-           p.hypergraph)
+        (Cache.find_solve_mem cache ~k:p.k ~solver_name:p.solver_name
+           ~seed:p.seed p.hypergraph)
   | P.Certify p ->
       Option.map
         (fun r -> P.certificate_json r.Ps_core.Pipeline.certificate)
-        (Cache.find_solve cache ~k:p.k ~solver_name:p.solver_name ~seed:p.seed
-           p.hypergraph)
+        (Cache.find_solve_mem cache ~k:p.k ~solver_name:p.solver_name
+           ~seed:p.seed p.hypergraph)
   | P.Mis { graph; algo; seed } ->
       Option.bind
-        (Cache.find_graph_result cache ~kind:Cache.Mis
+        (Cache.find_graph_result_mem cache ~kind:Cache.Mis
            ~solver_name:(P.mis_algo_name algo) ~seed graph)
         parsed
   | P.Decompose { graph } ->
       Option.bind
-        (Cache.find_graph_result cache ~kind:Cache.Decompose
+        (Cache.find_graph_result_mem cache ~kind:Cache.Decompose
            ~solver_name:"ball-carving" ~seed:decompose_key_seed graph)
         parsed
   | P.Ping | P.Stats | P.Check _ -> None

@@ -45,7 +45,7 @@ let split_at n batch =
    kernel socket buffers push back on the clients.  Overload becomes
    latency; the only load-shedding edges left are per-tenant quota
    (ahead of staging) and engine shutdown. *)
-let dispatcher_loop t () =
+let[@pslint.nonblocking] dispatcher_loop t () =
   let rec feed = function
     | [] -> ()
     | batch ->
@@ -55,8 +55,12 @@ let dispatcher_loop t () =
         feed rest
   in
   let rec loop () =
+    (* Draining its own staging queue is the dispatcher's job: parking
+       here when staging is empty is the idle state, not a wedge.
+       pslint: allow blocking *)
     Mutex.lock t.mutex;
     while is_empty t.staged && not t.stopping do
+      (* pslint: allow blocking *)
       Condition.wait t.nonempty t.mutex
     done;
     let batch = List.rev t.staged in

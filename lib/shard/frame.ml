@@ -175,7 +175,13 @@ let writer fd ~framing =
   w.thread <- Some (Thread.create (writer_loop w) ());
   w
 
-let send w payload =
+(* [@pslint.nonblocking]: engine workers call this with replies; the
+   actual write syscall belongs to the writer thread alone, so a slow
+   client can never wedge a worker.  The buffer mutex below is the one
+   audited exception. *)
+let[@pslint.nonblocking] send w payload =
+  (* pslint: allow blocking — the audited exception described above:
+     the buffer mutex guards a few Buffer ops, never a syscall. *)
   Mutex.lock w.mutex;
   if w.failed || w.closing then begin
     Mutex.unlock w.mutex;

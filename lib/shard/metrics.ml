@@ -10,7 +10,7 @@ let rec send_all fd bytes off len =
     | n -> send_all fd bytes (off + n) (len - n)
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> send_all fd bytes off len
 
-let fetch_stats ~framing ~path =
+let fetch_stats_exn ~framing ~path =
   let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close s with Unix.Unix_error _ -> ())
@@ -44,6 +44,15 @@ let fetch_stats ~framing ~path =
                   match Json.member "result" resp with
                   | Some r -> Ok r
                   | None -> Error "stats response carries no result"))))
+
+(* Total on any failure: a scrape error is a value, never an exception
+   — the metrics thread must survive a shard mid-restart, fd
+   exhaustion at [socket], or a codec bug in the response. *)
+let fetch_stats ~framing ~path =
+  try fetch_stats_exn ~framing ~path with
+  | Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  | exn -> Error (Printexc.to_string exn)
 
 (* ------------------------------------------------------------------ *)
 (* Prometheus text rendering *)
@@ -302,27 +311,37 @@ let handle_http_connection fd ~body =
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* Serial accept loop: a scraper hits this once per interval, and the
-   render itself fans out to the shards, so concurrency buys nothing. *)
-let serve_http ~path ~body ~should_stop =
-  let listen_fd = Server.bind_unix_socket path in
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-      try Unix.unlink path with Unix.Unix_error _ -> ())
-    (fun () ->
-      let rec loop () =
-        match Unix.select [ listen_fd ] [] [] 0.25 with
-        | [], _, _ -> if should_stop () then () else loop ()
-        | _ :: _, _, _ ->
-            (match
-               Server.accept_retrying ~should_stop (fun () ->
-                   Unix.accept listen_fd)
-             with
-            | Some (fd, _) -> handle_http_connection fd ~body
-            | None -> ());
-            if should_stop () then () else loop ()
-        | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-            if should_stop () then () else loop ()
-        | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
-      in
-      loop ())
+   render itself fans out to the shards, so concurrency buys nothing.
+
+   The caller binds the socket (on its main thread, so a hijacked or
+   unwritable metrics path fails startup loudly) and owns its
+   close/unlink; this loop only accepts.  Unclassified errors restart
+   the loop after a beat rather than leaving the endpoint silently
+   dead while the tier looks healthy. *)
+let serve_http ~listen_fd ~body ~should_stop =
+  let rec loop () =
+    match Unix.select [ listen_fd ] [] [] 0.25 with
+    | [], _, _ -> if should_stop () then () else loop ()
+    | _ :: _, _, _ ->
+        (match
+           Server.accept_retrying ~should_stop (fun () ->
+               Unix.accept listen_fd)
+         with
+        | Some (fd, _) -> handle_http_connection fd ~body
+        | None -> ());
+        if should_stop () then () else loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        if should_stop () then () else loop ()
+    | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+  in
+  let rec run () =
+    try loop ()
+    with _ ->
+      Ps_util.Telemetry.incr "metrics.acceptor_restart";
+      if should_stop () then ()
+      else begin
+        Thread.delay 0.05;
+        run ()
+      end
+  in
+  run ()

@@ -26,7 +26,9 @@ val fetch_stats :
   path:string ->
   (Ps_server.Json.t, string) result
 (** One [stats] request to a shard socket: connect, send, read the
-    response, return its [result] object.  2 s receive timeout. *)
+    response, return its [result] object.  2 s receive timeout.  Total:
+    every failure — down to fd exhaustion at [socket] — is an [Error],
+    never an exception. *)
 
 val render :
   children:Supervisor.child_info list ->
@@ -37,10 +39,17 @@ val render :
     tested without sockets). *)
 
 val serve_http :
-  path:string -> body:(unit -> string) -> should_stop:(unit -> bool) -> unit
-(** Bind [path] and answer [GET /metrics] (or [/]) with [body ()] until
-    [should_stop]; unknown paths get 404, other methods 405.  Serial,
-    connection-per-request.  Unlinks the socket on return. *)
+  listen_fd:Unix.file_descr ->
+  body:(unit -> string) ->
+  should_stop:(unit -> bool) ->
+  unit
+(** Answer [GET /metrics] (or [/]) on an already-listening socket with
+    [body ()] until [should_stop]; unknown paths get 404, other methods
+    405.  Serial, connection-per-request.  The caller binds the socket
+    — on its main thread, so a bad metrics path fails startup instead
+    of killing a background thread — and closes/unlinks it after this
+    returns.  Unclassified accept errors restart the loop after a
+    short back-off (counted as [metrics.acceptor_restart]). *)
 
 (**/**)
 

@@ -47,13 +47,21 @@ let connect_shard (t : t) =
     if k >= n then None
     else
       let idx = (first + k) mod n in
-      let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      match Unix.connect s (Unix.ADDR_UNIX t.shard_sockets.(idx)) with
-      | () -> Some (s, idx)
+      match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
       | exception Unix.Unix_error _ ->
-          (try Unix.close s with Unix.Unix_error _ -> ());
+          (* Out of fds (EMFILE and friends): for routing purposes
+             indistinguishable from a refusing shard — count a failover
+             and move on, down to [None] once the ring is exhausted,
+             which hangs up this client without killing its thread. *)
           Atomic.incr t.failovers;
           attempt (k + 1)
+      | s -> (
+          match Unix.connect s (Unix.ADDR_UNIX t.shard_sockets.(idx)) with
+          | () -> Some (s, idx)
+          | exception Unix.Unix_error _ ->
+              (try Unix.close s with Unix.Unix_error _ -> ());
+              Atomic.incr t.failovers;
+              attempt (k + 1))
   in
   attempt 0
 
@@ -117,7 +125,19 @@ let accept_loop (t : t) ~listen_fd ~should_stop =
          with
         | Some (fd, _) ->
             Atomic.incr t.accepted;
-            let _conn : Thread.t = Thread.create (fun () -> handle t fd) () in
+            let _conn : Thread.t =
+              Thread.create
+                (fun () ->
+                  try handle t fd
+                  with _ ->
+                    (* Last resort: a relay failure must not leak the
+                       accepted fd.  [handle] only raises before it has
+                       closed [fd] itself, so this close cannot double
+                       up with its normal cleanup. *)
+                    Atomic.incr t.unrouted;
+                    (try Unix.close fd with Unix.Unix_error _ -> ()))
+                ()
+            in
             ()
         | None -> ());
         if should_stop () then () else loop ()
@@ -125,7 +145,19 @@ let accept_loop (t : t) ~listen_fd ~should_stop =
         if should_stop () then () else loop ()
     | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
   in
-  loop ()
+  (* A dead front acceptor leaves every shard healthy and every client
+     refused; restart on anything the ladder above does not classify. *)
+  let rec run () =
+    try loop ()
+    with _ ->
+      Ps_util.Telemetry.incr "router.acceptor_restart";
+      if should_stop () then ()
+      else begin
+        Thread.delay 0.05;
+        run ()
+      end
+  in
+  run ()
 
 (* Shutdown helper: connections accepted before the stop are still
    relaying the shards' drain output; wait for the pumps to finish so

@@ -90,12 +90,17 @@ let serve ?(config = default_config) ~path () =
   let writers_mutex = Mutex.create () in
   let writers = ref [] in
   let connection fd () =
-    let ic = Unix.in_channel_of_descr fd in
-    let w = Frame.writer fd ~framing:config.framing in
-    Mutex.lock writers_mutex;
-    writers := w :: !writers;
-    Mutex.unlock writers_mutex;
-    let reply line = Frame.send w line in
+    (* The channel conversion and writer setup sit inside the [try]
+       with the read loop: same fd, same hangup errors.  [Failure] is
+       in the catch set because [Frame.send] raises it once the writer
+       is closed — the reader should stop, not die noisily. *)
+    try
+      let ic = Unix.in_channel_of_descr fd in
+      let w = Frame.writer fd ~framing:config.framing in
+      Mutex.lock writers_mutex;
+      writers := w :: !writers;
+      Mutex.unlock writers_mutex;
+      let reply line = Frame.send w line in
     let answer_error ~id err =
       Engine.record_invalid engine;
       match Frame.send w (render (P.error_response ~id err)) with
@@ -131,10 +136,10 @@ let serve ?(config = default_config) ~path () =
               Batch.push batch req ~reply;
               loop ())
     in
-    (try loop () with Sys_error _ | Unix.Unix_error _ -> ());
-    (* Like the single-process transport: leave the fd open — replies
-       for this connection may still be in flight in the engine. *)
-    ()
+      loop ()
+      (* Like the single-process transport: leave the fd open — replies
+         for this connection may still be in flight in the engine. *)
+    with Sys_error _ | Unix.Unix_error _ | Failure _ -> ()
   in
   let accept_loop () =
     let rec loop () =
@@ -155,7 +160,20 @@ let serve ?(config = default_config) ~path () =
           if Server.tripped latch then () else loop ()
       | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
     in
-    loop ()
+    (* Mirror of the single-process server's last-resort wrapper: a
+       shard that stops accepting looks up to the supervisor (the
+       process is alive) while serving nobody. *)
+    let rec run () =
+      try loop ()
+      with _ ->
+        Ps_util.Telemetry.incr "shard.acceptor_restart";
+        if Server.tripped latch then ()
+        else begin
+          Thread.delay 0.05;
+          run ()
+        end
+    in
+    run ()
   in
   Fun.protect
     ~finally:(fun () ->

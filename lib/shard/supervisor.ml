@@ -124,10 +124,20 @@ let supervise t ~should_stop =
             Tm.incr "shard.restarts"
           end
       | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+          (* Already reaped, or the pid went stale after a failed
+             respawn: nothing left to wait for. *)
           locked t (fun () -> c.up <- false)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   in
   while not (should_stop ()) do
-    Array.iter check_child t.children;
+    (* The reaper is the only thread allowed to [waitpid] (single-reaper
+       rule), so if it dies the tier silently stops respawning children.
+       A respawn that fails (fork EAGAIN, fd exhaustion in child setup)
+       is counted here and the child is marked down by the ECHILD branch
+       on the next sweep — never reaper death. *)
+    Array.iter
+      (fun c -> try check_child c with _ -> Tm.incr "shard.reaper_error")
+      t.children;
     Thread.delay 0.05
   done
 

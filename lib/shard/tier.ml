@@ -32,6 +32,16 @@ let run ~spawn ~front config =
         Router.create ~shard_sockets:(Array.of_list (Supervisor.sockets sup))
       in
       let listen_fd = Server.bind_unix_socket front in
+      (* Bind the metrics endpoint here, on the main thread, before any
+         background thread exists: a hijacked or unwritable metrics
+         path fails startup loudly (the [failwith] inside
+         [bind_unix_socket] reaches the caller) instead of killing the
+         metrics thread after the tier already looks up. *)
+      let metrics_listener =
+        Option.map
+          (fun mpath -> (mpath, Server.bind_unix_socket mpath))
+          config.metrics_socket
+      in
       let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
       let should_stop () = Server.tripped latch in
       let metrics_body () =
@@ -49,7 +59,12 @@ let run ~spawn ~front config =
         ~finally:(fun () ->
           Sys.set_signal Sys.sigpipe prev_pipe;
           (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-          try Unix.unlink front with Unix.Unix_error _ -> ())
+          (try Unix.unlink front with Unix.Unix_error _ -> ());
+          Option.iter
+            (fun (mpath, mfd) ->
+              (try Unix.close mfd with Unix.Unix_error _ -> ());
+              try Unix.unlink mpath with Unix.Unix_error _ -> ())
+            metrics_listener)
         (fun () ->
           let acceptor =
             Thread.create
@@ -63,13 +78,13 @@ let run ~spawn ~front config =
           in
           let metrics_thread =
             Option.map
-              (fun mpath ->
+              (fun (_, mfd) ->
                 Thread.create
                   (fun () ->
-                    Metrics.serve_http ~path:mpath ~body:metrics_body
+                    Metrics.serve_http ~listen_fd:mfd ~body:metrics_body
                       ~should_stop)
                   ())
-              config.metrics_socket
+              metrics_listener
           in
           Server.await latch;
           (* Drain choreography: stop taking connections, let the

@@ -30,7 +30,10 @@ let set_enabled b = enabled_flag := b
    stays lock-free on domain-local state. *)
 let lock = Mutex.create ()
 
-let locked f =
+(* [@pslint.blocking_ok]: counter/gauge/span bookkeeping only — every
+   section under [lock] is a few hashtable or list operations, and the
+   disabled path never reaches here at all. *)
+let[@pslint.blocking_ok] locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 

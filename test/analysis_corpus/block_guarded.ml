@@ -1,0 +1,7 @@
+(* The repaired shape of [Block_unguarded]: the same nonblocking root,
+   but the blocking helper carries an audited [@pslint.blocking_ok]
+   barrier, so nothing may be reported. *)
+
+let[@pslint.blocking_ok] read_header ic = really_input_string ic 4
+
+let[@pslint.nonblocking] pump ic = String.length (read_header ic)

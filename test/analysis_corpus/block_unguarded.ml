@@ -1,0 +1,9 @@
+(* Seeded violation: a [@pslint.nonblocking] root reaches a channel
+   read through a helper.  The blocking rule must flag [input_line] in
+   [parse] with the chain [pump -> parse]. *)
+
+let parse ic = input_line ic
+
+let[@pslint.nonblocking] pump ic =
+  let line = parse ic in
+  String.length line

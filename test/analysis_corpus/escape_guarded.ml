@@ -1,0 +1,11 @@
+(* The repaired shape of [Escape_unguarded]: the same raising helper,
+   but the thread entry point contains the failure with a catch-all at
+   the boundary, so nothing may be reported. *)
+
+let parse s = int_of_string s
+
+let run s =
+  let t =
+    Thread.create (fun () -> try ignore (parse s : int) with _ -> ()) ()
+  in
+  Thread.join t

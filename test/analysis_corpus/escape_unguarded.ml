@@ -1,0 +1,10 @@
+(* Seeded violation: a thread entry point calls a raising helper with
+   no handler at the boundary.  The escape rule must flag the [Failure]
+   from [int_of_string] in [parse] with the chain
+   [<spawned lambda> -> parse]. *)
+
+let parse s = int_of_string s
+
+let run s =
+  let t = Thread.create (fun () -> ignore (parse s : int)) () in
+  Thread.join t

@@ -1,0 +1,25 @@
+(* The repaired shapes of [Race_unguarded]: the same module-level state
+   touched from spawned domains, but (a) under a lock the traversal can
+   see, and (b) behind an audited [@pslint.shared_ok] annotation.
+   Neither write may be reported. *)
+
+let lock = Mutex.create ()
+let total = ref 0
+
+let bump n =
+  Mutex.lock lock;
+  total := !total + n;
+  Mutex.unlock lock
+
+let seen : (int, bool) Hashtbl.t = Hashtbl.create 8
+
+(* Single-writer by construction in the fixture's story — the
+   annotation, not the code, is what licenses this one. *)
+let[@pslint.shared_ok] note k = Hashtbl.replace seen k true
+
+let run () =
+  let d = Domain.spawn (fun () -> bump 1) in
+  let e = Domain.spawn (fun () -> note 2) in
+  Domain.join d;
+  Domain.join e;
+  !total

@@ -1,0 +1,12 @@
+(* Seeded violation: a module-level ref written from a spawned domain
+   with no lock.  The race rule must flag the write in [bump] with the
+   chain [<spawned lambda> -> bump]. *)
+
+let total = ref 0
+
+let bump n = total := !total + n
+
+let run () =
+  let d = Domain.spawn (fun () -> bump 1) in
+  Domain.join d;
+  !total

@@ -781,13 +781,25 @@ let test_accept_retrying_ebadf_and_fatal () =
     (Server.accept_retrying ~should_stop:(fun () -> false) (fun () ->
          raise (unix_error Unix.EBADF))
     = None);
-  (* Anything else must propagate — swallowing EMFILE would spin. *)
+  (* Resource exhaustion (EMFILE and friends) is transient: the wrapper
+     must back off and retry rather than kill the acceptor, and must
+     still honor the stop latch between retries. *)
+  let attempts = ref 0 in
+  check_bool "EMFILE backs off, then honors stop" true
+    (Server.accept_retrying
+       ~should_stop:(fun () -> !attempts >= 3)
+       (fun () ->
+         incr attempts;
+         raise (unix_error Unix.EMFILE))
+    = None);
+  check_int "EMFILE was retried until stopped" 3 !attempts;
+  (* Anything else must propagate. *)
   match
     Server.accept_retrying ~should_stop:(fun () -> false) (fun () ->
-        raise (unix_error Unix.EMFILE))
+        raise (unix_error Unix.EINVAL))
   with
-  | exception Unix.Unix_error (Unix.EMFILE, _, _) -> ()
-  | _ -> Alcotest.fail "EMFILE was swallowed"
+  | exception Unix.Unix_error (Unix.EINVAL, _, _) -> ()
+  | _ -> Alcotest.fail "EINVAL was swallowed"
 
 let read_reply_retrying fd =
   (* Client-side reads race the storm too; retry EINTR by hand. *)
