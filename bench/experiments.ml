@@ -19,7 +19,8 @@ let seed = 20190729 (* PODC'19 started July 29, 2019 *)
 
 let heuristics =
   [ Approx.greedy_min_degree; Approx.caro_wei; Approx.caro_wei_boosted 8;
-    Approx.greedy_adversarial ]
+    Approx.greedy_adversarial; Ps_maxis.Clique_removal.solver;
+    Ps_maxis.Portfolio.solver ]
 
 (* ------------------------------------------------------------------ *)
 (* E1 — Lemma 2.1(a): a CF k-coloring induces a maximum IS of size m.   *)
@@ -128,7 +129,9 @@ let e3 () =
   in
   (* The adversarial solver needs the most phases — the decay bound is the
      interesting one to watch there. *)
-  let result = Pipe.solve ~solver:Approx.greedy_adversarial h in
+  (* presolve `None: the kernel's lift repairs maximality, which would
+     collapse the very trajectory this experiment plots. *)
+  let result = Pipe.solve ~presolve:`None ~solver:Approx.greedy_adversarial h in
   let phases = result.Pipe.reduction.Red.phases in
   List.iteri
     (fun i (p : Red.phase_record) ->
@@ -174,7 +177,7 @@ let e4 () =
     (fun (m, h) ->
       List.iter
         (fun solver ->
-          let result = Pipe.solve ~solver h in
+          let result = Pipe.solve ~presolve:`None ~solver h in
           let c = result.Pipe.certificate in
           Table.add_row t
             [ Table.cell_int m;
@@ -648,7 +651,9 @@ let e14 () =
         if keep >= 1.0 then Approx.greedy_min_degree
         else Approx.degrade ~keep Approx.greedy_min_degree
       in
-      let result = Pipe.solve ~solver h in
+      (* presolve `None, as in E3/E4: the tradeoff needs the solver's raw
+         lambda to reach the phase engine. *)
+      let result = Pipe.solve ~presolve:`None ~solver h in
       let c = result.Pipe.certificate in
       Table.add_row t
         [ solver.Approx.name;
@@ -789,7 +794,8 @@ let ablation_palette_reuse () =
     (fun (w : Workloads.hypergraph_instance) ->
       let h = w.Workloads.h in
       let result =
-        Pipe.solve ~solver:Approx.greedy_adversarial ~k:w.Workloads.k_choice h
+        Pipe.solve ~presolve:`None ~solver:Approx.greedy_adversarial
+          ~k:w.Workloads.k_choice h
       in
       let r = result.Pipe.reduction in
       let collapsed = Ps_cfc.Multicolor.blank h in

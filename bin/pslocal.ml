@@ -306,7 +306,25 @@ let solver_of_name name =
   | Some s -> s
   | None -> failwith (Printf.sprintf "unknown solver %S" name)
 
-let reduce input solver k engine seed verbose trace json output cache
+let solver_names_doc =
+  "greedy, caro-wei, caro-wei-x8, adversarial, exact, clique-removal, \
+   portfolio"
+
+let presolve_arg =
+  let doc =
+    "Kernelization presolve: $(b,kernel) shrinks the instance with exact \
+     reductions (degree-0/1, folding, simplicial, domination) before the \
+     solver runs and lifts the answer back; $(b,none) runs the raw solver."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("kernel", (`Kernel : Ps_maxis.Kernel.choice)); ("none", `None) ])
+        `Kernel
+    & info [ "presolve" ] ~docv:"PRESOLVE" ~doc)
+
+let reduce input solver presolve k engine seed verbose trace json output cache
     no_cache =
   if verbose then
     Logs.Src.set_level Ps_core.Reduction.log_src (Some Logs.Debug);
@@ -328,12 +346,16 @@ let reduce input solver k engine seed verbose trace json output cache
     with_trace trace (fun () ->
         match cache with
         | None ->
-            Ps_core.Pipeline.solve ~seed ~k:k_choice ~engine
+            Ps_core.Pipeline.solve ~seed ~k:k_choice ~engine ~presolve
               ~solver:(solver_of_name solver) h
         | Some c ->
+            let s = solver_of_name solver in
+            let effective_name =
+              (Ps_maxis.Kernel.apply presolve s).Ps_maxis.Approx.name
+            in
             let result =
-              Ps_cache.Cache.solve c ~k ~solver:(solver_of_name solver)
-                ~solver_name:solver ~seed h
+              Ps_cache.Cache.solve c ~k ~presolve ~solver:s
+                ~solver_name:effective_name ~seed h
             in
             (* Same contract as Pipeline.solve: a failed certificate is
                an error, not a result. *)
@@ -393,9 +415,7 @@ let reduce_cmd =
       & info [] ~docv:"HYPERGRAPH" ~doc:"Hypergraph file.")
   in
   let solver =
-    let doc =
-      "MaxIS solver: greedy, caro-wei, caro-wei-x8, adversarial, exact."
-    in
+    let doc = "MaxIS solver: " ^ solver_names_doc ^ "." in
     Arg.(value & opt string "greedy" & info [ "solver" ] ~doc)
   in
   let k =
@@ -428,8 +448,8 @@ let reduce_cmd =
          "Conflict-free multicoloring via the Theorem 1.1 reduction \
           (iterated MaxIS approximation).")
     Term.(
-      const reduce $ input $ solver $ k $ engine $ seed_arg $ verbose
-      $ trace_arg $ json_arg $ output_arg $ cache_arg $ no_cache_arg)
+      const reduce $ input $ solver $ presolve_arg $ k $ engine $ seed_arg
+      $ verbose $ trace_arg $ json_arg $ output_arg $ cache_arg $ no_cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify *)
@@ -490,9 +510,98 @@ let cached_graph_json cache ~kind ~solver_name ~seed g render =
             (Ps_server.Json.to_string j);
           j)
 
-let mis input seed trace json cache no_cache =
+(* [--solver NAME] switches from the algorithm zoo to one MaxIS solver
+   with the kernelization front end: reduce, solve on the kernel, lift,
+   and certify (independent + maximal) on the original graph.  The
+   portfolio races its entries and reports every lane.  Uncached: the
+   point of this path is measuring the solve, not replaying it. *)
+let mis_with_solver g ~input ~name ~presolve ~seed ~json =
+  let module Is = Ps_maxis.Independent_set in
+  let module Kn = Ps_maxis.Kernel in
+  let module Json = Ps_server.Json in
+  let rng = Ps_util.Rng.create seed in
+  let set, solver_name, entries, kstats =
+    if String.equal name "portfolio" then begin
+      let o = Ps_maxis.Portfolio.race rng g in
+      ( o.Ps_maxis.Portfolio.set,
+        "portfolio (winner: " ^ o.Ps_maxis.Portfolio.winner ^ ")",
+        o.Ps_maxis.Portfolio.sizes,
+        Some o.Ps_maxis.Portfolio.kernel_stats )
+    end
+    else begin
+      let base = solver_of_name name in
+      let effective = (Kn.apply presolve base).Ps_maxis.Approx.name in
+      match presolve with
+      | `Kernel when not (Kn.is_presolved base) ->
+          let r = Kn.reduce g in
+          let ks = base.Ps_maxis.Approx.solve rng (Kn.graph r) in
+          Is.verify_exn (Kn.graph r) ks;
+          let set = Kn.lift r ks in
+          (set, effective, [ (effective, Is.size set) ], Some (Kn.stats r))
+      | _ ->
+          let set = base.Ps_maxis.Approx.solve rng g in
+          Is.verify_exn g set;
+          (set, effective, [ (effective, Is.size set) ], None)
+    end
+  in
+  let diags = Ps_check.Check_set.maximal_independent g set in
+  let certified = match diags with [] -> true | _ -> false in
+  let kernel_json (st : Kn.stats) =
+    Json.Obj
+      [ ("original_vertices", Json.Int st.Kn.original_vertices);
+        ("original_edges", Json.Int st.Kn.original_edges);
+        ("kernel_vertices", Json.Int st.Kn.kernel_vertices);
+        ("kernel_edges", Json.Int st.Kn.kernel_edges);
+        ("isolated", Json.Int st.Kn.isolated);
+        ("pendants", Json.Int st.Kn.pendants);
+        ("folds", Json.Int st.Kn.folds);
+        ("simplicial", Json.Int st.Kn.simplicial);
+        ("dominated", Json.Int st.Kn.dominated) ]
+  in
+  if json then
+    print_json_result
+      (Json.Obj
+         ([ ("solver", Json.Str solver_name);
+            ("size", Json.Int (Is.size set));
+            ("certified", Json.Bool certified);
+            ( "entries",
+              Json.List
+                (List.map
+                   (fun (n, sz) ->
+                     Json.Obj
+                       [ ("solver", Json.Str n); ("size", Json.Int sz) ])
+                   entries) ) ]
+         @
+         match kstats with
+         | Some st -> [ ("kernel", kernel_json st) ]
+         | None -> []))
+  else begin
+    let t =
+      Ps_util.Table.create
+        ~aligns:[ Ps_util.Table.Left; Ps_util.Table.Right ]
+        [ "solver"; "size" ]
+    in
+    List.iter
+      (fun (n, sz) -> Ps_util.Table.add_row t [ n; string_of_int sz ])
+      entries;
+    Ps_util.Table.print ~title:(Printf.sprintf "MaxIS on %s" input) t;
+    (match kstats with
+    | Some st ->
+        Format.printf "kernel: %d -> %d vertices, %d -> %d edges@."
+          st.Kn.original_vertices st.Kn.kernel_vertices st.Kn.original_edges
+          st.Kn.kernel_edges
+    | None -> ());
+    Format.printf "winner: %s (size %d)@." solver_name (Is.size set);
+    Format.printf "certified (independent + maximal): %b@." certified
+  end;
+  if not certified then exit 1
+
+let mis input solver presolve seed trace json cache no_cache =
   with_trace trace @@ fun () ->
   let g = Ps_graph.Gio.read_file input in
+  match solver with
+  | Some name -> mis_with_solver g ~input ~name ~presolve ~seed ~json
+  | None ->
   if json then
     print_json_result
       (cached_graph_json
@@ -540,11 +649,18 @@ let mis_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"GRAPH" ~doc:"Graph file (edge list).")
   in
+  let solver =
+    let doc =
+      "Run one MaxIS solver (with kernelization and certification) instead \
+       of the algorithm zoo: " ^ solver_names_doc ^ "."
+    in
+    Arg.(value & opt (some string) None & info [ "solver" ] ~docv:"SOLVER" ~doc)
+  in
   Cmd.v
     (Cmd.info "mis" ~doc:"Run the MIS algorithm zoo on a graph.")
     Term.(
-      const mis $ input $ seed_arg $ trace_arg $ json_arg $ cache_arg
-      $ no_cache_arg)
+      const mis $ input $ solver $ presolve_arg $ seed_arg $ trace_arg
+      $ json_arg $ cache_arg $ no_cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* decompose *)

@@ -28,7 +28,8 @@ let find_suffix name patterns =
 let thread_spawners = [ "Domain.spawn"; "Thread.create" ]
 
 let spawners =
-  [ "Parallel.fork_join"; "Parallel.fork_join_staged"; "Parallel.parallel_for" ]
+  [ "Parallel.fork_join"; "Parallel.fork_join_staged"; "Parallel.parallel_for";
+    "Portfolio.race" ]
   @ thread_spawners
 
 let signal_installers = [ "Sys.signal"; "Sys.set_signal" ]

@@ -37,7 +37,7 @@ module Rng = Ps_util.Rng
 (* Bump whenever a change alters what any solver/engine computes for a
    given (instance, solver, seed, k) — stale persisted entries from
    older versions then never match a key again. *)
-let engine_version = "1"
+let engine_version = "2"
 
 type kind = Solve | Mis | Decompose
 
@@ -382,7 +382,8 @@ let store_warm t ~hash ~k h snap =
 (* ------------------------------------------------------------------ *)
 (* Cached solve orchestration *)
 
-let solve t ?(cancel = fun () -> false) ~k ~solver ~solver_name ~seed h =
+let solve t ?(cancel = fun () -> false) ?presolve ~k ~solver ~solver_name
+    ~seed h =
   match find_solve t ~k ~solver_name ~seed h with
   | Some r -> r
   | None ->
@@ -399,8 +400,8 @@ let solve t ?(cancel = fun () -> false) ~k ~solver ~solver_name ~seed h =
         | None -> Some (fun snap -> store_warm t ~hash ~k:kk h snap)
       in
       let result =
-        Pl.solve_unchecked ~cancel ~seed ?warm ?on_phase0 ~k:(Pl.Fixed kk)
-          ~solver h
+        Pl.solve_unchecked ~cancel ~seed ?warm ?on_phase0 ?presolve
+          ~k:(Pl.Fixed kk) ~solver h
       in
       store_solve t ~k ~solver_name ~seed result;
       result

@@ -82,6 +82,7 @@ val hypergraph_hash : Ps_hypergraph.Hypergraph.t -> int64
 val solve :
   t ->
   ?cancel:(unit -> bool) ->
+  ?presolve:Ps_maxis.Kernel.choice ->
   k:int option ->
   solver:Ps_maxis.Approx.solver ->
   solver_name:string ->
@@ -93,7 +94,10 @@ val solve :
     serve a verified hit when possible, otherwise solve — warm-starting
     from the snapshot tier when (hash, resolved k) is known — then
     store the result (and the phase-0 snapshot) for the next request.
-    Bit-identical to the uncached call on every path. *)
+    Bit-identical to the uncached call on every path.  [presolve] is
+    forwarded to the pipeline; [solver_name] must be the {e effective}
+    name ({!Ps_maxis.Kernel.apply} result) so kernel-on and kernel-off
+    entries never collide under one key. *)
 
 val find_solve :
   t ->

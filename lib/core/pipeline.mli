@@ -30,14 +30,15 @@ val solve :
   ?domains:int ->
   ?warm:Conflict_graph.Incremental.snapshot ->
   ?on_phase0:(Conflict_graph.Incremental.snapshot -> unit) ->
+  ?presolve:Ps_maxis.Kernel.choice ->
   ?k:k_choice ->
   solver:Ps_maxis.Approx.solver ->
   Ps_hypergraph.Hypergraph.t ->
   result
 (** Run end to end ([k] defaults to [From_conservative]).  Raises
     [Failure] when the certificate fails — by Theorem 1.1 that can only
-    mean a bug, so it is loud.  [cancel], [engine], [domains], [warm]
-    and [on_phase0] are forwarded to {!Reduction.run} (defaults there:
+    mean a bug, so it is loud.  [cancel], [engine], [domains], [warm],
+    [on_phase0] and [presolve] are forwarded to {!Reduction.run} (defaults there:
     per-phase cooperative-cancellation poll off, [`Incremental],
     automatic domain count, no warm start, no snapshot callback).
     Callers passing [warm] must resolve [k] with {!choose_k} first and
@@ -50,6 +51,7 @@ val solve_unchecked :
   ?domains:int ->
   ?warm:Conflict_graph.Incremental.snapshot ->
   ?on_phase0:(Conflict_graph.Incremental.snapshot -> unit) ->
+  ?presolve:Ps_maxis.Kernel.choice ->
   ?k:k_choice ->
   solver:Ps_maxis.Approx.solver ->
   Ps_hypergraph.Hypergraph.t ->

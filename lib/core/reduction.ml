@@ -62,8 +62,9 @@ let phase_boundary_checks ~phase graph is =
 
 let run ?max_phases ?(cancel = fun () -> false) ?(seed = 0)
     ?(engine = (`Incremental : engine)) ?(domains = 0) ?warm ?on_phase0
-    ~solver ~k h =
+    ?(presolve = (`Kernel : Ps_maxis.Kernel.choice)) ~solver ~k h =
   Tm.with_span "reduction.run" @@ fun () ->
+  let solver = Ps_maxis.Kernel.apply presolve solver in
   let m = H.n_edges h in
   Tm.set_int "m" m;
   Tm.set_int "k" k;

@@ -80,6 +80,7 @@ val run :
   ?domains:int ->
   ?warm:Conflict_graph.Incremental.snapshot ->
   ?on_phase0:(Conflict_graph.Incremental.snapshot -> unit) ->
+  ?presolve:Ps_maxis.Kernel.choice ->
   solver:Ps_maxis.Approx.solver ->
   k:int ->
   Ps_hypergraph.Hypergraph.t ->
@@ -104,6 +105,16 @@ val run :
     snapshot of the freshly built (or warm-started) phase-0 CSR, which
     is how the solved-instance cache populates its warm tier.  Both are
     ignored by the [`Rebuild] oracle, which has no cross-phase state.
+
+    [presolve] (default [`Kernel]) wraps the solver with
+    {!Ps_maxis.Kernel.apply}: each phase's conflict graph is kernelized
+    before the solver runs and the answer is lifted (and made maximal)
+    on the original ids.  The effective solver name — and hence
+    [run.solver_name] and every cache key derived from it — carries the
+    ["kernel+"] prefix, so kernel-on and kernel-off runs never alias.
+    Pass [`None] to study a solver's raw λ profile (the λ-degradation
+    experiments do: the repair pass built into the lift would restore
+    maximality and erase the degradation).
 
     [cancel] (default: never) is polled once per phase, before any phase
     work; a [true] answer raises {!Canceled}.  This is the cooperative

@@ -1,0 +1,32 @@
+(** Boppana–Halldórsson clique removal.
+
+    Ramsey-style search: pick a pivot, recurse on its neighbors (growing
+    a clique) and its non-neighbors (growing an independent set), keep
+    the larger of each.  Clique removal iterates the Ramsey pass —
+    delete the clique it finds, rerun on the remainder — accumulating
+    the best independent set seen.  The clique side is what makes the
+    solver's λ profile genuinely different from the greedy family: dense
+    pockets are carved out whole instead of being nibbled vertex by
+    vertex.
+
+    The search is deterministically work-budgeted so conflict-graph
+    phases keep their latency envelope; whatever the budget leaves
+    unexplored is handled by a final maximality repair, so the answer is
+    always an independent {e maximal} set. *)
+
+val run :
+  ?cancel:(unit -> bool) ->
+  ?budget:int ->
+  Ps_util.Rng.t ->
+  Ps_graph.Graph.t ->
+  Independent_set.t
+(** [run rng g] returns a maximal independent set of [g].  [budget]
+    bounds the number of Ramsey pivot expansions (default [64·n + 256]);
+    [cancel] is polled between clique-removal rounds and raises
+    {!Portfolio.Canceled} via the caller's wrapper — here it simply
+    stops the search early and repairs what it has.  Deterministic for a
+    fixed graph (the pivot is always the smallest live vertex; [rng] is
+    reserved for tie-breaking experiments and currently unused). *)
+
+val solver : Approx.solver
+(** [run] packaged for the solver registry, named ["clique-removal"]. *)

@@ -1,0 +1,445 @@
+module G = Ps_graph.Graph
+module B = Ps_util.Bitset
+module Tm = Ps_util.Telemetry
+
+type stats = {
+  original_vertices : int;
+  original_edges : int;
+  kernel_vertices : int;
+  kernel_edges : int;
+  isolated : int;
+  pendants : int;
+  folds : int;
+  simplicial : int;
+  dominated : int;
+}
+
+(* Undo journal, recorded in application order and replayed in reverse.
+   [Take v]: v joins the solution; its whole closed neighborhood (in the
+   working graph at that moment) was retired with it.  [Fold (v, u, w)]:
+   degree-2 center v with non-adjacent neighbors u, w merged into one
+   vertex reusing v's id — selected merged vertex means "take u and w",
+   unselected means "take v".  Dominated deletions need no journal
+   entry: the deleted vertex stays out and the vertex_addition repair
+   re-adds it whenever that is still safe. *)
+type op =
+  | Take of int
+  | Fold of int * int * int
+
+type t = {
+  original : G.t;
+  kernel : G.t;
+  to_orig : int array;
+  journal : op list;  (* head = last operation *)
+  stats : stats;
+}
+
+let graph t = t.kernel
+let to_original t = t.to_orig
+let stats t = t.stats
+
+let shrink_ratio s =
+  if s.original_vertices = 0 then 0.0
+  else float_of_int s.kernel_vertices /. float_of_int s.original_vertices
+
+let default_rule_cap = 16
+
+(* Mutable working graph: adjacency rows seeded from the CSR, grown only
+   by folds.  Rows are never physically cleaned — dead entries are
+   skipped through [alive] — so [deg] (the count of live entries) is the
+   authoritative degree.  Among live entries every row is duplicate-free:
+   the CSR starts that way, and a fold only links the merged vertex to
+   vertices it was not adjacent to before (its center had degree 2). *)
+type work = {
+  n : int;
+  alive : bool array;
+  deg : int array;
+  row : int array array;
+  len : int array;  (* physical row length, >= live count *)
+  (* nodes_by_degree bucket queue (lazy entries: a vertex may sit in
+     several buckets; staleness is detected on pop). *)
+  buckets : int array array;
+  bfill : int array;
+  mutable cursor : int;
+  cap : int;
+  (* generation-stamped scratch marks for neighborhood scans *)
+  mark : int array;
+  mutable gen : int;
+}
+
+let bucket_push w v =
+  let d = w.deg.(v) in
+  if d <= w.cap then begin
+    let b = w.buckets.(d) in
+    let fill = w.bfill.(d) in
+    if fill = Array.length b then begin
+      let b' = Array.make (max 8 (2 * fill)) 0 in
+      Array.blit b 0 b' 0 fill;
+      w.buckets.(d) <- b'
+    end;
+    w.buckets.(d).(fill) <- v;
+    w.bfill.(d) <- fill + 1;
+    if d < w.cursor then w.cursor <- d
+  end
+
+let row_push w v x =
+  let l = w.len.(v) in
+  let r = w.row.(v) in
+  if l = Array.length r then begin
+    let r' = Array.make (max 4 (2 * l)) 0 in
+    Array.blit r 0 r' 0 l;
+    w.row.(v) <- r'
+  end;
+  w.row.(v).(l) <- x;
+  w.len.(v) <- l + 1
+
+(* Retire [v]: live neighbors lose a degree and get re-examined. *)
+let kill w v =
+  w.alive.(v) <- false;
+  let r = w.row.(v) in
+  for i = 0 to w.len.(v) - 1 do
+    let x = Array.unsafe_get r i in
+    if Array.unsafe_get w.alive x then begin
+      w.deg.(x) <- w.deg.(x) - 1;
+      bucket_push w x
+    end
+  done
+
+(* Drop dead entries from [v]'s row in place once they outnumber the
+   live ones.  Scans amortize against the kills that created the dead
+   entries, keeping every row walk within 2x the live degree. *)
+let compact_row w v =
+  if w.len.(v) > 2 * w.deg.(v) then begin
+    let r = w.row.(v) in
+    let j = ref 0 in
+    for i = 0 to w.len.(v) - 1 do
+      let x = Array.unsafe_get r i in
+      if Array.unsafe_get w.alive x then begin
+        Array.unsafe_set r !j x;
+        incr j
+      end
+    done;
+    w.len.(v) <- !j
+  end
+
+let live_neighbors w v =
+  compact_row w v;
+  let out = Array.make w.deg.(v) 0 in
+  let j = ref 0 in
+  let r = w.row.(v) in
+  for i = 0 to w.len.(v) - 1 do
+    let x = Array.unsafe_get r i in
+    if Array.unsafe_get w.alive x then begin
+      Array.unsafe_set out !j x;
+      incr j
+    end
+  done;
+  out
+
+(* Are the two live vertices [u] and [x] adjacent?  Membership in the
+   shorter physical row is exact: dead entries only name dead vertices,
+   and live entries are duplicate-free. *)
+let adjacent w u x =
+  let u, x = if w.len.(u) <= w.len.(x) then (u, x) else (x, u) in
+  let r = w.row.(u) in
+  let n = w.len.(u) in
+  let rec go i = i < n && (Array.unsafe_get r i = x || go (i + 1)) in
+  go 0
+
+let reduce ?(rule_cap = default_rule_cap) g =
+  Tm.with_span "kernel.reduce" @@ fun () ->
+  let n = G.n_vertices g in
+  let w =
+    { n;
+      alive = Array.make n true;
+      deg = Array.init n (G.degree g);
+      row = Array.init n (G.neighbors g);
+      len = Array.init n (G.degree g);
+      buckets = Array.make (rule_cap + 1) [||];
+      bfill = Array.make (rule_cap + 1) 0;
+      cursor = 0;
+      cap = rule_cap;
+      mark = Array.make n 0;
+      gen = 0 }
+  in
+  let journal = ref [] in
+  let isolated = ref 0
+  and pendants = ref 0
+  and folds = ref 0
+  and simplicial = ref 0
+  and dominated = ref 0 in
+  for v = 0 to n - 1 do
+    bucket_push w v
+  done;
+  let take v nbrs =
+    journal := Take v :: !journal;
+    kill w v;
+    Array.iter (fun u -> if w.alive.(u) then kill w u) nbrs
+  in
+  (* Fold the degree-2 center [v] with non-adjacent neighbors [u], [w_]:
+     the merged vertex reuses [v]'s id, its row becomes the live union
+     N(u) ∪ N(w_) minus the triple, and every union member swaps its
+     dead endpoint(s) for one link to the merged vertex. *)
+  let fold v u w_ =
+    w.gen <- w.gen + 1;
+    let gen = w.gen in
+    let union = ref [] and usize = ref 0 in
+    let collect src =
+      let r = w.row.(src) in
+      for i = 0 to w.len.(src) - 1 do
+        let x = r.(i) in
+        if w.alive.(x) && x <> v then begin
+          w.deg.(x) <- w.deg.(x) - 1;
+          if w.mark.(x) <> gen then begin
+            w.mark.(x) <- gen;
+            union := x :: !union;
+            incr usize
+          end
+        end
+      done
+    in
+    collect u;
+    collect w_;
+    w.alive.(u) <- false;
+    w.alive.(w_) <- false;
+    let merged = Array.make (max 1 !usize) 0 in
+    List.iteri
+      (fun i x ->
+        merged.(i) <- x;
+        w.deg.(x) <- w.deg.(x) + 1;
+        row_push w x v;
+        bucket_push w x)
+      !union;
+    w.row.(v) <- merged;
+    w.len.(v) <- !usize;
+    w.deg.(v) <- !usize;
+    journal := Fold (v, u, w_) :: !journal;
+    bucket_push w v
+  in
+  let process v =
+    let d = w.deg.(v) in
+    if d = 0 then begin
+      journal := Take v :: !journal;
+      w.alive.(v) <- false;
+      incr isolated
+    end
+    else if d = 1 then begin
+      take v (live_neighbors w v);
+      incr pendants
+    end
+    else if d = 2 then begin
+      (* At degree 2 one adjacency test decides everything: adjacent
+         neighbors mean N(v) is a clique (v simplicial, and domination
+         by either neighbor coincides with this case); non-adjacent
+         neighbors fold. *)
+      let nbrs = live_neighbors w v in
+      if adjacent w nbrs.(0) nbrs.(1) then begin
+        take v nbrs;
+        incr simplicial
+      end
+      else begin
+        fold v nbrs.(0) nbrs.(1);
+        incr folds
+      end
+    end
+    else begin
+      (* One marked-neighborhood pass decides both remaining rules:
+         with N[v] marked, a neighbor u has c(u) = |N(u) ∩ N[v]| >= d
+         exactly when N[v] ⊆ N[u].  All neighbors passing means N(v)
+         is a clique (v is simplicial — take it); any single neighbor
+         passing is dominated and can be deleted. *)
+      let nbrs = live_neighbors w v in
+      (* The pass costs one row walk per neighbor, Σ deg(u) in total.
+         A v with a clique neighborhood has Σ deg(u) >= d(d-1), so a
+         16·cap budget still admits every clique the cap admits; what
+         it skips are low-degree vertices wired into much denser
+         surroundings, where these rules essentially never fire but
+         their check is at its most expensive (conservative: rules
+         only ever apply on positive proof). *)
+      let sdeg = Array.fold_left (fun a u -> a + w.deg.(u)) 0 nbrs in
+      if sdeg <= 16 * w.cap then begin
+      w.gen <- w.gen + 1;
+      let gen = w.gen in
+      w.mark.(v) <- gen;
+      Array.iter (fun u -> w.mark.(u) <- gen) nbrs;
+      let all_clique = ref true and drop = ref (-1) in
+      Array.iter
+        (fun u ->
+          (* c(u) <= deg(u), so a neighbor below the threshold cannot
+             pass — skip its row walk entirely. *)
+          if w.deg.(u) < d then all_clique := false
+          else begin
+            compact_row w u;
+            let c = ref 0 in
+            let r = w.row.(u) in
+            let len = w.len.(u) in
+            let i = ref 0 in
+            (* Abort as soon as the remaining entries cannot lift the
+               count to the threshold. *)
+            while !i < len && !c + (len - !i) >= d do
+              let x = Array.unsafe_get r !i in
+              if Array.unsafe_get w.alive x
+                 && Array.unsafe_get w.mark x = gen
+              then incr c;
+              incr i
+            done;
+            if !c >= d then begin
+              if !drop < 0 then drop := u
+            end
+            else all_clique := false
+          end)
+        nbrs;
+      if !all_clique then begin
+        take v nbrs;
+        incr simplicial
+      end
+      else if !drop >= 0 then begin
+        kill w !drop;
+        incr dominated
+      end
+      end
+    end
+  in
+  while w.cursor <= rule_cap do
+    let d = w.cursor in
+    if w.bfill.(d) = 0 then w.cursor <- d + 1
+    else begin
+      let fill = w.bfill.(d) - 1 in
+      let v = w.buckets.(d).(fill) in
+      w.bfill.(d) <- fill;
+      if w.alive.(v) && w.deg.(v) = d then process v
+    end
+  done;
+  (* Compact the survivors into a fresh CSR with automatic width. *)
+  let to_kernel = Array.make n (-1) in
+  let n_k = ref 0 in
+  for v = 0 to n - 1 do
+    if w.alive.(v) then begin
+      to_kernel.(v) <- !n_k;
+      incr n_k
+    end
+  done;
+  let n_k = !n_k in
+  if n_k = n then begin
+    (* No rule fired (every rule retires at least one vertex): the
+       graph is its own kernel — skip the CSR rebuild and reuse [g]. *)
+    let stats =
+      { original_vertices = n;
+        original_edges = G.n_edges g;
+        kernel_vertices = n;
+        kernel_edges = G.n_edges g;
+        isolated = 0;
+        pendants = 0;
+        folds = 0;
+        simplicial = 0;
+        dominated = 0 }
+    in
+    if Tm.enabled () then begin
+      Tm.set_int "original_vertices" n;
+      Tm.set_int "kernel_vertices" n;
+      Tm.incr "kernel.reductions"
+    end;
+    { original = g; kernel = g; to_orig = Array.init n Fun.id;
+      journal = []; stats }
+  end
+  else begin
+  let to_orig = Array.make n_k 0 in
+  for v = 0 to n - 1 do
+    if to_kernel.(v) >= 0 then to_orig.(to_kernel.(v)) <- v
+  done;
+  let m_k = ref 0 in
+  for v = 0 to n - 1 do
+    if w.alive.(v) then m_k := !m_k + w.deg.(v)
+  done;
+  let m_k = !m_k / 2 in
+  let eu = Array.make (max 1 m_k) 0 and ev = Array.make (max 1 m_k) 0 in
+  let j = ref 0 in
+  for v = 0 to n - 1 do
+    if w.alive.(v) then begin
+      let r = w.row.(v) in
+      for i = 0 to w.len.(v) - 1 do
+        let x = r.(i) in
+        if w.alive.(x) && x > v then begin
+          eu.(!j) <- to_kernel.(v);
+          ev.(!j) <- to_kernel.(x);
+          incr j
+        end
+      done
+    end
+  done;
+  let kernel = G.of_unnormalized_pairs n_k ~u:eu ~v:ev ~len:!j in
+  let stats =
+    { original_vertices = n;
+      original_edges = G.n_edges g;
+      kernel_vertices = n_k;
+      kernel_edges = G.n_edges kernel;
+      isolated = !isolated;
+      pendants = !pendants;
+      folds = !folds;
+      simplicial = !simplicial;
+      dominated = !dominated }
+  in
+  if Tm.enabled () then begin
+    Tm.set_int "original_vertices" n;
+    Tm.set_int "kernel_vertices" n_k;
+    Tm.set_int "folds" !folds;
+    Tm.count "kernel.vertices_removed" (n - n_k);
+    Tm.incr "kernel.reductions"
+  end;
+    { original = g; kernel; to_orig; journal = !journal; stats }
+  end
+
+let vertex_addition g s =
+  let s = B.copy s in
+  for v = 0 to G.n_vertices g - 1 do
+    if (not (B.mem s v)) && not (G.exists_neighbor g v (B.mem s)) then
+      B.add s v
+  done;
+  s
+
+let lift t s =
+  if B.capacity s <> G.n_vertices t.kernel then
+    invalid_arg "Kernel.lift: set is not sized for the kernel graph";
+  let out = B.create (G.n_vertices t.original) in
+  B.iter (fun kv -> B.add out t.to_orig.(kv)) s;
+  (* The journal head is the last rule application, so a plain left
+     fold over the list replays the undos newest-first — each decision
+     about a merged vertex is made before the fold that created it is
+     expanded. *)
+  List.iter
+    (function
+      | Take v -> B.add out v
+      | Fold (v, u, w) ->
+          if B.mem out v then begin
+            B.remove out v;
+            B.add out u;
+            B.add out w
+          end
+          else B.add out v)
+    t.journal;
+  vertex_addition t.original out
+
+(* ------------------------------------------------------------------ *)
+(* Presolve combinator *)
+
+let presolve_prefix = "kernel+"
+
+let is_presolved (s : Approx.solver) =
+  String.starts_with ~prefix:presolve_prefix s.Approx.name
+  || String.equal s.Approx.name "portfolio"
+
+let presolve (base : Approx.solver) =
+  { Approx.name = presolve_prefix ^ base.Approx.name;
+    solve =
+      (fun rng g ->
+        let r = reduce g in
+        let ks = base.Approx.solve rng r.kernel in
+        Independent_set.verify_exn r.kernel ks;
+        lift r ks) }
+
+type choice = [ `None | `Kernel ]
+
+let apply choice solver =
+  match choice with
+  | `None -> solver
+  | `Kernel -> if is_presolved solver then solver else presolve solver

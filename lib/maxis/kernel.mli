@@ -1,0 +1,93 @@
+(** Linear-time kernelization for maximum independent set.
+
+    [reduce] shrinks a graph with the classic exact reduction rules —
+    degree-0/1, degree-2 path/cycle compression (vertex folding),
+    isolated-clique (simplicial) removal and neighborhood domination —
+    before any solver runs.  Rules are applied worklist-style off a
+    [nodes_by_degree] bucket structure, so the whole pass is linear in
+    the graph volume (plus a bounded per-vertex neighborhood scan capped
+    by [rule_cap]).  Every rule is α-preserving: an undo journal records
+    enough to translate {e any} independent set of the kernel back to an
+    independent set of the original graph, and a final [vertex_addition]
+    repair pass restores maximality on the original vertex ids.
+
+    The pass is CSR-native and width-aware: input adjacency is read
+    through the width-transparent accessors, and the kernel graph is
+    built with automatic width selection, so int- and int32-backed
+    inputs behave identically. *)
+
+type stats = {
+  original_vertices : int;
+  original_edges : int;
+  kernel_vertices : int;
+  kernel_edges : int;
+  isolated : int;  (** degree-0 vertices taken into the solution *)
+  pendants : int;  (** degree-1 takes (vertex in, its neighbor out) *)
+  folds : int;  (** degree-2 folds: path/cycle compression steps *)
+  simplicial : int;
+      (** isolated-clique removals at degree >= 2 (the whole closed
+          neighborhood retired, the center taken) *)
+  dominated : int;
+      (** deletions of a vertex [u] with [N[v] ⊆ N[u]] for some
+          neighbor [v] — an optimal solution never needs [u] *)
+}
+
+type t
+(** A reduced instance: the kernel graph plus the undo journal that
+    lifts kernel solutions back to the original graph. *)
+
+val reduce : ?rule_cap:int -> Ps_graph.Graph.t -> t
+(** [reduce g] applies the reduction rules to a fixed point (relative to
+    the triggering discipline: every vertex is re-examined whenever its
+    degree changes).  [rule_cap] bounds the degree up to which the
+    quadratic-per-vertex simplicial/domination scan is attempted
+    (default 16); vertices above the cap are still reduced once enough
+    neighbors retire.  The input graph is not modified. *)
+
+val graph : t -> Ps_graph.Graph.t
+(** The kernel graph, on the compacted vertex ids [0 .. kernel_vertices - 1]. *)
+
+val to_original : t -> int array
+(** Position [i] holds the original id of kernel vertex [i]. *)
+
+val stats : t -> stats
+
+val shrink_ratio : stats -> float
+(** [kernel_vertices / original_vertices]; 0 for an empty input. *)
+
+val lift : t -> Ps_util.Bitset.t -> Ps_util.Bitset.t
+(** [lift t s] translates an independent set [s] of the kernel graph to
+    the original graph: map the kernel ids back, replay the undo journal
+    in reverse (a taken vertex joins the set; a fold expands to its two
+    endpoints when the merged vertex was selected, to its center
+    otherwise), then run {!vertex_addition}.  The result is independent
+    {e and maximal} on the original graph for any independent input —
+    even a deliberately weakened kernel solution lifts to a maximal set.
+    Raises [Invalid_argument] when [s] is not sized for the kernel
+    graph. *)
+
+val vertex_addition : Ps_graph.Graph.t -> Ps_util.Bitset.t -> Ps_util.Bitset.t
+(** Greedy repair pass: scan all vertices once and add every vertex
+    whose neighborhood is disjoint from the set.  Never removes a
+    member; the result is maximal whenever the input is independent.
+    The input set is not modified. *)
+
+(** {1 Presolve combinator} *)
+
+val presolve : Approx.solver -> Approx.solver
+(** [presolve s] is the solver that kernelizes the instance, runs [s] on
+    the kernel, verifies the kernel answer and lifts it.  Its name is
+    ["kernel+" ^ s.name] — the prefix is the marker {!is_presolved}
+    keys on, and it flows into run records and cache keys so kernel-on
+    and kernel-off results never alias. *)
+
+val is_presolved : Approx.solver -> bool
+(** Whether a solver already owns its kernelization: a ["kernel+"]
+    wrapped solver, or the portfolio (which kernelizes internally). *)
+
+type choice = [ `None | `Kernel ]
+(** The presolve knob threaded through the reduction pipeline. *)
+
+val apply : choice -> Approx.solver -> Approx.solver
+(** [apply `Kernel s] is [presolve s] unless [s] {!is_presolved} (the
+    wrap is idempotent); [apply `None s] is [s]. *)

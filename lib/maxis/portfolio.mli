@@ -1,0 +1,44 @@
+(** Racing solver portfolio over spare domains.
+
+    [race] kernelizes the instance once, then runs genuinely different
+    solvers on it concurrently — kernel+min-degree-greedy,
+    kernel+Caro–Wei and Boppana–Halldórsson clique removal — and keeps
+    the deterministic best certified answer: largest lifted set, ties
+    broken by the lowest entry index.  The winner does not depend on
+    domain scheduling, so portfolio runs stay single-seed reproducible
+    like every other solver in the repository; the racing buys
+    wall-clock, not nondeterminism.  Each entry draws from its own
+    {!Ps_util.Rng.streams} child derived before any domain spawns. *)
+
+exception Canceled
+(** Raised by {!race} (and the {!solver} wrapper) when [cancel] returns
+    [true] before a winner is decided.  Losing entries observe the same
+    flag and stop cooperatively; {!Ps_util.Parallel.fork_join} joins
+    every domain before the exception propagates, so cancellation never
+    leaks a domain. *)
+
+type outcome = {
+  set : Independent_set.t;  (** winning set, on the original vertex ids *)
+  winner : string;  (** name of the winning entry's solver *)
+  sizes : (string * int) list;  (** lifted size per entry, entry order *)
+  kernel_stats : Kernel.stats;  (** the shared kernelization's stats *)
+}
+
+val race :
+  ?domains:int ->
+  ?cancel:(unit -> bool) ->
+  Ps_util.Rng.t ->
+  Ps_graph.Graph.t ->
+  outcome
+(** [race rng g] runs the portfolio and returns the best entry's lifted,
+    maximal independent set together with the race telemetry.  [domains]
+    caps the domains used (default: one per entry, bounded by
+    {!Ps_util.Parallel.available}; [domains <= 1] runs the entries
+    sequentially on the calling domain).  [cancel] is polled inside every
+    entry; when it trips, all entries wind down and {!Canceled} is
+    raised after the join. *)
+
+val solver : Approx.solver
+(** The portfolio packaged for the solver registry, named ["portfolio"].
+    {!Kernel.apply} treats it as already presolved — it kernelizes
+    internally. *)

@@ -29,6 +29,7 @@ type solve_params = {
   hypergraph : H.t;
   solver : Ps_maxis.Approx.solver;
   solver_name : string;
+  presolve : Ps_maxis.Kernel.choice;
   k : int option;
   seed : int;
   detail : bool;
@@ -71,7 +72,16 @@ let solver_of_name = function
   | "caro-wei-x8" -> Some (Ps_maxis.Approx.caro_wei_boosted 8)
   | "adversarial" -> Some Ps_maxis.Approx.greedy_adversarial
   | "exact" -> Some Ps_maxis.Approx.exact
+  | "clique-removal" -> Some Ps_maxis.Clique_removal.solver
+  | "portfolio" -> Some Ps_maxis.Portfolio.solver
   | _ -> None
+
+let presolve_of_name = function
+  | "kernel" -> Some (`Kernel : Ps_maxis.Kernel.choice)
+  | "none" -> Some `None
+  | _ -> None
+
+let presolve_name = function `Kernel -> "kernel" | `None -> "none"
 
 let mis_algo_of_name = function
   | "greedy" -> Some Mis_greedy
@@ -159,14 +169,32 @@ let solve_params params =
     | Some s -> Ok s
     | None -> Error (err Invalid_request "unknown solver %S" solver_name)
   in
+  let* presolve = str_field params "presolve" in
+  let* presolve =
+    match presolve with
+    | None -> Ok `Kernel
+    | Some name -> (
+        match presolve_of_name name with
+        | Some c -> Ok c
+        | None ->
+            Error
+              (err Invalid_request "field \"presolve\" must be %S or %S"
+                 "kernel" "none"))
+  in
   let* k = int_field params "k" in
   let* k = positive "k" k in
   let* seed = int_field params "seed" in
   let* detail = bool_field params "detail" in
+  (* The effective name is what run records report and cache keys hash:
+     kernel-on and kernel-off results must never alias. *)
+  let solver_name =
+    (Ps_maxis.Kernel.apply presolve solver).Ps_maxis.Approx.name
+  in
   Ok
     { hypergraph;
       solver;
       solver_name;
+      presolve;
       k;
       seed = Option.value seed ~default:0;
       detail = Option.value detail ~default:false }

@@ -44,6 +44,10 @@ type solve_params = {
   hypergraph : Ps_hypergraph.Hypergraph.t;
   solver : Ps_maxis.Approx.solver;
   solver_name : string;
+      (** the {e effective} name — carries the ["kernel+"] prefix when
+          [presolve] is [`Kernel] and the solver does not already own
+          its kernelization; run records and cache keys use it *)
+  presolve : Ps_maxis.Kernel.choice;
   k : int option;       (** [None]: derive k from the conservative CF coloring *)
   seed : int;
   detail : bool;        (** include per-phase records and the multicoloring *)
@@ -107,7 +111,12 @@ val method_name : call -> string
 
 val solver_of_name : string -> Ps_maxis.Approx.solver option
 (** The CLI's solver registry, shared: greedy, caro-wei, caro-wei-x8,
-    adversarial, exact. *)
+    adversarial, exact, clique-removal, portfolio. *)
+
+val presolve_of_name : string -> Ps_maxis.Kernel.choice option
+(** ["kernel"] or ["none"] — the wire/CLI names of the presolve knob. *)
+
+val presolve_name : Ps_maxis.Kernel.choice -> string
 
 val mis_algo_of_name : string -> mis_algo option
 val mis_algo_name : mis_algo -> string

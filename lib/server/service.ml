@@ -4,7 +4,7 @@ module Is = Ps_maxis.Independent_set
 let solve ~cancel (p : P.solve_params) =
   Ps_core.Pipeline.solve_unchecked ~cancel ~seed:p.seed
     ?k:(Option.map (fun k -> Ps_core.Pipeline.Fixed k) p.k)
-    ~solver:p.solver p.hypergraph
+    ~presolve:p.presolve ~solver:p.solver p.hypergraph
 
 let mis_one ~seed g = function
   | P.Mis_greedy ->
@@ -82,7 +82,8 @@ let handle ~stats ~cancel (req : P.request) =
 module Cache = Ps_cache.Cache
 
 let solve_cached ~cache ~cancel (p : P.solve_params) =
-  Cache.solve cache ~cancel ~k:p.k ~solver:p.solver ~solver_name:p.solver_name
+  Cache.solve cache ~cancel ~k:p.k ~presolve:p.presolve ~solver:p.solver
+    ~solver_name:p.solver_name
     ~seed:p.seed p.hypergraph
 
 (* Deterministic given the graph; no seed or solver choice in the key. *)

@@ -98,9 +98,15 @@ def is_hit(name):
     return "hit_rate" in name or "hit_gain" in name
 
 
+def is_shrink(name):
+    # Kernel shrink-ratio rows (kernel vertices / original vertices) are
+    # deterministic per instance: lower is better, gated directly.
+    return "shrink_ratio" in name
+
+
 def is_timing(name):
     return not (is_ratio(name) or is_rss(name) or is_throughput(name)
-                or is_meta(name) or is_hit(name))
+                or is_meta(name) or is_hit(name) or is_shrink(name))
 
 
 def main():
@@ -141,6 +147,9 @@ def main():
                            "higher"))
         elif is_rss(name):
             checks.append((name + " [rss]", base[name], cur[name], "lower"))
+        elif is_shrink(name):
+            checks.append((name + " [shrink]", base[name], cur[name],
+                           "lower"))
         elif (is_throughput(name) or is_hit(name)) and base[name] > 0:
             rel = (cur[name] - base[name]) / base[name]
             print(f"  info {name}: baseline={base[name]:.3g} "

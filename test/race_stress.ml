@@ -3,7 +3,7 @@
    Not an alcotest suite: TSan wants long, hot, genuinely concurrent
    schedules, and it reports races as runtime errors on its own — this
    binary just has to drive the shared-state machinery hard and assert
-   the coarse invariants that survive any interleaving.  Three storms:
+   the coarse invariants that survive any interleaving.  Four storms:
 
    1. Engine: many client threads submitting against a small bounded
       queue (shed path), short deadlines served by a deliberately slow
@@ -18,6 +18,13 @@
    3. Telemetry: every domain hammers spans/counters/gauges while one
       concurrently exports and resets.  Invariant: counters converge to
       the exact expected total once everyone joins.
+
+   4. Portfolio: repeated Portfolio.race runs racing a concurrently
+      flipped cancel flag.  Invariant: every round ends in exactly one
+      of {Canceled, certified winner}; cancellation leaks no domain
+      (fork_join joins unconditionally, so a leak deadlocks or trips
+      TSan) and drops no telemetry — the races_started counter accounts
+      for every call.
 
    Exit 0 and a final "race_stress: OK" on success; any assertion
    failure, uncaught exception, or TSan report is a failure. *)
@@ -154,6 +161,70 @@ let telemetry_storm ~rounds =
   expect
 
 (* ------------------------------------------------------------------ *)
+(* Storm 4: portfolio race/cancel cycles *)
+
+let portfolio_storm ~rounds =
+  Tm.set_enabled true;
+  Tm.reset ();
+  let module Gen = Ps_graph.Gen in
+  let module Is = Ps_maxis.Independent_set in
+  let module Portfolio = Ps_maxis.Portfolio in
+  let g = Gen.gnp (Ps_util.Rng.create 31) 300 0.03 in
+  let reference = Portfolio.race (Ps_util.Rng.create 1) g in
+  let completed = ref 0 and canceled = ref 0 in
+  for round = 1 to rounds do
+    let flag = Atomic.make false in
+    (* Flip the flag concurrently: sometimes before the race starts,
+       sometimes mid-flight, sometimes never — all three interleavings
+       must resolve to exactly one of {winner, Canceled}. *)
+    let flipper =
+      match round mod 3 with
+      | 0 ->
+          Atomic.set flag true;
+          None
+      | 1 -> None
+      | _ ->
+          Some
+            (Thread.create
+               (fun () ->
+                 Thread.yield ();
+                 Atomic.set flag true)
+               ())
+    in
+    (match
+       Portfolio.race ~cancel:(fun () -> Atomic.get flag)
+         (Ps_util.Rng.create 1) g
+     with
+    | o ->
+        incr completed;
+        if not (Is.is_independent g o.Portfolio.set)
+           || not (Is.is_maximal g o.Portfolio.set)
+        then failwith "portfolio storm: uncertified winner";
+        (* Exactly-one-winner determinism: any completed race of the
+           same seed equals the reference outcome. *)
+        if
+          (not (String.equal o.Portfolio.winner reference.Portfolio.winner))
+          || Is.size o.Portfolio.set <> Is.size reference.Portfolio.set
+        then failwith "portfolio storm: nondeterministic winner"
+    | exception Portfolio.Canceled -> incr canceled);
+    Option.iter Thread.join flipper
+  done;
+  if !completed + !canceled <> rounds then
+    failwith
+      (Printf.sprintf "portfolio storm: %d completed + %d canceled <> %d"
+         !completed !canceled rounds);
+  (* +1 for the reference race; a dropped span/counter means a race
+     path skipped its telemetry. *)
+  let started = Tm.counter_value "portfolio.races_started" in
+  if started <> rounds + 1 then
+    failwith
+      (Printf.sprintf "portfolio storm: %d races but %d recorded" (rounds + 1)
+         started);
+  Tm.reset ();
+  Tm.set_enabled false;
+  (!completed, !canceled)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Arg.parse speclist
@@ -171,4 +242,7 @@ let () =
   Printf.printf "fork_join storm: %d rounds verified\n%!" rounds;
   let ticks = telemetry_storm ~rounds:(max 1 (!iters / 10)) in
   Printf.printf "telemetry storm: %d ticks accounted for\n%!" ticks;
+  let completed, canceled = portfolio_storm ~rounds:(max 1 (!iters / 5)) in
+  Printf.printf "portfolio storm: %d completed, %d canceled\n%!" completed
+    canceled;
   print_endline "race_stress: OK"

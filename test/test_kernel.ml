@@ -1,0 +1,329 @@
+(* Tests for the kernelization front end and the racing portfolio:
+   reduction rules, the undo journal's lift contract (independent AND
+   maximal on the original graph for any independent kernel input), the
+   vertex-addition repair pass, and Portfolio.race determinism. *)
+
+module G = Ps_graph.Graph
+module Gen = Ps_graph.Gen
+module B = Ps_util.Bitset
+module Is = Ps_maxis.Independent_set
+module Kn = Ps_maxis.Kernel
+module Approx = Ps_maxis.Approx
+module Exact = Ps_maxis.Exact
+module Portfolio = Ps_maxis.Portfolio
+module Rng = Ps_util.Rng
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Solve via the presolve combinator: kernelize, greedy on the kernel,
+   lift.  The workhorse for exact-size checks on solved families. *)
+let kernel_greedy_size ?seed g =
+  let rng = Rng.create (Option.value seed ~default:0) in
+  let s = (Kn.presolve Approx.greedy_min_degree).Approx.solve rng g in
+  Is.verify_exn g s;
+  check_bool "maximal" true (Is.is_maximal g s);
+  Is.size s
+
+(* ------------------------------------------------------------------ *)
+(* Reduction rules on solved families *)
+
+let test_kernel_solves_paths () =
+  (* Degree-0/1/2 rules alone finish a path: α(P_n) = ⌈n/2⌉ and the
+     kernel is empty, so the journal replay IS the solver. *)
+  for n = 1 to 14 do
+    let g = Gen.path n in
+    let r = Kn.reduce g in
+    check "path kernel empty" 0 (Kn.stats r).Kn.kernel_vertices;
+    check "alpha(P_n)" ((n + 1) / 2) (kernel_greedy_size g)
+  done
+
+let test_kernel_solves_cycles () =
+  (* Folding shortens C_n to C_{n-1} until the triangle goes simplicial:
+     α(C_n) = ⌊n/2⌋, kernel empty. *)
+  for n = 3 to 14 do
+    let g = Gen.ring n in
+    let r = Kn.reduce g in
+    check "cycle kernel empty" 0 (Kn.stats r).Kn.kernel_vertices;
+    if n > 3 then
+      check_bool "cycle needs folds" true ((Kn.stats r).Kn.folds > 0);
+    check "alpha(C_n)" (n / 2) (kernel_greedy_size g)
+  done
+
+let test_kernel_rule_counters () =
+  (* Star: one pendant take retires everything. *)
+  let r = Kn.reduce (Gen.star 9) in
+  check "star kernel empty" 0 (Kn.stats r).Kn.kernel_vertices;
+  check_bool "star via pendant rule" true ((Kn.stats r).Kn.pendants >= 1);
+  check "alpha(star)" 8 (kernel_greedy_size (Gen.star 9));
+  (* Complete graph: simplicial removal takes one vertex, kills the rest. *)
+  let r = Kn.reduce (Gen.complete 8) in
+  check "K8 kernel empty" 0 (Kn.stats r).Kn.kernel_vertices;
+  check "K8 one simplicial take" 1 (Kn.stats r).Kn.simplicial;
+  check "alpha(K8)" 1 (kernel_greedy_size (Gen.complete 8));
+  (* Isolated vertices. *)
+  let r = Kn.reduce (G.empty 5) in
+  check "isolated count" 5 (Kn.stats r).Kn.isolated;
+  check "alpha(empty)" 5 (kernel_greedy_size (G.empty 5))
+
+let test_kernel_disjoint_cliques_exact () =
+  let g = Gen.disjoint_cliques 5 4 in
+  let r = Kn.reduce g in
+  check "cliques kernel empty" 0 (Kn.stats r).Kn.kernel_vertices;
+  check "one take per clique" 5 (kernel_greedy_size g)
+
+let test_kernel_stats_shape () =
+  let g = Gen.gnp (Rng.create 3) 80 0.08 in
+  let r = Kn.reduce g in
+  let st = Kn.stats r in
+  check "original n" (G.n_vertices g) st.Kn.original_vertices;
+  check "original m" (G.n_edges g) st.Kn.original_edges;
+  check "kernel n" (G.n_vertices (Kn.graph r)) st.Kn.kernel_vertices;
+  check "kernel m" (G.n_edges (Kn.graph r)) st.Kn.kernel_edges;
+  check_bool "shrink ratio in [0,1]" true
+    (Kn.shrink_ratio st >= 0.0 && Kn.shrink_ratio st <= 1.0);
+  (* to_original is injective into the original id range. *)
+  let seen = B.create st.Kn.original_vertices in
+  Array.iter
+    (fun v ->
+      check_bool "fresh id" false (B.mem seen v);
+      B.add seen v)
+    (Kn.to_original r);
+  check "map size" st.Kn.kernel_vertices (B.cardinal seen)
+
+(* ------------------------------------------------------------------ *)
+(* Lift contract *)
+
+let test_lift_repairs_weak_kernel_answers () =
+  (* ANY independent kernel set — even the empty one — must lift to an
+     independent maximal set of the original graph. *)
+  let rng = Rng.create 11 in
+  List.iter
+    (fun g ->
+      let r = Kn.reduce g in
+      let empty = B.create (G.n_vertices (Kn.graph r)) in
+      let s = Kn.lift r empty in
+      check_bool "independent" true (Is.is_independent g s);
+      check_bool "maximal" true (Is.is_maximal g s))
+    [ Gen.ring 11; Gen.grid 4 5; Gen.gnp rng 60 0.1; Gen.gnp rng 60 0.3;
+      Gen.star 9; Gen.balanced_tree 2 3 ]
+
+let test_lift_rejects_wrong_capacity () =
+  let g = Gen.gnp (Rng.create 4) 40 0.2 in
+  let r = Kn.reduce g in
+  check_bool "capacity mismatch rejected" true
+    (try
+       ignore (Kn.lift r (B.create (G.n_vertices (Kn.graph r) + 1)));
+       false
+     with Invalid_argument _ -> true)
+
+let test_vertex_addition_contract () =
+  let g = Gen.grid 5 5 in
+  let s = Is.of_list g [ 0 ] in
+  let v = Kn.vertex_addition g s in
+  check_bool "input unchanged" true (Is.size s = 1 && B.mem s 0);
+  check_bool "never shrinks" true (B.subset s v);
+  check_bool "independent" true (Is.is_independent g v);
+  check_bool "maximal" true (Is.is_maximal g v);
+  (* A maximal input comes back unchanged. *)
+  let m = Is.make_maximal g (Is.empty g) in
+  check_bool "fixed point on maximal" true (B.equal m (Kn.vertex_addition g m))
+
+(* ------------------------------------------------------------------ *)
+(* Presolve combinator *)
+
+let test_presolve_naming_and_idempotence () =
+  let s = Approx.greedy_min_degree in
+  let w = Kn.apply `Kernel s in
+  Alcotest.(check string)
+    "prefix" "kernel+greedy-min-degree" w.Approx.name;
+  check_bool "idempotent" true
+    (String.equal (Kn.apply `Kernel w).Approx.name w.Approx.name);
+  check_bool "none is identity" true
+    (String.equal (Kn.apply `None s).Approx.name s.Approx.name);
+  check_bool "portfolio already presolved" true
+    (Kn.is_presolved Portfolio.solver);
+  check_bool "portfolio not double-wrapped" true
+    (String.equal (Kn.apply `Kernel Portfolio.solver).Approx.name "portfolio")
+
+(* ------------------------------------------------------------------ *)
+(* Clique removal + portfolio *)
+
+let test_clique_removal_valid () =
+  let rng = Rng.create 6 in
+  List.iter
+    (fun g ->
+      let s = Ps_maxis.Clique_removal.run (Rng.create 0) g in
+      check_bool "independent" true (Is.is_independent g s);
+      check_bool "maximal" true (Is.is_maximal g s))
+    [ Gen.ring 11; Gen.complete 8; Gen.grid 4 5; Gen.star 9;
+      Gen.gnp rng 60 0.1; Gen.gnp rng 60 0.4; G.empty 7;
+      Gen.disjoint_cliques 5 4 ]
+
+let test_clique_removal_exact_on_cliques () =
+  (* Dense pockets are carved out whole: exact on disjoint cliques. *)
+  check "5 cliques" 5
+    (Is.size (Ps_maxis.Clique_removal.run (Rng.create 0)
+                (Gen.disjoint_cliques 5 4)))
+
+let test_portfolio_certified_and_deterministic () =
+  let g = Gen.gnp (Rng.create 8) 80 0.08 in
+  let o1 = Portfolio.race (Rng.create 42) g in
+  check_bool "independent" true (Is.is_independent g o1.Portfolio.set);
+  check_bool "maximal" true (Is.is_maximal g o1.Portfolio.set);
+  check "three entries" 3 (List.length o1.Portfolio.sizes);
+  check_bool "winner sizes max" true
+    (List.for_all
+       (fun (_, sz) -> sz <= Is.size o1.Portfolio.set)
+       o1.Portfolio.sizes);
+  check_bool "kernel shrank" true
+    (o1.Portfolio.kernel_stats.Kn.kernel_vertices
+    < o1.Portfolio.kernel_stats.Kn.original_vertices);
+  (* Same seed, any domain schedule: identical outcome. *)
+  let o2 = Portfolio.race ~domains:1 (Rng.create 42) g in
+  let o3 = Portfolio.race ~domains:2 (Rng.create 42) g in
+  List.iter
+    (fun (o : Portfolio.outcome) ->
+      Alcotest.(check string) "same winner" o1.Portfolio.winner o.Portfolio.winner;
+      check_bool "same set" true (B.equal o1.Portfolio.set o.Portfolio.set);
+      Alcotest.(check (list (pair string int)))
+        "same sizes" o1.Portfolio.sizes o.Portfolio.sizes)
+    [ o2; o3 ]
+
+let test_portfolio_cancellation () =
+  let g = Gen.gnp (Rng.create 9) 60 0.1 in
+  check_bool "canceled race raises" true
+    (try
+       ignore (Portfolio.race ~cancel:(fun () -> true) (Rng.create 0) g);
+       false
+     with Portfolio.Canceled -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let arbitrary_gnp =
+  QCheck.make
+    ~print:(fun (seed, n, p) -> Printf.sprintf "seed=%d n=%d p=%d%%" seed n p)
+    QCheck.Gen.(triple (int_bound 500) (int_range 1 60) (int_bound 40))
+
+let graph_of (seed, n, p) =
+  Gen.gnp (Rng.create seed) n (float_of_int p /. 100.0)
+
+let prop_kernel_lift_valid_maximal =
+  QCheck.Test.make ~count:120
+    ~name:"kernel+lift: independent+maximal on the original graph"
+    arbitrary_gnp (fun params ->
+      let g = graph_of params in
+      let rng = Rng.create (Hashtbl.hash params) in
+      let s = (Kn.presolve Approx.greedy_min_degree).Approx.solve rng g in
+      Is.is_independent g s && Is.is_maximal g s)
+
+let prop_kernel_width_layout_invariant =
+  QCheck.Test.make ~count:60
+    ~name:"kernel is width-invariant; lift valid on relabeled layouts"
+    arbitrary_gnp (fun params ->
+      let g = graph_of params in
+      let seed = Hashtbl.hash params in
+      let lifted gg =
+        (Kn.presolve Approx.greedy_min_degree).Approx.solve (Rng.create seed)
+          gg
+      in
+      let s_int = lifted g in
+      (* Same instance at int32 width: identical reduction, identical
+         answer. *)
+      let width_ok =
+        B.equal s_int (lifted (G.with_width g `Int32))
+      in
+      (* Degree-sorted relabeling is a different instance (new ids) but
+         the lift contract must hold there too. *)
+      let gs, _perm = G.degree_sorted g in
+      let s_sorted = lifted gs in
+      width_ok
+      && Is.is_independent gs s_sorted
+      && Is.is_maximal gs s_sorted)
+
+let prop_path_cycle_roundtrip =
+  QCheck.Test.make ~count:60 ~name:"folding solves paths and cycles exactly"
+    QCheck.(make ~print:string_of_int Gen.(int_range 3 60))
+    (fun n ->
+      kernel_greedy_size (Gen.path n) = (n + 1) / 2
+      && kernel_greedy_size (Gen.ring n) = n / 2)
+
+let prop_kernel_alpha_preserving =
+  (* On instances small enough for branch and bound: kernelized greedy
+     never beats alpha, and the kernel's own alpha plus the journal's
+     takes reaches alpha exactly. *)
+  QCheck.Test.make ~count:40 ~name:"kernel preserves alpha"
+    QCheck.(
+      make
+        ~print:(fun (s, n, p) -> Printf.sprintf "seed=%d n=%d p=%d%%" s n p)
+        Gen.(triple (int_bound 500) (int_range 1 18) (int_bound 60)))
+    (fun params ->
+      let g = graph_of params in
+      let alpha = Exact.independence_number g in
+      let r = Kn.reduce g in
+      let kernel_best = Exact.maximum (Kn.graph r) in
+      let lifted = Kn.lift r kernel_best in
+      Is.is_maximal g lifted && Is.size lifted = alpha)
+
+let prop_vertex_addition_monotone_maximal =
+  QCheck.Test.make ~count:120
+    ~name:"vertex_addition: superset, independent, maximal" arbitrary_gnp
+    (fun params ->
+      let g = graph_of params in
+      let rng = Rng.create (Hashtbl.hash params) in
+      (* A random (possibly far from maximal) independent set. *)
+      let s = B.create (G.n_vertices g) in
+      Array.iter
+        (fun v ->
+          if Rng.bool rng && not (G.exists_neighbor g v (B.mem s)) then
+            B.add s v)
+        (Rng.permutation rng (G.n_vertices g));
+      let v = Kn.vertex_addition g s in
+      B.subset s v && Is.is_independent g v && Is.is_maximal g v)
+
+let prop_portfolio_valid =
+  QCheck.Test.make ~count:40 ~name:"portfolio: certified winner, max of lanes"
+    arbitrary_gnp (fun params ->
+      let g = graph_of params in
+      let o = Portfolio.race (Rng.create (Hashtbl.hash params)) g in
+      Is.is_independent g o.Portfolio.set
+      && Is.is_maximal g o.Portfolio.set
+      && List.for_all
+           (fun (_, sz) -> sz <= Is.size o.Portfolio.set)
+           o.Portfolio.sizes)
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_kernel_lift_valid_maximal; prop_kernel_width_layout_invariant;
+      prop_path_cycle_roundtrip; prop_kernel_alpha_preserving;
+      prop_vertex_addition_monotone_maximal; prop_portfolio_valid ]
+
+let suites =
+  [ ( "maxis.kernel",
+      [ Alcotest.test_case "paths solved by rules" `Quick
+          test_kernel_solves_paths;
+        Alcotest.test_case "cycles solved by folding" `Quick
+          test_kernel_solves_cycles;
+        Alcotest.test_case "rule counters" `Quick test_kernel_rule_counters;
+        Alcotest.test_case "disjoint cliques exact" `Quick
+          test_kernel_disjoint_cliques_exact;
+        Alcotest.test_case "stats shape" `Quick test_kernel_stats_shape;
+        Alcotest.test_case "lift repairs weak answers" `Quick
+          test_lift_repairs_weak_kernel_answers;
+        Alcotest.test_case "lift rejects wrong capacity" `Quick
+          test_lift_rejects_wrong_capacity;
+        Alcotest.test_case "vertex_addition contract" `Quick
+          test_vertex_addition_contract;
+        Alcotest.test_case "presolve naming" `Quick
+          test_presolve_naming_and_idempotence ] );
+    ( "maxis.portfolio",
+      [ Alcotest.test_case "clique removal valid" `Quick
+          test_clique_removal_valid;
+        Alcotest.test_case "clique removal exact on cliques" `Quick
+          test_clique_removal_exact_on_cliques;
+        Alcotest.test_case "certified + deterministic" `Quick
+          test_portfolio_certified_and_deterministic;
+        Alcotest.test_case "cancellation" `Quick test_portfolio_cancellation ]
+    );
+    ("maxis.kernel.properties", props) ]

@@ -652,7 +652,8 @@ let test_service_decompose () =
 
 let solve_params_of h =
   { P.hypergraph = h; solver = Ps_maxis.Approx.greedy_min_degree;
-    solver_name = "greedy"; k = None; seed = 7; detail = false }
+    solver_name = "greedy"; presolve = `None; k = None; seed = 7;
+    detail = false }
 
 let test_service_reduce_and_certify () =
   let h = Ps_hypergraph.Hypergraph.of_edges 4 [ [ 0; 1 ]; [ 2; 3 ] ] in
